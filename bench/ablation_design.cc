@@ -1,0 +1,51 @@
+// Design-choice ablations (DESIGN.md §4): quantifies the implementation
+// decisions this reproduction makes on top of the paper's equations. Each
+// row disables exactly one choice from the tuned default.
+
+#include "sweep_common.h"
+
+using namespace groupsa;
+
+int main(int argc, char** argv) {
+  const pipeline::RunOptions options = bench::SweepOptions(argc, argv);
+  std::vector<std::pair<std::string, core::GroupSaConfig>> points;
+
+  points.emplace_back("default", core::GroupSaConfig::Default());
+
+  core::GroupSaConfig no_social_loss = core::GroupSaConfig::Default();
+  no_social_loss.use_social_objective = false;
+  points.emplace_back("-social-objective", no_social_loss);
+
+  core::GroupSaConfig no_singletons = core::GroupSaConfig::Default();
+  no_singletons.train_group_head_on_singletons = false;
+  points.emplace_back("-singleton-training", no_singletons);
+
+  core::GroupSaConfig untied = core::GroupSaConfig::Default();
+  untied.tie_latent_spaces = false;
+  points.emplace_back("-tied-latent-spaces", untied);
+
+  core::GroupSaConfig separate_towers = core::GroupSaConfig::Default();
+  separate_towers.share_predictors = false;
+  points.emplace_back("-shared-tower", separate_towers);
+
+  points.emplace_back("-social-mask", core::GroupSaConfig::NoSocialMask());
+
+  core::GroupSaConfig no_interleave = core::GroupSaConfig::Default();
+  no_interleave.interleave_user_in_stage2 = false;
+  points.emplace_back("-stage2-interleave", no_interleave);
+
+  // f(i,j) alternatives (the paper allows any real-valued closeness score).
+  core::GroupSaConfig common_neighbors = core::GroupSaConfig::Default();
+  common_neighbors.social_closeness =
+      core::SocialCloseness::kCommonNeighbors;
+  points.emplace_back("f=common-neighbors", common_neighbors);
+
+  core::GroupSaConfig adamic = core::GroupSaConfig::Default();
+  adamic.social_closeness = core::SocialCloseness::kAdamicAdar;
+  adamic.closeness_threshold = 0.5;
+  points.emplace_back("f=adamic-adar>0.5", adamic);
+
+  return bench::RunSweep(
+      "Design ablations — each row disables one implementation choice",
+      points, options);
+}

@@ -1,0 +1,111 @@
+// Micro-benchmarks for the tensor/autograd/nn kernels on shapes
+// representative of GroupSA (d = 32, group size ~5, Top-H ~4).
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "nn/self_attention.h"
+#include "nn/transformer_block.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using groupsa::Rng;
+using groupsa::tensor::Matrix;
+namespace ag = groupsa::ag;
+namespace nn = groupsa::nn;
+
+void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Matrix a(n, n);
+  Matrix b(n, n);
+  a.FillGaussian(&rng, 0.0f, 1.0f);
+  b.FillGaussian(&rng, 0.0f, 1.0f);
+  Matrix out;
+  for (auto _ : state) {
+    groupsa::tensor::Gemm(a, false, b, false, 1.0f, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SoftmaxRowsMasked(benchmark::State& state) {
+  const int l = static_cast<int>(state.range(0));
+  Rng rng(2);
+  Matrix logits(l, l);
+  logits.FillGaussian(&rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Matrix m = logits;
+    groupsa::tensor::SoftmaxRowsInPlace(&m);
+    benchmark::DoNotOptimize(m.data());
+  }
+}
+BENCHMARK(BM_SoftmaxRowsMasked)->Arg(5)->Arg(12);
+
+void BM_SelfAttentionForward(benchmark::State& state) {
+  const int l = static_cast<int>(state.range(0));
+  Rng rng(3);
+  nn::SocialSelfAttention attn("a", 32, 32, 32, &rng);
+  Matrix x(l, 32);
+  x.FillGaussian(&rng, 0.0f, 0.1f);
+  ag::TensorPtr input = ag::Constant(x);
+  Matrix bias = nn::MakeSocialBias(l, [](int i, int j) {
+    return (i + j) % 2 == 0;
+  });
+  for (auto _ : state) {
+    auto out = attn.Forward(nullptr, input, &bias);
+    benchmark::DoNotOptimize(out.values->value().data());
+  }
+}
+BENCHMARK(BM_SelfAttentionForward)->Arg(3)->Arg(5)->Arg(10);
+
+void BM_TransformerBlockForwardBackward(benchmark::State& state) {
+  const int l = static_cast<int>(state.range(0));
+  Rng rng(4);
+  nn::TransformerBlock block("b", 32, 32, &rng);
+  Matrix x_m(l, 32);
+  x_m.FillGaussian(&rng, 0.0f, 0.1f);
+  for (auto _ : state) {
+    ag::TensorPtr x = ag::Variable(x_m);
+    ag::Tape tape;
+    auto out = block.Forward(&tape, x, nullptr);
+    ag::TensorPtr loss = ag::SumAll(&tape, out.values);
+    tape.Backward(loss);
+    benchmark::DoNotOptimize(x->grad().data());
+    block.ZeroGrad();
+  }
+}
+BENCHMARK(BM_TransformerBlockForwardBackward)->Arg(5)->Arg(10);
+
+void BM_LayerNormOp(benchmark::State& state) {
+  Rng rng(5);
+  Matrix x_m(8, 32);
+  x_m.FillGaussian(&rng, 0.0f, 1.0f);
+  ag::TensorPtr x = ag::Constant(x_m);
+  ag::TensorPtr gain = ag::Constant(Matrix(1, 32, 1.0f));
+  ag::TensorPtr bias = ag::Constant(Matrix(1, 32, 0.0f));
+  for (auto _ : state) {
+    ag::TensorPtr y = ag::LayerNorm(nullptr, x, gain, bias);
+    benchmark::DoNotOptimize(y->value().data());
+  }
+}
+BENCHMARK(BM_LayerNormOp);
+
+void BM_BprLossForwardBackward(benchmark::State& state) {
+  Rng rng(6);
+  for (auto _ : state) {
+    ag::TensorPtr pos = ag::Variable(Matrix(1, 1, 0.5f));
+    Matrix negs_m(4, 1);
+    negs_m.FillGaussian(&rng, 0.0f, 1.0f);
+    ag::TensorPtr negs = ag::Variable(negs_m);
+    ag::Tape tape;
+    ag::TensorPtr loss = ag::BprLoss(&tape, pos, negs);
+    tape.Backward(loss);
+    benchmark::DoNotOptimize(pos->grad().data());
+  }
+}
+BENCHMARK(BM_BprLossForwardBackward);
+
+}  // namespace

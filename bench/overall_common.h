@@ -1,0 +1,63 @@
+#ifndef GROUPSA_BENCH_OVERALL_COMMON_H_
+#define GROUPSA_BENCH_OVERALL_COMMON_H_
+
+// Shared driver for the Table II / Table III overall comparisons: trains
+// NCF, Pop, AGREE, SIGR and GroupSA, derives Group+avg/lm/ms from the
+// trained GroupSA, and prints the paper-shaped table.
+
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "pipeline/experiment.h"
+
+namespace groupsa::bench {
+
+inline int RunOverallComparison(const data::SyntheticWorldConfig& world_config,
+                                const std::string& title, int argc,
+                                char** argv) {
+  pipeline::RunOptions options =
+      pipeline::ParseBenchArgs(argc, argv, pipeline::RunOptions{});
+  Stopwatch total;
+  std::printf("Preparing %s (seed %llu)...\n", world_config.name.c_str(),
+              static_cast<unsigned long long>(options.seed));
+  pipeline::ExperimentData data = pipeline::PrepareData(world_config, options);
+  std::printf("train: %zu user-item, %zu group-item; test cases: %zu user, "
+              "%zu group\n",
+              data.ui.train.size(), data.gi.train.size(),
+              data.user_cases.size(), data.group_cases.size());
+
+  std::vector<pipeline::ModelScores> rows;
+  Rng rng(options.seed + 1);
+
+  std::printf("[1/5] NCF...\n");
+  rows.push_back(pipeline::RunNcf(data, options, &rng));
+  std::printf("[2/5] Pop...\n");
+  rows.push_back(pipeline::RunPopularity(data, options));
+  std::printf("[3/5] AGREE...\n");
+  rows.push_back(pipeline::RunAgree(data, options, &rng));
+  std::printf("[4/5] SIGR...\n");
+  rows.push_back(pipeline::RunSigr(data, options, &rng));
+
+  std::printf("[5/5] GroupSA (+ static aggregations)...\n");
+  const core::GroupSaConfig config = core::GroupSaConfig::Default();
+  const core::ModelData model_data = pipeline::BuildModelData(data, config);
+  auto model =
+      pipeline::TrainGroupSa(config, data, options, &rng, model_data);
+  rows.push_back(pipeline::RunStaticAgg(
+      model.get(), data, options, baselines::ScoreAggregation::kAverage));
+  rows.push_back(pipeline::RunStaticAgg(
+      model.get(), data, options, baselines::ScoreAggregation::kLeastMisery));
+  rows.push_back(pipeline::RunStaticAgg(
+      model.get(), data, options,
+      baselines::ScoreAggregation::kMaxSatisfaction));
+  rows.push_back(pipeline::ScoreGroupSa(model.get(), data, options,
+                                        "GroupSA"));
+
+  pipeline::PrintOverallTable(title, rows, options);
+  std::printf("\ntotal %.1fs\n", total.ElapsedSeconds());
+  return 0;
+}
+
+}  // namespace groupsa::bench
+
+#endif  // GROUPSA_BENCH_OVERALL_COMMON_H_

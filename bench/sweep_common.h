@@ -1,0 +1,51 @@
+#ifndef GROUPSA_BENCH_SWEEP_COMMON_H_
+#define GROUPSA_BENCH_SWEEP_COMMON_H_
+
+// Shared driver for the hyper-parameter sweep tables (VI, VII, VIII) and the
+// design-choice ablations: trains one GroupSA per configuration point on the
+// Yelp-like world and prints group-task rows. Sweeps default to slightly
+// shorter training than the headline tables (each point is a full fit).
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "pipeline/experiment.h"
+
+namespace groupsa::bench {
+
+inline pipeline::RunOptions SweepOptions(int argc, char** argv) {
+  pipeline::RunOptions defaults;
+  defaults.user_epochs = 5;
+  defaults.group_epochs = 6;
+  return pipeline::ParseBenchArgs(argc, argv, defaults);
+}
+
+inline int RunSweep(
+    const std::string& title,
+    const std::vector<std::pair<std::string, core::GroupSaConfig>>& points,
+    const pipeline::RunOptions& options) {
+  Stopwatch total;
+  pipeline::ExperimentData data = pipeline::PrepareData(
+      data::SyntheticWorldConfig::YelpLike(), options);
+  std::vector<pipeline::ModelScores> rows;
+  for (const auto& [label, config] : points) {
+    std::printf("training %s...\n", label.c_str());
+    Rng rng(options.seed + 1);
+    const core::ModelData model_data = pipeline::BuildModelData(data, config);
+    auto model =
+        pipeline::TrainGroupSa(config, data, options, &rng, model_data);
+    pipeline::ModelScores scores =
+        pipeline::ScoreGroupSa(model.get(), data, options, label);
+    rows.push_back(std::move(scores));
+  }
+  pipeline::PrintGroupTable(title, rows, options);
+  std::printf("\ntotal %.1fs\n", total.ElapsedSeconds());
+  return 0;
+}
+
+}  // namespace groupsa::bench
+
+#endif  // GROUPSA_BENCH_SWEEP_COMMON_H_

@@ -1,0 +1,13 @@
+// Table II: Top-K recommendation performance on the Yelp-like world, user
+// and group tasks, for NCF / Pop / AGREE / SIGR / Group+{avg,lm,ms} /
+// GroupSA at K = 5 and 10. Expected shape (paper): GroupSA best on both
+// tasks; static aggregations above AGREE/SIGR on the group task; NCF and Pop
+// weakest.
+
+#include "overall_common.h"
+
+int main(int argc, char** argv) {
+  return groupsa::bench::RunOverallComparison(
+      groupsa::data::SyntheticWorldConfig::YelpLike(),
+      "Table II — overall comparison (yelp-like)", argc, argv);
+}

@@ -1,0 +1,12 @@
+// Table III: Top-K recommendation performance on the Douban-Event-like
+// world; same grid and expected shape as Table II.
+
+#include "overall_common.h"
+
+int main(int argc, char** argv) {
+  auto config = groupsa::data::SyntheticWorldConfig::DoubanEventLike();
+  // Paper tunes N_X = 2 for Douban-Event (Sec. V-C).
+  return groupsa::bench::RunOverallComparison(
+      config, "Table III — overall comparison (douban-event-like)", argc,
+      argv);
+}

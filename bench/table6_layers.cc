@@ -1,0 +1,21 @@
+// Table VI: impact of the number of stacked self-attention layers N_X
+// (voting rounds) on the group task. Expected shape (paper): shallow stacks
+// already work, with a mild interior optimum and no monotone gain from
+// depth.
+
+#include "common/string_util.h"
+#include "sweep_common.h"
+
+using namespace groupsa;
+
+int main(int argc, char** argv) {
+  const pipeline::RunOptions options = bench::SweepOptions(argc, argv);
+  std::vector<std::pair<std::string, core::GroupSaConfig>> points;
+  for (int n_x = 1; n_x <= 5; ++n_x) {
+    core::GroupSaConfig config = core::GroupSaConfig::Default();
+    config.num_voting_layers = n_x;
+    points.emplace_back(StrFormat("N_X=%d", n_x), config);
+  }
+  return bench::RunSweep("Table VI — impact of N_X (voting rounds)", points,
+                         options);
+}

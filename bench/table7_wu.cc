@@ -1,0 +1,24 @@
+// Table VII: impact of the blend weight w^u between the shared-embedding
+// score r^R1 and the latent-factor score r^R2 (Eq. 23). Expected shape
+// (paper): an interior optimum — performance rises with w^u, peaks, and
+// drops sharply at w^u = 1.0 where the shared embeddings stop receiving the
+// direct user-item signal. (The paper's peak is 0.9; this reproduction
+// peaks near 0.5 — see EXPERIMENTS.md.)
+
+#include "common/string_util.h"
+#include "sweep_common.h"
+
+using namespace groupsa;
+
+int main(int argc, char** argv) {
+  const pipeline::RunOptions options = bench::SweepOptions(argc, argv);
+  std::vector<std::pair<std::string, core::GroupSaConfig>> points;
+  for (float wu : {0.1f, 0.3f, 0.5f, 0.7f, 0.9f, 1.0f}) {
+    core::GroupSaConfig config = core::GroupSaConfig::Default();
+    config.user_score_blend = wu;
+    points.emplace_back(StrFormat("w^u=%.1f", static_cast<double>(wu)),
+                        config);
+  }
+  return bench::RunSweep("Table VII — impact of w^u (Eq. 23 blend)", points,
+                         options);
+}

@@ -1,0 +1,20 @@
+// Table VIII: impact of the number of negative samples N per positive.
+// Expected shape (paper): a few negatives suffice; quality saturates (or
+// mildly peaks) at small N, so N = 1 is used for training efficiency.
+
+#include "common/string_util.h"
+#include "sweep_common.h"
+
+using namespace groupsa;
+
+int main(int argc, char** argv) {
+  const pipeline::RunOptions options = bench::SweepOptions(argc, argv);
+  std::vector<std::pair<std::string, core::GroupSaConfig>> points;
+  for (int n = 1; n <= 5; ++n) {
+    core::GroupSaConfig config = core::GroupSaConfig::Default();
+    config.num_negatives = n;
+    points.emplace_back(StrFormat("N=%d", n), config);
+  }
+  return bench::RunSweep("Table VIII — impact of N (negatives per positive)",
+                         points, options);
+}

@@ -1,0 +1,521 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.h"
+
+namespace groupsa::ag {
+namespace {
+
+using tensor::Matrix;
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+bool AnyRequiresGrad(std::initializer_list<const TensorPtr*> inputs) {
+  for (const TensorPtr* t : inputs) {
+    if ((*t)->requires_grad()) return true;
+  }
+  return false;
+}
+
+TensorPtr MakeOutput(Matrix value, bool requires_grad) {
+  auto out = std::make_shared<Tensor>(std::move(value), requires_grad);
+  return out;
+}
+
+// Numerically stable sigmoid.
+float StableSigmoid(float x) {
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+// Numerically stable softplus: log(1 + exp(x)).
+float Softplus(float x) {
+  return std::max(x, 0.0f) + std::log1p(std::exp(-std::fabs(x)));
+}
+
+}  // namespace
+
+TensorPtr MatMul(Tape* tape, const TensorPtr& a, const TensorPtr& b,
+                 bool transpose_a, bool transpose_b) {
+  Matrix value;
+  tensor::Gemm(a->value(), transpose_a, b->value(), transpose_b, 1.0f, &value);
+  const bool needs_grad = tape != nullptr && AnyRequiresGrad({&a, &b});
+  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  if (!needs_grad) return out;
+  tape->Record([a, b, out, transpose_a, transpose_b]() {
+    const Matrix& g = out->grad();
+    // For C = op(A) op(B): dA accumulates via the matching transposed
+    // product; four cases depending on the forward transpose flags.
+    if (a->requires_grad()) {
+      if (!transpose_a) {
+        // dA = g * op(B)^T
+        tensor::Gemm(g, false, b->value(), !transpose_b, 1.0f, &a->grad(),
+                     /*accumulate=*/true);
+      } else {
+        // dA^T = g * op(B)^T  =>  dA = op(B) * g^T
+        tensor::Gemm(b->value(), transpose_b, g, true, 1.0f, &a->grad(),
+                     /*accumulate=*/true);
+      }
+    }
+    if (b->requires_grad()) {
+      if (!transpose_b) {
+        // dB = op(A)^T * g
+        tensor::Gemm(a->value(), !transpose_a, g, false, 1.0f, &b->grad(),
+                     /*accumulate=*/true);
+      } else {
+        // dB = g^T * op(A)
+        tensor::Gemm(g, true, a->value(), transpose_a, 1.0f, &b->grad(),
+                     /*accumulate=*/true);
+      }
+    }
+  });
+  return out;
+}
+
+TensorPtr Add(Tape* tape, const TensorPtr& a, const TensorPtr& b) {
+  GROUPSA_CHECK(a->value().SameShape(b->value()), "Add shape mismatch");
+  Matrix value = a->value();
+  value.AddInPlace(b->value());
+  const bool needs_grad = tape != nullptr && AnyRequiresGrad({&a, &b});
+  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  if (!needs_grad) return out;
+  tape->Record([a, b, out]() {
+    if (a->requires_grad()) a->grad().AddInPlace(out->grad());
+    if (b->requires_grad()) b->grad().AddInPlace(out->grad());
+  });
+  return out;
+}
+
+TensorPtr Sub(Tape* tape, const TensorPtr& a, const TensorPtr& b) {
+  GROUPSA_CHECK(a->value().SameShape(b->value()), "Sub shape mismatch");
+  Matrix value = a->value();
+  value.SubInPlace(b->value());
+  const bool needs_grad = tape != nullptr && AnyRequiresGrad({&a, &b});
+  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  if (!needs_grad) return out;
+  tape->Record([a, b, out]() {
+    if (a->requires_grad()) a->grad().AddInPlace(out->grad());
+    if (b->requires_grad()) b->grad().AxpyInPlace(-1.0f, out->grad());
+  });
+  return out;
+}
+
+TensorPtr Mul(Tape* tape, const TensorPtr& a, const TensorPtr& b) {
+  Matrix value = tensor::Hadamard(a->value(), b->value());
+  const bool needs_grad = tape != nullptr && AnyRequiresGrad({&a, &b});
+  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  if (!needs_grad) return out;
+  tape->Record([a, b, out]() {
+    const Matrix& g = out->grad();
+    if (a->requires_grad())
+      a->grad().AddInPlace(tensor::Hadamard(g, b->value()));
+    if (b->requires_grad())
+      b->grad().AddInPlace(tensor::Hadamard(g, a->value()));
+  });
+  return out;
+}
+
+TensorPtr Scale(Tape* tape, const TensorPtr& a, float factor) {
+  Matrix value = a->value();
+  value.ScaleInPlace(factor);
+  const bool needs_grad = tape != nullptr && a->requires_grad();
+  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  if (!needs_grad) return out;
+  tape->Record([a, out, factor]() {
+    a->grad().AxpyInPlace(factor, out->grad());
+  });
+  return out;
+}
+
+TensorPtr AddBias(Tape* tape, const TensorPtr& x, const TensorPtr& bias) {
+  Matrix value = x->value();
+  tensor::AddRowBroadcastInPlace(&value, bias->value());
+  const bool needs_grad = tape != nullptr && AnyRequiresGrad({&x, &bias});
+  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  if (!needs_grad) return out;
+  tape->Record([x, bias, out]() {
+    if (x->requires_grad()) x->grad().AddInPlace(out->grad());
+    if (bias->requires_grad())
+      bias->grad().AddInPlace(tensor::SumRows(out->grad()));
+  });
+  return out;
+}
+
+TensorPtr BroadcastRow(Tape* tape, const TensorPtr& row, int n) {
+  GROUPSA_CHECK(row->rows() == 1, "BroadcastRow requires a 1 x d input");
+  Matrix value(n, row->cols());
+  for (int r = 0; r < n; ++r) value.SetRow(r, row->value().RowPtr(0));
+  const bool needs_grad = tape != nullptr && row->requires_grad();
+  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  if (!needs_grad) return out;
+  tape->Record([row, out]() {
+    row->grad().AddInPlace(tensor::SumRows(out->grad()));
+  });
+  return out;
+}
+
+TensorPtr ConcatCols(Tape* tape, const std::vector<TensorPtr>& parts) {
+  GROUPSA_CHECK(!parts.empty(), "ConcatCols requires inputs");
+  std::vector<const Matrix*> raw;
+  raw.reserve(parts.size());
+  bool needs_grad = false;
+  for (const TensorPtr& p : parts) {
+    raw.push_back(&p->value());
+    needs_grad = needs_grad || p->requires_grad();
+  }
+  needs_grad = needs_grad && tape != nullptr;
+  TensorPtr out = MakeOutput(tensor::ConcatCols(raw), needs_grad);
+  if (!needs_grad) return out;
+  tape->Record([parts, out]() {
+    const Matrix& g = out->grad();
+    int offset = 0;
+    for (const TensorPtr& p : parts) {
+      if (p->requires_grad()) {
+        Matrix& pg = p->grad();
+        for (int r = 0; r < pg.rows(); ++r)
+          for (int c = 0; c < pg.cols(); ++c) pg.At(r, c) += g.At(r, offset + c);
+      }
+      offset += p->cols();
+    }
+  });
+  return out;
+}
+
+TensorPtr ConcatRows(Tape* tape, const std::vector<TensorPtr>& parts) {
+  GROUPSA_CHECK(!parts.empty(), "ConcatRows requires inputs");
+  std::vector<const Matrix*> raw;
+  raw.reserve(parts.size());
+  bool needs_grad = false;
+  for (const TensorPtr& p : parts) {
+    raw.push_back(&p->value());
+    needs_grad = needs_grad || p->requires_grad();
+  }
+  needs_grad = needs_grad && tape != nullptr;
+  TensorPtr out = MakeOutput(tensor::ConcatRows(raw), needs_grad);
+  if (!needs_grad) return out;
+  tape->Record([parts, out]() {
+    const Matrix& g = out->grad();
+    int offset = 0;
+    for (const TensorPtr& p : parts) {
+      if (p->requires_grad()) {
+        Matrix& pg = p->grad();
+        for (int r = 0; r < pg.rows(); ++r)
+          for (int c = 0; c < pg.cols(); ++c) pg.At(r, c) += g.At(offset + r, c);
+      }
+      offset += p->rows();
+    }
+  });
+  return out;
+}
+
+TensorPtr SliceRows(Tape* tape, const TensorPtr& x, int start, int count) {
+  GROUPSA_CHECK(start >= 0 && count >= 0 && start + count <= x->rows(),
+                "SliceRows range out of bounds");
+  Matrix value(count, x->cols());
+  for (int r = 0; r < count; ++r) value.SetRow(r, x->value().RowPtr(start + r));
+  const bool needs_grad = tape != nullptr && x->requires_grad();
+  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  if (!needs_grad) return out;
+  tape->Record([x, out, start, count]() {
+    Matrix& xg = x->grad();
+    const Matrix& g = out->grad();
+    for (int r = 0; r < count; ++r)
+      for (int c = 0; c < g.cols(); ++c) xg.At(start + r, c) += g.At(r, c);
+  });
+  return out;
+}
+
+TensorPtr GatherRows(Tape* tape, const TensorPtr& table,
+                     const std::vector<int>& row_ids,
+                     std::unordered_set<int>* touched_rows) {
+  Matrix value = tensor::GatherRows(table->value(), row_ids);
+  if (touched_rows != nullptr) {
+    for (int id : row_ids) touched_rows->insert(id);
+  }
+  const bool needs_grad = tape != nullptr && table->requires_grad();
+  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  if (!needs_grad) return out;
+  tape->Record([table, out, row_ids]() {
+    Matrix& tg = table->grad();
+    const Matrix& g = out->grad();
+    for (size_t i = 0; i < row_ids.size(); ++i) {
+      float* dst = tg.RowPtr(row_ids[i]);
+      const float* src = g.RowPtr(static_cast<int>(i));
+      for (int c = 0; c < g.cols(); ++c) dst[c] += src[c];
+    }
+  });
+  return out;
+}
+
+TensorPtr Transpose(Tape* tape, const TensorPtr& x) {
+  Matrix value = tensor::Transpose(x->value());
+  const bool needs_grad = tape != nullptr && x->requires_grad();
+  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  if (!needs_grad) return out;
+  tape->Record([x, out]() {
+    x->grad().AddInPlace(tensor::Transpose(out->grad()));
+  });
+  return out;
+}
+
+TensorPtr Relu(Tape* tape, const TensorPtr& x) {
+  Matrix value = x->value();
+  for (int i = 0; i < value.size(); ++i)
+    value.data()[i] = std::max(0.0f, value.data()[i]);
+  const bool needs_grad = tape != nullptr && x->requires_grad();
+  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  if (!needs_grad) return out;
+  tape->Record([x, out]() {
+    Matrix& xg = x->grad();
+    const Matrix& g = out->grad();
+    const Matrix& v = x->value();
+    for (int i = 0; i < g.size(); ++i)
+      if (v.data()[i] > 0.0f) xg.data()[i] += g.data()[i];
+  });
+  return out;
+}
+
+TensorPtr Sigmoid(Tape* tape, const TensorPtr& x) {
+  Matrix value = x->value();
+  for (int i = 0; i < value.size(); ++i)
+    value.data()[i] = StableSigmoid(value.data()[i]);
+  const bool needs_grad = tape != nullptr && x->requires_grad();
+  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  if (!needs_grad) return out;
+  tape->Record([x, out]() {
+    Matrix& xg = x->grad();
+    const Matrix& g = out->grad();
+    const Matrix& y = out->value();
+    for (int i = 0; i < g.size(); ++i) {
+      const float s = y.data()[i];
+      xg.data()[i] += g.data()[i] * s * (1.0f - s);
+    }
+  });
+  return out;
+}
+
+TensorPtr Tanh(Tape* tape, const TensorPtr& x) {
+  Matrix value = x->value();
+  for (int i = 0; i < value.size(); ++i)
+    value.data()[i] = std::tanh(value.data()[i]);
+  const bool needs_grad = tape != nullptr && x->requires_grad();
+  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  if (!needs_grad) return out;
+  tape->Record([x, out]() {
+    Matrix& xg = x->grad();
+    const Matrix& g = out->grad();
+    const Matrix& y = out->value();
+    for (int i = 0; i < g.size(); ++i) {
+      const float t = y.data()[i];
+      xg.data()[i] += g.data()[i] * (1.0f - t * t);
+    }
+  });
+  return out;
+}
+
+TensorPtr LogSigmoid(Tape* tape, const TensorPtr& x) {
+  Matrix value = x->value();
+  for (int i = 0; i < value.size(); ++i)
+    value.data()[i] = -Softplus(-value.data()[i]);
+  const bool needs_grad = tape != nullptr && x->requires_grad();
+  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  if (!needs_grad) return out;
+  tape->Record([x, out]() {
+    Matrix& xg = x->grad();
+    const Matrix& g = out->grad();
+    const Matrix& v = x->value();
+    // d/dx log sigmoid(x) = 1 - sigmoid(x) = sigmoid(-x).
+    for (int i = 0; i < g.size(); ++i)
+      xg.data()[i] += g.data()[i] * StableSigmoid(-v.data()[i]);
+  });
+  return out;
+}
+
+TensorPtr SoftmaxRows(Tape* tape, const TensorPtr& x,
+                      const Matrix* additive_mask) {
+  Matrix value = x->value();
+  if (additive_mask != nullptr) {
+    GROUPSA_CHECK(value.SameShape(*additive_mask),
+                  "SoftmaxRows mask shape mismatch");
+    for (int i = 0; i < value.size(); ++i) {
+      // -inf + finite must stay -inf; plain addition does that, but guard
+      // against -inf + inf producing NaN.
+      const float m = additive_mask->data()[i];
+      value.data()[i] = (m == kNegInf) ? kNegInf : value.data()[i] + m;
+    }
+  }
+  tensor::SoftmaxRowsInPlace(&value);
+  const bool needs_grad = tape != nullptr && x->requires_grad();
+  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  if (!needs_grad) return out;
+  tape->Record([x, out]() {
+    // dx_row = y_row * (g_row - <g_row, y_row>); masked entries have y = 0
+    // so their gradient is exactly zero, matching the hard mask semantics.
+    Matrix& xg = x->grad();
+    const Matrix& g = out->grad();
+    const Matrix& y = out->value();
+    for (int r = 0; r < g.rows(); ++r) {
+      double dot = 0.0;
+      const float* gr = g.RowPtr(r);
+      const float* yr = y.RowPtr(r);
+      for (int c = 0; c < g.cols(); ++c)
+        dot += static_cast<double>(gr[c]) * yr[c];
+      float* xr = xg.RowPtr(r);
+      for (int c = 0; c < g.cols(); ++c)
+        xr[c] += yr[c] * (gr[c] - static_cast<float>(dot));
+    }
+  });
+  return out;
+}
+
+TensorPtr LayerNorm(Tape* tape, const TensorPtr& x, const TensorPtr& gain,
+                    const TensorPtr& bias, float epsilon) {
+  const int d = x->cols();
+  GROUPSA_CHECK(gain->rows() == 1 && gain->cols() == d,
+                "LayerNorm gain must be 1 x d");
+  GROUPSA_CHECK(bias->rows() == 1 && bias->cols() == d,
+                "LayerNorm bias must be 1 x d");
+  Matrix value(x->rows(), d);
+  // Keep normalized activations and inverse stddev for the backward pass.
+  auto x_hat = std::make_shared<Matrix>(x->rows(), d);
+  auto inv_std = std::make_shared<std::vector<float>>(x->rows());
+  for (int r = 0; r < x->rows(); ++r) {
+    const float* row = x->value().RowPtr(r);
+    double mean = 0.0;
+    for (int c = 0; c < d; ++c) mean += row[c];
+    mean /= d;
+    double var = 0.0;
+    for (int c = 0; c < d; ++c) {
+      const double diff = row[c] - mean;
+      var += diff * diff;
+    }
+    var /= d;
+    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + epsilon);
+    (*inv_std)[r] = inv;
+    for (int c = 0; c < d; ++c) {
+      const float xh = (row[c] - static_cast<float>(mean)) * inv;
+      x_hat->At(r, c) = xh;
+      value.At(r, c) = xh * gain->value().At(0, c) + bias->value().At(0, c);
+    }
+  }
+  const bool needs_grad = tape != nullptr && AnyRequiresGrad({&x, &gain, &bias});
+  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  if (!needs_grad) return out;
+  tape->Record([x, gain, bias, out, x_hat, inv_std]() {
+    const Matrix& g = out->grad();
+    const int d = g.cols();
+    for (int r = 0; r < g.rows(); ++r) {
+      const float* gr = g.RowPtr(r);
+      const float* xh = x_hat->RowPtr(r);
+      if (gain->requires_grad() || bias->requires_grad()) {
+        for (int c = 0; c < d; ++c) {
+          if (gain->requires_grad()) gain->grad().At(0, c) += gr[c] * xh[c];
+          if (bias->requires_grad()) bias->grad().At(0, c) += gr[c];
+        }
+      }
+      if (x->requires_grad()) {
+        // dL/dx_hat = g * gain;
+        // dL/dx = inv_std * (dxh - mean(dxh) - x_hat * mean(dxh * x_hat)).
+        double mean_dxh = 0.0;
+        double mean_dxh_xh = 0.0;
+        for (int c = 0; c < d; ++c) {
+          const double dxh =
+              static_cast<double>(gr[c]) * gain->value().At(0, c);
+          mean_dxh += dxh;
+          mean_dxh_xh += dxh * xh[c];
+        }
+        mean_dxh /= d;
+        mean_dxh_xh /= d;
+        float* xr = x->grad().RowPtr(r);
+        const float inv = (*inv_std)[r];
+        for (int c = 0; c < d; ++c) {
+          const double dxh =
+              static_cast<double>(gr[c]) * gain->value().At(0, c);
+          xr[c] += inv * static_cast<float>(dxh - mean_dxh -
+                                            xh[c] * mean_dxh_xh);
+        }
+      }
+    }
+  });
+  return out;
+}
+
+TensorPtr Dropout(Tape* tape, const TensorPtr& x, float ratio, bool training,
+                  Rng* rng) {
+  GROUPSA_CHECK(ratio >= 0.0f && ratio < 1.0f, "Dropout ratio must be [0,1)");
+  if (!training || ratio == 0.0f) return x;
+  GROUPSA_CHECK(rng != nullptr, "Dropout in training mode requires an Rng");
+  const float keep = 1.0f - ratio;
+  const float scale = 1.0f / keep;
+  auto mask = std::make_shared<Matrix>(x->rows(), x->cols());
+  Matrix value = x->value();
+  for (int i = 0; i < value.size(); ++i) {
+    const float m = rng->NextBernoulli(keep) ? scale : 0.0f;
+    mask->data()[i] = m;
+    value.data()[i] *= m;
+  }
+  const bool needs_grad = tape != nullptr && x->requires_grad();
+  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  if (!needs_grad) return out;
+  tape->Record([x, out, mask]() {
+    Matrix& xg = x->grad();
+    const Matrix& g = out->grad();
+    for (int i = 0; i < g.size(); ++i)
+      xg.data()[i] += g.data()[i] * mask->data()[i];
+  });
+  return out;
+}
+
+TensorPtr SumAll(Tape* tape, const TensorPtr& x) {
+  Matrix value(1, 1);
+  value.At(0, 0) = x->value().Sum();
+  const bool needs_grad = tape != nullptr && x->requires_grad();
+  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  if (!needs_grad) return out;
+  tape->Record([x, out]() {
+    const float g = out->grad().At(0, 0);
+    Matrix& xg = x->grad();
+    for (int i = 0; i < xg.size(); ++i) xg.data()[i] += g;
+  });
+  return out;
+}
+
+TensorPtr MeanAll(Tape* tape, const TensorPtr& x) {
+  return Scale(tape, SumAll(tape, x), 1.0f / static_cast<float>(x->value().size()));
+}
+
+TensorPtr BprLoss(Tape* tape, const TensorPtr& pos, const TensorPtr& negs) {
+  GROUPSA_CHECK(pos->rows() == 1 && pos->cols() == 1,
+                "BprLoss pos must be scalar");
+  GROUPSA_CHECK(negs->cols() == 1, "BprLoss negs must be n x 1");
+  const float p = pos->scalar();
+  Matrix value(1, 1);
+  double total = 0.0;
+  for (int i = 0; i < negs->rows(); ++i) {
+    // -ln sigmoid(p - n) == softplus(n - p).
+    total += Softplus(negs->value().At(i, 0) - p);
+  }
+  value.At(0, 0) = static_cast<float>(total);
+  const bool needs_grad = tape != nullptr && AnyRequiresGrad({&pos, &negs});
+  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  if (!needs_grad) return out;
+  tape->Record([pos, negs, out]() {
+    const float g = out->grad().At(0, 0);
+    const float p = pos->scalar();
+    for (int i = 0; i < negs->rows(); ++i) {
+      // d/dn softplus(n - p) = sigmoid(n - p); d/dp = -sigmoid(n - p).
+      const float s = StableSigmoid(negs->value().At(i, 0) - p);
+      if (negs->requires_grad()) negs->grad().At(i, 0) += g * s;
+      if (pos->requires_grad()) pos->grad().At(0, 0) -= g * s;
+    }
+  });
+  return out;
+}
+
+}  // namespace groupsa::ag

@@ -1,0 +1,20 @@
+#include "autograd/tape.h"
+
+namespace groupsa::ag {
+
+void Tape::Backward(const TensorPtr& loss) {
+  GROUPSA_CHECK(loss->rows() == 1 && loss->cols() == 1,
+                "Backward requires a scalar loss");
+  tensor::Matrix seed(1, 1);
+  seed.At(0, 0) = 1.0f;
+  BackwardFrom(loss, seed);
+}
+
+void Tape::BackwardFrom(const TensorPtr& root, const tensor::Matrix& seed) {
+  GROUPSA_CHECK(root->value().SameShape(seed),
+                "BackwardFrom seed shape mismatch");
+  root->grad().AddInPlace(seed);
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) (*it)();
+}
+
+}  // namespace groupsa::ag

@@ -1,0 +1,50 @@
+#ifndef GROUPSA_AUTOGRAD_TAPE_H_
+#define GROUPSA_AUTOGRAD_TAPE_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/tensor.h"
+
+namespace groupsa::ag {
+
+// Records the backward pass of a dynamically built computation graph. Ops in
+// autograd/ops.h append one closure per recorded operation; Backward() runs
+// them in reverse, which is a valid topological order because the forward
+// pass built them in execution order.
+//
+// Typical step:
+//   Tape tape;
+//   TensorPtr loss = BuildForward(&tape, ...);
+//   tape.Backward(loss);        // parameter .grad() now holds dLoss/dParam
+//   optimizer.Step();
+//   tape.Clear();               // or let the tape go out of scope
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  // Appends a backward closure. Called by op implementations only.
+  void Record(std::function<void()> backward) {
+    ops_.push_back(std::move(backward));
+  }
+
+  // Seeds d(loss)/d(loss) = 1 and back-propagates. `loss` must be scalar
+  // (1 x 1) and produced by ops recorded on this tape.
+  void Backward(const TensorPtr& loss);
+
+  // Back-propagates from `root` with an explicit upstream gradient `seed`
+  // (same shape as root). Useful for Jacobian-vector products in tests.
+  void BackwardFrom(const TensorPtr& root, const tensor::Matrix& seed);
+
+  void Clear() { ops_.clear(); }
+  size_t num_ops() const { return ops_.size(); }
+
+ private:
+  std::vector<std::function<void()>> ops_;
+};
+
+}  // namespace groupsa::ag
+
+#endif  // GROUPSA_AUTOGRAD_TAPE_H_

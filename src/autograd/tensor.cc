@@ -1,0 +1,17 @@
+#include "autograd/tensor.h"
+
+namespace groupsa::ag {
+
+TensorPtr Constant(tensor::Matrix value) {
+  return std::make_shared<Tensor>(std::move(value), /*requires_grad=*/false);
+}
+
+TensorPtr Variable(tensor::Matrix value) {
+  return std::make_shared<Tensor>(std::move(value), /*requires_grad=*/true);
+}
+
+TensorPtr Parameter(int rows, int cols) {
+  return Variable(tensor::Matrix(rows, cols));
+}
+
+}  // namespace groupsa::ag

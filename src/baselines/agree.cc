@@ -1,0 +1,117 @@
+#include "baselines/agree.h"
+
+namespace groupsa::baselines {
+
+Agree::Agree(const Options& options, int num_users, int num_items,
+             int num_groups, const data::GroupTable* groups, Rng* rng)
+    : options_(options), groups_(groups) {
+  GROUPSA_CHECK(groups_ != nullptr, "Agree requires a group table");
+  const int d = options.embedding_dim;
+  user_emb_ = std::make_unique<nn::Embedding>("user_emb", num_users, d, rng);
+  item_emb_ = std::make_unique<nn::Embedding>("item_emb", num_items, d, rng);
+  group_emb_ =
+      std::make_unique<nn::Embedding>("group_emb", num_groups, d, rng);
+  member_pool_ = std::make_unique<nn::AttentionPool>(
+      "member_pool", d, d, options.attention_hidden, rng);
+  std::vector<int> dims = {2 * d};
+  for (int h : options.predictor_hidden) dims.push_back(h);
+  dims.push_back(1);
+  tower_ = std::make_unique<nn::Mlp>("tower", dims, rng,
+                                     nn::Activation::kRelu,
+                                     nn::Activation::kNone);
+  RegisterSubmodule("user_emb", user_emb_.get());
+  RegisterSubmodule("item_emb", item_emb_.get());
+  RegisterSubmodule("group_emb", group_emb_.get());
+  RegisterSubmodule("member_pool", member_pool_.get());
+  RegisterSubmodule("tower", tower_.get());
+}
+
+ag::TensorPtr Agree::ScoreUserItem(ag::Tape* tape, data::UserId user,
+                                   data::ItemId item, bool training,
+                                   Rng* rng) {
+  ag::TensorPtr joined = ag::ConcatCols(
+      tape, {user_emb_->Lookup(tape, user), item_emb_->Lookup(tape, item)});
+  joined = ag::Dropout(tape, joined, options_.dropout_ratio, training, rng);
+  return tower_->Forward(tape, joined);
+}
+
+ag::TensorPtr Agree::ScoreGroupItem(ag::Tape* tape, data::GroupId group,
+                                    data::ItemId item, bool training,
+                                    Rng* rng) {
+  const std::vector<data::UserId>& members = groups_->Members(group);
+  std::vector<int> ids(members.begin(), members.end());
+  ag::TensorPtr member_embs = user_emb_->Forward(tape, ids);  // l x d
+  ag::TensorPtr item_embedding = item_emb_->Lookup(tape, item);
+  nn::AttentionPoolOutput pooled =
+      member_pool_->Forward(tape, item_embedding, member_embs);
+  // g(t, v) = sum_i alpha_i u_i + q_t  (member aggregation + group
+  // preference embedding).
+  ag::TensorPtr rep =
+      ag::Add(tape, pooled.pooled, group_emb_->Lookup(tape, group));
+  ag::TensorPtr joined = ag::ConcatCols(tape, {rep, item_embedding});
+  joined = ag::Dropout(tape, joined, options_.dropout_ratio, training, rng);
+  return tower_->Forward(tape, joined);
+}
+
+std::vector<double> Agree::ScoreItemsForUser(
+    data::UserId user, const std::vector<data::ItemId>& items) {
+  std::vector<double> scores;
+  scores.reserve(items.size());
+  for (data::ItemId item : items) {
+    scores.push_back(
+        ScoreUserItem(nullptr, user, item, false, nullptr)->scalar());
+  }
+  return scores;
+}
+
+std::vector<double> Agree::ScoreItemsForGroup(
+    data::GroupId group, const std::vector<data::ItemId>& items) {
+  std::vector<double> scores;
+  scores.reserve(items.size());
+  for (data::ItemId item : items) {
+    scores.push_back(
+        ScoreGroupItem(nullptr, group, item, false, nullptr)->scalar());
+  }
+  return scores;
+}
+
+void Agree::Fit(const data::EdgeList& user_train,
+                const data::EdgeList& group_train,
+                const data::InteractionMatrix* ui_observed,
+                const data::InteractionMatrix* gi_observed,
+                const BprFitOptions& options, Rng* rng) {
+  // Alternate the two tasks epoch by epoch (shared embeddings see both
+  // signals throughout), keeping one Adam state across all passes.
+  nn::Adam optimizer(Parameters(), options.learning_rate,
+                     options.weight_decay);
+  data::NegativeSampler user_sampler(ui_observed);
+  data::NegativeSampler group_sampler(gi_observed);
+  const TripleLossFn user_loss = [this](ag::Tape* tape, int row,
+                                        data::ItemId pos,
+                                        const std::vector<data::ItemId>& negs,
+                                        Rng* rng) {
+    ag::TensorPtr p = ScoreUserItem(tape, row, pos, true, rng);
+    std::vector<ag::TensorPtr> n;
+    for (data::ItemId neg : negs)
+      n.push_back(ScoreUserItem(tape, row, neg, true, rng));
+    return ag::BprLoss(tape, p, ag::ConcatRows(tape, n));
+  };
+  const TripleLossFn group_loss = [this](ag::Tape* tape, int row,
+                                         data::ItemId pos,
+                                         const std::vector<data::ItemId>& negs,
+                                         Rng* rng) {
+    ag::TensorPtr p = ScoreGroupItem(tape, row, pos, true, rng);
+    std::vector<ag::TensorPtr> n;
+    for (data::ItemId neg : negs)
+      n.push_back(ScoreGroupItem(tape, row, neg, true, rng));
+    return ag::BprLoss(tape, p, ag::ConcatRows(tape, n));
+  };
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    FitBprEpoch(user_loss, &optimizer, user_train, user_sampler, options,
+                rng);
+    FitBprEpoch(group_loss, &optimizer, group_train, group_sampler, options,
+                rng);
+  }
+}
+
+}  // namespace groupsa::baselines

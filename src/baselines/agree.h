@@ -1,0 +1,63 @@
+#ifndef GROUPSA_BASELINES_AGREE_H_
+#define GROUPSA_BASELINES_AGREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/bpr.h"
+#include "data/group_table.h"
+#include "nn/attention_pool.h"
+#include "nn/embedding.h"
+#include "nn/mlp.h"
+
+namespace groupsa::baselines {
+
+// AGREE (Cao et al., SIGIR'18): attentive group recommendation. The group
+// representation is a vanilla attention aggregation of the member
+// embeddings, guided by the target item, plus a learned group-preference
+// embedding; user and group scores share one NCF-style prediction tower and
+// the user-item task is trained jointly. Unlike GroupSA it has no member
+// interaction modeling, no social information and no sparsity treatment.
+class Agree : public nn::Module {
+ public:
+  struct Options {
+    int embedding_dim = 32;
+    int attention_hidden = 32;
+    std::vector<int> predictor_hidden = {32, 16};
+    float dropout_ratio = 0.1f;
+  };
+
+  Agree(const Options& options, int num_users, int num_items, int num_groups,
+        const data::GroupTable* groups, Rng* rng);
+
+  ag::TensorPtr ScoreUserItem(ag::Tape* tape, data::UserId user,
+                              data::ItemId item, bool training, Rng* rng);
+  ag::TensorPtr ScoreGroupItem(ag::Tape* tape, data::GroupId group,
+                               data::ItemId item, bool training, Rng* rng);
+
+  std::vector<double> ScoreItemsForUser(data::UserId user,
+                                        const std::vector<data::ItemId>& items);
+  std::vector<double> ScoreItemsForGroup(
+      data::GroupId group, const std::vector<data::ItemId>& items);
+
+  // Joint training: per epoch one pass over the user-item edges and one over
+  // the group-item edges, as in the original implementation.
+  void Fit(const data::EdgeList& user_train,
+           const data::EdgeList& group_train,
+           const data::InteractionMatrix* ui_observed,
+           const data::InteractionMatrix* gi_observed,
+           const BprFitOptions& options, Rng* rng);
+
+ private:
+  Options options_;
+  const data::GroupTable* groups_;
+  std::unique_ptr<nn::Embedding> user_emb_;
+  std::unique_ptr<nn::Embedding> item_emb_;
+  std::unique_ptr<nn::Embedding> group_emb_;
+  std::unique_ptr<nn::AttentionPool> member_pool_;
+  std::unique_ptr<nn::Mlp> tower_;  // shared predictor
+};
+
+}  // namespace groupsa::baselines
+
+#endif  // GROUPSA_BASELINES_AGREE_H_

@@ -1,0 +1,64 @@
+#include "baselines/ncf.h"
+
+namespace groupsa::baselines {
+
+Ncf::Ncf(const Options& options, int num_rows, int num_items, Rng* rng)
+    : options_(options) {
+  const int d = options.embedding_dim;
+  row_gmf_ = std::make_unique<nn::Embedding>("row_gmf", num_rows, d, rng);
+  item_gmf_ = std::make_unique<nn::Embedding>("item_gmf", num_items, d, rng);
+  row_mlp_ = std::make_unique<nn::Embedding>("row_mlp", num_rows, d, rng);
+  item_mlp_ = std::make_unique<nn::Embedding>("item_mlp", num_items, d, rng);
+  std::vector<int> dims = {2 * d};
+  for (int h : options.mlp_hidden) dims.push_back(h);
+  tower_ = std::make_unique<nn::Mlp>("tower", dims, rng,
+                                     nn::Activation::kRelu,
+                                     nn::Activation::kRelu);
+  fuse_ = std::make_unique<nn::Linear>("fuse", d + dims.back(), 1, rng);
+  RegisterSubmodule("row_gmf", row_gmf_.get());
+  RegisterSubmodule("item_gmf", item_gmf_.get());
+  RegisterSubmodule("row_mlp", row_mlp_.get());
+  RegisterSubmodule("item_mlp", item_mlp_.get());
+  RegisterSubmodule("tower", tower_.get());
+  RegisterSubmodule("fuse", fuse_.get());
+}
+
+ag::TensorPtr Ncf::Score(ag::Tape* tape, int row, data::ItemId item,
+                         bool training, Rng* rng) {
+  ag::TensorPtr gmf = ag::Mul(tape, row_gmf_->Lookup(tape, row),
+                              item_gmf_->Lookup(tape, item));
+  ag::TensorPtr joined = ag::ConcatCols(
+      tape, {row_mlp_->Lookup(tape, row), item_mlp_->Lookup(tape, item)});
+  joined = ag::Dropout(tape, joined, options_.dropout_ratio, training, rng);
+  ag::TensorPtr mlp_out = tower_->Forward(tape, joined);
+  return fuse_->Forward(tape, ag::ConcatCols(tape, {gmf, mlp_out}));
+}
+
+std::vector<double> Ncf::ScoreItems(int row,
+                                    const std::vector<data::ItemId>& items) {
+  std::vector<double> scores;
+  scores.reserve(items.size());
+  for (data::ItemId item : items) {
+    scores.push_back(
+        Score(nullptr, row, item, /*training=*/false, nullptr)->scalar());
+  }
+  return scores;
+}
+
+double Ncf::Fit(const data::EdgeList& train,
+                const data::InteractionMatrix* observed,
+                const BprFitOptions& options, Rng* rng) {
+  return FitBpr(
+      [this](ag::Tape* tape, int row, data::ItemId pos,
+             const std::vector<data::ItemId>& negs, Rng* rng) {
+        ag::TensorPtr pos_score = Score(tape, row, pos, true, rng);
+        std::vector<ag::TensorPtr> neg_scores;
+        for (data::ItemId neg : negs)
+          neg_scores.push_back(Score(tape, row, neg, true, rng));
+        return ag::BprLoss(tape, pos_score,
+                           ag::ConcatRows(tape, neg_scores));
+      },
+      Parameters(), train, observed, options, rng);
+}
+
+}  // namespace groupsa::baselines

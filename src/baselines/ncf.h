@@ -1,0 +1,55 @@
+#ifndef GROUPSA_BASELINES_NCF_H_
+#define GROUPSA_BASELINES_NCF_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/bpr.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+
+namespace groupsa::baselines {
+
+// Neural Collaborative Filtering (He et al., WWW'17) in its NeuMF form: a
+// GMF branch (element-wise product of row/item embeddings) and an MLP branch
+// over their concatenation, fused by a final linear layer. For the group
+// task the paper treats each group as a virtual user ("row" here is a
+// UserId or GroupId depending on what the instance is trained on), ignoring
+// membership — which is exactly why it collapses under group-item sparsity.
+class Ncf : public nn::Module {
+ public:
+  struct Options {
+    int embedding_dim = 32;
+    std::vector<int> mlp_hidden = {32, 16};
+    float dropout_ratio = 0.1f;
+  };
+
+  Ncf(const Options& options, int num_rows, int num_items, Rng* rng);
+
+  // Differentiable score for training.
+  ag::TensorPtr Score(ag::Tape* tape, int row, data::ItemId item,
+                      bool training, Rng* rng);
+
+  // Inference scores (null tape).
+  std::vector<double> ScoreItems(int row,
+                                 const std::vector<data::ItemId>& items);
+
+  // BPR fit on the given edges.
+  double Fit(const data::EdgeList& train,
+             const data::InteractionMatrix* observed,
+             const BprFitOptions& options, Rng* rng);
+
+ private:
+  Options options_;
+  std::unique_ptr<nn::Embedding> row_gmf_;
+  std::unique_ptr<nn::Embedding> item_gmf_;
+  std::unique_ptr<nn::Embedding> row_mlp_;
+  std::unique_ptr<nn::Embedding> item_mlp_;
+  std::unique_ptr<nn::Mlp> tower_;
+  std::unique_ptr<nn::Linear> fuse_;  // [gmf (+) mlp_out] -> 1
+};
+
+}  // namespace groupsa::baselines
+
+#endif  // GROUPSA_BASELINES_NCF_H_

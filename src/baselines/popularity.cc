@@ -1,0 +1,34 @@
+#include "baselines/popularity.h"
+
+#include "common/macros.h"
+
+namespace groupsa::baselines {
+
+void Popularity::Fit(const std::vector<const data::EdgeList*>& sources,
+                     int num_items) {
+  counts_.assign(num_items, 0);
+  for (const data::EdgeList* edges : sources) {
+    GROUPSA_CHECK(edges != nullptr, "null edge list");
+    for (const data::Edge& e : *edges) {
+      GROUPSA_CHECK(e.item >= 0 && e.item < num_items, "item out of range");
+      ++counts_[e.item];
+    }
+  }
+}
+
+std::vector<double> Popularity::ScoreItems(
+    const std::vector<data::ItemId>& items) const {
+  std::vector<double> scores;
+  scores.reserve(items.size());
+  for (data::ItemId item : items)
+    scores.push_back(static_cast<double>(CountOf(item)));
+  return scores;
+}
+
+int64_t Popularity::CountOf(data::ItemId item) const {
+  GROUPSA_CHECK(item >= 0 && item < static_cast<int>(counts_.size()),
+                "item out of range");
+  return counts_[item];
+}
+
+}  // namespace groupsa::baselines

@@ -1,0 +1,30 @@
+#ifndef GROUPSA_BASELINES_POPULARITY_H_
+#define GROUPSA_BASELINES_POPULARITY_H_
+
+#include <vector>
+
+#include "data/types.h"
+
+namespace groupsa::baselines {
+
+// Non-personalized popularity baseline (Pop in Tables II/III): items are
+// scored by their training-set interaction count, identically for every user
+// and group.
+class Popularity {
+ public:
+  Popularity() = default;
+
+  // Counts interactions per item over one or more training edge lists.
+  void Fit(const std::vector<const data::EdgeList*>& sources, int num_items);
+
+  std::vector<double> ScoreItems(const std::vector<data::ItemId>& items) const;
+
+  int64_t CountOf(data::ItemId item) const;
+
+ private:
+  std::vector<int64_t> counts_;
+};
+
+}  // namespace groupsa::baselines
+
+#endif  // GROUPSA_BASELINES_POPULARITY_H_

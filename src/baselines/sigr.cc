@@ -1,0 +1,172 @@
+#include "baselines/sigr.h"
+
+namespace groupsa::baselines {
+
+Sigr::Sigr(const Options& options, int num_users, int num_items,
+           const data::GroupTable* groups, const data::SocialGraph* social,
+           Rng* rng)
+    : options_(options), groups_(groups), social_(social) {
+  GROUPSA_CHECK(groups_ != nullptr && social_ != nullptr,
+                "Sigr requires groups and social graph");
+  const int d = options.embedding_dim;
+  user_emb_ = std::make_unique<nn::Embedding>("user_emb", num_users, d, rng);
+  item_emb_ = std::make_unique<nn::Embedding>("item_emb", num_items, d, rng);
+  influence_ = std::make_unique<nn::Embedding>("influence", num_users, 1, rng);
+  influence_->table()->mutable_value().SetZero();
+  att_hidden_ = std::make_unique<nn::Linear>("att_hidden", 2 * d,
+                                             options.attention_hidden, rng);
+  att_out_ = std::make_unique<nn::Linear>("att_out",
+                                          options.attention_hidden, 1, rng);
+  group_proj_ = std::make_unique<nn::Linear>("group_proj", d, d, rng);
+  std::vector<int> dims = {2 * d};
+  for (int h : options.predictor_hidden) dims.push_back(h);
+  dims.push_back(1);
+  tower_ = std::make_unique<nn::Mlp>("tower", dims, rng,
+                                     nn::Activation::kRelu,
+                                     nn::Activation::kNone);
+  RegisterSubmodule("user_emb", user_emb_.get());
+  RegisterSubmodule("item_emb", item_emb_.get());
+  RegisterSubmodule("influence", influence_.get());
+  RegisterSubmodule("att_hidden", att_hidden_.get());
+  RegisterSubmodule("att_out", att_out_.get());
+  RegisterSubmodule("group_proj", group_proj_.get());
+  RegisterSubmodule("tower", tower_.get());
+}
+
+double Sigr::PretrainSocial(Rng* rng) {
+  // First-order LINE: for every social edge (u, v), maximize
+  // log sigmoid(u . v) against `graph_negatives` uniformly sampled
+  // non-neighbors. Only the user table takes gradients here.
+  nn::Adam optimizer(user_emb_->Parameters(), options_.graph_learning_rate,
+                     0.0f);
+  const int num_users = user_emb_->count();
+  double last_loss = 0.0;
+  for (int epoch = 0; epoch < options_.graph_epochs; ++epoch) {
+    double total = 0.0;
+    int64_t count = 0;
+    for (data::UserId u = 0; u < num_users; ++u) {
+      for (data::UserId v : social_->Neighbors(u)) {
+        if (v < u) continue;  // each undirected edge once
+        ag::Tape tape;
+        ag::TensorPtr eu = user_emb_->Lookup(&tape, u);
+        ag::TensorPtr ev = user_emb_->Lookup(&tape, v);
+        ag::TensorPtr pos =
+            ag::MatMul(&tape, eu, ev, false, /*transpose_b=*/true);
+        std::vector<ag::TensorPtr> neg_scores;
+        for (int s = 0; s < options_.graph_negatives; ++s) {
+          data::UserId n = rng->NextInt(num_users);
+          while (n == u || social_->Connected(u, n)) n = rng->NextInt(num_users);
+          neg_scores.push_back(ag::MatMul(&tape, eu,
+                                          user_emb_->Lookup(&tape, n), false,
+                                          true));
+        }
+        ag::TensorPtr loss =
+            ag::BprLoss(&tape, pos, ag::ConcatRows(&tape, neg_scores));
+        total += loss->scalar();
+        ++count;
+        tape.Backward(loss);
+        optimizer.Step();
+      }
+    }
+    last_loss = count > 0 ? total / static_cast<double>(count) : 0.0;
+  }
+  return last_loss;
+}
+
+ag::TensorPtr Sigr::ScoreUserItem(ag::Tape* tape, data::UserId user,
+                                  data::ItemId item, bool training,
+                                  Rng* rng) {
+  ag::TensorPtr joined = ag::ConcatCols(
+      tape, {user_emb_->Lookup(tape, user), item_emb_->Lookup(tape, item)});
+  joined = ag::Dropout(tape, joined, options_.dropout_ratio, training, rng);
+  return tower_->Forward(tape, joined);
+}
+
+ag::TensorPtr Sigr::ScoreGroupItem(ag::Tape* tape, data::GroupId group,
+                                   data::ItemId item, bool training,
+                                   Rng* rng) {
+  const std::vector<data::UserId>& members = groups_->Members(group);
+  const int l = static_cast<int>(members.size());
+  std::vector<int> ids(members.begin(), members.end());
+  ag::TensorPtr member_embs = user_emb_->Forward(tape, ids);     // l x d
+  ag::TensorPtr item_embedding = item_emb_->Lookup(tape, item);  // 1 x d
+
+  // Attention logits: MLP over [item (+) member] plus the learned social
+  // influence of the member, adapted per group through the softmax.
+  ag::TensorPtr tiled = ag::BroadcastRow(tape, item_embedding, l);
+  ag::TensorPtr hidden = ag::Relu(
+      tape,
+      att_hidden_->Forward(tape, ag::ConcatCols(tape, {tiled, member_embs})));
+  ag::TensorPtr logits = att_out_->Forward(tape, hidden);         // l x 1
+  logits = ag::Add(tape, logits, influence_->Forward(tape, ids));  // + s_u
+  ag::TensorPtr weights =
+      ag::SoftmaxRows(tape, ag::Transpose(tape, logits));          // 1 x l
+  ag::TensorPtr rep = ag::Relu(
+      tape, group_proj_->Forward(tape, ag::MatMul(tape, weights, member_embs)));
+
+  ag::TensorPtr joined = ag::ConcatCols(tape, {rep, item_embedding});
+  joined = ag::Dropout(tape, joined, options_.dropout_ratio, training, rng);
+  return tower_->Forward(tape, joined);
+}
+
+std::vector<double> Sigr::ScoreItemsForUser(
+    data::UserId user, const std::vector<data::ItemId>& items) {
+  std::vector<double> scores;
+  scores.reserve(items.size());
+  for (data::ItemId item : items) {
+    scores.push_back(
+        ScoreUserItem(nullptr, user, item, false, nullptr)->scalar());
+  }
+  return scores;
+}
+
+std::vector<double> Sigr::ScoreItemsForGroup(
+    data::GroupId group, const std::vector<data::ItemId>& items) {
+  std::vector<double> scores;
+  scores.reserve(items.size());
+  for (data::ItemId item : items) {
+    scores.push_back(
+        ScoreGroupItem(nullptr, group, item, false, nullptr)->scalar());
+  }
+  return scores;
+}
+
+void Sigr::Fit(const data::EdgeList& user_train,
+               const data::EdgeList& group_train,
+               const data::InteractionMatrix* ui_observed,
+               const data::InteractionMatrix* gi_observed,
+               const BprFitOptions& options, Rng* rng) {
+  PretrainSocial(rng);
+  nn::Adam optimizer(Parameters(), options.learning_rate,
+                     options.weight_decay);
+  data::NegativeSampler user_sampler(ui_observed);
+  data::NegativeSampler group_sampler(gi_observed);
+  const TripleLossFn user_loss = [this](ag::Tape* tape, int row,
+                                        data::ItemId pos,
+                                        const std::vector<data::ItemId>& negs,
+                                        Rng* rng) {
+    ag::TensorPtr p = ScoreUserItem(tape, row, pos, true, rng);
+    std::vector<ag::TensorPtr> n;
+    for (data::ItemId neg : negs)
+      n.push_back(ScoreUserItem(tape, row, neg, true, rng));
+    return ag::BprLoss(tape, p, ag::ConcatRows(tape, n));
+  };
+  const TripleLossFn group_loss = [this](ag::Tape* tape, int row,
+                                         data::ItemId pos,
+                                         const std::vector<data::ItemId>& negs,
+                                         Rng* rng) {
+    ag::TensorPtr p = ScoreGroupItem(tape, row, pos, true, rng);
+    std::vector<ag::TensorPtr> n;
+    for (data::ItemId neg : negs)
+      n.push_back(ScoreGroupItem(tape, row, neg, true, rng));
+    return ag::BprLoss(tape, p, ag::ConcatRows(tape, n));
+  };
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    FitBprEpoch(user_loss, &optimizer, user_train, user_sampler, options,
+                rng);
+    FitBprEpoch(group_loss, &optimizer, group_train, group_sampler, options,
+                rng);
+  }
+}
+
+}  // namespace groupsa::baselines

@@ -1,0 +1,81 @@
+#ifndef GROUPSA_BASELINES_SIGR_H_
+#define GROUPSA_BASELINES_SIGR_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/bpr.h"
+#include "data/group_table.h"
+#include "data/social_graph.h"
+#include "nn/attention_pool.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+
+namespace groupsa::baselines {
+
+// SIGR (Yin et al., ICDE'19) approximation: social influence-based group
+// representation learning. The original is closed source; this variant keeps
+// its two load-bearing ideas (see DESIGN.md §1):
+//   1. user vectors pre-trained on the social graph (first-order LINE-style
+//      skip-gram with negative sampling), injecting global social structure;
+//   2. member aggregation by vanilla attention whose logits carry a learned
+//      per-user *social influence* bias adapted across groups.
+// Like AGREE it trains the user-item task jointly; unlike GroupSA it has no
+// member-to-member interaction modeling.
+class Sigr : public nn::Module {
+ public:
+  struct Options {
+    int embedding_dim = 32;
+    int attention_hidden = 32;
+    std::vector<int> predictor_hidden = {32, 16};
+    float dropout_ratio = 0.1f;
+    // Social pre-training.
+    int graph_epochs = 5;
+    float graph_learning_rate = 0.02f;
+    int graph_negatives = 2;
+  };
+
+  Sigr(const Options& options, int num_users, int num_items,
+       const data::GroupTable* groups, const data::SocialGraph* social,
+       Rng* rng);
+
+  // Stage 0: LINE-style first-order embedding of the social graph into the
+  // user table. Returns the final average loss.
+  double PretrainSocial(Rng* rng);
+
+  ag::TensorPtr ScoreUserItem(ag::Tape* tape, data::UserId user,
+                              data::ItemId item, bool training, Rng* rng);
+  ag::TensorPtr ScoreGroupItem(ag::Tape* tape, data::GroupId group,
+                               data::ItemId item, bool training, Rng* rng);
+
+  std::vector<double> ScoreItemsForUser(data::UserId user,
+                                        const std::vector<data::ItemId>& items);
+  std::vector<double> ScoreItemsForGroup(
+      data::GroupId group, const std::vector<data::ItemId>& items);
+
+  // Full pipeline: social pre-training, then joint user/group BPR epochs.
+  void Fit(const data::EdgeList& user_train,
+           const data::EdgeList& group_train,
+           const data::InteractionMatrix* ui_observed,
+           const data::InteractionMatrix* gi_observed,
+           const BprFitOptions& options, Rng* rng);
+
+ private:
+  Options options_;
+  const data::GroupTable* groups_;
+  const data::SocialGraph* social_;
+  std::unique_ptr<nn::Embedding> user_emb_;
+  std::unique_ptr<nn::Embedding> item_emb_;
+  std::unique_ptr<nn::Embedding> influence_;  // per-user scalar bias
+  // Item-guided member attention with the influence bias folded into the
+  // logits (AttentionPool cannot express the bias, so the net is inlined).
+  std::unique_ptr<nn::Linear> att_hidden_;
+  std::unique_ptr<nn::Linear> att_out_;
+  std::unique_ptr<nn::Linear> group_proj_;
+  std::unique_ptr<nn::Mlp> tower_;
+};
+
+}  // namespace groupsa::baselines
+
+#endif  // GROUPSA_BASELINES_SIGR_H_

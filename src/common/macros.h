@@ -1,0 +1,29 @@
+#ifndef GROUPSA_COMMON_MACROS_H_
+#define GROUPSA_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// GROUPSA_CHECK aborts with a message when `condition` is false. It is meant
+// for programmer errors (broken invariants, out-of-range indices) that should
+// never occur in a correct program; recoverable errors (I/O, parsing) return
+// groupsa::Status instead.
+#define GROUPSA_CHECK(condition, message)                                    \
+  do {                                                                       \
+    if (!(condition)) {                                                      \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n  %s\n", __FILE__,    \
+                   __LINE__, #condition, message);                           \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+// Cheaper variant compiled out of release builds; use on hot paths.
+#ifdef NDEBUG
+#define GROUPSA_DCHECK(condition, message) \
+  do {                                     \
+  } while (false)
+#else
+#define GROUPSA_DCHECK(condition, message) GROUPSA_CHECK(condition, message)
+#endif
+
+#endif  // GROUPSA_COMMON_MACROS_H_

@@ -1,0 +1,33 @@
+#ifndef GROUPSA_COMMON_STATUS_H_
+#define GROUPSA_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace groupsa {
+
+// Minimal status type for recoverable errors (file I/O, parsing). The library
+// does not use exceptions; fatal programmer errors go through GROUPSA_CHECK.
+class Status {
+ public:
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+}  // namespace groupsa
+
+#endif  // GROUPSA_COMMON_STATUS_H_

@@ -1,0 +1,28 @@
+#ifndef GROUPSA_COMMON_STOPWATCH_H_
+#define GROUPSA_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace groupsa {
+
+// Wall-clock stopwatch used by trainers and experiment harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace groupsa
+
+#endif  // GROUPSA_COMMON_STOPWATCH_H_

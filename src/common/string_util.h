@@ -1,0 +1,25 @@
+#ifndef GROUPSA_COMMON_STRING_UTIL_H_
+#define GROUPSA_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace groupsa {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Joins `parts` with `separator`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& separator);
+
+// Splits `text` on `delimiter`; keeps empty fields.
+std::vector<std::string> StrSplit(const std::string& text, char delimiter);
+
+// Removes leading/trailing whitespace.
+std::string StrTrim(const std::string& text);
+
+}  // namespace groupsa
+
+#endif  // GROUPSA_COMMON_STRING_UTIL_H_

@@ -1,0 +1,43 @@
+#include "core/fast_recommender.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace groupsa::core {
+
+std::vector<double> FastGroupRecommender::ScoreItemsForMembers(
+    const std::vector<data::UserId>& members,
+    const std::vector<data::ItemId>& items) const {
+  GROUPSA_CHECK(!members.empty(), "fast recommender needs members");
+  const std::vector<std::vector<double>> per_member =
+      model_->MemberItemScores(members, items);
+  std::vector<double> averaged(items.size(), 0.0);
+  for (const auto& member_scores : per_member) {
+    for (size_t i = 0; i < items.size(); ++i)
+      averaged[i] += member_scores[i];
+  }
+  for (double& s : averaged) s /= static_cast<double>(members.size());
+  return averaged;
+}
+
+std::vector<std::pair<data::ItemId, double>>
+FastGroupRecommender::RecommendForMembers(
+    const std::vector<data::UserId>& members, int k) const {
+  std::vector<data::ItemId> all_items(model_->num_items());
+  for (int v = 0; v < model_->num_items(); ++v) all_items[v] = v;
+  const std::vector<double> scores =
+      ScoreItemsForMembers(members, all_items);
+  std::vector<std::pair<data::ItemId, double>> ranked;
+  ranked.reserve(scores.size());
+  for (size_t v = 0; v < scores.size(); ++v)
+    ranked.emplace_back(static_cast<data::ItemId>(v), scores[v]);
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (static_cast<int>(ranked.size()) > k) ranked.resize(k);
+  return ranked;
+}
+
+}  // namespace groupsa::core

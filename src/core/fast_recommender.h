@@ -1,0 +1,37 @@
+#ifndef GROUPSA_CORE_FAST_RECOMMENDER_H_
+#define GROUPSA_CORE_FAST_RECOMMENDER_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/groupsa_model.h"
+
+namespace groupsa::core {
+
+// Fast group recommendation (Sec. II-F): instead of running the multi-layer
+// voting network per candidate item, score each member individually with the
+// blended user score (Eq. 23) and average — a time/accuracy trade-off for
+// large groups. The member embeddings already carry group-mate interests
+// through joint training, which is why this stays competitive.
+class FastGroupRecommender {
+ public:
+  // `model` must outlive the recommender.
+  explicit FastGroupRecommender(GroupSaModel* model) : model_(model) {}
+
+  // Average-of-member-scores for an ad-hoc member list.
+  std::vector<double> ScoreItemsForMembers(
+      const std::vector<data::UserId>& members,
+      const std::vector<data::ItemId>& items) const;
+
+  // Top-K over the full catalog; `exclude` (group-row interaction matrix)
+  // filters already-consumed items when non-null.
+  std::vector<std::pair<data::ItemId, double>> RecommendForMembers(
+      const std::vector<data::UserId>& members, int k) const;
+
+ private:
+  GroupSaModel* model_;
+};
+
+}  // namespace groupsa::core
+
+#endif  // GROUPSA_CORE_FAST_RECOMMENDER_H_

@@ -1,0 +1,253 @@
+#include "core/groupsa_model.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "autograd/ops.h"
+
+namespace groupsa::core {
+
+GroupSaModel::GroupSaModel(const GroupSaConfig& config, int num_users,
+                           int num_items, ModelData data, Rng* rng)
+    : config_(config), data_(std::move(data)) {
+  GROUPSA_CHECK(data_.groups != nullptr && data_.social != nullptr,
+                "GroupSaModel requires group table and social graph");
+  const int d = config.embedding_dim;
+  user_emb_ = std::make_unique<nn::Embedding>("user_emb", num_users, d, rng);
+  item_emb_ = std::make_unique<nn::Embedding>("item_emb", num_items, d, rng);
+  RegisterSubmodule("user_emb", user_emb_.get());
+  RegisterSubmodule("item_emb", item_emb_.get());
+  if (config.user_modeling_enabled()) {
+    user_modeling_ = std::make_unique<UserModeling>(
+        config, num_users, num_items, rng, user_emb_.get(), item_emb_.get());
+    RegisterSubmodule("user_modeling", user_modeling_.get());
+  }
+  voting_ = std::make_unique<VotingScheme>(config, rng);
+  RegisterSubmodule("voting", voting_.get());
+  user_predictor_ = std::make_unique<RankPredictor>("user_pred", config, rng);
+  RegisterSubmodule("user_pred", user_predictor_.get());
+  if (user_modeling_ != nullptr && config.separate_latent_tower) {
+    latent_predictor_ =
+        std::make_unique<RankPredictor>("latent_pred", config, rng);
+    RegisterSubmodule("latent_pred", latent_predictor_.get());
+  }
+  if (!config.share_predictors) {
+    group_predictor_ =
+        std::make_unique<RankPredictor>("group_pred", config, rng);
+    RegisterSubmodule("group_pred", group_predictor_.get());
+  }
+}
+
+GroupSaModel::UserForward GroupSaModel::BuildUserForward(ag::Tape* tape,
+                                                         data::UserId user,
+                                                         bool training,
+                                                         Rng* rng) {
+  UserForward fwd;
+  fwd.user = user;
+  fwd.embedding = user_emb_->Lookup(tape, user);
+  if (user_modeling_ != nullptr && config_.effective_user_blend() > 0.0f) {
+    const std::vector<data::ItemId> no_items;
+    const std::vector<data::UserId> no_friends;
+    const std::vector<data::ItemId>& top_items =
+        data_.top_items.empty() ? no_items : data_.top_items[user];
+    const std::vector<data::UserId>& top_friends =
+        data_.top_friends.empty() ? no_friends : data_.top_friends[user];
+    // Optionally detach the guide so the query role of emb^U does not
+    // interfere with its tower-input role (see config.h).
+    ag::TensorPtr guide =
+        config_.detach_attention_guides
+            ? ag::Constant(fwd.embedding->value())
+            : fwd.embedding;
+    fwd.latent = user_modeling_->BuildUserLatent(tape, guide, top_items,
+                                                 top_friends, training, rng);
+  }
+  return fwd;
+}
+
+ag::TensorPtr GroupSaModel::ScoreUserItem(ag::Tape* tape,
+                                          const UserForward& user,
+                                          data::ItemId item, bool training,
+                                          Rng* rng) {
+  ag::TensorPtr item_embedding = item_emb_->Lookup(tape, item);
+  // r^R1: shared-embedding score (Eq. 22).
+  ag::TensorPtr r1 = user_predictor_->Score(tape, user.embedding,
+                                            item_embedding, training, rng);
+  const float blend = config_.effective_user_blend();
+  if (user.latent == nullptr || blend <= 0.0f) return r1;
+
+  // r^R2: latent-factor score through the same tower (Sec. II-E); the item
+  // side is the item-space latent x_h^V when present (falls back to the
+  // shared embedding for Group-I).
+  ag::TensorPtr item_latent =
+      user_modeling_->has_item_space()
+          ? user_modeling_->ItemLatent(tape, item)
+          : item_embedding;
+  const RankPredictor* latent_tower = latent_predictor_ != nullptr
+                                          ? latent_predictor_.get()
+                                          : user_predictor_.get();
+  ag::TensorPtr r2 =
+      latent_tower->Score(tape, user.latent, item_latent, training, rng);
+  // Eq. 23: r = (1 - w^u) r1 + w^u r2.
+  return ag::Add(tape, ag::Scale(tape, r1, 1.0f - blend),
+                 ag::Scale(tape, r2, blend));
+}
+
+GroupSaModel::GroupForward GroupSaModel::BuildGroupForward(ag::Tape* tape,
+                                                           data::GroupId group,
+                                                           bool training,
+                                                           Rng* rng) {
+  return BuildGroupForwardFromMembers(tape, data_.groups->Members(group),
+                                      training, rng);
+}
+
+GroupSaModel::GroupForward GroupSaModel::BuildGroupForwardFromMembers(
+    ag::Tape* tape, const std::vector<data::UserId>& members, bool training,
+    Rng* rng) {
+  GROUPSA_CHECK(!members.empty(), "group must have members");
+  GroupForward fwd;
+  fwd.members = members;
+  ag::TensorPtr member_rows;
+  const bool enhance = user_modeling_ != nullptr &&
+                       config_.use_enhanced_member_reps &&
+                       config_.effective_user_blend() > 0.0f;
+  if (enhance) {
+    // Row i = emb_i + h_i: the member embedding residually enhanced by the
+    // user-modeling latent (see config.h, use_enhanced_member_reps).
+    std::vector<ag::TensorPtr> rows;
+    rows.reserve(members.size());
+    for (data::UserId member : members) {
+      UserForward uf = BuildUserForward(tape, member, training, rng);
+      rows.push_back(uf.latent != nullptr
+                         ? ag::Add(tape, uf.embedding, uf.latent)
+                         : uf.embedding);
+    }
+    member_rows = rows.size() == 1 ? rows[0] : ag::ConcatRows(tape, rows);
+  } else {
+    std::vector<int> ids(members.begin(), members.end());
+    member_rows = user_emb_->Forward(tape, ids);  // l x d
+  }
+  member_rows =
+      ag::Dropout(tape, member_rows, config_.dropout_ratio, training, rng);
+  fwd.reps = voting_->BuildMemberReps(tape, member_rows, members,
+                                      *data_.social);
+  return fwd;
+}
+
+GroupSaModel::GroupItemScore GroupSaModel::ScoreGroupItem(
+    ag::Tape* tape, const GroupForward& group, data::ItemId item,
+    bool training, Rng* rng) {
+  ag::TensorPtr item_embedding = item_emb_->Lookup(tape, item);
+  VotingScheme::GroupRep agg =
+      voting_->AggregateGroup(tape, group.reps, item_embedding);
+  GroupItemScore out;
+  const RankPredictor* predictor = config_.share_predictors
+                                       ? user_predictor_.get()
+                                       : group_predictor_.get();
+  out.score = predictor->Score(tape, agg.rep, item_embedding, training, rng);
+  out.member_weights = std::move(agg.member_weights);
+  return out;
+}
+
+std::vector<double> GroupSaModel::ScoreItemsForUser(
+    data::UserId user, const std::vector<data::ItemId>& items) {
+  UserForward fwd =
+      BuildUserForward(/*tape=*/nullptr, user, /*training=*/false, nullptr);
+  std::vector<double> scores;
+  scores.reserve(items.size());
+  for (data::ItemId item : items) {
+    scores.push_back(
+        ScoreUserItem(nullptr, fwd, item, /*training=*/false, nullptr)
+            ->scalar());
+  }
+  return scores;
+}
+
+std::vector<double> GroupSaModel::ScoreItemsForGroup(
+    data::GroupId group, const std::vector<data::ItemId>& items) {
+  GroupForward fwd =
+      BuildGroupForward(nullptr, group, /*training=*/false, nullptr);
+  std::vector<double> scores;
+  scores.reserve(items.size());
+  for (data::ItemId item : items) {
+    scores.push_back(
+        ScoreGroupItem(nullptr, fwd, item, /*training=*/false, nullptr)
+            .score->scalar());
+  }
+  return scores;
+}
+
+std::vector<double> GroupSaModel::ScoreItemsForMembers(
+    const std::vector<data::UserId>& members,
+    const std::vector<data::ItemId>& items) {
+  GroupForward fwd = BuildGroupForwardFromMembers(nullptr, members,
+                                                  /*training=*/false, nullptr);
+  std::vector<double> scores;
+  scores.reserve(items.size());
+  for (data::ItemId item : items) {
+    scores.push_back(
+        ScoreGroupItem(nullptr, fwd, item, /*training=*/false, nullptr)
+            .score->scalar());
+  }
+  return scores;
+}
+
+std::vector<std::vector<double>> GroupSaModel::MemberItemScores(
+    const std::vector<data::UserId>& members,
+    const std::vector<data::ItemId>& items) {
+  std::vector<std::vector<double>> scores;
+  scores.reserve(members.size());
+  for (data::UserId member : members)
+    scores.push_back(ScoreItemsForUser(member, items));
+  return scores;
+}
+
+GroupSaModel::GroupItemScore GroupSaModel::ScoreGroupItemDetailed(
+    data::GroupId group, data::ItemId item) {
+  GroupForward fwd =
+      BuildGroupForward(nullptr, group, /*training=*/false, nullptr);
+  return ScoreGroupItem(nullptr, fwd, item, /*training=*/false, nullptr);
+}
+
+namespace {
+
+std::vector<std::pair<data::ItemId, double>> TopK(
+    const std::vector<double>& scores, int k,
+    const std::function<bool(data::ItemId)>& skip) {
+  std::vector<std::pair<data::ItemId, double>> ranked;
+  ranked.reserve(scores.size());
+  for (size_t v = 0; v < scores.size(); ++v) {
+    const auto item = static_cast<data::ItemId>(v);
+    if (skip(item)) continue;
+    ranked.emplace_back(item, scores[v]);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (static_cast<int>(ranked.size()) > k) ranked.resize(k);
+  return ranked;
+}
+
+}  // namespace
+
+std::vector<std::pair<data::ItemId, double>> GroupSaModel::RecommendForGroup(
+    data::GroupId group, int k, const data::InteractionMatrix* exclude) {
+  std::vector<data::ItemId> all_items(num_items());
+  for (int v = 0; v < num_items(); ++v) all_items[v] = v;
+  const std::vector<double> scores = ScoreItemsForGroup(group, all_items);
+  return TopK(scores, k, [&](data::ItemId item) {
+    return exclude != nullptr && exclude->Has(group, item);
+  });
+}
+
+std::vector<std::pair<data::ItemId, double>> GroupSaModel::RecommendForUser(
+    data::UserId user, int k, const data::InteractionMatrix* exclude) {
+  std::vector<data::ItemId> all_items(num_items());
+  for (int v = 0; v < num_items(); ++v) all_items[v] = v;
+  const std::vector<double> scores = ScoreItemsForUser(user, all_items);
+  return TopK(scores, k, [&](data::ItemId item) {
+    return exclude != nullptr && exclude->Has(user, item);
+  });
+}
+
+}  // namespace groupsa::core

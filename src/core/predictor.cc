@@ -1,0 +1,26 @@
+#include "core/predictor.h"
+
+#include "autograd/ops.h"
+
+namespace groupsa::core {
+
+RankPredictor::RankPredictor(const std::string& name,
+                             const GroupSaConfig& config, Rng* rng)
+    : dropout_ratio_(config.dropout_ratio) {
+  std::vector<int> dims = {2 * config.embedding_dim};
+  for (int h : config.predictor_hidden) dims.push_back(h);
+  dims.push_back(1);
+  tower_ = std::make_unique<nn::Mlp>(name, dims, rng, nn::Activation::kRelu,
+                                     nn::Activation::kNone);
+  RegisterSubmodule(name, tower_.get());
+}
+
+ag::TensorPtr RankPredictor::Score(ag::Tape* tape, const ag::TensorPtr& left,
+                                   const ag::TensorPtr& right, bool training,
+                                   Rng* rng) const {
+  ag::TensorPtr joined = ag::ConcatCols(tape, {left, right});
+  joined = ag::Dropout(tape, joined, dropout_ratio_, training, rng);
+  return tower_->Forward(tape, joined);
+}
+
+}  // namespace groupsa::core

@@ -1,0 +1,31 @@
+#ifndef GROUPSA_CORE_PREDICTOR_H_
+#define GROUPSA_CORE_PREDICTOR_H_
+
+#include <memory>
+
+#include "core/config.h"
+#include "nn/mlp.h"
+
+namespace groupsa::core {
+
+// Ranking-score MLP tower (Eq. 20 for groups, Eq. 22 for users): the
+// concatenation of two d-wide representations is fed through hidden layers
+// to a single unbounded score r-hat.
+class RankPredictor : public nn::Module {
+ public:
+  RankPredictor(const std::string& name, const GroupSaConfig& config,
+                Rng* rng);
+
+  // `left` and `right` are 1 x d each; returns a 1 x 1 score.
+  ag::TensorPtr Score(ag::Tape* tape, const ag::TensorPtr& left,
+                      const ag::TensorPtr& right, bool training,
+                      Rng* rng) const;
+
+ private:
+  float dropout_ratio_;
+  std::unique_ptr<nn::Mlp> tower_;
+};
+
+}  // namespace groupsa::core
+
+#endif  // GROUPSA_CORE_PREDICTOR_H_

@@ -1,0 +1,222 @@
+#include "core/trainer.h"
+
+#include "autograd/ops.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace groupsa::core {
+namespace {
+
+// Sums a batch of scalar losses into one mean loss tensor.
+ag::TensorPtr MeanLoss(ag::Tape* tape,
+                       const std::vector<ag::TensorPtr>& losses) {
+  ag::TensorPtr stacked = ag::ConcatRows(tape, losses);
+  return ag::Scale(tape, ag::SumAll(tape, stacked),
+                   1.0f / static_cast<float>(losses.size()));
+}
+
+}  // namespace
+
+Trainer::Trainer(GroupSaModel* model, const data::EdgeList& user_train,
+                 const data::EdgeList& group_train,
+                 const data::InteractionMatrix* ui_observed,
+                 const data::InteractionMatrix* gi_observed, Rng* rng)
+    : model_(model),
+      user_train_(user_train),
+      group_train_(group_train),
+      user_negatives_(ui_observed),
+      group_negatives_(gi_observed),
+      rng_(rng) {
+  const GroupSaConfig& config = model->config();
+  optimizer_ = std::make_unique<nn::Adam>(
+      model->Parameters(), config.learning_rate, config.weight_decay);
+}
+
+Trainer::EpochStats Trainer::RunUserEpoch() {
+  const GroupSaConfig& config = model_->config();
+  Stopwatch timer;
+  std::vector<data::Edge> order(user_train_);
+  rng_->Shuffle(&order);
+
+  double total_loss = 0.0;
+  int total_samples = 0;
+  size_t next = 0;
+  while (next < order.size()) {
+    ag::Tape tape;
+    std::vector<ag::TensorPtr> losses;
+    const size_t batch_end =
+        std::min(order.size(), next + static_cast<size_t>(config.batch_size));
+    for (; next < batch_end; ++next) {
+      const data::Edge& edge = order[next];
+      const std::vector<data::ItemId> negatives =
+          user_negatives_.SampleMany(edge.row, config.num_negatives, rng_);
+      GroupSaModel::UserForward fwd =
+          model_->BuildUserForward(&tape, edge.row, /*training=*/true, rng_);
+      ag::TensorPtr pos =
+          model_->ScoreUserItem(&tape, fwd, edge.item, true, rng_);
+      std::vector<ag::TensorPtr> neg_scores;
+      for (data::ItemId neg : negatives) {
+        neg_scores.push_back(
+            model_->ScoreUserItem(&tape, fwd, neg, true, rng_));
+      }
+      ag::TensorPtr negs = ag::ConcatRows(&tape, neg_scores);
+      losses.push_back(ag::BprLoss(&tape, pos, negs));
+
+      if (config.train_group_head_on_singletons) {
+        // Drive the same triple through the group path as a one-member
+        // group (see config.h, train_group_head_on_singletons).
+        GroupSaModel::GroupForward single =
+            model_->BuildGroupForwardFromMembers(&tape, {edge.row}, true,
+                                                 rng_);
+        ag::TensorPtr gpos =
+            model_->ScoreGroupItem(&tape, single, edge.item, true, rng_)
+                .score;
+        std::vector<ag::TensorPtr> gneg_scores;
+        for (data::ItemId neg : negatives) {
+          gneg_scores.push_back(
+              model_->ScoreGroupItem(&tape, single, neg, true, rng_).score);
+        }
+        losses.push_back(
+            ag::BprLoss(&tape, gpos, ag::ConcatRows(&tape, gneg_scores)));
+      }
+    }
+    ag::TensorPtr loss = MeanLoss(&tape, losses);
+    total_loss += loss->scalar() * static_cast<double>(losses.size());
+    total_samples += static_cast<int>(losses.size());
+    tape.Backward(loss);
+    optimizer_->Step();
+  }
+
+  EpochStats stats;
+  stats.num_samples = total_samples;
+  stats.avg_loss = total_samples > 0 ? total_loss / total_samples : 0.0;
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+Trainer::EpochStats Trainer::RunGroupEpoch() {
+  const GroupSaConfig& config = model_->config();
+  Stopwatch timer;
+  std::vector<data::Edge> order(group_train_);
+  rng_->Shuffle(&order);
+
+  double total_loss = 0.0;
+  int total_samples = 0;
+  size_t next = 0;
+  while (next < order.size()) {
+    ag::Tape tape;
+    std::vector<ag::TensorPtr> losses;
+    const size_t batch_end =
+        std::min(order.size(), next + static_cast<size_t>(config.batch_size));
+    for (; next < batch_end; ++next) {
+      const data::Edge& edge = order[next];
+      GroupSaModel::GroupForward fwd =
+          model_->BuildGroupForward(&tape, edge.row, /*training=*/true, rng_);
+      ag::TensorPtr pos =
+          model_->ScoreGroupItem(&tape, fwd, edge.item, true, rng_).score;
+      std::vector<ag::TensorPtr> neg_scores;
+      for (data::ItemId neg : group_negatives_.SampleMany(
+               edge.row, config.num_negatives, rng_)) {
+        neg_scores.push_back(
+            model_->ScoreGroupItem(&tape, fwd, neg, true, rng_).score);
+      }
+      ag::TensorPtr negs = ag::ConcatRows(&tape, neg_scores);
+      losses.push_back(ag::BprLoss(&tape, pos, negs));
+    }
+    ag::TensorPtr loss = MeanLoss(&tape, losses);
+    total_loss += loss->scalar() * static_cast<double>(losses.size());
+    total_samples += static_cast<int>(losses.size());
+    tape.Backward(loss);
+    optimizer_->Step();
+  }
+
+  EpochStats stats;
+  stats.num_samples = total_samples;
+  stats.avg_loss = total_samples > 0 ? total_loss / total_samples : 0.0;
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+Trainer::EpochStats Trainer::RunSocialEpoch() {
+  const GroupSaConfig& config = model_->config();
+  Stopwatch timer;
+  const data::SocialGraph& social = *model_->model_data().social;
+  const int num_users = model_->num_users();
+  std::vector<std::pair<data::UserId, data::UserId>> edges;
+  for (data::UserId u = 0; u < num_users; ++u) {
+    for (data::UserId v : social.Neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  rng_->Shuffle(&edges);
+
+  nn::Embedding& table = model_->user_embedding();
+  double total_loss = 0.0;
+  size_t next = 0;
+  while (next < edges.size()) {
+    ag::Tape tape;
+    std::vector<ag::TensorPtr> losses;
+    const size_t batch_end =
+        std::min(edges.size(), next + static_cast<size_t>(config.batch_size));
+    for (; next < batch_end; ++next) {
+      const auto& [u, v] = edges[next];
+      ag::TensorPtr eu = table.Lookup(&tape, u);
+      ag::TensorPtr pos = ag::MatMul(&tape, eu, table.Lookup(&tape, v),
+                                     false, /*transpose_b=*/true);
+      std::vector<ag::TensorPtr> neg_scores;
+      for (int s = 0; s < config.num_negatives; ++s) {
+        data::UserId n = rng_->NextInt(num_users);
+        while (n == u || social.Connected(u, n)) n = rng_->NextInt(num_users);
+        neg_scores.push_back(ag::MatMul(&tape, eu, table.Lookup(&tape, n),
+                                        false, true));
+      }
+      losses.push_back(
+          ag::BprLoss(&tape, pos, ag::ConcatRows(&tape, neg_scores)));
+    }
+    ag::TensorPtr loss = MeanLoss(&tape, losses);
+    total_loss += loss->scalar() * static_cast<double>(losses.size());
+    tape.Backward(loss);
+    optimizer_->Step();
+  }
+
+  EpochStats stats;
+  stats.num_samples = static_cast<int>(edges.size());
+  stats.avg_loss =
+      edges.empty() ? 0.0 : total_loss / static_cast<double>(edges.size());
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+Trainer::FitReport Trainer::Fit(bool verbose) {
+  const GroupSaConfig& config = model_->config();
+  Stopwatch total;
+  FitReport report;
+  if (config.use_user_task) {
+    for (int e = 0; e < config.user_epochs; ++e) {
+      if (config.use_social_objective) RunSocialEpoch();
+      EpochStats stats = RunUserEpoch();
+      if (verbose) {
+        LogInfo(StrFormat("[%s] user epoch %d/%d loss=%.4f (%.1fs)",
+                          config.variant.c_str(), e + 1, config.user_epochs,
+                          stats.avg_loss, stats.seconds));
+      }
+      report.user_epochs.push_back(stats);
+    }
+  }
+  for (int e = 0; e < config.group_epochs; ++e) {
+    if (config.use_user_task && config.interleave_user_in_stage2)
+      RunUserEpoch();
+    EpochStats stats = RunGroupEpoch();
+    if (verbose) {
+      LogInfo(StrFormat("[%s] group epoch %d/%d loss=%.4f (%.1fs)",
+                        config.variant.c_str(), e + 1, config.group_epochs,
+                        stats.avg_loss, stats.seconds));
+    }
+    report.group_epochs.push_back(stats);
+  }
+  report.total_seconds = total.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace groupsa::core

@@ -1,0 +1,65 @@
+#ifndef GROUPSA_CORE_TRAINER_H_
+#define GROUPSA_CORE_TRAINER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/groupsa_model.h"
+#include "data/negative_sampler.h"
+#include "nn/optimizer.h"
+
+namespace groupsa::core {
+
+// Two-stage joint training (Sec. II-E): stage 1 optimizes the user-item BPR
+// loss L_R (Eq. 24) over the user-item interactions (user modeling pulls in
+// the social data); stage 2 fine-tunes the group task by optimizing L_G
+// (Eq. 21) over the group-item interactions, starting from the stage-1
+// embeddings (shared tables make the hand-off implicit).
+class Trainer {
+ public:
+  // `user_train` / `group_train` are the training edges; `ui_observed` /
+  // `gi_observed` the train-time interaction matrices used for negative
+  // sampling. All referenced structures must outlive the trainer.
+  Trainer(GroupSaModel* model, const data::EdgeList& user_train,
+          const data::EdgeList& group_train,
+          const data::InteractionMatrix* ui_observed,
+          const data::InteractionMatrix* gi_observed, Rng* rng);
+
+  struct EpochStats {
+    double avg_loss = 0.0;
+    double seconds = 0.0;
+    int num_samples = 0;
+  };
+
+  // One pass over the user-item training edges (L_R).
+  EpochStats RunUserEpoch();
+  // One pass over the group-item training edges (L_G).
+  EpochStats RunGroupEpoch();
+  // One pass over the social edges (the user-user term of stage 1; see
+  // GroupSaConfig::use_social_objective).
+  EpochStats RunSocialEpoch();
+
+  struct FitReport {
+    std::vector<EpochStats> user_epochs;
+    std::vector<EpochStats> group_epochs;
+    double total_seconds = 0.0;
+  };
+
+  // Runs the full two-stage schedule from the model's config. Group-G
+  // (use_user_task == false) skips stage 1 entirely.
+  FitReport Fit(bool verbose = false);
+
+ private:
+  GroupSaModel* model_;
+  const data::EdgeList& user_train_;
+  const data::EdgeList& group_train_;
+  data::NegativeSampler user_negatives_;
+  data::NegativeSampler group_negatives_;
+  Rng* rng_;
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace groupsa::core
+
+#endif  // GROUPSA_CORE_TRAINER_H_

@@ -1,0 +1,89 @@
+#include "core/voting_scheme.h"
+
+#include "autograd/ops.h"
+#include "common/string_util.h"
+#include "nn/self_attention.h"
+
+namespace groupsa::core {
+
+VotingScheme::VotingScheme(const GroupSaConfig& config, Rng* rng)
+    : config_(config) {
+  const int d = config.embedding_dim;
+  if (config.use_voting_scheme) {
+    for (int i = 0; i < config.num_voting_layers; ++i) {
+      blocks_.push_back(std::make_unique<nn::TransformerBlock>(
+          StrFormat("vote%d", i), d, config.ffn_hidden, rng));
+      RegisterSubmodule(StrFormat("vote%d", i), blocks_.back().get());
+    }
+  }
+  group_pool_ = std::make_unique<nn::AttentionPool>("group_pool", d, d,
+                                                    config.attention_hidden,
+                                                    rng);
+  group_proj_ = std::make_unique<nn::Linear>("group_proj", d, d, rng);
+  RegisterSubmodule("group_pool", group_pool_.get());
+  RegisterSubmodule("group_proj", group_proj_.get());
+}
+
+VotingScheme::MemberReps VotingScheme::BuildMemberReps(
+    ag::Tape* tape, const ag::TensorPtr& member_embeddings,
+    const std::vector<data::UserId>& members,
+    const data::SocialGraph& social) const {
+  MemberReps out;
+  out.reps = member_embeddings;
+  if (!config_.use_voting_scheme) return out;
+
+  const int l = static_cast<int>(members.size());
+  GROUPSA_CHECK(member_embeddings->rows() == l,
+                "member embedding count mismatch");
+
+  tensor::Matrix bias;
+  const tensor::Matrix* bias_ptr = nullptr;
+  if (config_.use_social_mask) {
+    // f(i,j) per the configured closeness function; a direct edge always
+    // counts as connected (Eq. 5, extended per the paper's note that any
+    // real-valued closeness score may drive the mask).
+    const auto connected = [&](int i, int j) {
+      const data::UserId a = members[i];
+      const data::UserId b = members[j];
+      if (social.Connected(a, b)) return true;
+      switch (config_.social_closeness) {
+        case SocialCloseness::kDirectEdge:
+          return false;
+        case SocialCloseness::kCommonNeighbors:
+          return social.CommonNeighbors(a, b) > config_.closeness_threshold;
+        case SocialCloseness::kJaccard:
+          return social.JaccardCoefficient(a, b) >
+                 config_.closeness_threshold;
+        case SocialCloseness::kAdamicAdar:
+          return social.AdamicAdar(a, b) > config_.closeness_threshold;
+      }
+      return false;
+    };
+    bias = nn::MakeSocialBias(l, connected);
+    bias_ptr = &bias;
+  }
+
+  ag::TensorPtr x = member_embeddings;
+  for (const auto& block : blocks_) {
+    nn::TransformerBlock::Output layer = block->Forward(tape, x, bias_ptr);
+    x = layer.values;
+    out.round_attention.push_back(std::move(layer.attention));
+  }
+  out.reps = x;
+  return out;
+}
+
+VotingScheme::GroupRep VotingScheme::AggregateGroup(
+    ag::Tape* tape, const MemberReps& member_reps,
+    const ag::TensorPtr& item_embedding) const {
+  // Eq. 8-10: item-guided vanilla attention over the sub-group
+  // representations; Eq. 7: outer non-linear projection.
+  nn::AttentionPoolOutput pooled =
+      group_pool_->Forward(tape, item_embedding, member_reps.reps);
+  GroupRep out;
+  out.rep = ag::Relu(tape, group_proj_->Forward(tape, pooled.pooled));
+  out.member_weights = std::move(pooled.weights);
+  return out;
+}
+
+}  // namespace groupsa::core

@@ -1,0 +1,56 @@
+#ifndef GROUPSA_CORE_VOTING_SCHEME_H_
+#define GROUPSA_CORE_VOTING_SCHEME_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "data/social_graph.h"
+#include "data/types.h"
+#include "nn/attention_pool.h"
+#include "nn/transformer_block.h"
+
+namespace groupsa::core {
+
+// Voting scheme modeling (Sec. II-C): a stack of N_X social self-attention
+// blocks simulates repeated voting rounds over the group members; a vanilla
+// attention network guided by the target item then aggregates the per-member
+// sub-group representations into the group representation x_t^G (Eq. 7-10).
+class VotingScheme : public nn::Module {
+ public:
+  VotingScheme(const GroupSaConfig& config, Rng* rng);
+
+  // Result of running the voting rounds for one group.
+  struct MemberReps {
+    ag::TensorPtr reps;  // l x d: x_{t,i}^U for each member
+    // Post-softmax attention of each voting round (empty when the voting
+    // scheme is disabled). Used by the Table IV case study.
+    std::vector<tensor::Matrix> round_attention;
+  };
+
+  // `member_embeddings` is l x d (emb^U rows of the group members; footnote 1
+  // of the paper). `social` provides the f(i,j) connectivity for the bias
+  // matrix; ignored when the config disables the mask.
+  MemberReps BuildMemberReps(ag::Tape* tape,
+                             const ag::TensorPtr& member_embeddings,
+                             const std::vector<data::UserId>& members,
+                             const data::SocialGraph& social) const;
+
+  // Group aggregation for a target item.
+  struct GroupRep {
+    ag::TensorPtr rep;              // 1 x d: x_t^G (Eq. 7)
+    tensor::Matrix member_weights;  // 1 x l: gamma_{t,i} (Eq. 10)
+  };
+  GroupRep AggregateGroup(ag::Tape* tape, const MemberReps& member_reps,
+                          const ag::TensorPtr& item_embedding) const;
+
+ private:
+  GroupSaConfig config_;
+  std::vector<std::unique_ptr<nn::TransformerBlock>> blocks_;
+  std::unique_ptr<nn::AttentionPool> group_pool_;
+  std::unique_ptr<nn::Linear> group_proj_;  // outer sigma(W . + b), Eq. 7
+};
+
+}  // namespace groupsa::core
+
+#endif  // GROUPSA_CORE_VOTING_SCHEME_H_

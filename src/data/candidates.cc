@@ -1,0 +1,27 @@
+#include "data/candidates.h"
+
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace groupsa::data {
+
+std::vector<ItemId> SampleCandidates(const InteractionMatrix& observed,
+                                     int row, int num_candidates, Rng* rng) {
+  const int num_items = observed.num_cols();
+  const int free_items = num_items - observed.RowDegree(row);
+  GROUPSA_CHECK(num_candidates <= free_items,
+                "not enough unobserved items for candidate sampling");
+  std::unordered_set<ItemId> chosen;
+  std::vector<ItemId> out;
+  out.reserve(num_candidates);
+  while (static_cast<int>(out.size()) < num_candidates) {
+    const ItemId candidate = rng->NextInt(num_items);
+    if (observed.Has(row, candidate)) continue;
+    if (!chosen.insert(candidate).second) continue;
+    out.push_back(candidate);
+  }
+  return out;
+}
+
+}  // namespace groupsa::data

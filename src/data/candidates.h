@@ -1,0 +1,20 @@
+#ifndef GROUPSA_DATA_CANDIDATES_H_
+#define GROUPSA_DATA_CANDIDATES_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/interaction_matrix.h"
+
+namespace groupsa::data {
+
+// Samples `num_candidates` distinct items that `row` has never interacted
+// with (Sec. III-C evaluation protocol: 100 unobserved items ranked together
+// with the held-out positive). `observed` must cover ALL interactions of the
+// row (train + validation + test) so candidates are true negatives.
+std::vector<ItemId> SampleCandidates(const InteractionMatrix& observed,
+                                     int row, int num_candidates, Rng* rng);
+
+}  // namespace groupsa::data
+
+#endif  // GROUPSA_DATA_CANDIDATES_H_

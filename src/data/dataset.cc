@@ -1,0 +1,34 @@
+#include "data/dataset.h"
+
+#include "common/string_util.h"
+
+namespace groupsa::data {
+
+std::string DatasetStats::ToString() const {
+  std::string out;
+  out += StrFormat("# Users                        %d\n", num_users);
+  out += StrFormat("# Items/Events                 %d\n", num_items);
+  out += StrFormat("# Groups                       %d\n", num_groups);
+  out += StrFormat("Avg. group size                %.2f\n", avg_group_size);
+  out += StrFormat("Avg. # interactions per user   %.2f\n",
+                   avg_interactions_per_user);
+  out += StrFormat("Avg. # friends per user        %.2f\n",
+                   avg_friends_per_user);
+  out += StrFormat("Avg. # interactions per group  %.2f",
+                   avg_interactions_per_group);
+  return out;
+}
+
+DatasetStats Dataset::ComputeStats() const {
+  DatasetStats stats;
+  stats.num_users = num_users;
+  stats.num_items = num_items;
+  stats.num_groups = groups.num_groups();
+  stats.avg_group_size = groups.AvgGroupSize();
+  stats.avg_interactions_per_user = UserItemMatrix().AvgRowDegree();
+  stats.avg_friends_per_user = social.AvgDegree();
+  stats.avg_interactions_per_group = GroupItemMatrix().AvgRowDegree();
+  return stats;
+}
+
+}  // namespace groupsa::data

@@ -1,0 +1,53 @@
+#ifndef GROUPSA_DATA_DATASET_H_
+#define GROUPSA_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/group_table.h"
+#include "data/interaction_matrix.h"
+#include "data/social_graph.h"
+#include "data/types.h"
+
+namespace groupsa::data {
+
+// Aggregate statistics in the shape of the paper's Table I.
+struct DatasetStats {
+  int num_users = 0;
+  int num_items = 0;
+  int num_groups = 0;
+  double avg_group_size = 0.0;
+  double avg_interactions_per_user = 0.0;
+  double avg_friends_per_user = 0.0;
+  double avg_interactions_per_group = 0.0;
+
+  std::string ToString() const;
+};
+
+// A complete group-recommendation dataset: the three interaction sources of
+// the task definition (Sec. II-A) plus group membership. Edges are the raw
+// (pre-split) observations; splitting lives in data/split.h.
+struct Dataset {
+  std::string name;
+  int num_users = 0;
+  int num_items = 0;
+
+  EdgeList user_item;   // rows are UserIds
+  EdgeList group_item;  // rows are GroupIds
+  SocialGraph social;
+  GroupTable groups;
+
+  DatasetStats ComputeStats() const;
+
+  // Builds the adjacency view of the user-item / group-item edges.
+  InteractionMatrix UserItemMatrix() const {
+    return InteractionMatrix(num_users, num_items, user_item);
+  }
+  InteractionMatrix GroupItemMatrix() const {
+    return InteractionMatrix(groups.num_groups(), num_items, group_item);
+  }
+};
+
+}  // namespace groupsa::data
+
+#endif  // GROUPSA_DATA_DATASET_H_

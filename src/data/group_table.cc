@@ -1,0 +1,30 @@
+#include "data/group_table.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace groupsa::data {
+
+GroupTable::GroupTable(std::vector<std::vector<UserId>> members)
+    : members_(std::move(members)) {
+  for (auto& group : members_) {
+    GROUPSA_CHECK(!group.empty(), "empty group");
+    std::sort(group.begin(), group.end());
+    group.erase(std::unique(group.begin(), group.end()), group.end());
+  }
+}
+
+const std::vector<UserId>& GroupTable::Members(GroupId group) const {
+  GROUPSA_CHECK(group >= 0 && group < num_groups(), "group out of range");
+  return members_[group];
+}
+
+double GroupTable::AvgGroupSize() const {
+  if (members_.empty()) return 0.0;
+  int64_t total = 0;
+  for (const auto& group : members_) total += group.size();
+  return static_cast<double>(total) / static_cast<double>(members_.size());
+}
+
+}  // namespace groupsa::data

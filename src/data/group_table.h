@@ -1,0 +1,29 @@
+#ifndef GROUPSA_DATA_GROUP_TABLE_H_
+#define GROUPSA_DATA_GROUP_TABLE_H_
+
+#include <vector>
+
+#include "data/types.h"
+
+namespace groupsa::data {
+
+// Membership table for occasional groups: group id -> ordered member list.
+class GroupTable {
+ public:
+  GroupTable() = default;
+  explicit GroupTable(std::vector<std::vector<UserId>> members);
+
+  int num_groups() const { return static_cast<int>(members_.size()); }
+  const std::vector<UserId>& Members(GroupId group) const;
+  int GroupSize(GroupId group) const {
+    return static_cast<int>(Members(group).size());
+  }
+  double AvgGroupSize() const;
+
+ private:
+  std::vector<std::vector<UserId>> members_;
+};
+
+}  // namespace groupsa::data
+
+#endif  // GROUPSA_DATA_GROUP_TABLE_H_

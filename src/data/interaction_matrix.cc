@@ -1,0 +1,48 @@
+#include "data/interaction_matrix.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace groupsa::data {
+
+InteractionMatrix::InteractionMatrix(int num_rows, int num_cols,
+                                     const EdgeList& edges)
+    : num_rows_(num_rows), num_cols_(num_cols) {
+  rows_.resize(num_rows);
+  col_degree_.assign(num_cols, 0);
+  for (const Edge& e : edges) {
+    GROUPSA_CHECK(e.row >= 0 && e.row < num_rows, "edge row out of range");
+    GROUPSA_CHECK(e.item >= 0 && e.item < num_cols, "edge item out of range");
+    rows_[e.row].push_back(e.item);
+  }
+  for (int r = 0; r < num_rows; ++r) {
+    auto& items = rows_[r];
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    num_interactions_ += static_cast<int64_t>(items.size());
+    for (ItemId item : items) ++col_degree_[item];
+  }
+}
+
+const std::vector<ItemId>& InteractionMatrix::Row(int row) const {
+  GROUPSA_CHECK(row >= 0 && row < num_rows_, "row out of range");
+  return rows_[row];
+}
+
+bool InteractionMatrix::Has(int row, ItemId item) const {
+  const auto& items = Row(row);
+  return std::binary_search(items.begin(), items.end(), item);
+}
+
+int InteractionMatrix::ColDegree(ItemId item) const {
+  GROUPSA_CHECK(item >= 0 && item < num_cols_, "item out of range");
+  return col_degree_[item];
+}
+
+double InteractionMatrix::AvgRowDegree() const {
+  if (num_rows_ == 0) return 0.0;
+  return static_cast<double>(num_interactions_) / num_rows_;
+}
+
+}  // namespace groupsa::data

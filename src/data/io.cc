@@ -1,0 +1,138 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace groupsa::data {
+namespace {
+
+Status WriteEdges(const EdgeList& edges, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Error("cannot open for write: " + path);
+  for (const Edge& e : edges) out << e.row << '\t' << e.item << '\n';
+  return out ? Status::Ok() : Status::Error("write failed: " + path);
+}
+
+Status ReadEdges(const std::string& path, EdgeList* edges) {
+  std::ifstream in(path);
+  if (!in) return Status::Error("cannot open for read: " + path);
+  edges->clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    Edge e;
+    if (!(ss >> e.row >> e.item))
+      return Status::Error("malformed edge line in " + path + ": " + line);
+    edges->push_back(e);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, const std::string& directory) {
+  if (Status s = WriteEdges(dataset.user_item, directory + "/user_item.tsv");
+      !s.ok())
+    return s;
+  if (Status s = WriteEdges(dataset.group_item, directory + "/group_item.tsv");
+      !s.ok())
+    return s;
+
+  {
+    std::ofstream out(directory + "/social.tsv");
+    if (!out) return Status::Error("cannot write social.tsv");
+    for (UserId u = 0; u < dataset.social.num_users(); ++u) {
+      for (UserId v : dataset.social.Neighbors(u)) {
+        if (u < v) out << u << '\t' << v << '\n';  // each edge once
+      }
+    }
+  }
+  {
+    std::ofstream out(directory + "/groups.tsv");
+    if (!out) return Status::Error("cannot write groups.tsv");
+    for (GroupId g = 0; g < dataset.groups.num_groups(); ++g) {
+      out << g << '\t';
+      const auto& members = dataset.groups.Members(g);
+      for (size_t i = 0; i < members.size(); ++i) {
+        if (i > 0) out << ',';
+        out << members[i];
+      }
+      out << '\n';
+    }
+  }
+  {
+    std::ofstream out(directory + "/meta.tsv");
+    if (!out) return Status::Error("cannot write meta.tsv");
+    out << "name\t" << dataset.name << '\n';
+    out << "num_users\t" << dataset.num_users << '\n';
+    out << "num_items\t" << dataset.num_items << '\n';
+  }
+  return Status::Ok();
+}
+
+Status LoadDataset(const std::string& directory, Dataset* dataset) {
+  // meta.tsv first: counts are needed to build the graphs.
+  {
+    std::ifstream in(directory + "/meta.tsv");
+    if (!in) return Status::Error("cannot read meta.tsv in " + directory);
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto parts = StrSplit(line, '\t');
+      if (parts.size() != 2) continue;
+      if (parts[0] == "name") dataset->name = parts[1];
+      if (parts[0] == "num_users") dataset->num_users = std::stoi(parts[1]);
+      if (parts[0] == "num_items") dataset->num_items = std::stoi(parts[1]);
+    }
+    if (dataset->num_users <= 0 || dataset->num_items <= 0)
+      return Status::Error("meta.tsv missing counts");
+  }
+  if (Status s = ReadEdges(directory + "/user_item.tsv", &dataset->user_item);
+      !s.ok())
+    return s;
+  if (Status s =
+          ReadEdges(directory + "/group_item.tsv", &dataset->group_item);
+      !s.ok())
+    return s;
+  {
+    std::ifstream in(directory + "/social.tsv");
+    if (!in) return Status::Error("cannot read social.tsv");
+    std::vector<std::pair<UserId, UserId>> edges;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::istringstream ss(line);
+      UserId a;
+      UserId b;
+      if (!(ss >> a >> b))
+        return Status::Error("malformed social line: " + line);
+      edges.emplace_back(a, b);
+    }
+    dataset->social = SocialGraph(dataset->num_users, edges);
+  }
+  {
+    std::ifstream in(directory + "/groups.tsv");
+    if (!in) return Status::Error("cannot read groups.tsv");
+    std::vector<std::vector<UserId>> members;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const auto parts = StrSplit(line, '\t');
+      if (parts.size() != 2)
+        return Status::Error("malformed group line: " + line);
+      std::vector<UserId> group;
+      for (const std::string& tok : StrSplit(parts[1], ',')) {
+        if (!tok.empty()) group.push_back(std::stoi(tok));
+      }
+      if (group.empty()) return Status::Error("empty group line: " + line);
+      members.push_back(std::move(group));
+    }
+    dataset->groups = GroupTable(std::move(members));
+  }
+  return Status::Ok();
+}
+
+}  // namespace groupsa::data

@@ -1,0 +1,21 @@
+#ifndef GROUPSA_DATA_IO_H_
+#define GROUPSA_DATA_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace groupsa::data {
+
+// Persists a dataset as four TSV files in `directory` (created by the
+// caller): user_item.tsv, group_item.tsv, social.tsv, groups.tsv (group id,
+// then comma-separated members). A meta.tsv records counts and name.
+Status SaveDataset(const Dataset& dataset, const std::string& directory);
+
+// Loads a dataset previously written by SaveDataset.
+Status LoadDataset(const std::string& directory, Dataset* dataset);
+
+}  // namespace groupsa::data
+
+#endif  // GROUPSA_DATA_IO_H_

@@ -1,0 +1,30 @@
+#include "data/negative_sampler.h"
+
+#include "common/macros.h"
+
+namespace groupsa::data {
+
+NegativeSampler::NegativeSampler(const InteractionMatrix* observed)
+    : observed_(observed) {
+  GROUPSA_CHECK(observed_ != nullptr, "NegativeSampler requires matrix");
+}
+
+ItemId NegativeSampler::Sample(int row, Rng* rng) const {
+  const int num_items = observed_->num_cols();
+  GROUPSA_CHECK(observed_->RowDegree(row) < num_items,
+                "row has interacted with every item");
+  while (true) {
+    const ItemId candidate = rng->NextInt(num_items);
+    if (!observed_->Has(row, candidate)) return candidate;
+  }
+}
+
+std::vector<ItemId> NegativeSampler::SampleMany(int row, int n,
+                                                Rng* rng) const {
+  std::vector<ItemId> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(Sample(row, rng));
+  return out;
+}
+
+}  // namespace groupsa::data

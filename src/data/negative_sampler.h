@@ -1,0 +1,33 @@
+#ifndef GROUPSA_DATA_NEGATIVE_SAMPLER_H_
+#define GROUPSA_DATA_NEGATIVE_SAMPLER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/interaction_matrix.h"
+
+namespace groupsa::data {
+
+// Uniform negative sampling over the unobserved items of a row (Sec. II-E):
+// at each gradient step the trainer draws N items the user/group never
+// interacted with.
+class NegativeSampler {
+ public:
+  // `observed` must outlive the sampler.
+  explicit NegativeSampler(const InteractionMatrix* observed);
+
+  // One unobserved item for `row`. Rejection-samples; the observed row must
+  // leave at least one item free.
+  ItemId Sample(int row, Rng* rng) const;
+
+  // `n` unobserved items (with replacement across draws, which matches the
+  // paper's independent sampling; duplicates are possible but rare).
+  std::vector<ItemId> SampleMany(int row, int n, Rng* rng) const;
+
+ private:
+  const InteractionMatrix* observed_;
+};
+
+}  // namespace groupsa::data
+
+#endif  // GROUPSA_DATA_NEGATIVE_SAMPLER_H_

@@ -1,0 +1,64 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/macros.h"
+
+namespace groupsa::data {
+
+Split SplitEdges(const EdgeList& edges, double test_fraction,
+                 double validation_fraction, Rng* rng) {
+  GROUPSA_CHECK(test_fraction >= 0.0 && test_fraction < 1.0,
+                "test_fraction out of range");
+  GROUPSA_CHECK(validation_fraction >= 0.0 && validation_fraction < 1.0,
+                "validation_fraction out of range");
+
+  std::map<int32_t, std::vector<ItemId>> per_row;
+  for (const Edge& e : edges) per_row[e.row].push_back(e.item);
+
+  Split split;
+  for (auto& [row, items] : per_row) {
+    rng->Shuffle(&items);
+    const int n = static_cast<int>(items.size());
+    // Round to nearest but never take every interaction of a row into test.
+    int num_test = static_cast<int>(n * test_fraction + 0.5);
+    num_test = std::min(num_test, n - 1);
+    num_test = std::max(num_test, 0);
+    const int num_train_pool = n - num_test;
+    int num_validation =
+        static_cast<int>(num_train_pool * validation_fraction + 0.5);
+    num_validation = std::min(num_validation, num_train_pool - 1);
+    num_validation = std::max(num_validation, 0);
+
+    int idx = 0;
+    for (; idx < num_test; ++idx) split.test.push_back({row, items[idx]});
+    for (; idx < num_test + num_validation; ++idx)
+      split.validation.push_back({row, items[idx]});
+    for (; idx < n; ++idx) split.train.push_back({row, items[idx]});
+  }
+  return split;
+}
+
+Split GlobalSplitEdges(const EdgeList& edges, double test_fraction,
+                       double validation_fraction, Rng* rng) {
+  GROUPSA_CHECK(test_fraction >= 0.0 && test_fraction < 1.0,
+                "test_fraction out of range");
+  GROUPSA_CHECK(validation_fraction >= 0.0 && validation_fraction < 1.0,
+                "validation_fraction out of range");
+  EdgeList shuffled(edges);
+  rng->Shuffle(&shuffled);
+  const int n = static_cast<int>(shuffled.size());
+  const int num_test = static_cast<int>(n * test_fraction + 0.5);
+  const int num_validation =
+      static_cast<int>((n - num_test) * validation_fraction + 0.5);
+  Split split;
+  int idx = 0;
+  for (; idx < num_test; ++idx) split.test.push_back(shuffled[idx]);
+  for (; idx < num_test + num_validation; ++idx)
+    split.validation.push_back(shuffled[idx]);
+  for (; idx < n; ++idx) split.train.push_back(shuffled[idx]);
+  return split;
+}
+
+}  // namespace groupsa::data

@@ -1,0 +1,36 @@
+#ifndef GROUPSA_DATA_SPLIT_H_
+#define GROUPSA_DATA_SPLIT_H_
+
+#include "common/rng.h"
+#include "data/types.h"
+
+namespace groupsa::data {
+
+// Train/validation/test partition of an edge list.
+struct Split {
+  EdgeList train;
+  EdgeList validation;
+  EdgeList test;
+};
+
+// Randomly assigns edges to train/validation/test following the paper's
+// protocol (Sec. III-C): `test_fraction` (20%) of interactions held out for
+// testing, `validation_fraction` (10%) of the remaining training records as
+// validation. The split is per row: each row's edges are shuffled and
+// partitioned so that every row with >= 2 interactions keeps at least one
+// training interaction (rows with a single interaction stay in train, since
+// an entity absent from training cannot be ranked meaningfully).
+Split SplitEdges(const EdgeList& edges, double test_fraction,
+                 double validation_fraction, Rng* rng);
+
+// Global (not per-row) random partition. This is the right protocol for the
+// sparse group-item interactions: most occasional groups have a single
+// observed interaction, and holding it out yields a *cold* group — exactly
+// the OGR setting, which member-based models handle and pseudo-user models
+// do not.
+Split GlobalSplitEdges(const EdgeList& edges, double test_fraction,
+                       double validation_fraction, Rng* rng);
+
+}  // namespace groupsa::data
+
+#endif  // GROUPSA_DATA_SPLIT_H_

@@ -1,0 +1,31 @@
+#ifndef GROUPSA_DATA_TYPES_H_
+#define GROUPSA_DATA_TYPES_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace groupsa::data {
+
+// Dense 0-based ids. Users, items and groups each live in their own id
+// space.
+using UserId = int32_t;
+using ItemId = int32_t;
+using GroupId = int32_t;
+
+// A generic (row entity, item) implicit interaction; `row` is a UserId for
+// user-item data and a GroupId for group-item data.
+struct Edge {
+  int32_t row = 0;
+  ItemId item = 0;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.row == b.row && a.item == b.item;
+  }
+};
+
+using EdgeList = std::vector<Edge>;
+
+}  // namespace groupsa::data
+
+#endif  // GROUPSA_DATA_TYPES_H_

@@ -1,0 +1,56 @@
+#include "eval/evaluator.h"
+
+#include "common/macros.h"
+#include "data/candidates.h"
+
+namespace groupsa::eval {
+
+std::vector<RankingCase> BuildRankingCases(
+    const data::EdgeList& test_edges,
+    const data::InteractionMatrix& observed_all, int num_candidates,
+    Rng* rng) {
+  std::vector<RankingCase> cases;
+  cases.reserve(test_edges.size());
+  for (const data::Edge& e : test_edges) {
+    const int free_items =
+        observed_all.num_cols() - observed_all.RowDegree(e.row);
+    if (free_items < num_candidates) continue;
+    RankingCase c;
+    c.entity = e.row;
+    c.positive = e.item;
+    c.candidates =
+        data::SampleCandidates(observed_all, e.row, num_candidates, rng);
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+EvalResult EvaluateRanking(const std::vector<RankingCase>& cases,
+                           const Scorer& scorer, const std::vector<int>& ks) {
+  return EvaluateRankingFiltered(cases, scorer, ks,
+                                 [](int32_t) { return true; });
+}
+
+EvalResult EvaluateRankingFiltered(const std::vector<RankingCase>& cases,
+                                   const Scorer& scorer,
+                                   const std::vector<int>& ks,
+                                   const std::function<bool(int32_t)>& keep) {
+  std::vector<int> ranks;
+  ranks.reserve(cases.size());
+  for (const RankingCase& c : cases) {
+    if (!keep(c.entity)) continue;
+    std::vector<data::ItemId> items;
+    items.reserve(c.candidates.size() + 1);
+    items.push_back(c.positive);
+    items.insert(items.end(), c.candidates.begin(), c.candidates.end());
+    const std::vector<double> scores = scorer(c.entity, items);
+    GROUPSA_CHECK(scores.size() == items.size(),
+                  "scorer returned wrong number of scores");
+    const std::vector<double> candidate_scores(scores.begin() + 1,
+                                               scores.end());
+    ranks.push_back(RankOfPositive(scores[0], candidate_scores));
+  }
+  return AggregateRanks(ranks, ks);
+}
+
+}  // namespace groupsa::eval

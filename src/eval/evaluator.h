@@ -1,0 +1,52 @@
+#ifndef GROUPSA_EVAL_EVALUATOR_H_
+#define GROUPSA_EVAL_EVALUATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/interaction_matrix.h"
+#include "data/types.h"
+#include "eval/metrics.h"
+
+namespace groupsa::eval {
+
+// One leave-out ranking case: rank `positive` against `candidates` (100
+// unobserved items in the paper's protocol) for `entity` (a user or group).
+struct RankingCase {
+  int32_t entity = 0;
+  data::ItemId positive = 0;
+  std::vector<data::ItemId> candidates;
+};
+
+// Builds one RankingCase per held-out test edge. `observed_all` must contain
+// ALL interactions of each row (train + validation + test) so sampled
+// candidates are genuine negatives. Rows whose free-item pool is smaller
+// than `num_candidates` are skipped.
+std::vector<RankingCase> BuildRankingCases(
+    const data::EdgeList& test_edges,
+    const data::InteractionMatrix& observed_all, int num_candidates,
+    Rng* rng);
+
+// Batch scorer: returns one score per item, higher = more preferred. The
+// item list contains the positive and all candidates of one case, so
+// implementations can amortize per-entity work (e.g. build the group
+// representation once).
+using Scorer =
+    std::function<std::vector<double>(int32_t entity,
+                                      const std::vector<data::ItemId>& items)>;
+
+// Ranks every case with `scorer` and aggregates HR/NDCG at `ks`.
+EvalResult EvaluateRanking(const std::vector<RankingCase>& cases,
+                           const Scorer& scorer, const std::vector<int>& ks);
+
+// Same, restricted to cases for which `keep(entity)` is true (used by the
+// Table IX group-size bins).
+EvalResult EvaluateRankingFiltered(const std::vector<RankingCase>& cases,
+                                   const Scorer& scorer,
+                                   const std::vector<int>& ks,
+                                   const std::function<bool(int32_t)>& keep);
+
+}  // namespace groupsa::eval
+
+#endif  // GROUPSA_EVAL_EVALUATOR_H_

@@ -1,0 +1,55 @@
+#include "eval/experiment.h"
+
+#include "common/macros.h"
+
+namespace groupsa::eval {
+
+void MultiSeedResult::Add(const std::string& metric, double value) {
+  samples_[metric].push_back(value);
+}
+
+const std::vector<double>& MultiSeedResult::Samples(
+    const std::string& metric) const {
+  auto it = samples_.find(metric);
+  GROUPSA_CHECK(it != samples_.end(), "unknown metric");
+  return it->second;
+}
+
+double MultiSeedResult::MeanOf(const std::string& metric) const {
+  return Mean(Samples(metric));
+}
+
+double MultiSeedResult::StdDevOf(const std::string& metric) const {
+  const auto& s = Samples(metric);
+  if (s.size() < 2) return 0.0;
+  return SampleStdDev(s);
+}
+
+bool MultiSeedResult::Has(const std::string& metric) const {
+  return samples_.count(metric) > 0;
+}
+
+std::vector<std::string> MultiSeedResult::MetricNames() const {
+  std::vector<std::string> names;
+  names.reserve(samples_.size());
+  for (const auto& [name, values] : samples_) names.push_back(name);
+  return names;
+}
+
+TTestResult MultiSeedResult::Compare(const std::string& metric_a,
+                                     const std::string& metric_b) const {
+  return PairedTTest(Samples(metric_a), Samples(metric_b));
+}
+
+MultiSeedResult RunSeeds(int num_seeds, uint64_t base_seed,
+                         const SeedRun& run) {
+  MultiSeedResult result;
+  for (int i = 0; i < num_seeds; ++i) {
+    // Decorrelated per-seed streams.
+    const uint64_t rng_seed = base_seed + 0x9E3779B97F4A7C15ULL * (i + 1);
+    run(i, rng_seed, &result);
+  }
+  return result;
+}
+
+}  // namespace groupsa::eval

@@ -1,0 +1,42 @@
+#ifndef GROUPSA_EVAL_EXPERIMENT_H_
+#define GROUPSA_EVAL_EXPERIMENT_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eval/ttest.h"
+
+namespace groupsa::eval {
+
+// Collects metric samples across repeated runs (the paper repeats every
+// setting 5 times and reports averages, Sec. III-E).
+class MultiSeedResult {
+ public:
+  void Add(const std::string& metric, double value);
+
+  const std::vector<double>& Samples(const std::string& metric) const;
+  double MeanOf(const std::string& metric) const;
+  double StdDevOf(const std::string& metric) const;
+  bool Has(const std::string& metric) const;
+  std::vector<std::string> MetricNames() const;
+
+  // Paired t-test between two metric series collected over the same seeds.
+  TTestResult Compare(const std::string& metric_a,
+                      const std::string& metric_b) const;
+
+ private:
+  std::map<std::string, std::vector<double>> samples_;
+};
+
+// Runs `run(seed_index, rng_seed)` for `num_seeds` repetitions, letting the
+// callback record into the shared result.
+using SeedRun = std::function<void(int seed_index, uint64_t rng_seed,
+                                   MultiSeedResult* result)>;
+MultiSeedResult RunSeeds(int num_seeds, uint64_t base_seed,
+                         const SeedRun& run);
+
+}  // namespace groupsa::eval
+
+#endif  // GROUPSA_EVAL_EXPERIMENT_H_

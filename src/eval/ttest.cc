@@ -1,0 +1,111 @@
+#include "eval/ttest.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace groupsa::eval {
+namespace {
+
+double LogGamma(double x) { return std::lgamma(x); }
+
+// Lentz's continued fraction for the incomplete beta function.
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 1e-14;
+  constexpr double kTiny = 1e-30;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  GROUPSA_CHECK(x >= 0.0 && x <= 1.0, "incomplete beta domain");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front = LogGamma(a + b) - LogGamma(a) - LogGamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTTwoSidedP(double t, double df) {
+  GROUPSA_CHECK(df > 0.0, "degrees of freedom must be positive");
+  const double x = df / (df + t * t);
+  return RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+}
+
+double Mean(const std::vector<double>& values) {
+  GROUPSA_CHECK(!values.empty(), "Mean of empty vector");
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double SampleStdDev(const std::vector<double>& values) {
+  GROUPSA_CHECK(values.size() >= 2, "stddev needs >= 2 samples");
+  const double mean = Mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+TTestResult PairedTTest(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  GROUPSA_CHECK(a.size() == b.size(), "paired t-test size mismatch");
+  GROUPSA_CHECK(a.size() >= 2, "paired t-test needs >= 2 pairs");
+  const size_t n = a.size();
+  std::vector<double> diff(n);
+  for (size_t i = 0; i < n; ++i) diff[i] = a[i] - b[i];
+
+  TTestResult result;
+  result.mean_difference = Mean(diff);
+  result.degrees_of_freedom = static_cast<double>(n - 1);
+  const double sd = SampleStdDev(diff);
+  if (sd == 0.0) {
+    result.t_statistic =
+        result.mean_difference == 0.0
+            ? 0.0
+            : std::copysign(1e9, result.mean_difference);
+    result.p_value = result.mean_difference == 0.0 ? 1.0 : 0.0;
+    return result;
+  }
+  result.t_statistic =
+      result.mean_difference / (sd / std::sqrt(static_cast<double>(n)));
+  result.p_value =
+      StudentTTwoSidedP(result.t_statistic, result.degrees_of_freedom);
+  return result;
+}
+
+}  // namespace groupsa::eval

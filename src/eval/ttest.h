@@ -1,0 +1,36 @@
+#ifndef GROUPSA_EVAL_TTEST_H_
+#define GROUPSA_EVAL_TTEST_H_
+
+#include <vector>
+
+namespace groupsa::eval {
+
+// Result of a paired two-sided t-test.
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  double p_value = 1.0;
+  double mean_difference = 0.0;
+};
+
+// Paired two-sided t-test over matched samples (the paper reports p < 0.01
+// over 5 repetitions, Sec. III-E). Requires a.size() == b.size() >= 2. A
+// zero-variance difference returns p = 0 when the mean difference is
+// non-zero and p = 1 otherwise.
+TTestResult PairedTTest(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+// Student t distribution two-sided tail probability P(|T| > t) with `df`
+// degrees of freedom, via the regularized incomplete beta function.
+double StudentTTwoSidedP(double t, double df);
+
+// Regularized incomplete beta function I_x(a, b) (continued fraction).
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+// Sample mean / unbiased standard deviation helpers.
+double Mean(const std::vector<double>& values);
+double SampleStdDev(const std::vector<double>& values);
+
+}  // namespace groupsa::eval
+
+#endif  // GROUPSA_EVAL_TTEST_H_

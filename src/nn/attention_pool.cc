@@ -1,0 +1,36 @@
+#include "nn/attention_pool.h"
+
+namespace groupsa::nn {
+
+AttentionPool::AttentionPool(const std::string& name, int guide_dim,
+                             int context_dim, int hidden_dim, Rng* rng) {
+  score_hidden_ = std::make_unique<Linear>(name + ".hidden",
+                                           guide_dim + context_dim, hidden_dim,
+                                           rng);
+  score_out_ = std::make_unique<Linear>(name + ".out", hidden_dim, 1, rng);
+  RegisterSubmodule(name + ".hidden", score_hidden_.get());
+  RegisterSubmodule(name + ".out", score_out_.get());
+}
+
+AttentionPoolOutput AttentionPool::Forward(ag::Tape* tape,
+                                           const ag::TensorPtr& guide,
+                                           const ag::TensorPtr& context) const {
+  GROUPSA_CHECK(guide->rows() == 1, "AttentionPool guide must be 1 x d");
+  const int l = context->rows();
+  GROUPSA_CHECK(l >= 1, "AttentionPool requires non-empty context");
+
+  ag::TensorPtr tiled = ag::BroadcastRow(tape, guide, l);
+  ag::TensorPtr joined = ag::ConcatCols(tape, {tiled, context});
+  ag::TensorPtr hidden = ag::Relu(tape, score_hidden_->Forward(tape, joined));
+  ag::TensorPtr scores = score_out_->Forward(tape, hidden);      // l x 1
+  ag::TensorPtr scores_row = ag::Transpose(tape, scores);        // 1 x l
+  ag::TensorPtr weights = ag::SoftmaxRows(tape, scores_row);     // 1 x l
+  ag::TensorPtr pooled = ag::MatMul(tape, weights, context);     // 1 x d
+
+  AttentionPoolOutput out;
+  out.pooled = pooled;
+  out.weights = weights->value();
+  return out;
+}
+
+}  // namespace groupsa::nn

@@ -1,0 +1,43 @@
+#ifndef GROUPSA_NN_ATTENTION_POOL_H_
+#define GROUPSA_NN_ATTENTION_POOL_H_
+
+#include <memory>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace groupsa::nn {
+
+// Output of a vanilla-attention aggregation: the pooled vector plus a copy of
+// the (post-softmax) weights for introspection (Table IV case study).
+struct AttentionPoolOutput {
+  ag::TensorPtr pooled;     // 1 x d
+  tensor::Matrix weights;   // 1 x l
+};
+
+// The paper's two-layer vanilla attention network, used three times with the
+// same shape (Eq. 8-10 group aggregation, Eq. 12-14 item aggregation,
+// Eq. 16-18 social aggregation):
+//
+//   score_i = w2^T . relu(W1 [guide (+) context_i] + b1) + b2
+//   weights = softmax(score)
+//   pooled  = sum_i weights_i * context_i
+class AttentionPool : public Module {
+ public:
+  // `guide_dim` is the width of the guide vector, `context_dim` of each
+  // context row, `hidden_dim` of the scoring MLP's hidden layer.
+  AttentionPool(const std::string& name, int guide_dim, int context_dim,
+                int hidden_dim, Rng* rng);
+
+  // `guide` is 1 x guide_dim; `context` is l x context_dim with l >= 1.
+  AttentionPoolOutput Forward(ag::Tape* tape, const ag::TensorPtr& guide,
+                              const ag::TensorPtr& context) const;
+
+ private:
+  std::unique_ptr<Linear> score_hidden_;  // (guide+context) -> hidden
+  std::unique_ptr<Linear> score_out_;     // hidden -> 1
+};
+
+}  // namespace groupsa::nn
+
+#endif  // GROUPSA_NN_ATTENTION_POOL_H_

@@ -1,0 +1,102 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace groupsa::nn {
+namespace {
+
+constexpr uint32_t kMagic = 0x47535041;  // "GSPA"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteU32(std::FILE* f, uint32_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool ReadU32(std::FILE* f, uint32_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+}  // namespace
+
+Status SaveParameters(const std::vector<ParamEntry>& params,
+                      const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Status::Error("cannot open for write: " + path);
+  if (!WriteU32(f.get(), kMagic) ||
+      !WriteU32(f.get(), static_cast<uint32_t>(params.size())))
+    return Status::Error("write failed: " + path);
+  for (const ParamEntry& p : params) {
+    const tensor::Matrix& m = p.tensor->value();
+    if (!WriteU32(f.get(), static_cast<uint32_t>(p.name.size())) ||
+        std::fwrite(p.name.data(), 1, p.name.size(), f.get()) !=
+            p.name.size() ||
+        !WriteU32(f.get(), static_cast<uint32_t>(m.rows())) ||
+        !WriteU32(f.get(), static_cast<uint32_t>(m.cols())) ||
+        std::fwrite(m.data(), sizeof(float), static_cast<size_t>(m.size()),
+                    f.get()) != static_cast<size_t>(m.size())) {
+      return Status::Error("write failed: " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+Status LoadParameters(const std::vector<ParamEntry>& params,
+                      const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::Error("cannot open for read: " + path);
+  uint32_t magic = 0;
+  uint32_t count = 0;
+  if (!ReadU32(f.get(), &magic) || magic != kMagic)
+    return Status::Error("bad checkpoint magic: " + path);
+  if (!ReadU32(f.get(), &count))
+    return Status::Error("truncated checkpoint: " + path);
+
+  std::unordered_map<std::string, const ParamEntry*> by_name;
+  for (const ParamEntry& p : params) by_name[p.name] = &p;
+
+  size_t loaded = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadU32(f.get(), &name_len))
+      return Status::Error("truncated checkpoint: " + path);
+    std::string name(name_len, '\0');
+    uint32_t rows = 0;
+    uint32_t cols = 0;
+    if (std::fread(name.data(), 1, name_len, f.get()) != name_len ||
+        !ReadU32(f.get(), &rows) || !ReadU32(f.get(), &cols))
+      return Status::Error("truncated checkpoint: " + path);
+    auto it = by_name.find(name);
+    if (it == by_name.end())
+      return Status::Error("unknown parameter in checkpoint: " + name);
+    tensor::Matrix& m = it->second->tensor->mutable_value();
+    if (m.rows() != static_cast<int>(rows) ||
+        m.cols() != static_cast<int>(cols)) {
+      return Status::Error(StrFormat(
+          "shape mismatch for %s: file %ux%u vs model %dx%d", name.c_str(),
+          rows, cols, m.rows(), m.cols()));
+    }
+    if (std::fread(m.data(), sizeof(float), static_cast<size_t>(m.size()),
+                   f.get()) != static_cast<size_t>(m.size()))
+      return Status::Error("truncated checkpoint: " + path);
+    ++loaded;
+  }
+  if (loaded != params.size()) {
+    return Status::Error(
+        StrFormat("checkpoint loaded %zu of %zu parameters", loaded,
+                  params.size()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace groupsa::nn

@@ -1,0 +1,23 @@
+#ifndef GROUPSA_NN_CHECKPOINT_H_
+#define GROUPSA_NN_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace groupsa::nn {
+
+// Serializes parameters to a simple binary format (magic, count, then
+// name/shape/data records). Loading matches by name and CHECK-fails shape
+// mismatches; unknown names in the file are an error, missing names in the
+// file leave the parameter untouched and are reported in the Status message.
+Status SaveParameters(const std::vector<ParamEntry>& params,
+                      const std::string& path);
+Status LoadParameters(const std::vector<ParamEntry>& params,
+                      const std::string& path);
+
+}  // namespace groupsa::nn
+
+#endif  // GROUPSA_NN_CHECKPOINT_H_

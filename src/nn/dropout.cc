@@ -1,0 +1,3 @@
+#include "nn/dropout.h"
+
+// Header-only; this TU exists so the target has a consistent file layout.

@@ -1,0 +1,27 @@
+#ifndef GROUPSA_NN_DROPOUT_H_
+#define GROUPSA_NN_DROPOUT_H_
+
+#include "autograd/ops.h"
+
+namespace groupsa::nn {
+
+// Stateless inverted-dropout wrapper; `training` toggles between the
+// stochastic mask and identity (inference).
+class Dropout {
+ public:
+  explicit Dropout(float ratio) : ratio_(ratio) {}
+
+  ag::TensorPtr Forward(ag::Tape* tape, const ag::TensorPtr& x, bool training,
+                        Rng* rng) const {
+    return ag::Dropout(tape, x, ratio_, training, rng);
+  }
+
+  float ratio() const { return ratio_; }
+
+ private:
+  float ratio_;
+};
+
+}  // namespace groupsa::nn
+
+#endif  // GROUPSA_NN_DROPOUT_H_

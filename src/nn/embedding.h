@@ -1,0 +1,42 @@
+#ifndef GROUPSA_NN_EMBEDDING_H_
+#define GROUPSA_NN_EMBEDDING_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace groupsa::nn {
+
+// Embedding table (count x dim), Glorot-initialized per the paper. Lookups
+// record touched rows so sparse optimizers update only those rows.
+class Embedding : public Module {
+ public:
+  Embedding(const std::string& name, int count, int dim, Rng* rng);
+
+  // Gathers rows for `ids`; output is |ids| x dim.
+  ag::TensorPtr Forward(ag::Tape* tape, const std::vector<int>& ids);
+
+  // Single-row lookup; output is 1 x dim.
+  ag::TensorPtr Lookup(ag::Tape* tape, int id);
+
+  // Direct (no-grad) read of a row, for inference-only scoring paths.
+  tensor::Matrix Row(int id) const { return table_->value().Row(id); }
+
+  int count() const { return table_->rows(); }
+  int dim() const { return table_->cols(); }
+  const ag::TensorPtr& table() const { return table_; }
+
+  // Overwrites the table values (used by the joint-training hand-off that
+  // initializes the group task from stage-1 embeddings, Sec. II-E).
+  void SetTable(const tensor::Matrix& values);
+
+ private:
+  ag::TensorPtr table_;
+  std::unordered_set<int> touched_rows_;
+};
+
+}  // namespace groupsa::nn
+
+#endif  // GROUPSA_NN_EMBEDDING_H_

@@ -1,0 +1,23 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace groupsa::nn {
+
+void GlorotUniform(tensor::Matrix* weights, int fan_in, int fan_out,
+                   Rng* rng) {
+  GROUPSA_CHECK(fan_in + fan_out > 0, "GlorotUniform requires positive fans");
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  weights->FillUniform(rng, -a, a);
+}
+
+void GlorotUniform(tensor::Matrix* weights, Rng* rng) {
+  GlorotUniform(weights, weights->rows(), weights->cols(), rng);
+}
+
+void GaussianInit(tensor::Matrix* weights, float mean, float stddev,
+                  Rng* rng) {
+  weights->FillGaussian(rng, mean, stddev);
+}
+
+}  // namespace groupsa::nn

@@ -1,0 +1,22 @@
+#ifndef GROUPSA_NN_INIT_H_
+#define GROUPSA_NN_INIT_H_
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+
+namespace groupsa::nn {
+
+// Glorot (Xavier) uniform initialization: U(-a, a) with
+// a = sqrt(6 / (fan_in + fan_out)). The paper applies this to embedding
+// layers (Sec. III-E).
+void GlorotUniform(tensor::Matrix* weights, int fan_in, int fan_out, Rng* rng);
+
+// Convenience overload using the matrix's own shape as (fan_in, fan_out).
+void GlorotUniform(tensor::Matrix* weights, Rng* rng);
+
+// N(mean, stddev) initialization; the paper uses N(0, 0.1) for hidden layers.
+void GaussianInit(tensor::Matrix* weights, float mean, float stddev, Rng* rng);
+
+}  // namespace groupsa::nn
+
+#endif  // GROUPSA_NN_INIT_H_

@@ -1,0 +1,16 @@
+#include "nn/layer_norm.h"
+
+namespace groupsa::nn {
+
+LayerNorm::LayerNorm(const std::string& name, int dim) {
+  gain_ = RegisterParameter(name + ".gain", 1, dim);
+  bias_ = RegisterParameter(name + ".bias", 1, dim);
+  gain_->mutable_value().Fill(1.0f);
+}
+
+ag::TensorPtr LayerNorm::Forward(ag::Tape* tape,
+                                 const ag::TensorPtr& x) const {
+  return ag::LayerNorm(tape, x, gain_, bias_);
+}
+
+}  // namespace groupsa::nn

@@ -1,0 +1,26 @@
+#ifndef GROUPSA_NN_LAYER_NORM_H_
+#define GROUPSA_NN_LAYER_NORM_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace groupsa::nn {
+
+// Per-row layer normalization with learned gain (init 1) and bias (init 0),
+// as used after each voting-scheme sub-layer (Sec. II-C).
+class LayerNorm : public Module {
+ public:
+  LayerNorm(const std::string& name, int dim);
+
+  ag::TensorPtr Forward(ag::Tape* tape, const ag::TensorPtr& x) const;
+
+  int dim() const { return gain_->cols(); }
+
+ private:
+  ag::TensorPtr gain_;
+  ag::TensorPtr bias_;
+};
+
+}  // namespace groupsa::nn
+
+#endif  // GROUPSA_NN_LAYER_NORM_H_

@@ -1,0 +1,32 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace groupsa::nn {
+
+Linear::Linear(const std::string& name, int in_dim, int out_dim, Rng* rng,
+               bool use_bias)
+    : in_dim_(in_dim), out_dim_(out_dim), use_bias_(use_bias) {
+  weight_ = RegisterParameter(name + ".weight", in_dim, out_dim);
+  if (use_bias_) bias_ = RegisterParameter(name + ".bias", 1, out_dim);
+  InitGaussian(rng);
+}
+
+ag::TensorPtr Linear::Forward(ag::Tape* tape, const ag::TensorPtr& x) const {
+  GROUPSA_CHECK(x->cols() == in_dim_, "Linear input dim mismatch");
+  ag::TensorPtr out = ag::MatMul(tape, x, weight_);
+  if (use_bias_) out = ag::AddBias(tape, out, bias_);
+  return out;
+}
+
+void Linear::InitGaussian(Rng* rng, float stddev) {
+  GaussianInit(&weight_->mutable_value(), 0.0f, stddev, rng);
+  if (use_bias_) bias_->mutable_value().SetZero();
+}
+
+void Linear::InitGlorot(Rng* rng) {
+  GlorotUniform(&weight_->mutable_value(), in_dim_, out_dim_, rng);
+  if (use_bias_) bias_->mutable_value().SetZero();
+}
+
+}  // namespace groupsa::nn

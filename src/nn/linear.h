@@ -1,0 +1,38 @@
+#ifndef GROUPSA_NN_LINEAR_H_
+#define GROUPSA_NN_LINEAR_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace groupsa::nn {
+
+// Affine layer: y = x W + b with W (in x out) and optional bias b (1 x out).
+// Hidden-layer weights are initialized N(0, 0.1) per the paper's setup; call
+// InitGlorot for Glorot initialization instead.
+class Linear : public Module {
+ public:
+  Linear(const std::string& name, int in_dim, int out_dim, Rng* rng,
+         bool use_bias = true);
+
+  // x is n x in; returns n x out.
+  ag::TensorPtr Forward(ag::Tape* tape, const ag::TensorPtr& x) const;
+
+  void InitGaussian(Rng* rng, float stddev = 0.1f);
+  void InitGlorot(Rng* rng);
+
+  int in_dim() const { return in_dim_; }
+  int out_dim() const { return out_dim_; }
+  const ag::TensorPtr& weight() const { return weight_; }
+  const ag::TensorPtr& bias() const { return bias_; }
+
+ private:
+  int in_dim_;
+  int out_dim_;
+  bool use_bias_;
+  ag::TensorPtr weight_;
+  ag::TensorPtr bias_;  // null when !use_bias_
+};
+
+}  // namespace groupsa::nn
+
+#endif  // GROUPSA_NN_LINEAR_H_

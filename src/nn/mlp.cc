@@ -1,0 +1,46 @@
+#include "nn/mlp.h"
+
+#include "common/string_util.h"
+
+namespace groupsa::nn {
+
+ag::TensorPtr Activate(ag::Tape* tape, const ag::TensorPtr& x,
+                       Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return ag::Relu(tape, x);
+    case Activation::kSigmoid:
+      return ag::Sigmoid(tape, x);
+    case Activation::kTanh:
+      return ag::Tanh(tape, x);
+  }
+  GROUPSA_CHECK(false, "unknown activation");
+  return x;
+}
+
+Mlp::Mlp(const std::string& name, const std::vector<int>& dims, Rng* rng,
+         Activation hidden_activation, Activation output_activation)
+    : hidden_activation_(hidden_activation),
+      output_activation_(output_activation) {
+  GROUPSA_CHECK(dims.size() >= 2, "Mlp requires at least in/out dims");
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(
+        StrFormat("%s.layer%zu", name.c_str(), i), dims[i], dims[i + 1], rng));
+    RegisterSubmodule(StrFormat("%s.l%zu", name.c_str(), i),
+                      layers_.back().get());
+  }
+}
+
+ag::TensorPtr Mlp::Forward(ag::Tape* tape, const ag::TensorPtr& x) const {
+  ag::TensorPtr h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(tape, h);
+    const bool last = (i + 1 == layers_.size());
+    h = Activate(tape, h, last ? output_activation_ : hidden_activation_);
+  }
+  return h;
+}
+
+}  // namespace groupsa::nn

@@ -1,0 +1,45 @@
+#ifndef GROUPSA_NN_MLP_H_
+#define GROUPSA_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace groupsa::nn {
+
+enum class Activation {
+  kNone,
+  kRelu,
+  kSigmoid,
+  kTanh,
+};
+
+// Applies the given activation (identity for kNone).
+ag::TensorPtr Activate(ag::Tape* tape, const ag::TensorPtr& x, Activation act);
+
+// Multi-layer perceptron over `dims` = {in, h1, ..., out}. Hidden layers use
+// `hidden_activation` (ReLU in the paper, Eq. 19-22); the output layer uses
+// `output_activation` (identity for ranking scores).
+class Mlp : public Module {
+ public:
+  Mlp(const std::string& name, const std::vector<int>& dims, Rng* rng,
+      Activation hidden_activation = Activation::kRelu,
+      Activation output_activation = Activation::kNone);
+
+  ag::TensorPtr Forward(ag::Tape* tape, const ag::TensorPtr& x) const;
+
+  int in_dim() const { return layers_.front()->in_dim(); }
+  int out_dim() const { return layers_.back()->out_dim(); }
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation hidden_activation_;
+  Activation output_activation_;
+};
+
+}  // namespace groupsa::nn
+
+#endif  // GROUPSA_NN_MLP_H_

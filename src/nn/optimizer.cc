@@ -1,0 +1,105 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace groupsa::nn {
+
+Optimizer::Optimizer(std::vector<ParamEntry> params, float learning_rate,
+                     float weight_decay)
+    : params_(std::move(params)),
+      learning_rate_(learning_rate),
+      weight_decay_(weight_decay) {}
+
+Sgd::Sgd(std::vector<ParamEntry> params, float learning_rate,
+         float weight_decay, float momentum)
+    : Optimizer(std::move(params), learning_rate, weight_decay),
+      momentum_(momentum) {
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const ParamEntry& p : params_)
+      velocity_.emplace_back(p.tensor->rows(), p.tensor->cols());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ParamEntry& p = params_[i];
+    tensor::Matrix& value = p.tensor->mutable_value();
+    tensor::Matrix& grad = p.tensor->grad();
+    auto update_row = [&](int r) {
+      float* v = value.RowPtr(r);
+      float* g = grad.RowPtr(r);
+      float* vel = momentum_ != 0.0f ? velocity_[i].RowPtr(r) : nullptr;
+      for (int c = 0; c < value.cols(); ++c) {
+        float gc = g[c] + weight_decay_ * v[c];
+        if (vel != nullptr) {
+          vel[c] = momentum_ * vel[c] + gc;
+          gc = vel[c];
+        }
+        v[c] -= learning_rate_ * gc;
+        g[c] = 0.0f;
+      }
+    };
+    if (p.touched_rows != nullptr) {
+      for (int r : *p.touched_rows) update_row(r);
+      p.touched_rows->clear();
+    } else {
+      if (grad.MaxAbs() == 0.0f) continue;  // see header: lazy decay
+      for (int r = 0; r < value.rows(); ++r) update_row(r);
+    }
+  }
+}
+
+Adam::Adam(std::vector<ParamEntry> params, float learning_rate,
+           float weight_decay, float beta1, float beta2, float epsilon)
+    : Optimizer(std::move(params), learning_rate, weight_decay),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  step_.assign(params_.size(), 0);
+  row_step_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const ParamEntry& p = params_[i];
+    m_.emplace_back(p.tensor->rows(), p.tensor->cols());
+    v_.emplace_back(p.tensor->rows(), p.tensor->cols());
+    if (p.touched_rows != nullptr)
+      row_step_[i].assign(p.tensor->rows(), 0);
+  }
+}
+
+void Adam::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ParamEntry& p = params_[i];
+    tensor::Matrix& value = p.tensor->mutable_value();
+    tensor::Matrix& grad = p.tensor->grad();
+    auto update_row = [&](int r, int64_t t) {
+      const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t));
+      const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t));
+      float* val = value.RowPtr(r);
+      float* g = grad.RowPtr(r);
+      float* mr = m_[i].RowPtr(r);
+      float* vr = v_[i].RowPtr(r);
+      for (int c = 0; c < value.cols(); ++c) {
+        const float gc = g[c] + weight_decay_ * val[c];
+        mr[c] = beta1_ * mr[c] + (1.0f - beta1_) * gc;
+        vr[c] = beta2_ * vr[c] + (1.0f - beta2_) * gc * gc;
+        const float m_hat = mr[c] / bc1;
+        const float v_hat = vr[c] / bc2;
+        val[c] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+        g[c] = 0.0f;
+      }
+    };
+    if (p.touched_rows != nullptr) {
+      for (int r : *p.touched_rows) update_row(r, ++row_step_[i][r]);
+      p.touched_rows->clear();
+    } else {
+      if (grad.MaxAbs() == 0.0f) continue;  // see header: lazy decay
+      const int64_t t = ++step_[i];
+      for (int r = 0; r < value.rows(); ++r) update_row(r, t);
+    }
+  }
+}
+
+}  // namespace groupsa::nn

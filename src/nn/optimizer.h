@@ -1,0 +1,87 @@
+#ifndef GROUPSA_NN_OPTIMIZER_H_
+#define GROUPSA_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace groupsa::nn {
+
+// Base optimizer over a flat parameter list. The training loop is:
+//
+//   loss = model.Forward(&tape, batch);
+//   tape.Backward(loss);
+//   optimizer.Step();   // applies updates AND re-zeroes the gradients
+//
+// Step() zeroes consumed gradients itself: dense parameters are fully
+// re-zeroed, sparse (embedding) parameters only on their touched rows, whose
+// set is then cleared. λ‖Θ‖² regularization (Eq. 21/24) is applied as
+// coupled L2 weight decay: grad += weight_decay * value.
+//
+// Lazy decay: parameters whose gradient is identically zero for a step are
+// skipped entirely (no decay either). This matters for two-stage training:
+// with Adam, a decay-only signal normalizes to a ±learning_rate update per
+// step, which would crush the group-task towers to zero (dead ReLUs) while
+// stage 1 trains the user task. Skipping keeps untouched modules intact,
+// mirroring the per-row lazy handling of embeddings.
+class Optimizer {
+ public:
+  Optimizer(std::vector<ParamEntry> params, float learning_rate,
+            float weight_decay);
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  virtual void Step() = 0;
+
+  void set_learning_rate(float learning_rate) {
+    learning_rate_ = learning_rate;
+  }
+  float learning_rate() const { return learning_rate_; }
+  const std::vector<ParamEntry>& params() const { return params_; }
+
+ protected:
+  std::vector<ParamEntry> params_;
+  float learning_rate_;
+  float weight_decay_;
+};
+
+// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ParamEntry> params, float learning_rate,
+      float weight_decay = 0.0f, float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<tensor::Matrix> velocity_;
+};
+
+// Adam (Kingma & Ba) with lazy sparse updates: for embedding tables only the
+// touched rows advance, each with its own step counter for correct bias
+// correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ParamEntry> params, float learning_rate,
+       float weight_decay = 0.0f, float beta1 = 0.9f, float beta2 = 0.999f,
+       float epsilon = 1e-8f);
+
+  void Step() override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  std::vector<tensor::Matrix> m_;
+  std::vector<tensor::Matrix> v_;
+  // Per-parameter dense step counter; for sparse parameters a per-row
+  // counter.
+  std::vector<int64_t> step_;
+  std::vector<std::vector<int64_t>> row_step_;
+};
+
+}  // namespace groupsa::nn
+
+#endif  // GROUPSA_NN_OPTIMIZER_H_

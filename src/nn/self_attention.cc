@@ -1,0 +1,67 @@
+#include "nn/self_attention.h"
+
+#include <cmath>
+#include <limits>
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+
+namespace groupsa::nn {
+
+SocialSelfAttention::SocialSelfAttention(const std::string& name, int d_model,
+                                         int d_k, int d_v, Rng* rng,
+                                         bool small_value_init)
+    : d_model_(d_model), d_k_(d_k), d_v_(d_v) {
+  w_query_ = RegisterParameter(name + ".wq", d_model, d_k);
+  w_key_ = RegisterParameter(name + ".wk", d_model, d_k);
+  w_value_ = RegisterParameter(name + ".wv", d_model, d_v);
+  GlorotUniform(&w_query_->mutable_value(), rng);
+  GlorotUniform(&w_key_->mutable_value(), rng);
+  if (small_value_init) {
+    GaussianInit(&w_value_->mutable_value(), 0.0f, 0.01f, rng);
+  } else {
+    GlorotUniform(&w_value_->mutable_value(), rng);
+  }
+}
+
+SelfAttentionOutput SocialSelfAttention::Forward(
+    ag::Tape* tape, const ag::TensorPtr& x,
+    const tensor::Matrix* social_bias) const {
+  GROUPSA_CHECK(x->cols() == d_model_, "SelfAttention input dim mismatch");
+  const int l = x->rows();
+  if (social_bias != nullptr) {
+    GROUPSA_CHECK(social_bias->rows() == l && social_bias->cols() == l,
+                  "social bias must be l x l");
+  }
+
+  ag::TensorPtr queries = ag::MatMul(tape, x, w_query_);   // l x d_k
+  ag::TensorPtr keys = ag::MatMul(tape, x, w_key_);        // l x d_k
+  ag::TensorPtr values = ag::MatMul(tape, x, w_value_);    // l x d_v
+
+  // ATT*(i, j) = q_i k_j^T / sqrt(d_k) (+ S_ij), Eq. 1 and 4.
+  ag::TensorPtr logits = ag::Scale(
+      tape, ag::MatMul(tape, queries, keys, false, /*transpose_b=*/true),
+      1.0f / std::sqrt(static_cast<float>(d_k_)));
+  ag::TensorPtr attention = ag::SoftmaxRows(tape, logits, social_bias);
+  ag::TensorPtr z = ag::MatMul(tape, attention, values);   // Eq. 3
+
+  SelfAttentionOutput out;
+  out.values = z;
+  out.attention = attention->value();
+  return out;
+}
+
+tensor::Matrix MakeSocialBias(
+    int group_size, const std::function<bool(int, int)>& connected) {
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  tensor::Matrix bias(group_size, group_size, kNegInf);
+  for (int i = 0; i < group_size; ++i) {
+    bias.At(i, i) = 0.0f;  // self-loop: a user always weighs her own opinion
+    for (int j = 0; j < group_size; ++j) {
+      if (i != j && connected(i, j)) bias.At(i, j) = 0.0f;
+    }
+  }
+  return bias;
+}
+
+}  // namespace groupsa::nn

@@ -1,0 +1,58 @@
+#ifndef GROUPSA_NN_SELF_ATTENTION_H_
+#define GROUPSA_NN_SELF_ATTENTION_H_
+
+#include <functional>
+
+#include "autograd/tape.h"
+#include "nn/module.h"
+
+namespace groupsa::nn {
+
+// Output of one social self-attention application.
+struct SelfAttentionOutput {
+  ag::TensorPtr values;       // l x d_v
+  tensor::Matrix attention;   // l x l post-softmax weights (introspection)
+};
+
+// Scaled dot-product self-attention with an additive social bias matrix
+// (Eq. 1-5): row i of the attention matrix is the i-th sub-voting process,
+// and entries where users lack a social connection carry a -infinity bias so
+// their weight is exactly zero.
+class SocialSelfAttention : public Module {
+ public:
+  // d_model is the input width; d_k the query/key width; d_v the value width
+  // (the paper sets all three to 32). When `small_value_init` is set, the
+  // value projection starts near zero so a residual block wrapping this
+  // attention begins as the identity (see TransformerBlock).
+  SocialSelfAttention(const std::string& name, int d_model, int d_k, int d_v,
+                      Rng* rng, bool small_value_init = false);
+
+  // `x` is l x d_model; `social_bias` is an l x l additive mask whose entries
+  // are 0 (attend) or -infinity (masked). Pass nullptr for unmasked
+  // self-attention (the Group-S/plain variant).
+  SelfAttentionOutput Forward(ag::Tape* tape, const ag::TensorPtr& x,
+                              const tensor::Matrix* social_bias) const;
+
+  int d_model() const { return d_model_; }
+  int d_v() const { return d_v_; }
+
+ private:
+  int d_model_;
+  int d_k_;
+  int d_v_;
+  ag::TensorPtr w_query_;
+  ag::TensorPtr w_key_;
+  ag::TensorPtr w_value_;
+};
+
+// Builds the social bias matrix S for a group (Eq. 5): S[i][j] = 0 when
+// members i and j are directly connected in the social network or i == j
+// (a member always attends to herself, keeping every softmax row finite),
+// and -infinity otherwise. `connected(i, j)` gives the f(i,j) > 0 predicate
+// over local member indices.
+tensor::Matrix MakeSocialBias(
+    int group_size, const std::function<bool(int, int)>& connected);
+
+}  // namespace groupsa::nn
+
+#endif  // GROUPSA_NN_SELF_ATTENTION_H_

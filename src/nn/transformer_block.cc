@@ -1,0 +1,44 @@
+#include "nn/transformer_block.h"
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+
+namespace groupsa::nn {
+
+TransformerBlock::TransformerBlock(const std::string& name, int d_model,
+                                   int ffn_hidden, Rng* rng) {
+  attention_ = std::make_unique<SocialSelfAttention>(
+      name + ".attn", d_model, d_model, d_model, rng,
+      /*small_value_init=*/true);
+  norm_attention_ = std::make_unique<LayerNorm>(name + ".ln1", d_model);
+  ffn_in_ = std::make_unique<Linear>(name + ".ffn1", d_model, ffn_hidden, rng);
+  ffn_out_ = std::make_unique<Linear>(name + ".ffn2", ffn_hidden, d_model, rng);
+  // Near-identity start (see header).
+  GaussianInit(&ffn_out_->weight()->mutable_value(), 0.0f, 0.01f, rng);
+  norm_ffn_ = std::make_unique<LayerNorm>(name + ".ln2", d_model);
+  RegisterSubmodule(name + ".attn", attention_.get());
+  RegisterSubmodule(name + ".ln1", norm_attention_.get());
+  RegisterSubmodule(name + ".ffn1", ffn_in_.get());
+  RegisterSubmodule(name + ".ffn2", ffn_out_.get());
+  RegisterSubmodule(name + ".ln2", norm_ffn_.get());
+}
+
+TransformerBlock::Output TransformerBlock::Forward(
+    ag::Tape* tape, const ag::TensorPtr& x,
+    const tensor::Matrix* social_bias) const {
+  // Pre-LN residual form; see header for why.
+  SelfAttentionOutput attn = attention_->Forward(
+      tape, norm_attention_->Forward(tape, x), social_bias);
+  ag::TensorPtr a = ag::Add(tape, x, attn.values);
+  ag::TensorPtr normed = norm_ffn_->Forward(tape, a);
+  ag::TensorPtr ffn =
+      ffn_out_->Forward(tape, ag::Relu(tape, ffn_in_->Forward(tape, normed)));
+  ag::TensorPtr y = ag::Add(tape, a, ffn);
+
+  Output out;
+  out.values = y;
+  out.attention = std::move(attn.attention);
+  return out;
+}
+
+}  // namespace groupsa::nn

@@ -1,0 +1,54 @@
+#ifndef GROUPSA_NN_TRANSFORMER_BLOCK_H_
+#define GROUPSA_NN_TRANSFORMER_BLOCK_H_
+
+#include <memory>
+
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/self_attention.h"
+
+namespace groupsa::nn {
+
+// One voting round (Fig. 2): social self-attention followed by a
+// position-wise feed-forward network, each wrapped in a residual connection
+// and layer normalization. The paper follows Vaswani's post-LN placement;
+// this implementation uses the pre-LN form
+//
+//   a = x + SocialSelfAttention(LayerNorm(x))
+//   y = a + FFN(LayerNorm(a)),  FFN(z) = relu(z W1 + b1) W2 + b2   (Eq. 6)
+//
+// because it keeps the residual stream in the embedding space: the group
+// head shares its prediction tower with the user-item task, and a post-LN
+// stack would rescale member representations ~20x away from the embedding
+// distribution the tower is trained on. The value projection and the second
+// FFN layer start near zero, so at initialization each voting round is the
+// identity and training learns the perturbation ("the discussion starts
+// from the members' raw opinions").
+//
+// Residuals require d_v == d_model; the paper uses 32 for both.
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(const std::string& name, int d_model, int ffn_hidden,
+                   Rng* rng);
+
+  struct Output {
+    ag::TensorPtr values;      // l x d_model
+    tensor::Matrix attention;  // l x l
+  };
+
+  // `social_bias` as in SocialSelfAttention::Forward; nullptr disables the
+  // social mask (plain self-attention).
+  Output Forward(ag::Tape* tape, const ag::TensorPtr& x,
+                 const tensor::Matrix* social_bias) const;
+
+ private:
+  std::unique_ptr<SocialSelfAttention> attention_;
+  std::unique_ptr<LayerNorm> norm_attention_;
+  std::unique_ptr<Linear> ffn_in_;
+  std::unique_ptr<Linear> ffn_out_;
+  std::unique_ptr<LayerNorm> norm_ffn_;
+};
+
+}  // namespace groupsa::nn
+
+#endif  // GROUPSA_NN_TRANSFORMER_BLOCK_H_

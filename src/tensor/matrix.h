@@ -1,0 +1,103 @@
+#ifndef GROUPSA_TENSOR_MATRIX_H_
+#define GROUPSA_TENSOR_MATRIX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace groupsa::tensor {
+
+// Dense row-major float matrix. A row vector is a 1 x d matrix; a column
+// vector is d x 1. This is the single storage type underlying the autodiff
+// layer; all heavy math lives in tensor/ops.h.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols) { Resize(rows, cols); }
+  Matrix(int rows, int cols, float fill_value) {
+    Resize(rows, cols);
+    Fill(fill_value);
+  }
+  // Builds from nested initializer data; all rows must have equal length.
+  static Matrix FromRows(const std::vector<std::vector<float>>& rows);
+  // 1 x n row vector from values.
+  static Matrix RowVector(const std::vector<float>& values);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  float& At(int r, int c) {
+    GROUPSA_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                   "Matrix index out of range");
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float At(int r, int c) const {
+    GROUPSA_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                   "Matrix index out of range");
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float& operator()(int r, int c) { return At(r, c); }
+  float operator()(int r, int c) const { return At(r, c); }
+
+  float* RowPtr(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* RowPtr(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void Resize(int rows, int cols);
+  void Fill(float value);
+  void SetZero() { Fill(0.0f); }
+
+  // Element-wise in-place helpers.
+  void AddInPlace(const Matrix& other);
+  void SubInPlace(const Matrix& other);
+  void ScaleInPlace(float factor);
+  // this += factor * other.
+  void AxpyInPlace(float factor, const Matrix& other);
+
+  // Copies `src` (1 x cols or cols-wide row of another matrix) into row r.
+  void SetRow(int r, const float* src);
+  // Extracts row r as a 1 x cols matrix.
+  Matrix Row(int r) const;
+
+  // Random fills.
+  void FillUniform(Rng* rng, float lo, float hi);
+  void FillGaussian(Rng* rng, float mean, float stddev);
+
+  // Reductions.
+  float Sum() const;
+  float Mean() const;
+  float MaxAbs() const;
+  // Frobenius norm squared.
+  float SquaredNorm() const;
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  // Human-readable rendering for debugging and test failure messages.
+  std::string DebugString(int max_rows = 8, int max_cols = 8) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+// True when matrices have equal shape and all entries are within `tolerance`.
+bool AllClose(const Matrix& a, const Matrix& b, float tolerance = 1e-5f);
+
+}  // namespace groupsa::tensor
+
+#endif  // GROUPSA_TENSOR_MATRIX_H_

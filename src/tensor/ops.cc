@@ -1,0 +1,163 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <limits>
+
+namespace groupsa::tensor {
+
+void Gemm(const Matrix& a, bool transpose_a, const Matrix& b, bool transpose_b,
+          float alpha, Matrix* out, bool accumulate) {
+  const int m = transpose_a ? a.cols() : a.rows();
+  const int k = transpose_a ? a.rows() : a.cols();
+  const int kb = transpose_b ? b.cols() : b.rows();
+  const int n = transpose_b ? b.rows() : b.cols();
+  GROUPSA_CHECK(k == kb, "Gemm inner dimension mismatch");
+  if (!accumulate || out->rows() != m || out->cols() != n) {
+    GROUPSA_CHECK(!accumulate || (out->rows() == m && out->cols() == n),
+                  "Gemm accumulate shape mismatch");
+    out->Resize(m, n);
+  }
+  // i-k-j loop order keeps the inner loop contiguous for the common
+  // no-transpose case; the transposed cases swap index roles.
+  for (int i = 0; i < m; ++i) {
+    float* out_row = out->RowPtr(i);
+    for (int kk = 0; kk < k; ++kk) {
+      const float a_ik =
+          alpha * (transpose_a ? a.At(kk, i) : a.At(i, kk));
+      if (a_ik == 0.0f) continue;
+      if (!transpose_b) {
+        const float* b_row = b.RowPtr(kk);
+        for (int j = 0; j < n; ++j) out_row[j] += a_ik * b_row[j];
+      } else {
+        for (int j = 0; j < n; ++j) out_row[j] += a_ik * b.At(j, kk);
+      }
+    }
+  }
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  Gemm(a, /*transpose_a=*/false, b, /*transpose_b=*/false, 1.0f, &out);
+  return out;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (int r = 0; r < a.rows(); ++r)
+    for (int c = 0; c < a.cols(); ++c) out.At(c, r) = a.At(r, c);
+  return out;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  GROUPSA_CHECK(a.SameShape(b), "Hadamard shape mismatch");
+  Matrix out(a.rows(), a.cols());
+  for (int i = 0; i < a.size(); ++i) out.data()[i] = a.data()[i] * b.data()[i];
+  return out;
+}
+
+void AddRowBroadcastInPlace(Matrix* a, const Matrix& bias) {
+  GROUPSA_CHECK(bias.rows() == 1 && bias.cols() == a->cols(),
+                "AddRowBroadcast bias must be 1 x cols");
+  for (int r = 0; r < a->rows(); ++r) {
+    float* row = a->RowPtr(r);
+    const float* b = bias.RowPtr(0);
+    for (int c = 0; c < a->cols(); ++c) row[c] += b[c];
+  }
+}
+
+Matrix SumRows(const Matrix& a) {
+  Matrix out(1, a.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* row = a.RowPtr(r);
+    for (int c = 0; c < a.cols(); ++c) out.At(0, c) += row[c];
+  }
+  return out;
+}
+
+void SoftmaxRowsInPlace(Matrix* a) {
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  for (int r = 0; r < a->rows(); ++r) {
+    float* row = a->RowPtr(r);
+    float max_v = kNegInf;
+    for (int c = 0; c < a->cols(); ++c) max_v = std::max(max_v, row[c]);
+    GROUPSA_CHECK(max_v != kNegInf,
+                  "SoftmaxRows: a row is fully masked (-inf everywhere)");
+    double total = 0.0;
+    for (int c = 0; c < a->cols(); ++c) {
+      const float e = row[c] == kNegInf ? 0.0f : std::exp(row[c] - max_v);
+      row[c] = e;
+      total += e;
+    }
+    const float inv = 1.0f / static_cast<float>(total);
+    for (int c = 0; c < a->cols(); ++c) row[c] *= inv;
+  }
+}
+
+Matrix LogSumExpRows(const Matrix& a) {
+  Matrix out(a.rows(), 1);
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* row = a.RowPtr(r);
+    float max_v = row[0];
+    for (int c = 1; c < a.cols(); ++c) max_v = std::max(max_v, row[c]);
+    double total = 0.0;
+    for (int c = 0; c < a.cols(); ++c) total += std::exp(row[c] - max_v);
+    out.At(r, 0) = max_v + static_cast<float>(std::log(total));
+  }
+  return out;
+}
+
+float Dot(const Matrix& a, const Matrix& b) {
+  GROUPSA_CHECK(a.size() == b.size(), "Dot size mismatch");
+  double total = 0.0;
+  for (int i = 0; i < a.size(); ++i)
+    total += static_cast<double>(a.data()[i]) * b.data()[i];
+  return static_cast<float>(total);
+}
+
+Matrix ConcatCols(const std::vector<const Matrix*>& parts) {
+  GROUPSA_CHECK(!parts.empty(), "ConcatCols requires input");
+  const int rows = parts[0]->rows();
+  int cols = 0;
+  for (const Matrix* p : parts) {
+    GROUPSA_CHECK(p->rows() == rows, "ConcatCols row mismatch");
+    cols += p->cols();
+  }
+  Matrix out(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    int offset = 0;
+    for (const Matrix* p : parts) {
+      for (int c = 0; c < p->cols(); ++c) out.At(r, offset + c) = p->At(r, c);
+      offset += p->cols();
+    }
+  }
+  return out;
+}
+
+Matrix ConcatRows(const std::vector<const Matrix*>& parts) {
+  GROUPSA_CHECK(!parts.empty(), "ConcatRows requires input");
+  const int cols = parts[0]->cols();
+  int rows = 0;
+  for (const Matrix* p : parts) {
+    GROUPSA_CHECK(p->cols() == cols, "ConcatRows col mismatch");
+    rows += p->rows();
+  }
+  Matrix out(rows, cols);
+  int offset = 0;
+  for (const Matrix* p : parts) {
+    for (int r = 0; r < p->rows(); ++r) out.SetRow(offset + r, p->RowPtr(r));
+    offset += p->rows();
+  }
+  return out;
+}
+
+Matrix GatherRows(const Matrix& table, const std::vector<int>& row_ids) {
+  Matrix out(static_cast<int>(row_ids.size()), table.cols());
+  for (size_t i = 0; i < row_ids.size(); ++i) {
+    const int id = row_ids[i];
+    GROUPSA_CHECK(id >= 0 && id < table.rows(), "GatherRows id out of range");
+    out.SetRow(static_cast<int>(i), table.RowPtr(id));
+  }
+  return out;
+}
+
+}  // namespace groupsa::tensor

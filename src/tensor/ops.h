@@ -1,0 +1,57 @@
+#ifndef GROUPSA_TENSOR_OPS_H_
+#define GROUPSA_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace groupsa::tensor {
+
+// BLAS-lite kernels over Matrix. All functions CHECK shape compatibility.
+// Accumulating variants (`beta`-style) are expressed via the `accumulate`
+// flag: when true, the destination is added into instead of overwritten.
+
+// out = alpha * op(a) * op(b) (+ out if accumulate). op is transpose when the
+// corresponding flag is set.
+void Gemm(const Matrix& a, bool transpose_a, const Matrix& b, bool transpose_b,
+          float alpha, Matrix* out, bool accumulate = false);
+
+// Convenience: returns a * b.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+// Returns the transpose of `a`.
+Matrix Transpose(const Matrix& a);
+
+// Element-wise product.
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+
+// Adds row vector `bias` (1 x cols) to every row of `a` in place.
+void AddRowBroadcastInPlace(Matrix* a, const Matrix& bias);
+
+// Sums the rows of `a` into a 1 x cols vector.
+Matrix SumRows(const Matrix& a);
+
+// Numerically stable in-place softmax over each row. Entries equal to
+// -infinity are treated as masked out (weight exactly 0). Rows that are fully
+// masked except for at most self entries must contain at least one finite
+// entry; this is CHECKed.
+void SoftmaxRowsInPlace(Matrix* a);
+
+// Stable log(sum(exp(row))) per row; returns rows x 1.
+Matrix LogSumExpRows(const Matrix& a);
+
+// Dot product of two equal-shape matrices viewed as flat vectors.
+float Dot(const Matrix& a, const Matrix& b);
+
+// Concatenates matrices left-to-right (equal row counts).
+Matrix ConcatCols(const std::vector<const Matrix*>& parts);
+
+// Concatenates matrices top-to-bottom (equal col counts).
+Matrix ConcatRows(const std::vector<const Matrix*>& parts);
+
+// Gathers the given rows of `table` into a new matrix (one output row per id).
+Matrix GatherRows(const Matrix& table, const std::vector<int>& row_ids);
+
+}  // namespace groupsa::tensor
+
+#endif  // GROUPSA_TENSOR_OPS_H_

@@ -1,0 +1,103 @@
+#include "autograd/tape.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+
+namespace groupsa::ag {
+namespace {
+
+using tensor::Matrix;
+
+TEST(TapeTest, ScalarChainBackward) {
+  // loss = sum(3 * x) with x = [1, 2] -> dloss/dx = [3, 3].
+  TensorPtr x = Variable(Matrix::FromRows({{1, 2}}));
+  Tape tape;
+  TensorPtr loss = SumAll(&tape, Scale(&tape, x, 3.0f));
+  EXPECT_FLOAT_EQ(loss->scalar(), 9.0f);
+  tape.Backward(loss);
+  EXPECT_FLOAT_EQ(x->grad().At(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(x->grad().At(0, 1), 3.0f);
+}
+
+TEST(TapeTest, GradientAccumulatesWhenTensorReused) {
+  // loss = sum(x + x) -> dloss/dx = 2.
+  TensorPtr x = Variable(Matrix::FromRows({{5}}));
+  Tape tape;
+  TensorPtr loss = SumAll(&tape, Add(&tape, x, x));
+  tape.Backward(loss);
+  EXPECT_FLOAT_EQ(x->grad().At(0, 0), 2.0f);
+}
+
+TEST(TapeTest, ConstantsReceiveNoGradient) {
+  TensorPtr x = Variable(Matrix::FromRows({{1}}));
+  TensorPtr c = Constant(Matrix::FromRows({{2}}));
+  Tape tape;
+  TensorPtr loss = SumAll(&tape, Mul(&tape, x, c));
+  tape.Backward(loss);
+  EXPECT_FLOAT_EQ(x->grad().At(0, 0), 2.0f);
+  EXPECT_FALSE(c->has_grad());
+}
+
+TEST(TapeTest, RequiresGradPropagates) {
+  TensorPtr a = Constant(Matrix(1, 2, 1.0f));
+  TensorPtr b = Constant(Matrix(1, 2, 2.0f));
+  TensorPtr v = Variable(Matrix(1, 2, 3.0f));
+  Tape tape;
+  EXPECT_FALSE(Add(&tape, a, b)->requires_grad());
+  EXPECT_TRUE(Add(&tape, a, v)->requires_grad());
+}
+
+TEST(TapeTest, NoOpsRecordedForPureConstants) {
+  TensorPtr a = Constant(Matrix(2, 2, 1.0f));
+  Tape tape;
+  Relu(&tape, MatMul(&tape, a, a));
+  EXPECT_EQ(tape.num_ops(), 0u);
+}
+
+TEST(TapeTest, NullTapeRunsInferenceWithoutGradState) {
+  TensorPtr v = Variable(Matrix(1, 2, 3.0f));
+  TensorPtr out = Relu(nullptr, Scale(nullptr, v, -1.0f));
+  EXPECT_FLOAT_EQ(out->value().At(0, 0), 0.0f);
+  EXPECT_FALSE(out->requires_grad());
+}
+
+TEST(TapeTest, BackwardFromSeedsExplicitGradient) {
+  TensorPtr x = Variable(Matrix::FromRows({{1, 2}}));
+  Tape tape;
+  TensorPtr y = Scale(&tape, x, 2.0f);
+  Matrix seed = Matrix::FromRows({{10, 100}});
+  tape.BackwardFrom(y, seed);
+  EXPECT_FLOAT_EQ(x->grad().At(0, 0), 20.0f);
+  EXPECT_FLOAT_EQ(x->grad().At(0, 1), 200.0f);
+}
+
+TEST(TapeTest, ClearDropsRecordedOps) {
+  TensorPtr x = Variable(Matrix::FromRows({{1}}));
+  Tape tape;
+  Scale(&tape, x, 2.0f);
+  EXPECT_GT(tape.num_ops(), 0u);
+  tape.Clear();
+  EXPECT_EQ(tape.num_ops(), 0u);
+}
+
+TEST(TapeTest, TwoBackwardPassesAccumulate) {
+  TensorPtr x = Variable(Matrix::FromRows({{1}}));
+  {
+    Tape tape;
+    TensorPtr loss = Scale(&tape, x, 3.0f);
+    tape.Backward(loss);
+  }
+  {
+    Tape tape;
+    TensorPtr loss = Scale(&tape, x, 4.0f);
+    tape.Backward(loss);
+  }
+  // Gradients accumulate until explicitly zeroed (optimizer contract).
+  EXPECT_FLOAT_EQ(x->grad().At(0, 0), 7.0f);
+  x->ZeroGrad();
+  EXPECT_FLOAT_EQ(x->grad().At(0, 0), 0.0f);
+}
+
+}  // namespace
+}  // namespace groupsa::ag

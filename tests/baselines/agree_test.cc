@@ -1,0 +1,67 @@
+#include <cmath>
+
+#include "baselines/agree.h"
+
+#include <gtest/gtest.h>
+
+namespace groupsa::baselines {
+namespace {
+
+Agree::Options SmallOptions() {
+  Agree::Options o;
+  o.embedding_dim = 8;
+  o.attention_hidden = 8;
+  o.predictor_hidden = {8};
+  o.dropout_ratio = 0.0f;
+  return o;
+}
+
+data::GroupTable SmallGroups() {
+  return data::GroupTable({{0, 1}, {2, 3, 4}, {1, 4}});
+}
+
+TEST(AgreeTest, ScoresAreFiniteAndItemDependent) {
+  Rng rng(1);
+  data::GroupTable groups = SmallGroups();
+  Agree agree(SmallOptions(), 5, 6, groups.num_groups(), &groups, &rng);
+  const auto scores = agree.ScoreItemsForGroup(1, {0, 1, 2});
+  EXPECT_EQ(scores.size(), 3u);
+  EXPECT_TRUE(scores[0] != scores[1] || scores[1] != scores[2]);
+  for (double s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(AgreeTest, UserScoresIndependentOfGroups) {
+  Rng rng(2);
+  data::GroupTable groups = SmallGroups();
+  Agree agree(SmallOptions(), 5, 6, groups.num_groups(), &groups, &rng);
+  const auto scores = agree.ScoreItemsForUser(3, {0, 5});
+  EXPECT_EQ(scores.size(), 2u);
+}
+
+TEST(AgreeTest, JointFitImprovesBothTasks) {
+  Rng rng(3);
+  // Users 0/1 like items 0/1; users 2/3 like items 2/3; the group {0,1}
+  // consumes item 0 and the group {2,3} consumes item 2.
+  data::GroupTable groups({{0, 1}, {2, 3}});
+  Agree agree(SmallOptions(), 4, 4, 2, &groups, &rng);
+  data::EdgeList user_train = {{0, 0}, {0, 1}, {1, 0}, {1, 1},
+                               {2, 2}, {2, 3}, {3, 2}, {3, 3}};
+  data::EdgeList group_train = {{0, 0}, {1, 2}};
+  data::InteractionMatrix ui(4, 4, user_train);
+  data::InteractionMatrix gi(2, 4, group_train);
+  BprFitOptions fit;
+  fit.epochs = 60;
+  fit.learning_rate = 0.02f;
+  agree.Fit(user_train, group_train, &ui, &gi, fit, &rng);
+  // Group 0 must prefer item 0 over item 3 (never touched by its members).
+  const auto g0 = agree.ScoreItemsForGroup(0, {0, 3});
+  EXPECT_GT(g0[0], g0[1]);
+  const auto g1 = agree.ScoreItemsForGroup(1, {2, 1});
+  EXPECT_GT(g1[0], g1[1]);
+  // User task learned too.
+  const auto u0 = agree.ScoreItemsForUser(0, {0, 3});
+  EXPECT_GT(u0[0], u0[1]);
+}
+
+}  // namespace
+}  // namespace groupsa::baselines

@@ -1,0 +1,39 @@
+#include "baselines/popularity.h"
+
+#include <gtest/gtest.h>
+
+namespace groupsa::baselines {
+namespace {
+
+TEST(PopularityTest, CountsAcrossSources) {
+  data::EdgeList a = {{0, 1}, {1, 1}, {2, 0}};
+  data::EdgeList b = {{0, 1}};
+  Popularity pop;
+  pop.Fit({&a, &b}, 3);
+  EXPECT_EQ(pop.CountOf(1), 3);
+  EXPECT_EQ(pop.CountOf(0), 1);
+  EXPECT_EQ(pop.CountOf(2), 0);
+}
+
+TEST(PopularityTest, ScoresMatchCounts) {
+  data::EdgeList edges = {{0, 0}, {1, 0}, {2, 1}};
+  Popularity pop;
+  pop.Fit({&edges}, 3);
+  const auto scores = pop.ScoreItems({0, 1, 2});
+  EXPECT_DOUBLE_EQ(scores[0], 2.0);
+  EXPECT_DOUBLE_EQ(scores[1], 1.0);
+  EXPECT_DOUBLE_EQ(scores[2], 0.0);
+}
+
+TEST(PopularityTest, RefitResetsCounts) {
+  data::EdgeList a = {{0, 0}};
+  Popularity pop;
+  pop.Fit({&a}, 2);
+  data::EdgeList b = {{0, 1}};
+  pop.Fit({&b}, 2);
+  EXPECT_EQ(pop.CountOf(0), 0);
+  EXPECT_EQ(pop.CountOf(1), 1);
+}
+
+}  // namespace
+}  // namespace groupsa::baselines

@@ -1,0 +1,76 @@
+#include <cmath>
+
+#include "baselines/sigr.h"
+
+#include <gtest/gtest.h>
+
+namespace groupsa::baselines {
+namespace {
+
+Sigr::Options SmallOptions() {
+  Sigr::Options o;
+  o.embedding_dim = 8;
+  o.attention_hidden = 8;
+  o.predictor_hidden = {8};
+  o.dropout_ratio = 0.0f;
+  o.graph_epochs = 10;
+  return o;
+}
+
+TEST(SigrTest, SocialPretrainingClustersConnectedUsers) {
+  Rng rng(1);
+  // Two cliques: {0,1,2} and {3,4,5}.
+  data::SocialGraph social(
+      6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  data::GroupTable groups({{0, 1}, {3, 4}});
+  Sigr sigr(SmallOptions(), 6, 4, &groups, &social, &rng);
+  sigr.PretrainSocial(&rng);
+  // After pretraining, within-clique similarity must exceed cross-clique.
+  auto dot = [&](int, int) { return 0.0; };
+  (void)dot;
+  const auto& table = sigr.Parameters();
+  tensor::Matrix emb;
+  for (const auto& p : table) {
+    if (p.name.find("user_emb") != std::string::npos) emb = p.tensor->value();
+  }
+  ASSERT_EQ(emb.rows(), 6);
+  auto sim = [&](int a, int b) {
+    double s = 0;
+    for (int c = 0; c < emb.cols(); ++c) s += emb.At(a, c) * emb.At(b, c);
+    return s;
+  };
+  EXPECT_GT(sim(0, 1), sim(0, 3));
+  EXPECT_GT(sim(3, 4), sim(4, 0));
+}
+
+TEST(SigrTest, GroupScoresFinite) {
+  Rng rng(2);
+  data::SocialGraph social(5, {{0, 1}, {2, 3}});
+  data::GroupTable groups({{0, 1, 2}});
+  Sigr sigr(SmallOptions(), 5, 6, &groups, &social, &rng);
+  const auto scores = sigr.ScoreItemsForGroup(0, {0, 1, 2, 3});
+  EXPECT_EQ(scores.size(), 4u);
+  for (double s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(SigrTest, FitLearnsSimpleGroupPreference) {
+  Rng rng(3);
+  data::SocialGraph social(4, {{0, 1}, {2, 3}});
+  data::GroupTable groups({{0, 1}, {2, 3}});
+  Sigr::Options options = SmallOptions();
+  options.graph_epochs = 3;
+  Sigr sigr(options, 4, 4, &groups, &social, &rng);
+  data::EdgeList user_train = {{0, 0}, {1, 0}, {2, 2}, {3, 2}};
+  data::EdgeList group_train = {{0, 0}, {1, 2}};
+  data::InteractionMatrix ui(4, 4, user_train);
+  data::InteractionMatrix gi(2, 4, group_train);
+  BprFitOptions fit;
+  fit.epochs = 50;
+  fit.learning_rate = 0.02f;
+  sigr.Fit(user_train, group_train, &ui, &gi, fit, &rng);
+  const auto g0 = sigr.ScoreItemsForGroup(0, {0, 3});
+  EXPECT_GT(g0[0], g0[1]);
+}
+
+}  // namespace
+}  // namespace groupsa::baselines

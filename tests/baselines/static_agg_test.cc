@@ -1,0 +1,62 @@
+#include "baselines/static_agg.h"
+
+#include <gtest/gtest.h>
+
+namespace groupsa::baselines {
+namespace {
+
+TEST(StaticAggTest, AverageIsMean) {
+  const std::vector<std::vector<double>> scores = {{1, 4}, {3, 2}};
+  const auto out = AggregateMemberScores(scores, ScoreAggregation::kAverage);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+}
+
+TEST(StaticAggTest, LeastMiseryIsMin) {
+  const std::vector<std::vector<double>> scores = {{1, 4}, {3, 2}};
+  const auto out =
+      AggregateMemberScores(scores, ScoreAggregation::kLeastMisery);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+}
+
+TEST(StaticAggTest, MaxSatisfactionIsMax) {
+  const std::vector<std::vector<double>> scores = {{1, 4}, {3, 2}};
+  const auto out =
+      AggregateMemberScores(scores, ScoreAggregation::kMaxSatisfaction);
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], 4.0);
+}
+
+TEST(StaticAggTest, SingleMemberIsIdentityForAllStrategies) {
+  const std::vector<std::vector<double>> scores = {{5, -2, 0}};
+  for (auto agg : {ScoreAggregation::kAverage, ScoreAggregation::kLeastMisery,
+                   ScoreAggregation::kMaxSatisfaction}) {
+    const auto out = AggregateMemberScores(scores, agg);
+    EXPECT_EQ(out, scores[0]);
+  }
+}
+
+TEST(StaticAggTest, NamesMatchPaper) {
+  EXPECT_EQ(ToString(ScoreAggregation::kAverage), "Group+avg");
+  EXPECT_EQ(ToString(ScoreAggregation::kLeastMisery), "Group+lm");
+  EXPECT_EQ(ToString(ScoreAggregation::kMaxSatisfaction), "Group+ms");
+}
+
+TEST(StaticAggTest, OrderingInvariant) {
+  // min <= avg <= max element-wise, always.
+  const std::vector<std::vector<double>> scores = {
+      {0.3, -1.0, 2.0}, {0.7, 0.0, -3.0}, {0.5, 0.5, 0.5}};
+  const auto lo =
+      AggregateMemberScores(scores, ScoreAggregation::kLeastMisery);
+  const auto mid = AggregateMemberScores(scores, ScoreAggregation::kAverage);
+  const auto hi =
+      AggregateMemberScores(scores, ScoreAggregation::kMaxSatisfaction);
+  for (size_t i = 0; i < lo.size(); ++i) {
+    EXPECT_LE(lo[i], mid[i]);
+    EXPECT_LE(mid[i], hi[i]);
+  }
+}
+
+}  // namespace
+}  // namespace groupsa::baselines

@@ -1,0 +1,28 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace groupsa {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, LogDoesNotCrashAtAnyLevel) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // suppress output during the test
+  LogDebug("debug message");
+  LogInfo("info message");
+  LogWarning("warning message");
+  LogError("error message");
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace groupsa

@@ -1,0 +1,69 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace groupsa {
+namespace {
+
+TEST(StrFormatTest, BasicFormatting) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+}
+
+TEST(StrFormatTest, FloatPrecision) {
+  EXPECT_EQ(StrFormat("%.3f", 1.23456), "1.235");
+}
+
+TEST(StrFormatTest, EmptyResult) { EXPECT_EQ(StrFormat("%s", ""), ""); }
+
+TEST(StrFormatTest, LongString) {
+  const std::string big(5000, 'a');
+  EXPECT_EQ(StrFormat("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StrJoinTest, SingleElement) { EXPECT_EQ(StrJoin({"a"}, ","), "a"); }
+
+TEST(StrJoinTest, Empty) { EXPECT_EQ(StrJoin({}, ","), ""); }
+
+TEST(StrSplitTest, BasicSplit) {
+  const auto parts = StrSplit("a\tb\tc", '\t');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StrSplitTest, KeepsEmptyFields) {
+  const auto parts = StrSplit("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StrSplitTest, NoDelimiter) {
+  const auto parts = StrSplit("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StrSplitTest, TrailingDelimiter) {
+  const auto parts = StrSplit("a,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StrTrimTest, TrimsBothEnds) {
+  EXPECT_EQ(StrTrim("  hello \t\n"), "hello");
+}
+
+TEST(StrTrimTest, NoWhitespace) { EXPECT_EQ(StrTrim("abc"), "abc"); }
+
+TEST(StrTrimTest, AllWhitespace) { EXPECT_EQ(StrTrim(" \t "), ""); }
+
+TEST(StrTrimTest, InternalWhitespacePreserved) {
+  EXPECT_EQ(StrTrim(" a b "), "a b");
+}
+
+}  // namespace
+}  // namespace groupsa

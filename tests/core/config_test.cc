@@ -1,0 +1,74 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+namespace groupsa::core {
+namespace {
+
+TEST(ConfigTest, DefaultEnablesEverything) {
+  const GroupSaConfig c = GroupSaConfig::Default();
+  EXPECT_EQ(c.variant, "GroupSA");
+  EXPECT_TRUE(c.use_voting_scheme);
+  EXPECT_TRUE(c.use_social_mask);
+  EXPECT_TRUE(c.use_item_aggregation);
+  EXPECT_TRUE(c.use_social_aggregation);
+  EXPECT_TRUE(c.use_user_task);
+  EXPECT_TRUE(c.user_modeling_enabled());
+  EXPECT_FLOAT_EQ(c.effective_user_blend(), c.user_score_blend);
+}
+
+TEST(ConfigTest, GroupAVariant) {
+  const GroupSaConfig c = GroupSaConfig::GroupA();
+  EXPECT_EQ(c.variant, "Group-A");
+  EXPECT_FALSE(c.use_voting_scheme);
+  EXPECT_FALSE(c.user_modeling_enabled());
+  EXPECT_FLOAT_EQ(c.effective_user_blend(), 0.0f);
+}
+
+TEST(ConfigTest, GroupSVariant) {
+  const GroupSaConfig c = GroupSaConfig::GroupS();
+  EXPECT_FALSE(c.use_voting_scheme);
+  EXPECT_TRUE(c.user_modeling_enabled());
+}
+
+TEST(ConfigTest, GroupIVariant) {
+  const GroupSaConfig c = GroupSaConfig::GroupI();
+  EXPECT_FALSE(c.use_item_aggregation);
+  EXPECT_TRUE(c.use_social_aggregation);
+  EXPECT_TRUE(c.user_modeling_enabled());
+}
+
+TEST(ConfigTest, GroupFVariant) {
+  const GroupSaConfig c = GroupSaConfig::GroupF();
+  EXPECT_TRUE(c.use_item_aggregation);
+  EXPECT_FALSE(c.use_social_aggregation);
+}
+
+TEST(ConfigTest, GroupGVariant) {
+  const GroupSaConfig c = GroupSaConfig::GroupG();
+  EXPECT_FALSE(c.use_user_task);
+  EXPECT_TRUE(c.use_voting_scheme);
+}
+
+TEST(ConfigTest, NoSocialMaskVariant) {
+  const GroupSaConfig c = GroupSaConfig::NoSocialMask();
+  EXPECT_TRUE(c.use_voting_scheme);
+  EXPECT_FALSE(c.use_social_mask);
+}
+
+TEST(ConfigTest, VariantNamesDistinct) {
+  EXPECT_NE(GroupSaConfig::GroupA().variant, GroupSaConfig::GroupS().variant);
+  EXPECT_NE(GroupSaConfig::GroupI().variant, GroupSaConfig::GroupF().variant);
+  EXPECT_NE(GroupSaConfig::GroupG().variant,
+            GroupSaConfig::Default().variant);
+}
+
+TEST(ConfigTest, PaperDefaults) {
+  const GroupSaConfig c = GroupSaConfig::Default();
+  EXPECT_EQ(c.embedding_dim, 32);  // Sec. III-E
+  EXPECT_FLOAT_EQ(c.dropout_ratio, 0.1f);
+  EXPECT_EQ(c.num_voting_layers, 1);
+}
+
+}  // namespace
+}  // namespace groupsa::core

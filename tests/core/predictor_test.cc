@@ -1,0 +1,96 @@
+#include "core/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+
+namespace groupsa::core {
+namespace {
+
+using tensor::Matrix;
+
+GroupSaConfig SmallConfig() {
+  GroupSaConfig c;
+  c.embedding_dim = 6;
+  c.predictor_hidden = {8, 4};
+  c.dropout_ratio = 0.0f;
+  return c;
+}
+
+TEST(RankPredictorTest, ScalarOutput) {
+  Rng rng(1);
+  RankPredictor predictor("p", SmallConfig(), &rng);
+  ag::TensorPtr left = ag::Constant(Matrix(1, 6, 0.1f));
+  ag::TensorPtr right = ag::Constant(Matrix(1, 6, -0.1f));
+  ag::TensorPtr score =
+      predictor.Score(nullptr, left, right, /*training=*/false, nullptr);
+  EXPECT_EQ(score->rows(), 1);
+  EXPECT_EQ(score->cols(), 1);
+}
+
+TEST(RankPredictorTest, OrderSensitive) {
+  Rng rng(2);
+  RankPredictor predictor("p", SmallConfig(), &rng);
+  Matrix a(1, 6);
+  Matrix b(1, 6);
+  a.FillUniform(&rng, -1.0f, 1.0f);
+  b.FillUniform(&rng, -1.0f, 1.0f);
+  const float s_ab = predictor
+                         .Score(nullptr, ag::Constant(a), ag::Constant(b),
+                                false, nullptr)
+                         ->scalar();
+  const float s_ba = predictor
+                         .Score(nullptr, ag::Constant(b), ag::Constant(a),
+                                false, nullptr)
+                         ->scalar();
+  EXPECT_NE(s_ab, s_ba);
+}
+
+TEST(RankPredictorTest, DeterministicInference) {
+  Rng rng(3);
+  RankPredictor predictor("p", SmallConfig(), &rng);
+  ag::TensorPtr left = ag::Constant(Matrix(1, 6, 0.5f));
+  ag::TensorPtr right = ag::Constant(Matrix(1, 6, 0.2f));
+  const float s1 =
+      predictor.Score(nullptr, left, right, false, nullptr)->scalar();
+  const float s2 =
+      predictor.Score(nullptr, left, right, false, nullptr)->scalar();
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(RankPredictorTest, DropoutMakesTrainingStochastic) {
+  Rng rng(4);
+  GroupSaConfig c = SmallConfig();
+  c.dropout_ratio = 0.5f;
+  RankPredictor predictor("p", c, &rng);
+  ag::TensorPtr left = ag::Constant(Matrix(1, 6, 0.5f));
+  ag::TensorPtr right = ag::Constant(Matrix(1, 6, 0.2f));
+  Rng drop_rng(5);
+  ag::Tape tape;
+  const float s1 =
+      predictor.Score(&tape, left, right, /*training=*/true, &drop_rng)
+          ->scalar();
+  const float s2 =
+      predictor.Score(&tape, left, right, /*training=*/true, &drop_rng)
+          ->scalar();
+  EXPECT_NE(s1, s2);
+}
+
+TEST(RankPredictorTest, GradientCheck) {
+  Rng rng(6);
+  RankPredictor predictor("p", SmallConfig(), &rng);
+  ag::TensorPtr left = ag::Variable(Matrix(1, 6, 0.3f));
+  ag::TensorPtr right = ag::Variable(Matrix(1, 6, -0.2f));
+  std::vector<ag::TensorPtr> params = {left, right};
+  for (const auto& p : predictor.Parameters()) params.push_back(p.tensor);
+  auto result = ag::CheckGradients(
+      [&](ag::Tape* tape) {
+        return predictor.Score(tape, left, right, false, nullptr);
+      },
+      params);
+  EXPECT_TRUE(result.ok) << result.worst_entry;
+}
+
+}  // namespace
+}  // namespace groupsa::core

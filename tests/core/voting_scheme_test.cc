@@ -1,0 +1,185 @@
+#include "core/voting_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+
+namespace groupsa::core {
+namespace {
+
+using tensor::Matrix;
+
+GroupSaConfig SmallConfig(int layers = 2) {
+  GroupSaConfig c;
+  c.embedding_dim = 8;
+  c.attention_hidden = 8;
+  c.ffn_hidden = 8;
+  c.num_voting_layers = layers;
+  return c;
+}
+
+data::SocialGraph LineGraph(int n) {
+  std::vector<std::pair<data::UserId, data::UserId>> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return data::SocialGraph(n, edges);
+}
+
+TEST(VotingSchemeTest, MemberRepsShapeAndRounds) {
+  Rng rng(1);
+  VotingScheme voting(SmallConfig(3), &rng);
+  Matrix embs(4, 8);
+  embs.FillUniform(&rng, -0.1f, 0.1f);
+  data::SocialGraph social = LineGraph(4);
+  auto reps = voting.BuildMemberReps(nullptr, ag::Constant(embs),
+                                     {0, 1, 2, 3}, social);
+  EXPECT_EQ(reps.reps->rows(), 4);
+  EXPECT_EQ(reps.reps->cols(), 8);
+  EXPECT_EQ(reps.round_attention.size(), 3u);  // one per voting round (N_X)
+}
+
+TEST(VotingSchemeTest, SocialMaskZeroesNonFriendAttention) {
+  Rng rng(2);
+  VotingScheme voting(SmallConfig(1), &rng);
+  Matrix embs(3, 8);
+  embs.FillUniform(&rng, -0.5f, 0.5f);
+  data::SocialGraph social = LineGraph(3);  // 0-1, 1-2; 0 and 2 disconnected
+  auto reps =
+      voting.BuildMemberReps(nullptr, ag::Constant(embs), {0, 1, 2}, social);
+  ASSERT_EQ(reps.round_attention.size(), 1u);
+  const Matrix& att = reps.round_attention[0];
+  EXPECT_EQ(att.At(0, 2), 0.0f);
+  EXPECT_EQ(att.At(2, 0), 0.0f);
+  EXPECT_GT(att.At(0, 1), 0.0f);
+  EXPECT_GT(att.At(1, 2), 0.0f);
+}
+
+TEST(VotingSchemeTest, MaskUsesMemberIdsNotPositions) {
+  Rng rng(3);
+  VotingScheme voting(SmallConfig(1), &rng);
+  Matrix embs(2, 8);
+  embs.FillUniform(&rng, -0.5f, 0.5f);
+  // Users 5 and 7 connected; group of {5, 7}.
+  data::SocialGraph social(10, {{5, 7}});
+  auto reps =
+      voting.BuildMemberReps(nullptr, ag::Constant(embs), {5, 7}, social);
+  EXPECT_GT(reps.round_attention[0].At(0, 1), 0.0f);
+  // Group of {5, 6}: not connected -> off-diagonal masked.
+  auto reps2 =
+      voting.BuildMemberReps(nullptr, ag::Constant(embs), {5, 6}, social);
+  EXPECT_EQ(reps2.round_attention[0].At(0, 1), 0.0f);
+}
+
+TEST(VotingSchemeTest, DisabledVotingIsIdentity) {
+  Rng rng(4);
+  GroupSaConfig c = SmallConfig(1);
+  c.use_voting_scheme = false;
+  VotingScheme voting(c, &rng);
+  Matrix embs(3, 8);
+  embs.FillUniform(&rng, -0.5f, 0.5f);
+  ag::TensorPtr input = ag::Constant(embs);
+  auto reps =
+      voting.BuildMemberReps(nullptr, input, {0, 1, 2}, LineGraph(3));
+  EXPECT_EQ(reps.reps.get(), input.get());
+  EXPECT_TRUE(reps.round_attention.empty());
+}
+
+TEST(VotingSchemeTest, NoMaskVariantAttendsEverywhere) {
+  Rng rng(5);
+  GroupSaConfig c = SmallConfig(1);
+  c.use_social_mask = false;
+  VotingScheme voting(c, &rng);
+  Matrix embs(3, 8);
+  embs.FillUniform(&rng, -0.5f, 0.5f);
+  // Social graph has NO edges; without the mask attention is still dense.
+  data::SocialGraph social(3, {});
+  auto reps =
+      voting.BuildMemberReps(nullptr, ag::Constant(embs), {0, 1, 2}, social);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      EXPECT_GT(reps.round_attention[0].At(i, j), 0.0f);
+}
+
+TEST(VotingSchemeTest, AggregateGroupShapesAndWeights) {
+  Rng rng(6);
+  VotingScheme voting(SmallConfig(1), &rng);
+  Matrix embs(4, 8);
+  embs.FillUniform(&rng, -0.5f, 0.5f);
+  auto reps = voting.BuildMemberReps(nullptr, ag::Constant(embs),
+                                     {0, 1, 2, 3}, LineGraph(4));
+  ag::TensorPtr item = ag::Constant(Matrix(1, 8, 0.2f));
+  auto group = voting.AggregateGroup(nullptr, reps, item);
+  EXPECT_EQ(group.rep->rows(), 1);
+  EXPECT_EQ(group.rep->cols(), 8);
+  EXPECT_EQ(group.member_weights.cols(), 4);
+  double total = 0.0;
+  for (int c = 0; c < 4; ++c) total += group.member_weights.At(0, c);
+  EXPECT_NEAR(total, 1.0, 1e-5);
+}
+
+TEST(VotingSchemeTest, DifferentItemsGiveDifferentMemberWeights) {
+  // The expertise-adaptive property (Eq. 9): member weights depend on the
+  // target item.
+  Rng rng(7);
+  VotingScheme voting(SmallConfig(1), &rng);
+  Matrix embs(3, 8);
+  embs.FillUniform(&rng, -1.0f, 1.0f);
+  auto reps = voting.BuildMemberReps(nullptr, ag::Constant(embs), {0, 1, 2},
+                                     LineGraph(3));
+  Matrix item1(1, 8);
+  Matrix item2(1, 8);
+  item1.FillUniform(&rng, -1.0f, 1.0f);
+  item2.FillUniform(&rng, -1.0f, 1.0f);
+  auto g1 = voting.AggregateGroup(nullptr, reps, ag::Constant(item1));
+  auto g2 = voting.AggregateGroup(nullptr, reps, ag::Constant(item2));
+  EXPECT_FALSE(AllClose(g1.member_weights, g2.member_weights, 1e-6f));
+}
+
+TEST(VotingSchemeTest, SingletonGroupFullWeight) {
+  Rng rng(8);
+  VotingScheme voting(SmallConfig(1), &rng);
+  Matrix embs(1, 8, 0.3f);
+  auto reps = voting.BuildMemberReps(nullptr, ag::Constant(embs), {0},
+                                     data::SocialGraph(1, {}));
+  auto group = voting.AggregateGroup(nullptr, reps,
+                                     ag::Constant(Matrix(1, 8, 0.1f)));
+  EXPECT_FLOAT_EQ(group.member_weights.At(0, 0), 1.0f);
+}
+
+TEST(VotingSchemeTest, CommonNeighborClosenessUnmasksFriendsOfFriends) {
+  Rng rng(9);
+  GroupSaConfig c = SmallConfig(1);
+  c.social_closeness = SocialCloseness::kCommonNeighbors;
+  c.closeness_threshold = 0.0;  // any shared friend unmasks
+  VotingScheme voting(c, &rng);
+  Matrix embs(2, 8);
+  embs.FillUniform(&rng, -0.5f, 0.5f);
+  // Users 0 and 2 are NOT direct friends but share friend 1.
+  data::SocialGraph social(3, {{0, 1}, {1, 2}});
+  auto reps =
+      voting.BuildMemberReps(nullptr, ag::Constant(embs), {0, 2}, social);
+  EXPECT_GT(reps.round_attention[0].At(0, 1), 0.0f);
+
+  // With the strict direct-edge mask the same pair stays masked.
+  GroupSaConfig strict = SmallConfig(1);
+  VotingScheme voting2(strict, &rng);
+  auto reps2 =
+      voting2.BuildMemberReps(nullptr, ag::Constant(embs), {0, 2}, social);
+  EXPECT_EQ(reps2.round_attention[0].At(0, 1), 0.0f);
+}
+
+TEST(VotingSchemeTest, JaccardThresholdGates) {
+  Rng rng(10);
+  GroupSaConfig c = SmallConfig(1);
+  c.social_closeness = SocialCloseness::kJaccard;
+  c.closeness_threshold = 0.9;  // stricter than any proximity here
+  VotingScheme voting(c, &rng);
+  Matrix embs(2, 8);
+  embs.FillUniform(&rng, -0.5f, 0.5f);
+  data::SocialGraph social(4, {{0, 1}, {1, 2}, {0, 3}});
+  auto reps =
+      voting.BuildMemberReps(nullptr, ag::Constant(embs), {0, 2}, social);
+  EXPECT_EQ(reps.round_attention[0].At(0, 1), 0.0f);
+}
+
+}  // namespace
+}  // namespace groupsa::core

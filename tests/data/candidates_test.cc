@@ -1,0 +1,37 @@
+#include "data/candidates.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace groupsa::data {
+namespace {
+
+TEST(CandidatesTest, DistinctAndUnobserved) {
+  InteractionMatrix observed(1, 200, {{0, 5}, {0, 10}, {0, 15}});
+  Rng rng(1);
+  const auto candidates = SampleCandidates(observed, 0, 100, &rng);
+  EXPECT_EQ(candidates.size(), 100u);
+  std::set<ItemId> unique(candidates.begin(), candidates.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (ItemId c : candidates) EXPECT_FALSE(observed.Has(0, c));
+}
+
+TEST(CandidatesTest, ExactlyFillsFreePool) {
+  InteractionMatrix observed(1, 10, {{0, 0}, {0, 1}});
+  Rng rng(2);
+  const auto candidates = SampleCandidates(observed, 0, 8, &rng);
+  std::set<ItemId> unique(candidates.begin(), candidates.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(CandidatesTest, DeterministicGivenSeed) {
+  InteractionMatrix observed(1, 50, {{0, 3}});
+  Rng a(3);
+  Rng b(3);
+  EXPECT_EQ(SampleCandidates(observed, 0, 10, &a),
+            SampleCandidates(observed, 0, 10, &b));
+}
+
+}  // namespace
+}  // namespace groupsa::data

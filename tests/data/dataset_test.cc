@@ -1,0 +1,51 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace groupsa::data {
+namespace {
+
+Dataset MakeSmallDataset() {
+  Dataset d;
+  d.name = "small";
+  d.num_users = 4;
+  d.num_items = 5;
+  d.user_item = {{0, 0}, {0, 1}, {1, 2}, {2, 3}};
+  d.group_item = {{0, 4}, {1, 0}};
+  d.social = SocialGraph(4, {{0, 1}, {1, 2}});
+  d.groups = GroupTable({{0, 1}, {2, 3}});
+  return d;
+}
+
+TEST(DatasetTest, ComputeStatsMatchesHandCount) {
+  const Dataset d = MakeSmallDataset();
+  const DatasetStats stats = d.ComputeStats();
+  EXPECT_EQ(stats.num_users, 4);
+  EXPECT_EQ(stats.num_items, 5);
+  EXPECT_EQ(stats.num_groups, 2);
+  EXPECT_DOUBLE_EQ(stats.avg_group_size, 2.0);
+  EXPECT_DOUBLE_EQ(stats.avg_interactions_per_user, 1.0);
+  EXPECT_DOUBLE_EQ(stats.avg_friends_per_user, 1.0);
+  EXPECT_DOUBLE_EQ(stats.avg_interactions_per_group, 1.0);
+}
+
+TEST(DatasetTest, MatricesReflectEdges) {
+  const Dataset d = MakeSmallDataset();
+  const InteractionMatrix ui = d.UserItemMatrix();
+  EXPECT_TRUE(ui.Has(0, 1));
+  EXPECT_FALSE(ui.Has(3, 0));
+  const InteractionMatrix gi = d.GroupItemMatrix();
+  EXPECT_TRUE(gi.Has(0, 4));
+  EXPECT_EQ(gi.num_rows(), 2);
+}
+
+TEST(DatasetTest, StatsToStringMentionsEveryField) {
+  const std::string s = MakeSmallDataset().ComputeStats().ToString();
+  EXPECT_NE(s.find("Users"), std::string::npos);
+  EXPECT_NE(s.find("Groups"), std::string::npos);
+  EXPECT_NE(s.find("group size"), std::string::npos);
+  EXPECT_NE(s.find("friends"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace groupsa::data

@@ -1,0 +1,43 @@
+#include "data/group_table.h"
+
+#include <gtest/gtest.h>
+
+namespace groupsa::data {
+namespace {
+
+TEST(GroupTableTest, BasicAccess) {
+  GroupTable t({{1, 2, 3}, {4, 5}});
+  EXPECT_EQ(t.num_groups(), 2);
+  EXPECT_EQ(t.GroupSize(0), 3);
+  EXPECT_EQ(t.GroupSize(1), 2);
+  EXPECT_EQ(t.Members(1)[0], 4);
+}
+
+TEST(GroupTableTest, SortsAndDeduplicatesMembers) {
+  GroupTable t({{3, 1, 3, 2}});
+  const auto& members = t.Members(0);
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0], 1);
+  EXPECT_EQ(members[2], 3);
+}
+
+TEST(GroupTableTest, AvgGroupSize) {
+  GroupTable t({{0, 1}, {2, 3, 4, 5}});
+  EXPECT_DOUBLE_EQ(t.AvgGroupSize(), 3.0);
+}
+
+TEST(GroupTableTest, EmptyTable) {
+  GroupTable t;
+  EXPECT_EQ(t.num_groups(), 0);
+  EXPECT_EQ(t.AvgGroupSize(), 0.0);
+}
+
+TEST(GroupTableTest, SingletonGroup) {
+  std::vector<std::vector<UserId>> members = {{7}};
+  GroupTable t(members);
+  EXPECT_EQ(t.GroupSize(0), 1);
+  EXPECT_EQ(t.Members(0)[0], 7);
+}
+
+}  // namespace
+}  // namespace groupsa::data

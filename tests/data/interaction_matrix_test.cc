@@ -1,0 +1,50 @@
+#include "data/interaction_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace groupsa::data {
+namespace {
+
+TEST(InteractionMatrixTest, EmptyMatrix) {
+  InteractionMatrix m(3, 4, {});
+  EXPECT_EQ(m.num_rows(), 3);
+  EXPECT_EQ(m.num_cols(), 4);
+  EXPECT_EQ(m.num_interactions(), 0);
+  EXPECT_TRUE(m.Row(0).empty());
+  EXPECT_EQ(m.AvgRowDegree(), 0.0);
+}
+
+TEST(InteractionMatrixTest, BuildsSortedUniqueRows) {
+  InteractionMatrix m(2, 5, {{0, 3}, {0, 1}, {0, 3}, {1, 4}});
+  EXPECT_EQ(m.num_interactions(), 3);  // duplicate dropped
+  ASSERT_EQ(m.Row(0).size(), 2u);
+  EXPECT_EQ(m.Row(0)[0], 1);
+  EXPECT_EQ(m.Row(0)[1], 3);
+}
+
+TEST(InteractionMatrixTest, HasLookup) {
+  InteractionMatrix m(2, 5, {{0, 2}, {1, 0}});
+  EXPECT_TRUE(m.Has(0, 2));
+  EXPECT_FALSE(m.Has(0, 0));
+  EXPECT_TRUE(m.Has(1, 0));
+  EXPECT_FALSE(m.Has(1, 4));
+}
+
+TEST(InteractionMatrixTest, DegreesAndAverages) {
+  InteractionMatrix m(3, 3, {{0, 0}, {0, 1}, {1, 0}, {2, 0}});
+  EXPECT_EQ(m.RowDegree(0), 2);
+  EXPECT_EQ(m.RowDegree(2), 1);
+  EXPECT_EQ(m.ColDegree(0), 3);
+  EXPECT_EQ(m.ColDegree(1), 1);
+  EXPECT_EQ(m.ColDegree(2), 0);
+  EXPECT_DOUBLE_EQ(m.AvgRowDegree(), 4.0 / 3.0);
+}
+
+TEST(InteractionMatrixTest, DefaultConstructedIsEmpty) {
+  InteractionMatrix m;
+  EXPECT_EQ(m.num_rows(), 0);
+  EXPECT_EQ(m.num_interactions(), 0);
+}
+
+}  // namespace
+}  // namespace groupsa::data

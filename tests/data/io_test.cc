@@ -1,0 +1,44 @@
+#include "data/io.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace groupsa::data {
+namespace {
+
+TEST(DataIoTest, SaveLoadRoundTrip) {
+  SyntheticWorld world = GenerateWorld(SyntheticWorldConfig::Tiny());
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(SaveDataset(world.dataset, dir).ok());
+
+  Dataset loaded;
+  ASSERT_TRUE(LoadDataset(dir, &loaded).ok());
+  EXPECT_EQ(loaded.name, world.dataset.name);
+  EXPECT_EQ(loaded.num_users, world.dataset.num_users);
+  EXPECT_EQ(loaded.num_items, world.dataset.num_items);
+  ASSERT_EQ(loaded.user_item.size(), world.dataset.user_item.size());
+  ASSERT_EQ(loaded.group_item.size(), world.dataset.group_item.size());
+  EXPECT_EQ(loaded.social.num_edges(), world.dataset.social.num_edges());
+  EXPECT_EQ(loaded.groups.num_groups(), world.dataset.groups.num_groups());
+  for (GroupId g = 0; g < loaded.groups.num_groups(); ++g)
+    EXPECT_EQ(loaded.groups.Members(g), world.dataset.groups.Members(g));
+  // Stats identical after round trip.
+  const DatasetStats a = world.dataset.ComputeStats();
+  const DatasetStats b = loaded.ComputeStats();
+  EXPECT_DOUBLE_EQ(a.avg_interactions_per_user, b.avg_interactions_per_user);
+  EXPECT_DOUBLE_EQ(a.avg_friends_per_user, b.avg_friends_per_user);
+}
+
+TEST(DataIoTest, LoadFailsOnMissingDirectory) {
+  Dataset dataset;
+  EXPECT_FALSE(LoadDataset("/nonexistent/path/xyz", &dataset).ok());
+}
+
+TEST(DataIoTest, SaveFailsOnUnwritableDirectory) {
+  SyntheticWorld world = GenerateWorld(SyntheticWorldConfig::Tiny());
+  EXPECT_FALSE(SaveDataset(world.dataset, "/nonexistent/path/xyz").ok());
+}
+
+}  // namespace
+}  // namespace groupsa::data

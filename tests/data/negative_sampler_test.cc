@@ -1,0 +1,46 @@
+#include "data/negative_sampler.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace groupsa::data {
+namespace {
+
+TEST(NegativeSamplerTest, NeverReturnsObservedItem) {
+  InteractionMatrix observed(2, 10, {{0, 1}, {0, 3}, {0, 5}, {1, 0}});
+  NegativeSampler sampler(&observed);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const ItemId neg = sampler.Sample(0, &rng);
+    EXPECT_FALSE(observed.Has(0, neg));
+  }
+}
+
+TEST(NegativeSamplerTest, WorksWhenOnlyOneItemFree) {
+  InteractionMatrix observed(1, 3, {{0, 0}, {0, 2}});
+  NegativeSampler sampler(&observed);
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(sampler.Sample(0, &rng), 1);
+}
+
+TEST(NegativeSamplerTest, SampleManyCount) {
+  InteractionMatrix observed(1, 100, {{0, 50}});
+  NegativeSampler sampler(&observed);
+  Rng rng(3);
+  const auto negs = sampler.SampleMany(0, 7, &rng);
+  EXPECT_EQ(negs.size(), 7u);
+  for (ItemId n : negs) EXPECT_NE(n, 50);
+}
+
+TEST(NegativeSamplerTest, CoversItemSpace) {
+  InteractionMatrix observed(1, 10, {});
+  NegativeSampler sampler(&observed);
+  Rng rng(4);
+  std::set<ItemId> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(sampler.Sample(0, &rng));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+}  // namespace
+}  // namespace groupsa::data

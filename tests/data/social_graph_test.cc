@@ -1,0 +1,82 @@
+#include "data/social_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace groupsa::data {
+namespace {
+
+TEST(SocialGraphTest, SymmetrizesEdges) {
+  SocialGraph g(4, {{0, 1}, {2, 3}});
+  EXPECT_TRUE(g.Connected(0, 1));
+  EXPECT_TRUE(g.Connected(1, 0));
+  EXPECT_TRUE(g.Connected(3, 2));
+  EXPECT_FALSE(g.Connected(0, 2));
+}
+
+TEST(SocialGraphTest, DropsSelfLoopsAndDuplicates) {
+  SocialGraph g(3, {{0, 0}, {0, 1}, {1, 0}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_FALSE(g.Connected(0, 0));
+  EXPECT_EQ(g.Degree(0), 1);
+}
+
+TEST(SocialGraphTest, NeighborsSorted) {
+  SocialGraph g(5, {{2, 4}, {2, 0}, {2, 3}});
+  const auto& n = g.Neighbors(2);
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_EQ(n[0], 0);
+  EXPECT_EQ(n[1], 3);
+  EXPECT_EQ(n[2], 4);
+}
+
+TEST(SocialGraphTest, AvgDegree) {
+  SocialGraph g(4, {{0, 1}, {1, 2}});
+  // Degrees: 1, 2, 1, 0 -> avg 1.
+  EXPECT_DOUBLE_EQ(g.AvgDegree(), 1.0);
+}
+
+TEST(SocialGraphTest, IsolatedUser) {
+  SocialGraph g(3, {{0, 1}});
+  EXPECT_TRUE(g.Neighbors(2).empty());
+  EXPECT_EQ(g.Degree(2), 0);
+}
+
+TEST(SocialGraphTest, EmptyGraph) {
+  SocialGraph g;
+  EXPECT_EQ(g.num_users(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.AvgDegree(), 0.0);
+}
+
+TEST(SocialGraphTest, CommonNeighborsCounts) {
+  // 0 and 1 share neighbors 2, 3; user 4 isolated from them.
+  SocialGraph g(5, {{0, 2}, {0, 3}, {1, 2}, {1, 3}, {0, 4}});
+  EXPECT_EQ(g.CommonNeighbors(0, 1), 2);
+  EXPECT_EQ(g.CommonNeighbors(0, 4), 0);
+  EXPECT_EQ(g.CommonNeighbors(2, 3), 2);  // share 0 and 1
+}
+
+TEST(SocialGraphTest, JaccardCoefficient) {
+  SocialGraph g(5, {{0, 2}, {0, 3}, {1, 2}, {1, 3}, {0, 4}});
+  // N(0) = {2,3,4}, N(1) = {2,3}: common 2, union 3.
+  EXPECT_DOUBLE_EQ(g.JaccardCoefficient(0, 1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(g.JaccardCoefficient(1, 0), 2.0 / 3.0);  // symmetric
+}
+
+TEST(SocialGraphTest, JaccardZeroForIsolatedPair) {
+  SocialGraph g(3, {{0, 1}});
+  EXPECT_DOUBLE_EQ(g.JaccardCoefficient(2, 2), 0.0);
+}
+
+TEST(SocialGraphTest, AdamicAdarDiscountsHighDegreeHubs) {
+  // Pair (0,1) shares low-degree neighbor 2; pair (3,4) shares hub 5 with
+  // high degree: the low-degree mutual friend should score higher.
+  SocialGraph g(9, {{0, 2}, {1, 2},                    // via degree-2 node
+                    {3, 5}, {4, 5}, {5, 6}, {5, 7},    // via degree-5 hub
+                    {5, 8}});
+  EXPECT_GT(g.AdamicAdar(0, 1), g.AdamicAdar(3, 4));
+  EXPECT_GT(g.AdamicAdar(3, 4), 0.0);
+}
+
+}  // namespace
+}  // namespace groupsa::data

@@ -1,0 +1,108 @@
+#include "data/split.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace groupsa::data {
+namespace {
+
+EdgeList MakeDenseEdges(int rows, int items_per_row) {
+  EdgeList edges;
+  for (int r = 0; r < rows; ++r)
+    for (int i = 0; i < items_per_row; ++i) edges.push_back({r, i});
+  return edges;
+}
+
+TEST(SplitTest, PartitionIsExhaustiveAndDisjoint) {
+  Rng rng(1);
+  const EdgeList edges = MakeDenseEdges(20, 10);
+  Split split = SplitEdges(edges, 0.2, 0.1, &rng);
+  EXPECT_EQ(split.train.size() + split.validation.size() + split.test.size(),
+            edges.size());
+  std::set<std::pair<int, int>> seen;
+  for (const auto& part : {split.train, split.validation, split.test}) {
+    for (const Edge& e : part) {
+      EXPECT_TRUE(seen.emplace(e.row, e.item).second)
+          << "duplicate edge across parts";
+    }
+  }
+}
+
+TEST(SplitTest, ApproximateFractions) {
+  Rng rng(2);
+  const EdgeList edges = MakeDenseEdges(100, 10);
+  Split split = SplitEdges(edges, 0.2, 0.1, &rng);
+  EXPECT_NEAR(static_cast<double>(split.test.size()) / edges.size(), 0.2,
+              0.03);
+  EXPECT_NEAR(static_cast<double>(split.validation.size()) / edges.size(),
+              0.08, 0.03);
+}
+
+TEST(SplitTest, EveryRowKeepsATrainInteraction) {
+  Rng rng(3);
+  EdgeList edges;
+  for (int r = 0; r < 50; ++r)
+    for (int i = 0; i < 2 + r % 3; ++i) edges.push_back({r, i});
+  Split split = SplitEdges(edges, 0.5, 0.3, &rng);
+  std::map<int, int> train_count;
+  for (const Edge& e : split.train) ++train_count[e.row];
+  for (int r = 0; r < 50; ++r) EXPECT_GE(train_count[r], 1) << "row " << r;
+}
+
+TEST(SplitTest, SingleInteractionRowStaysInTrain) {
+  Rng rng(4);
+  Split split = SplitEdges({{7, 3}}, 0.9, 0.5, &rng);
+  ASSERT_EQ(split.train.size(), 1u);
+  EXPECT_TRUE(split.test.empty());
+  EXPECT_TRUE(split.validation.empty());
+}
+
+TEST(SplitTest, ZeroFractionsKeepAllInTrain) {
+  Rng rng(5);
+  const EdgeList edges = MakeDenseEdges(10, 5);
+  Split split = SplitEdges(edges, 0.0, 0.0, &rng);
+  EXPECT_EQ(split.train.size(), edges.size());
+}
+
+TEST(GlobalSplitTest, PartitionIsExhaustive) {
+  Rng rng(6);
+  const EdgeList edges = MakeDenseEdges(30, 4);
+  Split split = GlobalSplitEdges(edges, 0.2, 0.1, &rng);
+  EXPECT_EQ(split.train.size() + split.validation.size() + split.test.size(),
+            edges.size());
+}
+
+TEST(GlobalSplitTest, ExactGlobalCounts) {
+  Rng rng(7);
+  const EdgeList edges = MakeDenseEdges(10, 10);  // 100 edges
+  Split split = GlobalSplitEdges(edges, 0.2, 0.1, &rng);
+  EXPECT_EQ(split.test.size(), 20u);
+  EXPECT_EQ(split.validation.size(), 8u);
+  EXPECT_EQ(split.train.size(), 72u);
+}
+
+TEST(GlobalSplitTest, SingleEdgeRowCanLandInTest) {
+  // The OGR property: with a global split a one-interaction group may be
+  // fully held out (cold group).
+  Rng rng(8);
+  EdgeList edges;
+  for (int r = 0; r < 200; ++r) edges.push_back({r, r % 7});
+  Split split = GlobalSplitEdges(edges, 0.5, 0.0, &rng);
+  EXPECT_EQ(split.test.size(), 100u);
+}
+
+TEST(GlobalSplitTest, DeterministicGivenSeed) {
+  const EdgeList edges = MakeDenseEdges(20, 5);
+  Rng a(9);
+  Rng b(9);
+  Split sa = GlobalSplitEdges(edges, 0.3, 0.1, &a);
+  Split sb = GlobalSplitEdges(edges, 0.3, 0.1, &b);
+  ASSERT_EQ(sa.test.size(), sb.test.size());
+  for (size_t i = 0; i < sa.test.size(); ++i)
+    EXPECT_TRUE(sa.test[i] == sb.test[i]);
+}
+
+}  // namespace
+}  // namespace groupsa::data

@@ -1,0 +1,105 @@
+// Property-style sweeps over synthetic world configurations: invariants
+// that must hold for any sane configuration, checked across a grid of
+// (seed, scale, homophily) points.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace groupsa::data {
+namespace {
+
+struct WorldPoint {
+  uint64_t seed;
+  int num_users;
+  int num_groups;
+  double homophily;
+  double expert_fraction;
+};
+
+class SyntheticWorldPropertyTest
+    : public ::testing::TestWithParam<WorldPoint> {
+ protected:
+  static SyntheticWorldConfig ConfigFor(const WorldPoint& p) {
+    SyntheticWorldConfig c = SyntheticWorldConfig::Tiny();
+    c.seed = p.seed;
+    c.num_users = p.num_users;
+    c.num_groups = p.num_groups;
+    c.homophily = p.homophily;
+    c.expert_fraction = p.expert_fraction;
+    return c;
+  }
+};
+
+TEST_P(SyntheticWorldPropertyTest, AllIdsInRange) {
+  const SyntheticWorld world = GenerateWorld(ConfigFor(GetParam()));
+  for (const Edge& e : world.dataset.user_item) {
+    ASSERT_GE(e.row, 0);
+    ASSERT_LT(e.row, world.dataset.num_users);
+    ASSERT_GE(e.item, 0);
+    ASSERT_LT(e.item, world.dataset.num_items);
+  }
+  for (GroupId g = 0; g < world.dataset.groups.num_groups(); ++g) {
+    for (UserId u : world.dataset.groups.Members(g)) {
+      ASSERT_GE(u, 0);
+      ASSERT_LT(u, world.dataset.num_users);
+    }
+  }
+}
+
+TEST_P(SyntheticWorldPropertyTest, NoDuplicateInteractionsPerRow) {
+  const SyntheticWorld world = GenerateWorld(ConfigFor(GetParam()));
+  std::set<std::pair<int32_t, ItemId>> seen;
+  for (const Edge& e : world.dataset.user_item)
+    ASSERT_TRUE(seen.emplace(e.row, e.item).second);
+  seen.clear();
+  for (const Edge& e : world.dataset.group_item)
+    ASSERT_TRUE(seen.emplace(e.row, e.item).second);
+}
+
+TEST_P(SyntheticWorldPropertyTest, AttendanceEchoHolds) {
+  const SyntheticWorld world = GenerateWorld(ConfigFor(GetParam()));
+  const InteractionMatrix ui = world.dataset.UserItemMatrix();
+  for (const Edge& e : world.dataset.group_item) {
+    for (UserId member : world.dataset.groups.Members(e.row))
+      ASSERT_TRUE(ui.Has(member, e.item));
+  }
+}
+
+TEST_P(SyntheticWorldPropertyTest, GroupSizesWithinConfiguredBounds) {
+  const SyntheticWorldConfig config = ConfigFor(GetParam());
+  const SyntheticWorld world = GenerateWorld(config);
+  for (GroupId g = 0; g < world.dataset.groups.num_groups(); ++g) {
+    ASSERT_GE(world.dataset.groups.GroupSize(g), config.min_group_size);
+    ASSERT_LE(world.dataset.groups.GroupSize(g), config.max_group_size);
+  }
+}
+
+TEST_P(SyntheticWorldPropertyTest, EveryUserHasAtLeastOneInteraction) {
+  const SyntheticWorld world = GenerateWorld(ConfigFor(GetParam()));
+  const InteractionMatrix ui = world.dataset.UserItemMatrix();
+  for (int u = 0; u < world.dataset.num_users; ++u)
+    ASSERT_GE(ui.RowDegree(u), 1) << "user " << u;
+}
+
+TEST_P(SyntheticWorldPropertyTest, GenerationIsDeterministic) {
+  const SyntheticWorldConfig config = ConfigFor(GetParam());
+  const SyntheticWorld a = GenerateWorld(config);
+  const SyntheticWorld b = GenerateWorld(config);
+  ASSERT_EQ(a.dataset.user_item.size(), b.dataset.user_item.size());
+  ASSERT_EQ(a.dataset.group_item.size(), b.dataset.group_item.size());
+  ASSERT_EQ(a.dataset.social.num_edges(), b.dataset.social.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SyntheticWorldPropertyTest,
+    ::testing::Values(WorldPoint{1, 80, 40, 0.8, 0.35},
+                      WorldPoint{2, 150, 90, 0.5, 0.35},
+                      WorldPoint{3, 150, 90, 1.0, 0.0},
+                      WorldPoint{4, 300, 10, 0.0, 1.0},
+                      WorldPoint{5, 60, 120, 0.9, 0.5}));
+
+}  // namespace
+}  // namespace groupsa::data

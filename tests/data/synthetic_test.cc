@@ -1,0 +1,151 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace groupsa::data {
+namespace {
+
+TEST(SyntheticWorldTest, DeterministicGivenSeed) {
+  const SyntheticWorldConfig config = SyntheticWorldConfig::Tiny();
+  SyntheticWorld a = GenerateWorld(config);
+  SyntheticWorld b = GenerateWorld(config);
+  ASSERT_EQ(a.dataset.user_item.size(), b.dataset.user_item.size());
+  for (size_t i = 0; i < a.dataset.user_item.size(); ++i)
+    EXPECT_TRUE(a.dataset.user_item[i] == b.dataset.user_item[i]);
+  ASSERT_EQ(a.dataset.group_item.size(), b.dataset.group_item.size());
+  EXPECT_EQ(a.dataset.social.num_edges(), b.dataset.social.num_edges());
+}
+
+TEST(SyntheticWorldTest, DifferentSeedsDiffer) {
+  SyntheticWorldConfig config = SyntheticWorldConfig::Tiny();
+  SyntheticWorld a = GenerateWorld(config);
+  config.seed = config.seed + 1;
+  SyntheticWorld b = GenerateWorld(config);
+  EXPECT_NE(a.dataset.user_item.size(), b.dataset.user_item.size());
+}
+
+TEST(SyntheticWorldTest, DimensionsMatchConfig) {
+  const SyntheticWorldConfig config = SyntheticWorldConfig::Tiny();
+  SyntheticWorld world = GenerateWorld(config);
+  EXPECT_EQ(world.dataset.num_users, config.num_users);
+  EXPECT_EQ(world.dataset.num_items, config.num_items);
+  EXPECT_EQ(world.dataset.groups.num_groups(), config.num_groups);
+  EXPECT_EQ(world.user_vectors.rows(), config.num_users);
+  EXPECT_EQ(world.user_vectors.cols(), config.latent_dim);
+  EXPECT_EQ(world.item_vectors.rows(), config.num_items);
+  EXPECT_EQ(world.user_expertise.rows(), config.num_users);
+  EXPECT_EQ(world.user_expertise.cols(), config.num_topics);
+  EXPECT_EQ(world.user_topic.size(), static_cast<size_t>(config.num_users));
+  EXPECT_EQ(world.item_topic.size(), static_cast<size_t>(config.num_items));
+}
+
+TEST(SyntheticWorldTest, AllEdgesInRange) {
+  SyntheticWorld world = GenerateWorld(SyntheticWorldConfig::Tiny());
+  for (const Edge& e : world.dataset.user_item) {
+    EXPECT_GE(e.row, 0);
+    EXPECT_LT(e.row, world.dataset.num_users);
+    EXPECT_GE(e.item, 0);
+    EXPECT_LT(e.item, world.dataset.num_items);
+  }
+  for (const Edge& e : world.dataset.group_item) {
+    EXPECT_GE(e.row, 0);
+    EXPECT_LT(e.row, world.dataset.groups.num_groups());
+  }
+}
+
+TEST(SyntheticWorldTest, GroupSizesWithinBounds) {
+  const SyntheticWorldConfig config = SyntheticWorldConfig::Tiny();
+  SyntheticWorld world = GenerateWorld(config);
+  for (GroupId g = 0; g < world.dataset.groups.num_groups(); ++g) {
+    EXPECT_GE(world.dataset.groups.GroupSize(g), config.min_group_size);
+    EXPECT_LE(world.dataset.groups.GroupSize(g), config.max_group_size);
+  }
+}
+
+TEST(SyntheticWorldTest, StatsApproximateConfigTargets) {
+  const SyntheticWorldConfig config = SyntheticWorldConfig::YelpLike();
+  SyntheticWorld world = GenerateWorld(config);
+  const DatasetStats stats = world.dataset.ComputeStats();
+  EXPECT_NEAR(stats.avg_group_size, config.avg_group_size, 1.2);
+  EXPECT_NEAR(stats.avg_friends_per_user, config.avg_friends_per_user, 4.0);
+  // User interactions include the group-attendance echo, so the realized
+  // mean sits near (not exactly at) the configured solo+echo target.
+  EXPECT_GT(stats.avg_interactions_per_user, 6.0);
+  EXPECT_LT(stats.avg_interactions_per_user, 25.0);
+  EXPECT_GT(stats.avg_interactions_per_group, 1.0);
+  EXPECT_LT(stats.avg_interactions_per_group, 2.5);
+}
+
+TEST(SyntheticWorldTest, GroupItemEchoedIntoMemberHistories) {
+  // Every group interaction must appear in each member's user-item history
+  // (the datasets' construction: a group activity IS each member attending).
+  SyntheticWorld world = GenerateWorld(SyntheticWorldConfig::Tiny());
+  const InteractionMatrix ui = world.dataset.UserItemMatrix();
+  for (const Edge& e : world.dataset.group_item) {
+    for (UserId member : world.dataset.groups.Members(e.row)) {
+      EXPECT_TRUE(ui.Has(member, e.item))
+          << "group " << e.row << " item " << e.item << " member " << member;
+    }
+  }
+}
+
+TEST(SyntheticWorldTest, ExpertsAreMoreActive) {
+  SyntheticWorld world = GenerateWorld(SyntheticWorldConfig::YelpLike());
+  const InteractionMatrix ui = world.dataset.UserItemMatrix();
+  double expert_total = 0.0;
+  double other_total = 0.0;
+  int experts = 0;
+  int others = 0;
+  for (int u = 0; u < world.dataset.num_users; ++u) {
+    if (world.user_is_expert[u]) {
+      expert_total += ui.RowDegree(u);
+      ++experts;
+    } else {
+      other_total += ui.RowDegree(u);
+      ++others;
+    }
+  }
+  ASSERT_GT(experts, 0);
+  ASSERT_GT(others, 0);
+  EXPECT_GT(expert_total / experts, other_total / others);
+}
+
+TEST(SyntheticWorldTest, ExpertiseBoostOnPrimaryTopicOnly) {
+  SyntheticWorld world = GenerateWorld(SyntheticWorldConfig::Tiny());
+  for (int u = 0; u < world.dataset.num_users; ++u) {
+    if (!world.user_is_expert[u]) continue;
+    const int z = world.user_topic[u];
+    EXPECT_GE(world.user_expertise.At(u, z), 0.8f);
+    for (int k = 0; k < world.config.num_topics; ++k) {
+      if (k != z) EXPECT_LE(world.user_expertise.At(u, k), 0.2f);
+    }
+  }
+}
+
+TEST(SyntheticWorldTest, GroupsAreSociallyConnectedMostly) {
+  // Most groups should contain at least one social edge among members
+  // (groups grow along the social graph).
+  SyntheticWorld world = GenerateWorld(SyntheticWorldConfig::YelpLike());
+  int connected = 0;
+  const int total = world.dataset.groups.num_groups();
+  for (GroupId g = 0; g < total; ++g) {
+    const auto& members = world.dataset.groups.Members(g);
+    bool any = false;
+    for (size_t i = 0; i < members.size() && !any; ++i)
+      for (size_t j = i + 1; j < members.size() && !any; ++j)
+        any = world.dataset.social.Connected(members[i], members[j]);
+    connected += any;
+  }
+  EXPECT_GT(static_cast<double>(connected) / total, 0.5);
+}
+
+TEST(SyntheticWorldTest, PresetsHaveDistinctShapes) {
+  const auto yelp = SyntheticWorldConfig::YelpLike();
+  const auto douban = SyntheticWorldConfig::DoubanEventLike();
+  EXPECT_NE(yelp.num_items, douban.num_items);
+  EXPECT_LT(yelp.avg_group_size, douban.avg_group_size);
+  EXPECT_NE(yelp.seed, douban.seed);
+}
+
+}  // namespace
+}  // namespace groupsa::data

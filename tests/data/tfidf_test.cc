@@ -1,0 +1,56 @@
+#include "data/tfidf.h"
+
+#include <gtest/gtest.h>
+
+namespace groupsa::data {
+namespace {
+
+TEST(TfIdfTest, RanksRareItemsFirst) {
+  // Item 0 is popular (3 users), item 1 rare (1 user): user 0 interacted
+  // with both, so item 1 should rank first.
+  InteractionMatrix ui(3, 2, {{0, 0}, {0, 1}, {1, 0}, {2, 0}});
+  const auto top = TopItemsPerUser(ui, 2);
+  ASSERT_EQ(top[0].size(), 2u);
+  EXPECT_EQ(top[0][0], 1);
+  EXPECT_EQ(top[0][1], 0);
+}
+
+TEST(TfIdfTest, TruncatesToTopH) {
+  InteractionMatrix ui(1, 5, {{0, 0}, {0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  const auto top = TopItemsPerUser(ui, 3);
+  EXPECT_EQ(top[0].size(), 3u);
+}
+
+TEST(TfIdfTest, EmptyHistoryGivesEmptyList) {
+  InteractionMatrix ui(2, 3, {{0, 1}});
+  const auto top = TopItemsPerUser(ui, 4);
+  EXPECT_FALSE(top[0].empty());
+  EXPECT_TRUE(top[1].empty());
+}
+
+TEST(TfIdfTest, FriendsRankedByInverseDegree) {
+  // User 0's friends: 1 (degree 3) and 2 (degree 1): low-degree friend 2 is
+  // more distinctive and ranks first.
+  SocialGraph g(5, {{0, 1}, {0, 2}, {1, 3}, {1, 4}});
+  const auto top = TopFriendsPerUser(g, 2);
+  ASSERT_EQ(top[0].size(), 2u);
+  EXPECT_EQ(top[0][0], 2);
+  EXPECT_EQ(top[0][1], 1);
+}
+
+TEST(TfIdfTest, IsolatedUserGetsEmptyFriendList) {
+  SocialGraph g(3, {{0, 1}});
+  const auto top = TopFriendsPerUser(g, 3);
+  EXPECT_TRUE(top[2].empty());
+}
+
+TEST(TfIdfTest, DeterministicTieBreakById) {
+  // Two items of equal popularity: lower id first.
+  InteractionMatrix ui(2, 3, {{0, 2}, {0, 1}, {1, 1}, {1, 2}});
+  const auto top = TopItemsPerUser(ui, 2);
+  EXPECT_EQ(top[0][0], 1);
+  EXPECT_EQ(top[0][1], 2);
+}
+
+}  // namespace
+}  // namespace groupsa::data

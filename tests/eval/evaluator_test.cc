@@ -1,0 +1,108 @@
+#include "eval/evaluator.h"
+
+#include <gtest/gtest.h>
+
+namespace groupsa::eval {
+namespace {
+
+using data::Edge;
+using data::EdgeList;
+using data::InteractionMatrix;
+using data::ItemId;
+
+TEST(BuildRankingCasesTest, OneCasePerTestEdge) {
+  const EdgeList test = {{0, 5}, {1, 7}};
+  const InteractionMatrix observed(2, 100, {{0, 5}, {1, 7}, {1, 8}});
+  Rng rng(1);
+  const auto cases = BuildRankingCases(test, observed, 20, &rng);
+  ASSERT_EQ(cases.size(), 2u);
+  EXPECT_EQ(cases[0].entity, 0);
+  EXPECT_EQ(cases[0].positive, 5);
+  EXPECT_EQ(cases[0].candidates.size(), 20u);
+}
+
+TEST(BuildRankingCasesTest, CandidatesExcludeAllObserved) {
+  const EdgeList test = {{0, 5}};
+  const InteractionMatrix observed(1, 50, {{0, 5}, {0, 6}, {0, 7}});
+  Rng rng(2);
+  const auto cases = BuildRankingCases(test, observed, 30, &rng);
+  ASSERT_EQ(cases.size(), 1u);
+  for (ItemId c : cases[0].candidates) {
+    EXPECT_NE(c, 5);
+    EXPECT_NE(c, 6);
+    EXPECT_NE(c, 7);
+  }
+}
+
+TEST(BuildRankingCasesTest, SkipsRowsWithTooFewFreeItems) {
+  const EdgeList test = {{0, 1}};
+  const InteractionMatrix observed(1, 10, {{0, 1}, {0, 2}});
+  Rng rng(3);
+  EXPECT_TRUE(BuildRankingCases(test, observed, 50, &rng).empty());
+}
+
+TEST(EvaluateRankingTest, PerfectScorerGetsFullMarks) {
+  const EdgeList test = {{0, 5}, {1, 7}};
+  const InteractionMatrix observed(2, 100, {{0, 5}, {1, 7}});
+  Rng rng(4);
+  const auto cases = BuildRankingCases(test, observed, 50, &rng);
+  // Scorer that puts the positive (first item) on top.
+  const Scorer perfect = [](int32_t,
+                            const std::vector<ItemId>& items) {
+    std::vector<double> scores(items.size(), 0.0);
+    scores[0] = 1.0;
+    return scores;
+  };
+  const EvalResult r = EvaluateRanking(cases, perfect, {5, 10});
+  EXPECT_DOUBLE_EQ(r.HitRatio(5), 1.0);
+  EXPECT_DOUBLE_EQ(r.Ndcg(10), 1.0);
+}
+
+TEST(EvaluateRankingTest, AntiPerfectScorerGetsZero) {
+  const EdgeList test = {{0, 5}};
+  const InteractionMatrix observed(1, 100, {{0, 5}});
+  Rng rng(5);
+  const auto cases = BuildRankingCases(test, observed, 50, &rng);
+  const Scorer worst = [](int32_t, const std::vector<ItemId>& items) {
+    std::vector<double> scores(items.size(), 1.0);
+    scores[0] = -1.0;
+    return scores;
+  };
+  const EvalResult r = EvaluateRanking(cases, worst, {5, 10});
+  EXPECT_DOUBLE_EQ(r.HitRatio(10), 0.0);
+}
+
+TEST(EvaluateRankingTest, RandomScorerNearTheoreticalHitRate) {
+  // With 1 positive among 1+50 items, HR@5 of a random scorer ~ 5/51.
+  EdgeList test;
+  for (int i = 0; i < 400; ++i) test.push_back({i, 0});
+  const InteractionMatrix observed(400, 200, test);
+  Rng rng(6);
+  const auto cases = BuildRankingCases(test, observed, 50, &rng);
+  Rng score_rng(7);
+  const Scorer random = [&](int32_t, const std::vector<ItemId>& items) {
+    std::vector<double> scores(items.size());
+    for (double& s : scores) s = score_rng.NextDouble();
+    return scores;
+  };
+  const EvalResult r = EvaluateRanking(cases, random, {5});
+  EXPECT_NEAR(r.HitRatio(5), 5.0 / 51.0, 0.04);
+}
+
+TEST(EvaluateRankingFilteredTest, FilterRestrictsCases) {
+  const EdgeList test = {{0, 5}, {1, 7}, {2, 9}};
+  const InteractionMatrix observed(3, 100, test);
+  Rng rng(8);
+  const auto cases = BuildRankingCases(test, observed, 20, &rng);
+  const Scorer perfect = [](int32_t, const std::vector<ItemId>& items) {
+    std::vector<double> scores(items.size(), 0.0);
+    scores[0] = 1.0;
+    return scores;
+  };
+  const EvalResult r = EvaluateRankingFiltered(
+      cases, perfect, {5}, [](int32_t entity) { return entity != 1; });
+  EXPECT_EQ(r.num_cases, 2);
+}
+
+}  // namespace
+}  // namespace groupsa::eval

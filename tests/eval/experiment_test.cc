@@ -1,0 +1,59 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace groupsa::eval {
+namespace {
+
+TEST(MultiSeedResultTest, CollectsSamples) {
+  MultiSeedResult result;
+  result.Add("hr", 0.5);
+  result.Add("hr", 0.7);
+  EXPECT_TRUE(result.Has("hr"));
+  EXPECT_FALSE(result.Has("ndcg"));
+  EXPECT_DOUBLE_EQ(result.MeanOf("hr"), 0.6);
+  EXPECT_NEAR(result.StdDevOf("hr"), 0.1414, 1e-3);
+}
+
+TEST(MultiSeedResultTest, SingleSampleHasZeroStdDev) {
+  MultiSeedResult result;
+  result.Add("m", 1.0);
+  EXPECT_DOUBLE_EQ(result.StdDevOf("m"), 0.0);
+}
+
+TEST(MultiSeedResultTest, MetricNamesSorted) {
+  MultiSeedResult result;
+  result.Add("b", 1.0);
+  result.Add("a", 2.0);
+  const auto names = result.MetricNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST(MultiSeedResultTest, CompareRunsPairedTTest) {
+  MultiSeedResult result;
+  for (double v : {0.9, 0.91, 0.89, 0.9}) result.Add("model", v);
+  for (double v : {0.5, 0.51, 0.49, 0.5}) result.Add("baseline", v);
+  const TTestResult t = result.Compare("model", "baseline");
+  EXPECT_LT(t.p_value, 0.01);
+  EXPECT_NEAR(t.mean_difference, 0.4, 1e-9);
+}
+
+TEST(RunSeedsTest, RunsRequestedRepetitions) {
+  std::vector<uint64_t> seeds;
+  MultiSeedResult result =
+      RunSeeds(5, 100, [&](int index, uint64_t seed, MultiSeedResult* r) {
+        seeds.push_back(seed);
+        r->Add("metric", static_cast<double>(index));
+      });
+  EXPECT_EQ(seeds.size(), 5u);
+  EXPECT_EQ(result.Samples("metric").size(), 5u);
+  // Per-seed streams are decorrelated (all distinct).
+  for (size_t i = 0; i < seeds.size(); ++i)
+    for (size_t j = i + 1; j < seeds.size(); ++j)
+      EXPECT_NE(seeds[i], seeds[j]);
+}
+
+}  // namespace
+}  // namespace groupsa::eval

@@ -1,0 +1,76 @@
+#include "eval/ttest.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace groupsa::eval {
+namespace {
+
+TEST(TTestTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(SampleStdDev({1, 2, 3}), 1.0);
+}
+
+TEST(TTestTest, IncompleteBetaBoundaries) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(TTestTest, IncompleteBetaKnownValue) {
+  // I_{0.5}(1, 1) = 0.5 (uniform CDF).
+  EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, 0.5), 0.5, 1e-10);
+  // I_x(1, 1) = x.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, 0.37), 0.37, 1e-10);
+}
+
+TEST(TTestTest, StudentTSymmetricAndMonotone) {
+  EXPECT_NEAR(StudentTTwoSidedP(0.0, 10.0), 1.0, 1e-10);
+  EXPECT_NEAR(StudentTTwoSidedP(-2.0, 10.0), StudentTTwoSidedP(2.0, 10.0),
+              1e-10);
+  EXPECT_GT(StudentTTwoSidedP(1.0, 10.0), StudentTTwoSidedP(2.0, 10.0));
+}
+
+TEST(TTestTest, StudentTKnownQuantile) {
+  // For df = 4, t = 2.776 corresponds to two-sided p = 0.05.
+  EXPECT_NEAR(StudentTTwoSidedP(2.776, 4.0), 0.05, 2e-3);
+  // For df = 10, t = 2.228 -> p = 0.05.
+  EXPECT_NEAR(StudentTTwoSidedP(2.228, 10.0), 0.05, 2e-3);
+}
+
+TEST(TTestTest, PairedIdenticalSamplesGivePOne) {
+  const TTestResult r = PairedTTest({1, 2, 3, 4}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_difference, 0.0);
+}
+
+TEST(TTestTest, PairedConstantShiftGivesPZero) {
+  const TTestResult r = PairedTTest({2, 3, 4, 5}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(r.p_value, 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_difference, 1.0);
+}
+
+TEST(TTestTest, PairedKnownExample) {
+  // Differences: {1, 2, 3, 4, 5}; mean 3, sd sqrt(2.5), n 5.
+  // t = 3 / (sqrt(2.5)/sqrt(5)) = 4.2426, df = 4 -> p ~ 0.0132.
+  const TTestResult r =
+      PairedTTest({2, 4, 6, 8, 10}, {1, 2, 3, 4, 5});
+  EXPECT_NEAR(r.t_statistic, 4.2426, 1e-3);
+  EXPECT_NEAR(r.p_value, 0.0132, 2e-3);
+  EXPECT_DOUBLE_EQ(r.degrees_of_freedom, 4.0);
+}
+
+TEST(TTestTest, LargeDifferenceGivesSmallP) {
+  const TTestResult r = PairedTTest({10.0, 10.1, 9.9, 10.05, 9.95},
+                                    {1.0, 1.1, 0.9, 1.05, 0.95});
+  EXPECT_LT(r.p_value, 0.01);
+}
+
+TEST(TTestTest, NoisyEqualMeansGiveLargeP) {
+  const TTestResult r = PairedTTest({1.0, 2.0, 3.0, 4.0},
+                                    {1.1, 1.9, 3.1, 3.9});
+  EXPECT_GT(r.p_value, 0.5);
+}
+
+}  // namespace
+}  // namespace groupsa::eval

@@ -1,0 +1,95 @@
+#include "nn/attention_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+
+namespace groupsa::nn {
+namespace {
+
+using tensor::Matrix;
+
+TEST(AttentionPoolTest, OutputShapes) {
+  Rng rng(1);
+  AttentionPool pool("p", 4, 4, 8, &rng);
+  ag::TensorPtr guide = ag::Constant(Matrix(1, 4, 0.2f));
+  ag::TensorPtr context = ag::Constant(Matrix(5, 4, 0.1f));
+  AttentionPoolOutput out = pool.Forward(nullptr, guide, context);
+  EXPECT_EQ(out.pooled->rows(), 1);
+  EXPECT_EQ(out.pooled->cols(), 4);
+  EXPECT_EQ(out.weights.rows(), 1);
+  EXPECT_EQ(out.weights.cols(), 5);
+}
+
+TEST(AttentionPoolTest, WeightsFormDistribution) {
+  Rng rng(2);
+  AttentionPool pool("p", 3, 3, 6, &rng);
+  Matrix ctx(4, 3);
+  ctx.FillUniform(&rng, -1.0f, 1.0f);
+  AttentionPoolOutput out = pool.Forward(
+      nullptr, ag::Constant(Matrix(1, 3, 0.5f)), ag::Constant(ctx));
+  float total = 0.0f;
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_GT(out.weights.At(0, c), 0.0f);
+    total += out.weights.At(0, c);
+  }
+  EXPECT_NEAR(total, 1.0f, 1e-5f);
+}
+
+TEST(AttentionPoolTest, SingleContextRowGetsFullWeight) {
+  Rng rng(3);
+  AttentionPool pool("p", 3, 3, 6, &rng);
+  Matrix ctx(1, 3, 0.7f);
+  AttentionPoolOutput out = pool.Forward(
+      nullptr, ag::Constant(Matrix(1, 3, 0.5f)), ag::Constant(ctx));
+  EXPECT_FLOAT_EQ(out.weights.At(0, 0), 1.0f);
+  EXPECT_TRUE(AllClose(out.pooled->value(), ctx));
+}
+
+TEST(AttentionPoolTest, PooledIsConvexCombination) {
+  Rng rng(4);
+  AttentionPool pool("p", 2, 2, 4, &rng);
+  Matrix ctx = Matrix::FromRows({{0, 0}, {1, 1}});
+  AttentionPoolOutput out = pool.Forward(
+      nullptr, ag::Constant(Matrix(1, 2, 0.1f)), ag::Constant(ctx));
+  // Pooled entries must lie inside the convex hull [0, 1].
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_GE(out.pooled->value().At(0, c), 0.0f);
+    EXPECT_LE(out.pooled->value().At(0, c), 1.0f);
+  }
+}
+
+TEST(AttentionPoolTest, DifferentGuidesGiveDifferentWeights) {
+  Rng rng(5);
+  AttentionPool pool("p", 4, 4, 8, &rng);
+  Matrix ctx(3, 4);
+  ctx.FillUniform(&rng, -1.0f, 1.0f);
+  Matrix g1(1, 4);
+  Matrix g2(1, 4);
+  g1.FillUniform(&rng, -1.0f, 1.0f);
+  g2.FillUniform(&rng, -1.0f, 1.0f);
+  auto out1 = pool.Forward(nullptr, ag::Constant(g1), ag::Constant(ctx));
+  auto out2 = pool.Forward(nullptr, ag::Constant(g2), ag::Constant(ctx));
+  EXPECT_FALSE(AllClose(out1.weights, out2.weights, 1e-6f));
+}
+
+TEST(AttentionPoolTest, GradientsFlowToAllParams) {
+  Rng rng(6);
+  AttentionPool pool("p", 2, 2, 4, &rng);
+  ag::TensorPtr guide = ag::Variable(Matrix(1, 2, 0.4f));
+  Matrix ctx_m(3, 2);
+  ctx_m.FillUniform(&rng, -0.5f, 0.5f);
+  ag::TensorPtr context = ag::Variable(std::move(ctx_m));
+  std::vector<ag::TensorPtr> params = {guide, context};
+  for (const auto& p : pool.Parameters()) params.push_back(p.tensor);
+  auto result = ag::CheckGradients(
+      [&](ag::Tape* tape) {
+        return ag::SumAll(tape, pool.Forward(tape, guide, context).pooled);
+      },
+      params);
+  EXPECT_TRUE(result.ok) << result.worst_entry;
+}
+
+}  // namespace
+}  // namespace groupsa::nn

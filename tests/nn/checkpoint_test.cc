@@ -1,0 +1,90 @@
+#include "nn/checkpoint.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "nn/linear.h"
+#include "nn/mlp.h"
+
+namespace groupsa::nn {
+namespace {
+
+using tensor::Matrix;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CheckpointTest, SaveLoadRoundTrip) {
+  Rng rng(1);
+  Mlp source("m", {3, 4, 2}, &rng);
+  const std::string path = TempPath("ckpt_roundtrip.bin");
+  ASSERT_TRUE(SaveParameters(source.Parameters(), path).ok());
+
+  Rng rng2(99);
+  Mlp dest("m", {3, 4, 2}, &rng2);
+  ASSERT_TRUE(LoadParameters(dest.Parameters(), path).ok());
+
+  const auto src_params = source.Parameters();
+  const auto dst_params = dest.Parameters();
+  ASSERT_EQ(src_params.size(), dst_params.size());
+  for (size_t i = 0; i < src_params.size(); ++i) {
+    EXPECT_TRUE(tensor::AllClose(src_params[i].tensor->value(),
+                                 dst_params[i].tensor->value()));
+  }
+}
+
+TEST(CheckpointTest, LoadRejectsMissingFile) {
+  Rng rng(2);
+  Linear layer("l", 2, 2, &rng);
+  EXPECT_FALSE(LoadParameters(layer.Parameters(),
+                              TempPath("does_not_exist.bin"))
+                   .ok());
+}
+
+TEST(CheckpointTest, LoadRejectsShapeMismatch) {
+  Rng rng(3);
+  Linear small("l", 2, 2, &rng);
+  const std::string path = TempPath("ckpt_shape.bin");
+  ASSERT_TRUE(SaveParameters(small.Parameters(), path).ok());
+  Linear big("l", 3, 3, &rng);  // same names, different shapes
+  const Status s = LoadParameters(big.Parameters(), path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("shape mismatch"), std::string::npos);
+}
+
+TEST(CheckpointTest, LoadRejectsUnknownParameter) {
+  Rng rng(4);
+  Linear a("a", 2, 2, &rng);
+  const std::string path = TempPath("ckpt_unknown.bin");
+  ASSERT_TRUE(SaveParameters(a.Parameters(), path).ok());
+  Linear b("b", 2, 2, &rng);  // different names
+  EXPECT_FALSE(LoadParameters(b.Parameters(), path).ok());
+}
+
+TEST(CheckpointTest, LoadRejectsGarbageMagic) {
+  const std::string path = TempPath("ckpt_garbage.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a checkpoint", f);
+  std::fclose(f);
+  Rng rng(5);
+  Linear layer("l", 2, 2, &rng);
+  const Status s = LoadParameters(layer.Parameters(), path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("magic"), std::string::npos);
+}
+
+TEST(CheckpointTest, PartialFileReportsIncomplete) {
+  Rng rng(6);
+  Linear one("l", 2, 2, &rng);
+  const std::string path = TempPath("ckpt_partial.bin");
+  // Save only the weight entry, then try to load weight+bias.
+  ASSERT_TRUE(SaveParameters({one.Parameters()[0]}, path).ok());
+  const Status s = LoadParameters(one.Parameters(), path);
+  EXPECT_FALSE(s.ok());
+}
+
+}  // namespace
+}  // namespace groupsa::nn

@@ -1,0 +1,62 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace groupsa::nn {
+namespace {
+
+using tensor::Matrix;
+
+TEST(InitTest, GlorotBoundRespected) {
+  Rng rng(1);
+  Matrix m(200, 100);
+  GlorotUniform(&m, 200, 100, &rng);
+  const float bound = std::sqrt(6.0f / 300.0f);
+  EXPECT_LE(m.MaxAbs(), bound);
+  EXPECT_GT(m.MaxAbs(), 0.8f * bound);  // some mass near the bound
+}
+
+TEST(InitTest, GlorotShapeOverloadUsesOwnDims) {
+  Rng rng(2);
+  Matrix m(50, 50);
+  GlorotUniform(&m, &rng);
+  EXPECT_LE(m.MaxAbs(), std::sqrt(6.0f / 100.0f));
+}
+
+TEST(InitTest, GlorotMeanNearZero) {
+  Rng rng(3);
+  Matrix m(100, 100);
+  GlorotUniform(&m, &rng);
+  EXPECT_NEAR(m.Mean(), 0.0f, 0.005f);
+}
+
+TEST(InitTest, GaussianMoments) {
+  Rng rng(4);
+  Matrix m(100, 100);
+  GaussianInit(&m, 0.0f, 0.1f, &rng);
+  EXPECT_NEAR(m.Mean(), 0.0f, 0.005f);
+  // Sample stddev close to 0.1.
+  EXPECT_NEAR(std::sqrt(m.SquaredNorm() / m.size()), 0.1f, 0.01f);
+}
+
+TEST(InitTest, GaussianNonZeroMean) {
+  Rng rng(5);
+  Matrix m(50, 50);
+  GaussianInit(&m, 3.0f, 0.5f, &rng);
+  EXPECT_NEAR(m.Mean(), 3.0f, 0.05f);
+}
+
+TEST(InitTest, DeterministicGivenSeed) {
+  Rng a(6);
+  Rng b(6);
+  Matrix ma(10, 10);
+  Matrix mb(10, 10);
+  GlorotUniform(&ma, &a);
+  GlorotUniform(&mb, &b);
+  EXPECT_TRUE(AllClose(ma, mb));
+}
+
+}  // namespace
+}  // namespace groupsa::nn

@@ -1,0 +1,83 @@
+#include "nn/layer_norm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+
+namespace groupsa::nn {
+namespace {
+
+using tensor::Matrix;
+
+TEST(LayerNormTest, NormalizesEachRow) {
+  LayerNorm ln("ln", 4);
+  Matrix input = Matrix::FromRows({{1, 2, 3, 4}, {10, 10, 10, 30}});
+  ag::TensorPtr x = ag::Constant(input);
+  ag::TensorPtr y = ln.Forward(nullptr, x);
+  for (int r = 0; r < 2; ++r) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (int c = 0; c < 4; ++c) mean += y->value().At(r, c);
+    mean /= 4.0;
+    for (int c = 0; c < 4; ++c) {
+      const double d = y->value().At(r, c) - mean;
+      var += d * d;
+    }
+    var /= 4.0;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNormTest, DefaultGainOneBiasZero) {
+  LayerNorm ln("ln", 3);
+  const auto params = ln.Parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_FLOAT_EQ(params[0].tensor->value().At(0, 0), 1.0f);  // gain
+  EXPECT_FLOAT_EQ(params[1].tensor->value().At(0, 0), 0.0f);  // bias
+}
+
+TEST(LayerNormTest, GainAndBiasApplied) {
+  LayerNorm ln("ln", 2);
+  ln.Parameters()[0].tensor->mutable_value().Fill(2.0f);
+  ln.Parameters()[1].tensor->mutable_value().Fill(5.0f);
+  ag::TensorPtr x = ag::Constant(Matrix::FromRows({{-1, 1}}));
+  ag::TensorPtr y = ln.Forward(nullptr, x);
+  // Normalized row is (-1, 1); y = 2 * x_hat + 5.
+  EXPECT_NEAR(y->value().At(0, 0), 3.0f, 1e-3f);
+  EXPECT_NEAR(y->value().At(0, 1), 7.0f, 1e-3f);
+}
+
+TEST(LayerNormTest, ConstantRowMapsToBias) {
+  LayerNorm ln("ln", 3);
+  ag::TensorPtr x = ag::Constant(Matrix(1, 3, 42.0f));
+  ag::TensorPtr y = ln.Forward(nullptr, x);
+  // Zero variance: x_hat = 0, so output = bias = 0.
+  for (int c = 0; c < 3; ++c) EXPECT_NEAR(y->value().At(0, c), 0.0f, 1e-2f);
+}
+
+TEST(LayerNormTest, GradientCheck) {
+  Rng rng(7);
+  LayerNorm ln("ln", 4);
+  Matrix input(2, 4);
+  input.FillUniform(&rng, -1.0f, 1.0f);
+  ag::TensorPtr x = ag::Variable(std::move(input));
+  std::vector<ag::TensorPtr> params = {x};
+  for (const auto& p : ln.Parameters()) params.push_back(p.tensor);
+  auto result = ag::CheckGradients(
+      [&](ag::Tape* tape) {
+        ag::TensorPtr y = ln.Forward(tape, x);
+        // Mix with distinct weights to exercise every coordinate.
+        Matrix w(2, 4);
+        for (int i = 0; i < w.size(); ++i) w.data()[i] = 0.3f * (i + 1);
+        return ag::SumAll(tape, ag::Mul(tape, y, ag::Constant(std::move(w))));
+      },
+      params, /*step=*/1e-2f, /*abs_tolerance=*/5e-3f,
+      /*rel_tolerance=*/3e-2f);
+  EXPECT_TRUE(result.ok) << result.worst_entry;
+}
+
+}  // namespace
+}  // namespace groupsa::nn

@@ -1,0 +1,77 @@
+#include "nn/linear.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+
+namespace groupsa::nn {
+namespace {
+
+using tensor::Matrix;
+
+TEST(LinearTest, ForwardShape) {
+  Rng rng(1);
+  Linear layer("l", 4, 3, &rng);
+  ag::TensorPtr x = ag::Constant(Matrix(5, 4, 1.0f));
+  ag::Tape tape;
+  ag::TensorPtr y = layer.Forward(&tape, x);
+  EXPECT_EQ(y->rows(), 5);
+  EXPECT_EQ(y->cols(), 3);
+}
+
+TEST(LinearTest, ForwardMatchesManualAffine) {
+  Rng rng(2);
+  Linear layer("l", 2, 2, &rng);
+  // Overwrite with known weights.
+  layer.weight()->mutable_value() = Matrix::FromRows({{1, 2}, {3, 4}});
+  layer.bias()->mutable_value() = Matrix::FromRows({{10, 20}});
+  ag::TensorPtr x = ag::Constant(Matrix::FromRows({{1, 1}}));
+  ag::TensorPtr y = layer.Forward(nullptr, x);
+  EXPECT_FLOAT_EQ(y->value().At(0, 0), 14.0f);
+  EXPECT_FLOAT_EQ(y->value().At(0, 1), 26.0f);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(3);
+  Linear layer("l", 2, 2, &rng, /*use_bias=*/false);
+  layer.weight()->mutable_value() = Matrix::FromRows({{1, 0}, {0, 1}});
+  ag::TensorPtr x = ag::Constant(Matrix::FromRows({{5, 7}}));
+  ag::TensorPtr y = layer.Forward(nullptr, x);
+  EXPECT_FLOAT_EQ(y->value().At(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(y->value().At(0, 1), 7.0f);
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+}
+
+TEST(LinearTest, RegistersParameters) {
+  Rng rng(4);
+  Linear layer("mylayer", 3, 2, &rng);
+  const auto params = layer.Parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].name, "mylayer.weight");
+  EXPECT_EQ(params[1].name, "mylayer.bias");
+  EXPECT_EQ(layer.NumParameterScalars(), 3 * 2 + 2);
+}
+
+TEST(LinearTest, GradientsFlowToWeightAndBias) {
+  Rng rng(5);
+  Linear layer("l", 3, 2, &rng);
+  ag::TensorPtr x = ag::Variable(Matrix(2, 3, 0.5f));
+  auto result = ag::CheckGradients(
+      [&](ag::Tape* tape) {
+        return ag::SumAll(tape, layer.Forward(tape, x));
+      },
+      {layer.weight(), layer.bias(), x});
+  EXPECT_TRUE(result.ok) << result.worst_entry;
+}
+
+TEST(LinearTest, InitGlorotChangesScale) {
+  Rng rng(6);
+  Linear layer("l", 100, 100, &rng);
+  layer.InitGlorot(&rng);
+  // Glorot bound for 100x100 is sqrt(6/200) ~= 0.173.
+  EXPECT_LE(layer.weight()->value().MaxAbs(), 0.18f);
+  EXPECT_GT(layer.weight()->value().MaxAbs(), 0.1f);
+}
+
+}  // namespace
+}  // namespace groupsa::nn

@@ -1,0 +1,83 @@
+#include "nn/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+
+namespace groupsa::nn {
+namespace {
+
+using tensor::Matrix;
+
+TEST(MlpTest, OutputShape) {
+  Rng rng(1);
+  Mlp mlp("m", {4, 8, 2}, &rng);
+  ag::TensorPtr x = ag::Constant(Matrix(3, 4, 0.1f));
+  ag::TensorPtr y = mlp.Forward(nullptr, x);
+  EXPECT_EQ(y->rows(), 3);
+  EXPECT_EQ(y->cols(), 2);
+  EXPECT_EQ(mlp.num_layers(), 2);
+  EXPECT_EQ(mlp.in_dim(), 4);
+  EXPECT_EQ(mlp.out_dim(), 2);
+}
+
+TEST(MlpTest, SingleAffineLayerNoOutputActivation) {
+  Rng rng(2);
+  Mlp mlp("m", {2, 1}, &rng, Activation::kRelu, Activation::kNone);
+  // Output may be negative because the last layer has no activation.
+  ag::TensorPtr x = ag::Constant(Matrix(1, 2, -100.0f));
+  ag::TensorPtr y = mlp.Forward(nullptr, x);
+  EXPECT_EQ(y->cols(), 1);
+}
+
+TEST(MlpTest, ReluOutputActivationClampsNegative) {
+  Rng rng(3);
+  Mlp mlp("m", {2, 2}, &rng, Activation::kRelu, Activation::kRelu);
+  ag::TensorPtr x = ag::Constant(Matrix(1, 2, -100.0f));
+  ag::TensorPtr y = mlp.Forward(nullptr, x);
+  for (int c = 0; c < 2; ++c) EXPECT_GE(y->value().At(0, c), 0.0f);
+}
+
+TEST(MlpTest, SigmoidOutputBounded) {
+  Rng rng(4);
+  Mlp mlp("m", {3, 4, 2}, &rng, Activation::kRelu, Activation::kSigmoid);
+  ag::TensorPtr x = ag::Constant(Matrix(2, 3, 5.0f));
+  ag::TensorPtr y = mlp.Forward(nullptr, x);
+  for (int i = 0; i < y->value().size(); ++i) {
+    EXPECT_GT(y->value().data()[i], 0.0f);
+    EXPECT_LT(y->value().data()[i], 1.0f);
+  }
+}
+
+TEST(MlpTest, ParameterCount) {
+  Rng rng(5);
+  Mlp mlp("m", {4, 8, 2}, &rng);
+  EXPECT_EQ(mlp.NumParameterScalars(), (4 * 8 + 8) + (8 * 2 + 2));
+}
+
+TEST(MlpTest, GradientsFlowThroughAllLayers) {
+  Rng rng(6);
+  Mlp mlp("m", {3, 4, 1}, &rng, Activation::kTanh, Activation::kNone);
+  ag::TensorPtr x = ag::Variable(Matrix(2, 3, 0.3f));
+  std::vector<ag::TensorPtr> params = {x};
+  for (const auto& p : mlp.Parameters()) params.push_back(p.tensor);
+  auto result = ag::CheckGradients(
+      [&](ag::Tape* tape) { return ag::SumAll(tape, mlp.Forward(tape, x)); },
+      params);
+  EXPECT_TRUE(result.ok) << result.worst_entry;
+}
+
+TEST(ActivateTest, AllKinds) {
+  ag::TensorPtr x = ag::Constant(Matrix::FromRows({{-1.0f, 1.0f}}));
+  EXPECT_FLOAT_EQ(Activate(nullptr, x, Activation::kNone)->value().At(0, 0),
+                  -1.0f);
+  EXPECT_FLOAT_EQ(Activate(nullptr, x, Activation::kRelu)->value().At(0, 0),
+                  0.0f);
+  EXPECT_NEAR(Activate(nullptr, x, Activation::kSigmoid)->value().At(0, 1),
+              0.7311f, 1e-4f);
+  EXPECT_NEAR(Activate(nullptr, x, Activation::kTanh)->value().At(0, 1),
+              0.7616f, 1e-4f);
+}
+
+}  // namespace
+}  // namespace groupsa::nn

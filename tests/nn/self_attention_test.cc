@@ -1,0 +1,122 @@
+#include "nn/self_attention.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+
+namespace groupsa::nn {
+namespace {
+
+using tensor::Matrix;
+
+TEST(MakeSocialBiasTest, SelfLoopAlwaysEnabled) {
+  Matrix bias = MakeSocialBias(3, [](int, int) { return false; });
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(bias.At(i, i), 0.0f);
+    for (int j = 0; j < 3; ++j) {
+      if (i != j) {
+        EXPECT_TRUE(std::isinf(bias.At(i, j)));
+      }
+    }
+  }
+}
+
+TEST(MakeSocialBiasTest, ConnectionsUnmasked) {
+  Matrix bias =
+      MakeSocialBias(3, [](int i, int j) { return i + j == 1; });  // 0-1
+  EXPECT_EQ(bias.At(0, 1), 0.0f);
+  EXPECT_EQ(bias.At(1, 0), 0.0f);
+  EXPECT_TRUE(std::isinf(bias.At(0, 2)));
+  EXPECT_TRUE(std::isinf(bias.At(2, 1)));
+}
+
+TEST(SelfAttentionTest, OutputShapesAndRowStochasticAttention) {
+  Rng rng(1);
+  SocialSelfAttention attn("a", 4, 4, 4, &rng);
+  Matrix x(5, 4);
+  x.FillUniform(&rng, -1.0f, 1.0f);
+  SelfAttentionOutput out =
+      attn.Forward(nullptr, ag::Constant(x), /*social_bias=*/nullptr);
+  EXPECT_EQ(out.values->rows(), 5);
+  EXPECT_EQ(out.values->cols(), 4);
+  EXPECT_EQ(out.attention.rows(), 5);
+  for (int r = 0; r < 5; ++r) {
+    float total = 0.0f;
+    for (int c = 0; c < 5; ++c) total += out.attention.At(r, c);
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(SelfAttentionTest, SocialMaskZeroesDisconnectedPairs) {
+  Rng rng(2);
+  SocialSelfAttention attn("a", 4, 4, 4, &rng);
+  Matrix x(3, 4);
+  x.FillUniform(&rng, -1.0f, 1.0f);
+  // Only 0-1 connected.
+  Matrix bias = MakeSocialBias(3, [](int i, int j) { return i + j == 1; });
+  SelfAttentionOutput out = attn.Forward(nullptr, ag::Constant(x), &bias);
+  EXPECT_EQ(out.attention.At(0, 2), 0.0f);
+  EXPECT_EQ(out.attention.At(1, 2), 0.0f);
+  EXPECT_EQ(out.attention.At(2, 0), 0.0f);
+  EXPECT_EQ(out.attention.At(2, 1), 0.0f);
+  EXPECT_FLOAT_EQ(out.attention.At(2, 2), 1.0f);  // isolated member: self
+  EXPECT_GT(out.attention.At(0, 1), 0.0f);
+}
+
+TEST(SelfAttentionTest, FullyMaskedMemberAttendsSelfOnly) {
+  Rng rng(3);
+  SocialSelfAttention attn("a", 2, 2, 2, &rng);
+  Matrix x(2, 2);
+  x.FillUniform(&rng, -1.0f, 1.0f);
+  Matrix bias = MakeSocialBias(2, [](int, int) { return false; });
+  SelfAttentionOutput out = attn.Forward(nullptr, ag::Constant(x), &bias);
+  EXPECT_FLOAT_EQ(out.attention.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out.attention.At(1, 1), 1.0f);
+}
+
+TEST(SelfAttentionTest, SingleMemberGroup) {
+  Rng rng(4);
+  SocialSelfAttention attn("a", 3, 3, 3, &rng);
+  Matrix x(1, 3, 0.5f);
+  Matrix bias = MakeSocialBias(1, [](int, int) { return false; });
+  SelfAttentionOutput out = attn.Forward(nullptr, ag::Constant(x), &bias);
+  EXPECT_EQ(out.values->rows(), 1);
+  EXPECT_FLOAT_EQ(out.attention.At(0, 0), 1.0f);
+}
+
+TEST(SelfAttentionTest, GradientCheckWithMask) {
+  Rng rng(5);
+  SocialSelfAttention attn("a", 3, 3, 3, &rng);
+  Matrix x_m(3, 3);
+  x_m.FillUniform(&rng, -0.5f, 0.5f);
+  ag::TensorPtr x = ag::Variable(std::move(x_m));
+  Matrix bias = MakeSocialBias(3, [](int i, int j) { return i + j != 3; });
+  std::vector<ag::TensorPtr> params = {x};
+  for (const auto& p : attn.Parameters()) params.push_back(p.tensor);
+  auto result = ag::CheckGradients(
+      [&](ag::Tape* tape) {
+        return ag::SumAll(tape, attn.Forward(tape, x, &bias).values);
+      },
+      params);
+  EXPECT_TRUE(result.ok) << result.worst_entry;
+}
+
+TEST(SelfAttentionTest, SmallValueInitShrinksOutput) {
+  Rng rng(6);
+  SocialSelfAttention big("a", 4, 4, 4, &rng, /*small_value_init=*/false);
+  SocialSelfAttention small("b", 4, 4, 4, &rng, /*small_value_init=*/true);
+  Matrix x(3, 4);
+  x.FillUniform(&rng, -1.0f, 1.0f);
+  auto out_big = big.Forward(nullptr, ag::Constant(x), nullptr);
+  auto out_small = small.Forward(nullptr, ag::Constant(x), nullptr);
+  EXPECT_LT(out_small.values->value().MaxAbs(),
+            out_big.values->value().MaxAbs());
+  EXPECT_LT(out_small.values->value().MaxAbs(), 0.1f);
+}
+
+}  // namespace
+}  // namespace groupsa::nn

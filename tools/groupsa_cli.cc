@@ -1,0 +1,262 @@
+// groupsa_cli — command-line front end to the library.
+//
+//   groupsa_cli generate --out DIR [--preset yelp|douban|tiny] [--seed N]
+//       Generate a synthetic world and write it as TSV files.
+//   groupsa_cli stats --data DIR
+//       Print Table-I-style statistics of a stored dataset.
+//   groupsa_cli train --data DIR --model FILE [--epochs N] [--seed N]
+//       Train GroupSA on a stored dataset and save a checkpoint.
+//   groupsa_cli evaluate --data DIR --model FILE [--candidates N]
+//       Evaluate a checkpoint with the paper's ranking protocol.
+//   groupsa_cli recommend --data DIR --model FILE --members 1,2,3 [--top K]
+//       Score the catalog for an ad-hoc group and print the Top-K items.
+//
+// The train/evaluate/recommend commands re-derive the split and TF-IDF
+// neighbourhoods deterministically from --seed, so a saved model and its
+// evaluation always agree.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/trainer.h"
+#include "data/io.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "data/tfidf.h"
+#include "eval/evaluator.h"
+#include "nn/checkpoint.h"
+
+using namespace groupsa;
+
+namespace {
+
+// Minimal --key value / --key=value parser.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      flags[arg] = argv[++i];
+    } else {
+      flags[arg] = "1";
+    }
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+// Everything train/evaluate/recommend share: dataset, split, neighbourhoods.
+struct LoadedWorkspace {
+  data::Dataset dataset;
+  data::Split ui;
+  data::Split gi;
+  data::InteractionMatrix ui_train;
+  data::InteractionMatrix gi_train;
+  core::ModelData model_data;
+  core::GroupSaConfig config;
+};
+
+bool LoadWorkspace(const std::string& dir, uint64_t seed,
+                   LoadedWorkspace* ws) {
+  if (Status s = data::LoadDataset(dir, &ws->dataset); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.message().c_str());
+    return false;
+  }
+  Rng rng(seed);
+  ws->ui = data::SplitEdges(ws->dataset.user_item, 0.2, 0.1, &rng);
+  ws->gi = data::GlobalSplitEdges(ws->dataset.group_item, 0.2, 0.1, &rng);
+  ws->ui_train = data::InteractionMatrix(ws->dataset.num_users,
+                                         ws->dataset.num_items, ws->ui.train);
+  ws->gi_train = data::InteractionMatrix(ws->dataset.groups.num_groups(),
+                                         ws->dataset.num_items, ws->gi.train);
+  ws->config = core::GroupSaConfig::Default();
+  ws->model_data.groups = &ws->dataset.groups;
+  ws->model_data.social = &ws->dataset.social;
+  ws->model_data.top_items =
+      data::TopItemsPerUser(ws->ui_train, ws->config.top_h);
+  ws->model_data.top_friends =
+      data::TopFriendsPerUser(ws->dataset.social, ws->config.top_h);
+  return true;
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  const std::string out = FlagOr(flags, "out", "");
+  if (out.empty()) return Fail("generate requires --out DIR");
+  const std::string preset = FlagOr(flags, "preset", "yelp");
+  data::SyntheticWorldConfig config;
+  if (preset == "yelp") {
+    config = data::SyntheticWorldConfig::YelpLike();
+  } else if (preset == "douban") {
+    config = data::SyntheticWorldConfig::DoubanEventLike();
+  } else if (preset == "tiny") {
+    config = data::SyntheticWorldConfig::Tiny();
+  } else {
+    return Fail("unknown preset: " + preset);
+  }
+  config.seed = std::strtoull(FlagOr(flags, "seed", "7").c_str(), nullptr, 10);
+  const data::SyntheticWorld world = data::GenerateWorld(config);
+  if (Status s = data::SaveDataset(world.dataset, out); !s.ok())
+    return Fail(s.message());
+  std::printf("wrote %s world to %s\n%s\n", config.name.c_str(), out.c_str(),
+              world.dataset.ComputeStats().ToString().c_str());
+  return 0;
+}
+
+int CmdStats(const std::map<std::string, std::string>& flags) {
+  const std::string dir = FlagOr(flags, "data", "");
+  if (dir.empty()) return Fail("stats requires --data DIR");
+  data::Dataset dataset;
+  if (Status s = data::LoadDataset(dir, &dataset); !s.ok())
+    return Fail(s.message());
+  std::printf("%s\n", dataset.ComputeStats().ToString().c_str());
+  return 0;
+}
+
+int CmdTrain(const std::map<std::string, std::string>& flags) {
+  const std::string dir = FlagOr(flags, "data", "");
+  const std::string model_path = FlagOr(flags, "model", "");
+  if (dir.empty() || model_path.empty())
+    return Fail("train requires --data DIR and --model FILE");
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "1").c_str(), nullptr, 10);
+  LoadedWorkspace ws;
+  if (!LoadWorkspace(dir, seed, &ws)) return 1;
+  const int epochs = std::atoi(FlagOr(flags, "epochs", "8").c_str());
+  ws.config.user_epochs = epochs;
+  ws.config.group_epochs = epochs;
+
+  Rng rng(seed + 1);
+  core::GroupSaModel model(ws.config, ws.dataset.num_users,
+                           ws.dataset.num_items, ws.model_data, &rng);
+  std::printf("training GroupSA (%lld parameters, %d+%d epochs)...\n",
+              static_cast<long long>(model.NumParameterScalars()), epochs,
+              epochs);
+  core::Trainer trainer(&model, ws.ui.train, ws.gi.train, &ws.ui_train,
+                        &ws.gi_train, &rng);
+  trainer.Fit(/*verbose=*/true);
+  if (Status s = nn::SaveParameters(model.Parameters(), model_path); !s.ok())
+    return Fail(s.message());
+  std::printf("saved checkpoint to %s\n", model_path.c_str());
+  return 0;
+}
+
+int CmdEvaluate(const std::map<std::string, std::string>& flags) {
+  const std::string dir = FlagOr(flags, "data", "");
+  const std::string model_path = FlagOr(flags, "model", "");
+  if (dir.empty() || model_path.empty())
+    return Fail("evaluate requires --data DIR and --model FILE");
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "1").c_str(), nullptr, 10);
+  LoadedWorkspace ws;
+  if (!LoadWorkspace(dir, seed, &ws)) return 1;
+  Rng rng(seed + 1);
+  core::GroupSaModel model(ws.config, ws.dataset.num_users,
+                           ws.dataset.num_items, ws.model_data, &rng);
+  if (Status s = nn::LoadParameters(model.Parameters(), model_path); !s.ok())
+    return Fail(s.message());
+
+  const int candidates =
+      std::atoi(FlagOr(flags, "candidates", "100").c_str());
+  Rng eval_rng(seed + 2);
+  const data::InteractionMatrix ui_all = ws.dataset.UserItemMatrix();
+  const data::InteractionMatrix gi_all = ws.dataset.GroupItemMatrix();
+  const auto user_cases =
+      eval::BuildRankingCases(ws.ui.test, ui_all, candidates, &eval_rng);
+  const auto group_cases =
+      eval::BuildRankingCases(ws.gi.test, gi_all, candidates, &eval_rng);
+  const eval::EvalResult user = eval::EvaluateRanking(
+      user_cases,
+      [&](int32_t u, const std::vector<data::ItemId>& items) {
+        return model.ScoreItemsForUser(u, items);
+      },
+      {5, 10});
+  const eval::EvalResult group = eval::EvaluateRanking(
+      group_cases,
+      [&](int32_t g, const std::vector<data::ItemId>& items) {
+        return model.ScoreItemsForGroup(g, items);
+      },
+      {5, 10});
+  std::printf("user task:  %s\ngroup task: %s\n", user.ToString().c_str(),
+              group.ToString().c_str());
+  return 0;
+}
+
+int CmdRecommend(const std::map<std::string, std::string>& flags) {
+  const std::string dir = FlagOr(flags, "data", "");
+  const std::string model_path = FlagOr(flags, "model", "");
+  const std::string members_flag = FlagOr(flags, "members", "");
+  if (dir.empty() || model_path.empty() || members_flag.empty())
+    return Fail("recommend requires --data DIR --model FILE --members a,b,c");
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "1").c_str(), nullptr, 10);
+  LoadedWorkspace ws;
+  if (!LoadWorkspace(dir, seed, &ws)) return 1;
+  Rng rng(seed + 1);
+  core::GroupSaModel model(ws.config, ws.dataset.num_users,
+                           ws.dataset.num_items, ws.model_data, &rng);
+  if (Status s = nn::LoadParameters(model.Parameters(), model_path); !s.ok())
+    return Fail(s.message());
+
+  std::vector<data::UserId> members;
+  for (const std::string& token : StrSplit(members_flag, ',')) {
+    if (token.empty()) continue;
+    const int user = std::atoi(token.c_str());
+    if (user < 0 || user >= ws.dataset.num_users)
+      return Fail("member id out of range: " + token);
+    members.push_back(user);
+  }
+  if (members.empty()) return Fail("no valid member ids in --members");
+
+  const int top_k = std::atoi(FlagOr(flags, "top", "10").c_str());
+  std::vector<data::ItemId> all_items(ws.dataset.num_items);
+  for (int v = 0; v < ws.dataset.num_items; ++v) all_items[v] = v;
+  const auto scores = model.ScoreItemsForMembers(members, all_items);
+  std::vector<std::pair<data::ItemId, double>> ranked;
+  for (size_t v = 0; v < scores.size(); ++v)
+    ranked.emplace_back(static_cast<data::ItemId>(v), scores[v]);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::printf("Top-%d for group {%s}:\n", top_k, members_flag.c_str());
+  for (int i = 0; i < top_k && i < static_cast<int>(ranked.size()); ++i)
+    std::printf("  item #%-5d score %.4f\n", ranked[i].first,
+                ranked[i].second);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: groupsa_cli <generate|stats|train|evaluate|"
+                 "recommend> [flags]\n");
+    return 1;
+  }
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "recommend") return CmdRecommend(flags);
+  return Fail("unknown command: " + command);
+}
