@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_model.dir/micro_model.cc.o"
+  "CMakeFiles/bench_micro_model.dir/micro_model.cc.o.d"
+  "bench_micro_model"
+  "bench_micro_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

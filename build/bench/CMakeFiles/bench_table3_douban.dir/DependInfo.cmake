@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_douban.cc" "bench/CMakeFiles/bench_table3_douban.dir/table3_douban.cc.o" "gcc" "bench/CMakeFiles/bench_table3_douban.dir/table3_douban.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/groupsa_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

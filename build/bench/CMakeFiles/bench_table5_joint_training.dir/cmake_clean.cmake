@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_joint_training.dir/table5_joint_training.cc.o"
+  "CMakeFiles/bench_table5_joint_training.dir/table5_joint_training.cc.o.d"
+  "bench_table5_joint_training"
+  "bench_table5_joint_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_joint_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_layers.dir/table6_layers.cc.o"
+  "CMakeFiles/bench_table6_layers.dir/table6_layers.cc.o.d"
+  "bench_table6_layers"
+  "bench_table6_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

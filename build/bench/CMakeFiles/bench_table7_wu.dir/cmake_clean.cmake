@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_wu.dir/table7_wu.cc.o"
+  "CMakeFiles/bench_table7_wu.dir/table7_wu.cc.o.d"
+  "bench_table7_wu"
+  "bench_table7_wu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_wu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_negatives.dir/table8_negatives.cc.o"
+  "CMakeFiles/bench_table8_negatives.dir/table8_negatives.cc.o.d"
+  "bench_table8_negatives"
+  "bench_table8_negatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_negatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

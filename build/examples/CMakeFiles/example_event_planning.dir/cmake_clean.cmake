@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_event_planning.dir/event_planning.cc.o"
+  "CMakeFiles/example_event_planning.dir/event_planning.cc.o.d"
+  "example_event_planning"
+  "example_event_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_event_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

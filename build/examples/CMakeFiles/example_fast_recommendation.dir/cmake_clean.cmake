@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fast_recommendation.dir/fast_recommendation.cc.o"
+  "CMakeFiles/example_fast_recommendation.dir/fast_recommendation.cc.o.d"
+  "example_fast_recommendation"
+  "example_fast_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fast_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

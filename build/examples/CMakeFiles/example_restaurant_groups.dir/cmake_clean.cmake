@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_restaurant_groups.dir/restaurant_groups.cc.o"
+  "CMakeFiles/example_restaurant_groups.dir/restaurant_groups.cc.o.d"
+  "example_restaurant_groups"
+  "example_restaurant_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_restaurant_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

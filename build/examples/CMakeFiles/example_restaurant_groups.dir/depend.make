@@ -1,0 +1,2 @@
+# Empty dependencies file for example_restaurant_groups.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupsa_autograd.dir/autograd/grad_check.cc.o"
+  "CMakeFiles/groupsa_autograd.dir/autograd/grad_check.cc.o.d"
+  "CMakeFiles/groupsa_autograd.dir/autograd/ops.cc.o"
+  "CMakeFiles/groupsa_autograd.dir/autograd/ops.cc.o.d"
+  "CMakeFiles/groupsa_autograd.dir/autograd/tape.cc.o"
+  "CMakeFiles/groupsa_autograd.dir/autograd/tape.cc.o.d"
+  "CMakeFiles/groupsa_autograd.dir/autograd/tensor.cc.o"
+  "CMakeFiles/groupsa_autograd.dir/autograd/tensor.cc.o.d"
+  "libgroupsa_autograd.a"
+  "libgroupsa_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupsa_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/agree.cc" "src/CMakeFiles/groupsa_baselines.dir/baselines/agree.cc.o" "gcc" "src/CMakeFiles/groupsa_baselines.dir/baselines/agree.cc.o.d"
+  "/root/repo/src/baselines/bpr.cc" "src/CMakeFiles/groupsa_baselines.dir/baselines/bpr.cc.o" "gcc" "src/CMakeFiles/groupsa_baselines.dir/baselines/bpr.cc.o.d"
+  "/root/repo/src/baselines/ncf.cc" "src/CMakeFiles/groupsa_baselines.dir/baselines/ncf.cc.o" "gcc" "src/CMakeFiles/groupsa_baselines.dir/baselines/ncf.cc.o.d"
+  "/root/repo/src/baselines/popularity.cc" "src/CMakeFiles/groupsa_baselines.dir/baselines/popularity.cc.o" "gcc" "src/CMakeFiles/groupsa_baselines.dir/baselines/popularity.cc.o.d"
+  "/root/repo/src/baselines/sigr.cc" "src/CMakeFiles/groupsa_baselines.dir/baselines/sigr.cc.o" "gcc" "src/CMakeFiles/groupsa_baselines.dir/baselines/sigr.cc.o.d"
+  "/root/repo/src/baselines/static_agg.cc" "src/CMakeFiles/groupsa_baselines.dir/baselines/static_agg.cc.o" "gcc" "src/CMakeFiles/groupsa_baselines.dir/baselines/static_agg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/groupsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupsa_baselines.dir/baselines/agree.cc.o"
+  "CMakeFiles/groupsa_baselines.dir/baselines/agree.cc.o.d"
+  "CMakeFiles/groupsa_baselines.dir/baselines/bpr.cc.o"
+  "CMakeFiles/groupsa_baselines.dir/baselines/bpr.cc.o.d"
+  "CMakeFiles/groupsa_baselines.dir/baselines/ncf.cc.o"
+  "CMakeFiles/groupsa_baselines.dir/baselines/ncf.cc.o.d"
+  "CMakeFiles/groupsa_baselines.dir/baselines/popularity.cc.o"
+  "CMakeFiles/groupsa_baselines.dir/baselines/popularity.cc.o.d"
+  "CMakeFiles/groupsa_baselines.dir/baselines/sigr.cc.o"
+  "CMakeFiles/groupsa_baselines.dir/baselines/sigr.cc.o.d"
+  "CMakeFiles/groupsa_baselines.dir/baselines/static_agg.cc.o"
+  "CMakeFiles/groupsa_baselines.dir/baselines/static_agg.cc.o.d"
+  "libgroupsa_baselines.a"
+  "libgroupsa_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupsa_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupsa_common.dir/common/logging.cc.o"
+  "CMakeFiles/groupsa_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/groupsa_common.dir/common/rng.cc.o"
+  "CMakeFiles/groupsa_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/groupsa_common.dir/common/string_util.cc.o"
+  "CMakeFiles/groupsa_common.dir/common/string_util.cc.o.d"
+  "libgroupsa_common.a"
+  "libgroupsa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupsa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/groupsa_core.dir/core/config.cc.o" "gcc" "src/CMakeFiles/groupsa_core.dir/core/config.cc.o.d"
+  "/root/repo/src/core/fast_recommender.cc" "src/CMakeFiles/groupsa_core.dir/core/fast_recommender.cc.o" "gcc" "src/CMakeFiles/groupsa_core.dir/core/fast_recommender.cc.o.d"
+  "/root/repo/src/core/groupsa_model.cc" "src/CMakeFiles/groupsa_core.dir/core/groupsa_model.cc.o" "gcc" "src/CMakeFiles/groupsa_core.dir/core/groupsa_model.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/CMakeFiles/groupsa_core.dir/core/predictor.cc.o" "gcc" "src/CMakeFiles/groupsa_core.dir/core/predictor.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/CMakeFiles/groupsa_core.dir/core/trainer.cc.o" "gcc" "src/CMakeFiles/groupsa_core.dir/core/trainer.cc.o.d"
+  "/root/repo/src/core/user_modeling.cc" "src/CMakeFiles/groupsa_core.dir/core/user_modeling.cc.o" "gcc" "src/CMakeFiles/groupsa_core.dir/core/user_modeling.cc.o.d"
+  "/root/repo/src/core/voting_scheme.cc" "src/CMakeFiles/groupsa_core.dir/core/voting_scheme.cc.o" "gcc" "src/CMakeFiles/groupsa_core.dir/core/voting_scheme.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/groupsa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

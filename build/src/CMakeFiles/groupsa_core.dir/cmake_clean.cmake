@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupsa_core.dir/core/config.cc.o"
+  "CMakeFiles/groupsa_core.dir/core/config.cc.o.d"
+  "CMakeFiles/groupsa_core.dir/core/fast_recommender.cc.o"
+  "CMakeFiles/groupsa_core.dir/core/fast_recommender.cc.o.d"
+  "CMakeFiles/groupsa_core.dir/core/groupsa_model.cc.o"
+  "CMakeFiles/groupsa_core.dir/core/groupsa_model.cc.o.d"
+  "CMakeFiles/groupsa_core.dir/core/predictor.cc.o"
+  "CMakeFiles/groupsa_core.dir/core/predictor.cc.o.d"
+  "CMakeFiles/groupsa_core.dir/core/trainer.cc.o"
+  "CMakeFiles/groupsa_core.dir/core/trainer.cc.o.d"
+  "CMakeFiles/groupsa_core.dir/core/user_modeling.cc.o"
+  "CMakeFiles/groupsa_core.dir/core/user_modeling.cc.o.d"
+  "CMakeFiles/groupsa_core.dir/core/voting_scheme.cc.o"
+  "CMakeFiles/groupsa_core.dir/core/voting_scheme.cc.o.d"
+  "libgroupsa_core.a"
+  "libgroupsa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupsa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgroupsa_core.a"
+)

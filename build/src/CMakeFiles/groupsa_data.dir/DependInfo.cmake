@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/candidates.cc" "src/CMakeFiles/groupsa_data.dir/data/candidates.cc.o" "gcc" "src/CMakeFiles/groupsa_data.dir/data/candidates.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/groupsa_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/groupsa_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/group_table.cc" "src/CMakeFiles/groupsa_data.dir/data/group_table.cc.o" "gcc" "src/CMakeFiles/groupsa_data.dir/data/group_table.cc.o.d"
+  "/root/repo/src/data/interaction_matrix.cc" "src/CMakeFiles/groupsa_data.dir/data/interaction_matrix.cc.o" "gcc" "src/CMakeFiles/groupsa_data.dir/data/interaction_matrix.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/CMakeFiles/groupsa_data.dir/data/io.cc.o" "gcc" "src/CMakeFiles/groupsa_data.dir/data/io.cc.o.d"
+  "/root/repo/src/data/negative_sampler.cc" "src/CMakeFiles/groupsa_data.dir/data/negative_sampler.cc.o" "gcc" "src/CMakeFiles/groupsa_data.dir/data/negative_sampler.cc.o.d"
+  "/root/repo/src/data/social_graph.cc" "src/CMakeFiles/groupsa_data.dir/data/social_graph.cc.o" "gcc" "src/CMakeFiles/groupsa_data.dir/data/social_graph.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/CMakeFiles/groupsa_data.dir/data/split.cc.o" "gcc" "src/CMakeFiles/groupsa_data.dir/data/split.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/groupsa_data.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/groupsa_data.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/data/tfidf.cc" "src/CMakeFiles/groupsa_data.dir/data/tfidf.cc.o" "gcc" "src/CMakeFiles/groupsa_data.dir/data/tfidf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/groupsa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

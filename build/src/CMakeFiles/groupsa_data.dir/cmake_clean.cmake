@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupsa_data.dir/data/candidates.cc.o"
+  "CMakeFiles/groupsa_data.dir/data/candidates.cc.o.d"
+  "CMakeFiles/groupsa_data.dir/data/dataset.cc.o"
+  "CMakeFiles/groupsa_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/groupsa_data.dir/data/group_table.cc.o"
+  "CMakeFiles/groupsa_data.dir/data/group_table.cc.o.d"
+  "CMakeFiles/groupsa_data.dir/data/interaction_matrix.cc.o"
+  "CMakeFiles/groupsa_data.dir/data/interaction_matrix.cc.o.d"
+  "CMakeFiles/groupsa_data.dir/data/io.cc.o"
+  "CMakeFiles/groupsa_data.dir/data/io.cc.o.d"
+  "CMakeFiles/groupsa_data.dir/data/negative_sampler.cc.o"
+  "CMakeFiles/groupsa_data.dir/data/negative_sampler.cc.o.d"
+  "CMakeFiles/groupsa_data.dir/data/social_graph.cc.o"
+  "CMakeFiles/groupsa_data.dir/data/social_graph.cc.o.d"
+  "CMakeFiles/groupsa_data.dir/data/split.cc.o"
+  "CMakeFiles/groupsa_data.dir/data/split.cc.o.d"
+  "CMakeFiles/groupsa_data.dir/data/synthetic.cc.o"
+  "CMakeFiles/groupsa_data.dir/data/synthetic.cc.o.d"
+  "CMakeFiles/groupsa_data.dir/data/tfidf.cc.o"
+  "CMakeFiles/groupsa_data.dir/data/tfidf.cc.o.d"
+  "libgroupsa_data.a"
+  "libgroupsa_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupsa_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/evaluator.cc" "src/CMakeFiles/groupsa_eval.dir/eval/evaluator.cc.o" "gcc" "src/CMakeFiles/groupsa_eval.dir/eval/evaluator.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/groupsa_eval.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/groupsa_eval.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/groupsa_eval.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/groupsa_eval.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/ttest.cc" "src/CMakeFiles/groupsa_eval.dir/eval/ttest.cc.o" "gcc" "src/CMakeFiles/groupsa_eval.dir/eval/ttest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/groupsa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupsa_eval.dir/eval/evaluator.cc.o"
+  "CMakeFiles/groupsa_eval.dir/eval/evaluator.cc.o.d"
+  "CMakeFiles/groupsa_eval.dir/eval/experiment.cc.o"
+  "CMakeFiles/groupsa_eval.dir/eval/experiment.cc.o.d"
+  "CMakeFiles/groupsa_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/groupsa_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/groupsa_eval.dir/eval/ttest.cc.o"
+  "CMakeFiles/groupsa_eval.dir/eval/ttest.cc.o.d"
+  "libgroupsa_eval.a"
+  "libgroupsa_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupsa_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

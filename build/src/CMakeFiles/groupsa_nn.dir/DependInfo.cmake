@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention_pool.cc" "src/CMakeFiles/groupsa_nn.dir/nn/attention_pool.cc.o" "gcc" "src/CMakeFiles/groupsa_nn.dir/nn/attention_pool.cc.o.d"
+  "/root/repo/src/nn/checkpoint.cc" "src/CMakeFiles/groupsa_nn.dir/nn/checkpoint.cc.o" "gcc" "src/CMakeFiles/groupsa_nn.dir/nn/checkpoint.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/CMakeFiles/groupsa_nn.dir/nn/dropout.cc.o" "gcc" "src/CMakeFiles/groupsa_nn.dir/nn/dropout.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/CMakeFiles/groupsa_nn.dir/nn/embedding.cc.o" "gcc" "src/CMakeFiles/groupsa_nn.dir/nn/embedding.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/groupsa_nn.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/groupsa_nn.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/layer_norm.cc" "src/CMakeFiles/groupsa_nn.dir/nn/layer_norm.cc.o" "gcc" "src/CMakeFiles/groupsa_nn.dir/nn/layer_norm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/groupsa_nn.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/groupsa_nn.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/groupsa_nn.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/groupsa_nn.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/groupsa_nn.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/groupsa_nn.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/groupsa_nn.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/groupsa_nn.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/self_attention.cc" "src/CMakeFiles/groupsa_nn.dir/nn/self_attention.cc.o" "gcc" "src/CMakeFiles/groupsa_nn.dir/nn/self_attention.cc.o.d"
+  "/root/repo/src/nn/transformer_block.cc" "src/CMakeFiles/groupsa_nn.dir/nn/transformer_block.cc.o" "gcc" "src/CMakeFiles/groupsa_nn.dir/nn/transformer_block.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/groupsa_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupsa_nn.dir/nn/attention_pool.cc.o"
+  "CMakeFiles/groupsa_nn.dir/nn/attention_pool.cc.o.d"
+  "CMakeFiles/groupsa_nn.dir/nn/checkpoint.cc.o"
+  "CMakeFiles/groupsa_nn.dir/nn/checkpoint.cc.o.d"
+  "CMakeFiles/groupsa_nn.dir/nn/dropout.cc.o"
+  "CMakeFiles/groupsa_nn.dir/nn/dropout.cc.o.d"
+  "CMakeFiles/groupsa_nn.dir/nn/embedding.cc.o"
+  "CMakeFiles/groupsa_nn.dir/nn/embedding.cc.o.d"
+  "CMakeFiles/groupsa_nn.dir/nn/init.cc.o"
+  "CMakeFiles/groupsa_nn.dir/nn/init.cc.o.d"
+  "CMakeFiles/groupsa_nn.dir/nn/layer_norm.cc.o"
+  "CMakeFiles/groupsa_nn.dir/nn/layer_norm.cc.o.d"
+  "CMakeFiles/groupsa_nn.dir/nn/linear.cc.o"
+  "CMakeFiles/groupsa_nn.dir/nn/linear.cc.o.d"
+  "CMakeFiles/groupsa_nn.dir/nn/mlp.cc.o"
+  "CMakeFiles/groupsa_nn.dir/nn/mlp.cc.o.d"
+  "CMakeFiles/groupsa_nn.dir/nn/module.cc.o"
+  "CMakeFiles/groupsa_nn.dir/nn/module.cc.o.d"
+  "CMakeFiles/groupsa_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/groupsa_nn.dir/nn/optimizer.cc.o.d"
+  "CMakeFiles/groupsa_nn.dir/nn/self_attention.cc.o"
+  "CMakeFiles/groupsa_nn.dir/nn/self_attention.cc.o.d"
+  "CMakeFiles/groupsa_nn.dir/nn/transformer_block.cc.o"
+  "CMakeFiles/groupsa_nn.dir/nn/transformer_block.cc.o.d"
+  "libgroupsa_nn.a"
+  "libgroupsa_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupsa_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

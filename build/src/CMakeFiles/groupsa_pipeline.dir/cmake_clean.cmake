@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupsa_pipeline.dir/pipeline/experiment.cc.o"
+  "CMakeFiles/groupsa_pipeline.dir/pipeline/experiment.cc.o.d"
+  "libgroupsa_pipeline.a"
+  "libgroupsa_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupsa_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

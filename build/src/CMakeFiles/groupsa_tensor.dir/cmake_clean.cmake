@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupsa_tensor.dir/tensor/matrix.cc.o"
+  "CMakeFiles/groupsa_tensor.dir/tensor/matrix.cc.o.d"
+  "CMakeFiles/groupsa_tensor.dir/tensor/ops.cc.o"
+  "CMakeFiles/groupsa_tensor.dir/tensor/ops.cc.o.d"
+  "libgroupsa_tensor.a"
+  "libgroupsa_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupsa_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_autograd.dir/autograd/network_property_test.cc.o"
+  "CMakeFiles/tests_autograd.dir/autograd/network_property_test.cc.o.d"
+  "CMakeFiles/tests_autograd.dir/autograd/ops_grad_test.cc.o"
+  "CMakeFiles/tests_autograd.dir/autograd/ops_grad_test.cc.o.d"
+  "CMakeFiles/tests_autograd.dir/autograd/tape_test.cc.o"
+  "CMakeFiles/tests_autograd.dir/autograd/tape_test.cc.o.d"
+  "tests_autograd"
+  "tests_autograd.pdb"
+  "tests_autograd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

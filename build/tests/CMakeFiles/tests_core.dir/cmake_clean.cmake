@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/core/config_test.cc.o"
+  "CMakeFiles/tests_core.dir/core/config_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/fast_recommender_test.cc.o"
+  "CMakeFiles/tests_core.dir/core/fast_recommender_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/groupsa_model_test.cc.o"
+  "CMakeFiles/tests_core.dir/core/groupsa_model_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/predictor_test.cc.o"
+  "CMakeFiles/tests_core.dir/core/predictor_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/trainer_test.cc.o"
+  "CMakeFiles/tests_core.dir/core/trainer_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/user_modeling_test.cc.o"
+  "CMakeFiles/tests_core.dir/core/user_modeling_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/voting_scheme_test.cc.o"
+  "CMakeFiles/tests_core.dir/core/voting_scheme_test.cc.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/candidates_test.cc" "tests/CMakeFiles/tests_data.dir/data/candidates_test.cc.o" "gcc" "tests/CMakeFiles/tests_data.dir/data/candidates_test.cc.o.d"
+  "/root/repo/tests/data/dataset_test.cc" "tests/CMakeFiles/tests_data.dir/data/dataset_test.cc.o" "gcc" "tests/CMakeFiles/tests_data.dir/data/dataset_test.cc.o.d"
+  "/root/repo/tests/data/group_table_test.cc" "tests/CMakeFiles/tests_data.dir/data/group_table_test.cc.o" "gcc" "tests/CMakeFiles/tests_data.dir/data/group_table_test.cc.o.d"
+  "/root/repo/tests/data/interaction_matrix_test.cc" "tests/CMakeFiles/tests_data.dir/data/interaction_matrix_test.cc.o" "gcc" "tests/CMakeFiles/tests_data.dir/data/interaction_matrix_test.cc.o.d"
+  "/root/repo/tests/data/io_test.cc" "tests/CMakeFiles/tests_data.dir/data/io_test.cc.o" "gcc" "tests/CMakeFiles/tests_data.dir/data/io_test.cc.o.d"
+  "/root/repo/tests/data/negative_sampler_test.cc" "tests/CMakeFiles/tests_data.dir/data/negative_sampler_test.cc.o" "gcc" "tests/CMakeFiles/tests_data.dir/data/negative_sampler_test.cc.o.d"
+  "/root/repo/tests/data/social_graph_test.cc" "tests/CMakeFiles/tests_data.dir/data/social_graph_test.cc.o" "gcc" "tests/CMakeFiles/tests_data.dir/data/social_graph_test.cc.o.d"
+  "/root/repo/tests/data/split_test.cc" "tests/CMakeFiles/tests_data.dir/data/split_test.cc.o" "gcc" "tests/CMakeFiles/tests_data.dir/data/split_test.cc.o.d"
+  "/root/repo/tests/data/synthetic_property_test.cc" "tests/CMakeFiles/tests_data.dir/data/synthetic_property_test.cc.o" "gcc" "tests/CMakeFiles/tests_data.dir/data/synthetic_property_test.cc.o.d"
+  "/root/repo/tests/data/synthetic_test.cc" "tests/CMakeFiles/tests_data.dir/data/synthetic_test.cc.o" "gcc" "tests/CMakeFiles/tests_data.dir/data/synthetic_test.cc.o.d"
+  "/root/repo/tests/data/tfidf_test.cc" "tests/CMakeFiles/tests_data.dir/data/tfidf_test.cc.o" "gcc" "tests/CMakeFiles/tests_data.dir/data/tfidf_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/groupsa_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

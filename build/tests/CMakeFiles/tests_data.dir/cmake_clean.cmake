@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_data.dir/data/candidates_test.cc.o"
+  "CMakeFiles/tests_data.dir/data/candidates_test.cc.o.d"
+  "CMakeFiles/tests_data.dir/data/dataset_test.cc.o"
+  "CMakeFiles/tests_data.dir/data/dataset_test.cc.o.d"
+  "CMakeFiles/tests_data.dir/data/group_table_test.cc.o"
+  "CMakeFiles/tests_data.dir/data/group_table_test.cc.o.d"
+  "CMakeFiles/tests_data.dir/data/interaction_matrix_test.cc.o"
+  "CMakeFiles/tests_data.dir/data/interaction_matrix_test.cc.o.d"
+  "CMakeFiles/tests_data.dir/data/io_test.cc.o"
+  "CMakeFiles/tests_data.dir/data/io_test.cc.o.d"
+  "CMakeFiles/tests_data.dir/data/negative_sampler_test.cc.o"
+  "CMakeFiles/tests_data.dir/data/negative_sampler_test.cc.o.d"
+  "CMakeFiles/tests_data.dir/data/social_graph_test.cc.o"
+  "CMakeFiles/tests_data.dir/data/social_graph_test.cc.o.d"
+  "CMakeFiles/tests_data.dir/data/split_test.cc.o"
+  "CMakeFiles/tests_data.dir/data/split_test.cc.o.d"
+  "CMakeFiles/tests_data.dir/data/synthetic_property_test.cc.o"
+  "CMakeFiles/tests_data.dir/data/synthetic_property_test.cc.o.d"
+  "CMakeFiles/tests_data.dir/data/synthetic_test.cc.o"
+  "CMakeFiles/tests_data.dir/data/synthetic_test.cc.o.d"
+  "CMakeFiles/tests_data.dir/data/tfidf_test.cc.o"
+  "CMakeFiles/tests_data.dir/data/tfidf_test.cc.o.d"
+  "tests_data"
+  "tests_data.pdb"
+  "tests_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

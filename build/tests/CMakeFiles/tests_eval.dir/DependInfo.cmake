@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/eval/evaluator_test.cc" "tests/CMakeFiles/tests_eval.dir/eval/evaluator_test.cc.o" "gcc" "tests/CMakeFiles/tests_eval.dir/eval/evaluator_test.cc.o.d"
+  "/root/repo/tests/eval/experiment_test.cc" "tests/CMakeFiles/tests_eval.dir/eval/experiment_test.cc.o" "gcc" "tests/CMakeFiles/tests_eval.dir/eval/experiment_test.cc.o.d"
+  "/root/repo/tests/eval/metrics_test.cc" "tests/CMakeFiles/tests_eval.dir/eval/metrics_test.cc.o" "gcc" "tests/CMakeFiles/tests_eval.dir/eval/metrics_test.cc.o.d"
+  "/root/repo/tests/eval/ttest_test.cc" "tests/CMakeFiles/tests_eval.dir/eval/ttest_test.cc.o" "gcc" "tests/CMakeFiles/tests_eval.dir/eval/ttest_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/groupsa_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

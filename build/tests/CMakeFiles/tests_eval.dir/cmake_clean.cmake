@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_eval.dir/eval/evaluator_test.cc.o"
+  "CMakeFiles/tests_eval.dir/eval/evaluator_test.cc.o.d"
+  "CMakeFiles/tests_eval.dir/eval/experiment_test.cc.o"
+  "CMakeFiles/tests_eval.dir/eval/experiment_test.cc.o.d"
+  "CMakeFiles/tests_eval.dir/eval/metrics_test.cc.o"
+  "CMakeFiles/tests_eval.dir/eval/metrics_test.cc.o.d"
+  "CMakeFiles/tests_eval.dir/eval/ttest_test.cc.o"
+  "CMakeFiles/tests_eval.dir/eval/ttest_test.cc.o.d"
+  "tests_eval"
+  "tests_eval.pdb"
+  "tests_eval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/attention_pool_test.cc" "tests/CMakeFiles/tests_nn.dir/nn/attention_pool_test.cc.o" "gcc" "tests/CMakeFiles/tests_nn.dir/nn/attention_pool_test.cc.o.d"
+  "/root/repo/tests/nn/checkpoint_test.cc" "tests/CMakeFiles/tests_nn.dir/nn/checkpoint_test.cc.o" "gcc" "tests/CMakeFiles/tests_nn.dir/nn/checkpoint_test.cc.o.d"
+  "/root/repo/tests/nn/embedding_test.cc" "tests/CMakeFiles/tests_nn.dir/nn/embedding_test.cc.o" "gcc" "tests/CMakeFiles/tests_nn.dir/nn/embedding_test.cc.o.d"
+  "/root/repo/tests/nn/init_test.cc" "tests/CMakeFiles/tests_nn.dir/nn/init_test.cc.o" "gcc" "tests/CMakeFiles/tests_nn.dir/nn/init_test.cc.o.d"
+  "/root/repo/tests/nn/layer_norm_test.cc" "tests/CMakeFiles/tests_nn.dir/nn/layer_norm_test.cc.o" "gcc" "tests/CMakeFiles/tests_nn.dir/nn/layer_norm_test.cc.o.d"
+  "/root/repo/tests/nn/linear_test.cc" "tests/CMakeFiles/tests_nn.dir/nn/linear_test.cc.o" "gcc" "tests/CMakeFiles/tests_nn.dir/nn/linear_test.cc.o.d"
+  "/root/repo/tests/nn/mlp_test.cc" "tests/CMakeFiles/tests_nn.dir/nn/mlp_test.cc.o" "gcc" "tests/CMakeFiles/tests_nn.dir/nn/mlp_test.cc.o.d"
+  "/root/repo/tests/nn/optimizer_test.cc" "tests/CMakeFiles/tests_nn.dir/nn/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/tests_nn.dir/nn/optimizer_test.cc.o.d"
+  "/root/repo/tests/nn/self_attention_test.cc" "tests/CMakeFiles/tests_nn.dir/nn/self_attention_test.cc.o" "gcc" "tests/CMakeFiles/tests_nn.dir/nn/self_attention_test.cc.o.d"
+  "/root/repo/tests/nn/transformer_block_test.cc" "tests/CMakeFiles/tests_nn.dir/nn/transformer_block_test.cc.o" "gcc" "tests/CMakeFiles/tests_nn.dir/nn/transformer_block_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/groupsa_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/groupsa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_nn.dir/nn/attention_pool_test.cc.o"
+  "CMakeFiles/tests_nn.dir/nn/attention_pool_test.cc.o.d"
+  "CMakeFiles/tests_nn.dir/nn/checkpoint_test.cc.o"
+  "CMakeFiles/tests_nn.dir/nn/checkpoint_test.cc.o.d"
+  "CMakeFiles/tests_nn.dir/nn/embedding_test.cc.o"
+  "CMakeFiles/tests_nn.dir/nn/embedding_test.cc.o.d"
+  "CMakeFiles/tests_nn.dir/nn/init_test.cc.o"
+  "CMakeFiles/tests_nn.dir/nn/init_test.cc.o.d"
+  "CMakeFiles/tests_nn.dir/nn/layer_norm_test.cc.o"
+  "CMakeFiles/tests_nn.dir/nn/layer_norm_test.cc.o.d"
+  "CMakeFiles/tests_nn.dir/nn/linear_test.cc.o"
+  "CMakeFiles/tests_nn.dir/nn/linear_test.cc.o.d"
+  "CMakeFiles/tests_nn.dir/nn/mlp_test.cc.o"
+  "CMakeFiles/tests_nn.dir/nn/mlp_test.cc.o.d"
+  "CMakeFiles/tests_nn.dir/nn/optimizer_test.cc.o"
+  "CMakeFiles/tests_nn.dir/nn/optimizer_test.cc.o.d"
+  "CMakeFiles/tests_nn.dir/nn/self_attention_test.cc.o"
+  "CMakeFiles/tests_nn.dir/nn/self_attention_test.cc.o.d"
+  "CMakeFiles/tests_nn.dir/nn/transformer_block_test.cc.o"
+  "CMakeFiles/tests_nn.dir/nn/transformer_block_test.cc.o.d"
+  "tests_nn"
+  "tests_nn.pdb"
+  "tests_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

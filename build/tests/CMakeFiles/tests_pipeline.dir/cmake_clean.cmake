@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_pipeline.dir/pipeline/experiment_pipeline_test.cc.o"
+  "CMakeFiles/tests_pipeline.dir/pipeline/experiment_pipeline_test.cc.o.d"
+  "tests_pipeline"
+  "tests_pipeline.pdb"
+  "tests_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_tensor.dir/tensor/matrix_test.cc.o"
+  "CMakeFiles/tests_tensor.dir/tensor/matrix_test.cc.o.d"
+  "CMakeFiles/tests_tensor.dir/tensor/ops_test.cc.o"
+  "CMakeFiles/tests_tensor.dir/tensor/ops_test.cc.o.d"
+  "tests_tensor"
+  "tests_tensor.pdb"
+  "tests_tensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

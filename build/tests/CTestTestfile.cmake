@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_common[1]_include.cmake")
+include("/root/repo/build/tests/tests_tensor[1]_include.cmake")
+include("/root/repo/build/tests/tests_autograd[1]_include.cmake")
+include("/root/repo/build/tests/tests_nn[1]_include.cmake")
+include("/root/repo/build/tests/tests_data[1]_include.cmake")
+include("/root/repo/build/tests/tests_eval[1]_include.cmake")
+include("/root/repo/build/tests/tests_core[1]_include.cmake")
+include("/root/repo/build/tests/tests_baselines[1]_include.cmake")
+include("/root/repo/build/tests/tests_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/tests_integration[1]_include.cmake")

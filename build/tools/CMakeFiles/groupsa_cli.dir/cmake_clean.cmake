@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupsa_cli.dir/groupsa_cli.cc.o"
+  "CMakeFiles/groupsa_cli.dir/groupsa_cli.cc.o.d"
+  "groupsa_cli"
+  "groupsa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupsa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
