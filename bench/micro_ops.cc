@@ -3,7 +3,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "autograd/ops.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "nn/self_attention.h"
 #include "nn/transformer_block.h"
 #include "tensor/ops.h"
@@ -28,8 +32,70 @@ void BM_Gemm(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
+  state.counters["threads"] =
+      static_cast<double>(groupsa::parallel::GlobalThreads());
 }
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(512);
+
+// Wall-clock of the serial reference kernel at size n, measured once per
+// size and cached; the denominator of the parallel speedup counters below.
+double SerialGemmSecondsPerIter(int n) {
+  static std::map<int, double> cache;
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  Rng rng(1);
+  Matrix a(n, n);
+  Matrix b(n, n);
+  a.FillGaussian(&rng, 0.0f, 1.0f);
+  b.FillGaussian(&rng, 0.0f, 1.0f);
+  Matrix out;
+  groupsa::tensor::GemmSerial(a, false, b, false, 1.0f, &out);  // warm-up
+  const int iters = n >= 512 ? 3 : 20;
+  groupsa::Stopwatch timer;
+  for (int i = 0; i < iters; ++i)
+    groupsa::tensor::GemmSerial(a, false, b, false, 1.0f, &out);
+  const double seconds = timer.ElapsedSeconds() / iters;
+  cache[n] = seconds;
+  return seconds;
+}
+
+// Tiled parallel Gemm at a given pool width; range(0) = matrix size,
+// range(1) = threads. Emits threads and speedup-vs-serial counters, which
+// land in the JSON report under "threads" / "speedup" when run with
+// --benchmark_format=json.
+void BM_GemmParallel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  groupsa::parallel::SetGlobalThreads(threads);
+  Rng rng(1);
+  Matrix a(n, n);
+  Matrix b(n, n);
+  a.FillGaussian(&rng, 0.0f, 1.0f);
+  b.FillGaussian(&rng, 0.0f, 1.0f);
+  Matrix out;
+  for (auto _ : state) {
+    groupsa::tensor::Gemm(a, false, b, false, 1.0f, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
+  state.counters["threads"] = threads;
+  // A manual timing pass at this width against the cached serial baseline;
+  // both land in the JSON report as plain counters.
+  const double serial = SerialGemmSecondsPerIter(n);
+  const int iters = n >= 512 ? 3 : 20;
+  groupsa::Stopwatch timer;
+  for (int i = 0; i < iters; ++i)
+    groupsa::tensor::Gemm(a, false, b, false, 1.0f, &out);
+  const double seconds = timer.ElapsedSeconds() / iters;
+  state.counters["serial_seconds"] = serial;
+  state.counters["speedup"] = seconds > 0 ? serial / seconds : 0.0;
+  groupsa::parallel::SetGlobalThreads(1);
+}
+BENCHMARK(BM_GemmParallel)
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->UseRealTime();
 
 void BM_SoftmaxRowsMasked(benchmark::State& state) {
   const int l = static_cast<int>(state.range(0));

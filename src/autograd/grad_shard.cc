@@ -1,0 +1,78 @@
+#include "autograd/grad_shard.h"
+
+#include "common/macros.h"
+
+namespace groupsa::ag {
+namespace {
+
+thread_local GradShard* tls_active_shard = nullptr;
+
+}  // namespace
+
+GradShard::GradShard(const std::vector<ParamSlot>& slots) {
+  buffers_.reserve(slots.size());
+  for (const ParamSlot& slot : slots) {
+    GROUPSA_CHECK(slot.tensor != nullptr, "GradShard slot without tensor");
+    buffers_.push_back(Buffer{slot, tensor::Matrix(), {}});
+  }
+  // Maps are built after the vector is final so Buffer* stay stable.
+  for (Buffer& buffer : buffers_) {
+    by_tensor_.emplace(buffer.slot.tensor, &buffer);
+    if (buffer.slot.touched_rows != nullptr)
+      by_row_set_.emplace(buffer.slot.touched_rows, &buffer);
+  }
+}
+
+GradShard::ActiveScope::ActiveScope(GradShard* shard) {
+  GROUPSA_CHECK(tls_active_shard == nullptr,
+                "GradShard scopes do not nest");
+  tls_active_shard = shard;
+}
+
+GradShard::ActiveScope::~ActiveScope() { tls_active_shard = nullptr; }
+
+tensor::Matrix* GradShard::Redirect(const Tensor* t) {
+  GradShard* shard = tls_active_shard;
+  if (shard == nullptr) return nullptr;
+  auto it = shard->by_tensor_.find(t);
+  if (it == shard->by_tensor_.end()) return nullptr;
+  Buffer* buffer = it->second;
+  if (!buffer->grad.SameShape(t->value()))
+    buffer->grad.Resize(t->value().rows(), t->value().cols());
+  return &buffer->grad;
+}
+
+void GradShard::RecordTouchedRows(std::unordered_set<int>* original,
+                                  const std::vector<int>& row_ids) {
+  std::unordered_set<int>* target = original;
+  if (GradShard* shard = tls_active_shard; shard != nullptr) {
+    auto it = shard->by_row_set_.find(original);
+    if (it != shard->by_row_set_.end()) target = &it->second->rows;
+  }
+  for (int id : row_ids) target->insert(id);
+}
+
+void GradShard::ReduceInto() {
+  GROUPSA_CHECK(tls_active_shard == nullptr,
+                "ReduceInto must run outside any active shard");
+  for (Buffer& buffer : buffers_) {
+    Tensor* t = buffer.slot.tensor;
+    if (!buffer.grad.SameShape(t->value())) continue;  // never touched
+    tensor::Matrix& real = t->grad();
+    if (buffer.slot.touched_rows != nullptr) {
+      // Sparse: only rows this shard gathered carry gradient; adding just
+      // those keeps the reduction O(touched) instead of O(table).
+      for (int row : buffer.rows) {
+        float* dst = real.RowPtr(row);
+        const float* src = buffer.grad.RowPtr(row);
+        for (int c = 0; c < real.cols(); ++c) dst[c] += src[c];
+      }
+      buffer.slot.touched_rows->insert(buffer.rows.begin(),
+                                       buffer.rows.end());
+    } else {
+      real.AddInPlace(buffer.grad);
+    }
+  }
+}
+
+}  // namespace groupsa::ag

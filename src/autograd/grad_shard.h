@@ -1,0 +1,90 @@
+#ifndef GROUPSA_AUTOGRAD_GRAD_SHARD_H_
+#define GROUPSA_AUTOGRAD_GRAD_SHARD_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "autograd/tensor.h"
+
+namespace groupsa::ag {
+
+// Per-shard gradient sink for data-parallel training.
+//
+// A sharded minibatch step builds one tape per shard on a pool thread. The
+// tapes' backward closures accumulate into Tensor::grad() of the *shared*
+// parameter tensors, which would race across shards. A GradShard, while
+// active on a thread, redirects grad() of every registered parameter to a
+// shard-local buffer; non-registered tensors (the shard's own
+// intermediates) are untouched. Touched-row recording of embedding-style
+// parameters is redirected the same way, keyed by the owning module's row
+// set. After the parallel region the caller reduces shards *in shard order*
+// via ReduceInto, which is what keeps gradient accumulation bit-identical
+// at any thread count (see the determinism contract in
+// common/thread_pool.h).
+//
+// Usage (per shard, on the executing thread):
+//   GradShard shard(slots);
+//   {
+//     GradShard::ActiveScope scope(&shard);
+//     ... build forward on a local tape, tape.BackwardFrom(...) ...
+//   }
+//   // later, on the calling thread, in shard order:
+//   shard.ReduceInto();
+class GradShard {
+ public:
+  struct ParamSlot {
+    Tensor* tensor = nullptr;
+    // Non-null for sparse (embedding) parameters: the module-owned set the
+    // optimizer consumes. Sparse buffers are reduced row-wise over the rows
+    // the shard actually touched.
+    std::unordered_set<int>* touched_rows = nullptr;
+  };
+
+  explicit GradShard(const std::vector<ParamSlot>& slots);
+  GradShard(const GradShard&) = delete;
+  GradShard& operator=(const GradShard&) = delete;
+
+  // Activates a shard on the current thread for the scope's lifetime.
+  // Scopes do not nest (a shard's forward/backward never starts another
+  // shard on the same thread).
+  class ActiveScope {
+   public:
+    explicit ActiveScope(GradShard* shard);
+    ~ActiveScope();
+    ActiveScope(const ActiveScope&) = delete;
+    ActiveScope& operator=(const ActiveScope&) = delete;
+  };
+
+  // Resolves the grad buffer for `t` on the active shard of the current
+  // thread; null when no shard is active or `t` is not registered. Called
+  // by Tensor::grad().
+  static tensor::Matrix* Redirect(const Tensor* t);
+
+  // Records touched rows for the embedding whose module-owned set is
+  // `original`. With an active shard the rows land in the shard; otherwise
+  // they are inserted into `original` directly. Called by the GatherRows
+  // backward closure.
+  static void RecordTouchedRows(std::unordered_set<int>* original,
+                                const std::vector<int>& row_ids);
+
+  // Adds the shard's accumulated gradients into the real parameter tensors
+  // and merges touched-row sets. Must run with no shard active, serially,
+  // in shard order across shards.
+  void ReduceInto();
+
+ private:
+  struct Buffer {
+    ParamSlot slot;
+    tensor::Matrix grad;           // lazily sized on first redirect
+    std::unordered_set<int> rows;  // shard-local touched rows (sparse only)
+  };
+
+  std::vector<Buffer> buffers_;                        // registration order
+  std::unordered_map<const Tensor*, Buffer*> by_tensor_;
+  std::unordered_map<const std::unordered_set<int>*, Buffer*> by_row_set_;
+};
+
+}  // namespace groupsa::ag
+
+#endif  // GROUPSA_AUTOGRAD_GRAD_SHARD_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "autograd/grad_shard.h"
 #include "tensor/ops.h"
 
 namespace groupsa::ag {
@@ -235,13 +236,14 @@ TensorPtr GatherRows(Tape* tape, const TensorPtr& table,
                      const std::vector<int>& row_ids,
                      std::unordered_set<int>* touched_rows) {
   Matrix value = tensor::GatherRows(table->value(), row_ids);
-  if (touched_rows != nullptr) {
-    for (int id : row_ids) touched_rows->insert(id);
-  }
   const bool needs_grad = tape != nullptr && table->requires_grad();
   TensorPtr out = MakeOutput(std::move(value), needs_grad);
   if (!needs_grad) return out;
-  tape->Record([table, out, row_ids]() {
+  // Touched rows are recorded at backward time, not forward time: rows only
+  // matter to the optimizer once they carry gradient, and keeping the
+  // forward pass free of shared-state writes is what lets no-tape inference
+  // and parallel shard forwards run concurrently.
+  tape->Record([table, out, row_ids, touched_rows]() {
     Matrix& tg = table->grad();
     const Matrix& g = out->grad();
     for (size_t i = 0; i < row_ids.size(); ++i) {
@@ -249,6 +251,8 @@ TensorPtr GatherRows(Tape* tape, const TensorPtr& table,
       const float* src = g.RowPtr(static_cast<int>(i));
       for (int c = 0; c < g.cols(); ++c) dst[c] += src[c];
     }
+    if (touched_rows != nullptr)
+      GradShard::RecordTouchedRows(touched_rows, row_ids);
   });
   return out;
 }

@@ -13,6 +13,8 @@ void Tape::Backward(const TensorPtr& loss) {
 void Tape::BackwardFrom(const TensorPtr& root, const tensor::Matrix& seed) {
   GROUPSA_CHECK(root->value().SameShape(seed),
                 "BackwardFrom seed shape mismatch");
+  GROUPSA_DCHECK(std::this_thread::get_id() == owner_,
+                 "Tape::BackwardFrom from a thread other than the owner");
   root->grad().AddInPlace(seed);
   for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) (*it)();
 }

@@ -2,6 +2,7 @@
 #define GROUPSA_AUTOGRAD_TAPE_H_
 
 #include <functional>
+#include <thread>
 #include <vector>
 
 #include "autograd/tensor.h"
@@ -19,14 +20,22 @@ namespace groupsa::ag {
 //   tape.Backward(loss);        // parameter .grad() now holds dLoss/dParam
 //   optimizer.Step();
 //   tape.Clear();               // or let the tape go out of scope
+//
+// A tape is single-threaded by construction: the sharded trainer gives every
+// shard its own tape, built and walked entirely on the thread that runs the
+// shard. Record/Backward assert this ownership so a cross-thread use (a
+// data race by definition, since ops_ is unsynchronized) fails loudly
+// instead of corrupting silently.
 class Tape {
  public:
-  Tape() = default;
+  Tape() : owner_(std::this_thread::get_id()) {}
   Tape(const Tape&) = delete;
   Tape& operator=(const Tape&) = delete;
 
   // Appends a backward closure. Called by op implementations only.
   void Record(std::function<void()> backward) {
+    GROUPSA_DCHECK(std::this_thread::get_id() == owner_,
+                   "Tape::Record from a thread other than the tape's owner");
     ops_.push_back(std::move(backward));
   }
 
@@ -43,6 +52,7 @@ class Tape {
 
  private:
   std::vector<std::function<void()>> ops_;
+  std::thread::id owner_;
 };
 
 }  // namespace groupsa::ag

@@ -1,6 +1,15 @@
 #include "autograd/tensor.h"
 
+#include "autograd/grad_shard.h"
+
 namespace groupsa::ag {
+
+tensor::Matrix& Tensor::grad() {
+  if (tensor::Matrix* redirected = GradShard::Redirect(this))
+    return *redirected;
+  if (!grad_.SameShape(value_)) grad_.Resize(value_.rows(), value_.cols());
+  return grad_;
+}
 
 TensorPtr Constant(tensor::Matrix value) {
   return std::make_shared<Tensor>(std::move(value), /*requires_grad=*/false);

@@ -37,10 +37,10 @@ class Tensor {
   }
 
   // Gradient storage, allocated (zeroed, same shape as value) on first use.
-  tensor::Matrix& grad() {
-    if (!grad_.SameShape(value_)) grad_.Resize(value_.rows(), value_.cols());
-    return grad_;
-  }
+  // When a GradShard (autograd/grad_shard.h) is active on the calling thread
+  // and this tensor is registered with it, resolves to the shard-local
+  // buffer instead — the hook behind lock-free sharded minibatch training.
+  tensor::Matrix& grad();
   const tensor::Matrix& grad_view() const { return grad_; }
   bool has_grad() const { return grad_.SameShape(value_); }
   void ZeroGrad() {

@@ -103,4 +103,21 @@ std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+uint64_t Rng::StreamSeed(uint64_t seed, uint64_t stream) {
+  // One splitmix64 mix of the stream index offset by the golden-ratio
+  // increment, xor-folded into the seed: distinct streams land in distinct,
+  // well-separated splitmix sequences.
+  uint64_t state = seed + (stream + 1) * 0x9E3779B97F4A7C15ULL;
+  return SplitMix64(&state);
+}
+
+std::vector<Rng> Rng::Split(uint64_t seed, int n) {
+  GROUPSA_CHECK(n >= 0, "Split requires a non-negative stream count");
+  std::vector<Rng> streams;
+  streams.reserve(n);
+  for (int i = 0; i < n; ++i)
+    streams.emplace_back(StreamSeed(seed, static_cast<uint64_t>(i)));
+  return streams;
+}
+
 }  // namespace groupsa

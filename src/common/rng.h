@@ -54,6 +54,20 @@ class Rng {
   // repetition its own stream.
   Rng Fork();
 
+  // Mixes (seed, stream) into a decorrelated seed via splitmix64, so that
+  // stream i of a given seed is a fixed, reproducible function of the two.
+  // The parallel trainer keys each minibatch shard's generator off
+  // (batch_seed, shard_index), which is what makes stochastic training
+  // invariant to thread count: the draws depend on the shard structure, not
+  // on which thread runs the shard.
+  static uint64_t StreamSeed(uint64_t seed, uint64_t stream);
+
+  // Splits `seed` into `n` independent generators, stream i seeded with
+  // StreamSeed(seed, i). Streams are reproducible (same seed and n give the
+  // same generators) and, by xoshiro's full-period state mixing, do not
+  // collide in practice.
+  static std::vector<Rng> Split(uint64_t seed, int n);
+
  private:
   uint64_t state_[4];
   bool has_cached_gaussian_ = false;

@@ -1,0 +1,87 @@
+#ifndef GROUPSA_COMMON_THREAD_POOL_H_
+#define GROUPSA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace groupsa::parallel {
+
+// Fixed-size thread pool underlying ParallelFor. The pool is deliberately
+// simple (single shared queue, no work stealing): every parallel region in
+// the library is a blocking ParallelFor whose chunks self-schedule off one
+// atomic counter, so a stealing scheduler would buy nothing.
+//
+// Determinism contract: ParallelFor partitions [begin, end) into fixed
+// `grain`-sized chunks and guarantees each index is processed exactly once.
+// Which thread runs a chunk is unspecified, so callers that need value
+// determinism must make chunk results independent of the executing thread
+// (per-chunk RNG streams, per-chunk output slots) and reduce the per-chunk
+// results in chunk order on the calling thread. Every parallel code path in
+// tensor/, core/ and eval/ follows this contract, which is what makes
+// results bit-identical at any thread count.
+class ThreadPool {
+ public:
+  // Spawns `num_threads - 1` workers (the calling thread always participates
+  // in ParallelFor, so a pool of size 1 runs everything inline and spawns
+  // nothing).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total execution width including the calling thread.
+  int size() const { return num_threads_; }
+
+  // Runs fn(chunk_begin, chunk_end) over [begin, end) split into chunks of
+  // at most `grain` indices. Blocks until every chunk has run. The calling
+  // thread participates. Nested calls from inside a worker run the whole
+  // range inline (serially), which both bounds oversubscription and makes
+  // nested submission deadlock-free. The first exception thrown by `fn` is
+  // rethrown on the calling thread once all chunks have finished.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  // True when the current thread is one of this process's pool workers.
+  static bool OnWorkerThread();
+
+ private:
+  void WorkerLoop();
+  void Enqueue(std::function<void()> task);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// ---------------- Global pool ----------------
+
+// The process-wide pool used by tensor kernels, the trainer and the
+// evaluator. Sized on first use from the GROUPSA_THREADS environment
+// variable; defaults to 1 (serial) so that library behavior is opt-in
+// identical to the historical single-threaded code paths.
+ThreadPool* GlobalPool();
+
+// Resizes the global pool. Must not be called while a parallel region is in
+// flight (callers: CLI flag parsing, bench drivers, config application,
+// tests between phases).
+void SetGlobalThreads(int num_threads);
+
+// Width of the global pool.
+int GlobalThreads();
+
+// ParallelFor on the global pool; runs inline when the pool width is 1 or
+// the range fits in one grain.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace groupsa::parallel
+
+#endif  // GROUPSA_COMMON_THREAD_POOL_H_

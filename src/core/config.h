@@ -53,6 +53,13 @@ struct GroupSaConfig {
   int user_epochs = 10;   // stage 1 (L_R)
   int group_epochs = 10;  // stage 2 (L_G)
   int batch_size = 64;
+  // Width of the global thread pool (common/thread_pool.h) used by the
+  // tensor kernels, the sharded trainer and the evaluator. 0 leaves the
+  // pool as-is (GROUPSA_THREADS env or a prior SetGlobalThreads call);
+  // values >= 1 resize it when the Trainer is constructed. Results are
+  // bit-identical at any width — see the determinism contract in
+  // common/thread_pool.h.
+  int threads = 0;
 
   // Component switches (true = paper's full GroupSA).
   bool use_voting_scheme = true;       // stacked self-attention (Sec. II-C)

@@ -4,17 +4,16 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace groupsa::core {
 namespace {
 
-// Sums a batch of scalar losses into one mean loss tensor.
-ag::TensorPtr MeanLoss(ag::Tape* tape,
-                       const std::vector<ag::TensorPtr>& losses) {
-  ag::TensorPtr stacked = ag::ConcatRows(tape, losses);
-  return ag::Scale(tape, ag::SumAll(tape, stacked),
-                   1.0f / static_cast<float>(losses.size()));
-}
+// Samples per shard of the sharded minibatch path. A fixed grain (rather
+// than one derived from the pool width) is what keeps the shard structure —
+// and with it RNG streams, loss sums and gradient reduction order —
+// identical at every thread count.
+constexpr int kShardGrain = 8;
 
 }  // namespace
 
@@ -29,118 +28,139 @@ Trainer::Trainer(GroupSaModel* model, const data::EdgeList& user_train,
       group_negatives_(gi_observed),
       rng_(rng) {
   const GroupSaConfig& config = model->config();
+  if (config.threads > 0) parallel::SetGlobalThreads(config.threads);
   optimizer_ = std::make_unique<nn::Adam>(
       model->Parameters(), config.learning_rate, config.weight_decay);
+  for (const nn::ParamEntry& p : model->Parameters())
+    grad_slots_.push_back({p.tensor.get(), p.touched_rows});
+}
+
+Trainer::EpochStats Trainer::RunShardedEpoch(int num_samples,
+                                             int losses_per_sample,
+                                             const SampleLossFn& fn) {
+  const GroupSaConfig& config = model_->config();
+  Stopwatch timer;
+  double total_loss = 0.0;
+  int total_losses = 0;
+  const int batch_size = config.batch_size;
+  for (int start = 0; start < num_samples; start += batch_size) {
+    const int end = std::min(num_samples, start + batch_size);
+    const int batch_losses = (end - start) * losses_per_sample;
+    const int num_shards = (end - start + kShardGrain - 1) / kShardGrain;
+    // One sequential draw per batch on the calling thread; each shard's
+    // stream is a pure function of it and the shard index.
+    const uint64_t batch_seed = rng_->NextU64();
+
+    std::vector<std::unique_ptr<ag::GradShard>> shards(num_shards);
+    std::vector<float> shard_loss(num_shards, 0.0f);
+    parallel::ParallelFor(0, num_shards, 1, [&](int64_t sb, int64_t se) {
+      for (int64_t s = sb; s < se; ++s) {
+        Rng shard_rng(Rng::StreamSeed(batch_seed, static_cast<uint64_t>(s)));
+        shards[s] = std::make_unique<ag::GradShard>(grad_slots_);
+        ag::GradShard::ActiveScope scope(shards[s].get());
+        ag::Tape tape;
+        std::vector<ag::TensorPtr> losses;
+        const int shard_begin = start + static_cast<int>(s) * kShardGrain;
+        const int shard_end = std::min(end, shard_begin + kShardGrain);
+        for (int i = shard_begin; i < shard_end; ++i)
+          fn(&tape, i, &shard_rng, &losses);
+        ag::TensorPtr sum =
+            ag::SumAll(&tape, ag::ConcatRows(&tape, losses));
+        shard_loss[s] = sum->scalar();
+        // Seeding with 1/batch_losses makes each sample's gradient carry
+        // the batch-mean weight, exactly as the historical mean-loss graph
+        // did.
+        tensor::Matrix seed(1, 1);
+        seed.At(0, 0) = 1.0f / static_cast<float>(batch_losses);
+        tape.BackwardFrom(sum, seed);
+      }
+    });
+    // Deterministic merge: shard order, on this thread.
+    for (const auto& shard : shards) shard->ReduceInto();
+    for (float loss : shard_loss) total_loss += loss;
+    total_losses += batch_losses;
+    optimizer_->Step();
+  }
+
+  EpochStats stats;
+  stats.num_samples = total_losses;
+  stats.avg_loss = total_losses > 0 ? total_loss / total_losses : 0.0;
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
 }
 
 Trainer::EpochStats Trainer::RunUserEpoch() {
   const GroupSaConfig& config = model_->config();
-  Stopwatch timer;
   std::vector<data::Edge> order(user_train_);
   rng_->Shuffle(&order);
 
-  double total_loss = 0.0;
-  int total_samples = 0;
-  size_t next = 0;
-  while (next < order.size()) {
-    ag::Tape tape;
-    std::vector<ag::TensorPtr> losses;
-    const size_t batch_end =
-        std::min(order.size(), next + static_cast<size_t>(config.batch_size));
-    for (; next < batch_end; ++next) {
-      const data::Edge& edge = order[next];
-      const std::vector<data::ItemId> negatives =
-          user_negatives_.SampleMany(edge.row, config.num_negatives, rng_);
-      GroupSaModel::UserForward fwd =
-          model_->BuildUserForward(&tape, edge.row, /*training=*/true, rng_);
-      ag::TensorPtr pos =
-          model_->ScoreUserItem(&tape, fwd, edge.item, true, rng_);
-      std::vector<ag::TensorPtr> neg_scores;
-      for (data::ItemId neg : negatives) {
-        neg_scores.push_back(
-            model_->ScoreUserItem(&tape, fwd, neg, true, rng_));
-      }
-      ag::TensorPtr negs = ag::ConcatRows(&tape, neg_scores);
-      losses.push_back(ag::BprLoss(&tape, pos, negs));
-
-      if (config.train_group_head_on_singletons) {
-        // Drive the same triple through the group path as a one-member
-        // group (see config.h, train_group_head_on_singletons).
-        GroupSaModel::GroupForward single =
-            model_->BuildGroupForwardFromMembers(&tape, {edge.row}, true,
-                                                 rng_);
-        ag::TensorPtr gpos =
-            model_->ScoreGroupItem(&tape, single, edge.item, true, rng_)
-                .score;
-        std::vector<ag::TensorPtr> gneg_scores;
+  const int losses_per_sample = config.train_group_head_on_singletons ? 2 : 1;
+  return RunShardedEpoch(
+      static_cast<int>(order.size()), losses_per_sample,
+      [&](ag::Tape* tape, int index, Rng* rng,
+          std::vector<ag::TensorPtr>* losses) {
+        const data::Edge& edge = order[index];
+        const std::vector<data::ItemId> negatives =
+            user_negatives_.SampleMany(edge.row, config.num_negatives, rng);
+        GroupSaModel::UserForward fwd =
+            model_->BuildUserForward(tape, edge.row, /*training=*/true, rng);
+        ag::TensorPtr pos =
+            model_->ScoreUserItem(tape, fwd, edge.item, true, rng);
+        std::vector<ag::TensorPtr> neg_scores;
         for (data::ItemId neg : negatives) {
-          gneg_scores.push_back(
-              model_->ScoreGroupItem(&tape, single, neg, true, rng_).score);
+          neg_scores.push_back(
+              model_->ScoreUserItem(tape, fwd, neg, true, rng));
         }
-        losses.push_back(
-            ag::BprLoss(&tape, gpos, ag::ConcatRows(&tape, gneg_scores)));
-      }
-    }
-    ag::TensorPtr loss = MeanLoss(&tape, losses);
-    total_loss += loss->scalar() * static_cast<double>(losses.size());
-    total_samples += static_cast<int>(losses.size());
-    tape.Backward(loss);
-    optimizer_->Step();
-  }
+        ag::TensorPtr negs = ag::ConcatRows(tape, neg_scores);
+        losses->push_back(ag::BprLoss(tape, pos, negs));
 
-  EpochStats stats;
-  stats.num_samples = total_samples;
-  stats.avg_loss = total_samples > 0 ? total_loss / total_samples : 0.0;
-  stats.seconds = timer.ElapsedSeconds();
-  return stats;
+        if (config.train_group_head_on_singletons) {
+          // Drive the same triple through the group path as a one-member
+          // group (see config.h, train_group_head_on_singletons).
+          GroupSaModel::GroupForward single =
+              model_->BuildGroupForwardFromMembers(tape, {edge.row}, true,
+                                                   rng);
+          ag::TensorPtr gpos =
+              model_->ScoreGroupItem(tape, single, edge.item, true, rng)
+                  .score;
+          std::vector<ag::TensorPtr> gneg_scores;
+          for (data::ItemId neg : negatives) {
+            gneg_scores.push_back(
+                model_->ScoreGroupItem(tape, single, neg, true, rng).score);
+          }
+          losses->push_back(
+              ag::BprLoss(tape, gpos, ag::ConcatRows(tape, gneg_scores)));
+        }
+      });
 }
 
 Trainer::EpochStats Trainer::RunGroupEpoch() {
   const GroupSaConfig& config = model_->config();
-  Stopwatch timer;
   std::vector<data::Edge> order(group_train_);
   rng_->Shuffle(&order);
 
-  double total_loss = 0.0;
-  int total_samples = 0;
-  size_t next = 0;
-  while (next < order.size()) {
-    ag::Tape tape;
-    std::vector<ag::TensorPtr> losses;
-    const size_t batch_end =
-        std::min(order.size(), next + static_cast<size_t>(config.batch_size));
-    for (; next < batch_end; ++next) {
-      const data::Edge& edge = order[next];
-      GroupSaModel::GroupForward fwd =
-          model_->BuildGroupForward(&tape, edge.row, /*training=*/true, rng_);
-      ag::TensorPtr pos =
-          model_->ScoreGroupItem(&tape, fwd, edge.item, true, rng_).score;
-      std::vector<ag::TensorPtr> neg_scores;
-      for (data::ItemId neg : group_negatives_.SampleMany(
-               edge.row, config.num_negatives, rng_)) {
-        neg_scores.push_back(
-            model_->ScoreGroupItem(&tape, fwd, neg, true, rng_).score);
-      }
-      ag::TensorPtr negs = ag::ConcatRows(&tape, neg_scores);
-      losses.push_back(ag::BprLoss(&tape, pos, negs));
-    }
-    ag::TensorPtr loss = MeanLoss(&tape, losses);
-    total_loss += loss->scalar() * static_cast<double>(losses.size());
-    total_samples += static_cast<int>(losses.size());
-    tape.Backward(loss);
-    optimizer_->Step();
-  }
-
-  EpochStats stats;
-  stats.num_samples = total_samples;
-  stats.avg_loss = total_samples > 0 ? total_loss / total_samples : 0.0;
-  stats.seconds = timer.ElapsedSeconds();
-  return stats;
+  return RunShardedEpoch(
+      static_cast<int>(order.size()), /*losses_per_sample=*/1,
+      [&](ag::Tape* tape, int index, Rng* rng,
+          std::vector<ag::TensorPtr>* losses) {
+        const data::Edge& edge = order[index];
+        GroupSaModel::GroupForward fwd =
+            model_->BuildGroupForward(tape, edge.row, /*training=*/true, rng);
+        ag::TensorPtr pos =
+            model_->ScoreGroupItem(tape, fwd, edge.item, true, rng).score;
+        std::vector<ag::TensorPtr> neg_scores;
+        for (data::ItemId neg : group_negatives_.SampleMany(
+                 edge.row, config.num_negatives, rng)) {
+          neg_scores.push_back(
+              model_->ScoreGroupItem(tape, fwd, neg, true, rng).score);
+        }
+        ag::TensorPtr negs = ag::ConcatRows(tape, neg_scores);
+        losses->push_back(ag::BprLoss(tape, pos, negs));
+      });
 }
 
 Trainer::EpochStats Trainer::RunSocialEpoch() {
   const GroupSaConfig& config = model_->config();
-  Stopwatch timer;
   const data::SocialGraph& social = *model_->model_data().social;
   const int num_users = model_->num_users();
   std::vector<std::pair<data::UserId, data::UserId>> edges;
@@ -152,40 +172,24 @@ Trainer::EpochStats Trainer::RunSocialEpoch() {
   rng_->Shuffle(&edges);
 
   nn::Embedding& table = model_->user_embedding();
-  double total_loss = 0.0;
-  size_t next = 0;
-  while (next < edges.size()) {
-    ag::Tape tape;
-    std::vector<ag::TensorPtr> losses;
-    const size_t batch_end =
-        std::min(edges.size(), next + static_cast<size_t>(config.batch_size));
-    for (; next < batch_end; ++next) {
-      const auto& [u, v] = edges[next];
-      ag::TensorPtr eu = table.Lookup(&tape, u);
-      ag::TensorPtr pos = ag::MatMul(&tape, eu, table.Lookup(&tape, v),
-                                     false, /*transpose_b=*/true);
-      std::vector<ag::TensorPtr> neg_scores;
-      for (int s = 0; s < config.num_negatives; ++s) {
-        data::UserId n = rng_->NextInt(num_users);
-        while (n == u || social.Connected(u, n)) n = rng_->NextInt(num_users);
-        neg_scores.push_back(ag::MatMul(&tape, eu, table.Lookup(&tape, n),
-                                        false, true));
-      }
-      losses.push_back(
-          ag::BprLoss(&tape, pos, ag::ConcatRows(&tape, neg_scores)));
-    }
-    ag::TensorPtr loss = MeanLoss(&tape, losses);
-    total_loss += loss->scalar() * static_cast<double>(losses.size());
-    tape.Backward(loss);
-    optimizer_->Step();
-  }
-
-  EpochStats stats;
-  stats.num_samples = static_cast<int>(edges.size());
-  stats.avg_loss =
-      edges.empty() ? 0.0 : total_loss / static_cast<double>(edges.size());
-  stats.seconds = timer.ElapsedSeconds();
-  return stats;
+  return RunShardedEpoch(
+      static_cast<int>(edges.size()), /*losses_per_sample=*/1,
+      [&](ag::Tape* tape, int index, Rng* rng,
+          std::vector<ag::TensorPtr>* losses) {
+        const auto& [u, v] = edges[index];
+        ag::TensorPtr eu = table.Lookup(tape, u);
+        ag::TensorPtr pos = ag::MatMul(tape, eu, table.Lookup(tape, v),
+                                       false, /*transpose_b=*/true);
+        std::vector<ag::TensorPtr> neg_scores;
+        for (int s = 0; s < config.num_negatives; ++s) {
+          data::UserId n = rng->NextInt(num_users);
+          while (n == u || social.Connected(u, n)) n = rng->NextInt(num_users);
+          neg_scores.push_back(ag::MatMul(tape, eu, table.Lookup(tape, n),
+                                          false, true));
+        }
+        losses->push_back(
+            ag::BprLoss(tape, pos, ag::ConcatRows(tape, neg_scores)));
+      });
 }
 
 Trainer::FitReport Trainer::Fit(bool verbose) {

@@ -1,10 +1,12 @@
 #ifndef GROUPSA_CORE_TRAINER_H_
 #define GROUPSA_CORE_TRAINER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "autograd/grad_shard.h"
 #include "core/groupsa_model.h"
 #include "data/negative_sampler.h"
 #include "nn/optimizer.h"
@@ -16,6 +18,16 @@ namespace groupsa::core {
 // the social data); stage 2 fine-tunes the group task by optimizing L_G
 // (Eq. 21) over the group-item interactions, starting from the stage-1
 // embeddings (shared tables make the hand-off implicit).
+//
+// Every epoch runs the sharded minibatch path: each batch is cut into
+// fixed-size shards, each shard builds its forward graph and runs its
+// backward pass on a pool thread with a shard-local gradient sink
+// (ag::GradShard) and a shard-local Rng stream keyed off (batch, shard).
+// Shard gradients and losses are then reduced in shard order on the calling
+// thread before the optimizer step. Because the shard structure, RNG
+// streams and reduction order depend only on the data and the seed — never
+// on the thread count — training is bit-identical at any pool width,
+// including width 1.
 class Trainer {
  public:
   // `user_train` / `group_train` are the training edges; `ui_observed` /
@@ -51,6 +63,20 @@ class Trainer {
   FitReport Fit(bool verbose = false);
 
  private:
+  // Appends the loss tensor(s) of one training sample to `losses`, building
+  // the forward graph on `tape` and drawing all randomness (negative
+  // sampling, dropout) from `rng`.
+  using SampleLossFn =
+      std::function<void(ag::Tape* tape, int index, Rng* rng,
+                         std::vector<ag::TensorPtr>* losses)>;
+
+  // Shared sharded-minibatch engine behind the three epoch kinds.
+  // `losses_per_sample` is the fixed number of loss terms `fn` appends per
+  // sample (needed upfront to seed each shard's backward with 1/batch_loss
+  // so per-sample gradients match the historical batch-mean scaling).
+  EpochStats RunShardedEpoch(int num_samples, int losses_per_sample,
+                             const SampleLossFn& fn);
+
   GroupSaModel* model_;
   const data::EdgeList& user_train_;
   const data::EdgeList& group_train_;
@@ -58,6 +84,8 @@ class Trainer {
   data::NegativeSampler group_negatives_;
   Rng* rng_;
   std::unique_ptr<nn::Adam> optimizer_;
+  // GradShard registration of the model's parameters, built once.
+  std::vector<ag::GradShard::ParamSlot> grad_slots_;
 };
 
 }  // namespace groupsa::core

@@ -1,6 +1,7 @@
 #include "eval/evaluator.h"
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "data/candidates.h"
 
 namespace groupsa::eval {
@@ -35,21 +36,35 @@ EvalResult EvaluateRankingFiltered(const std::vector<RankingCase>& cases,
                                    const Scorer& scorer,
                                    const std::vector<int>& ks,
                                    const std::function<bool(int32_t)>& keep) {
+  // Cases are independent, so they fan out across the pool; each case
+  // writes its rank into its own slot and the slots are compacted in case
+  // order afterwards, which makes the aggregate bit-identical to a serial
+  // pass at any thread count. `scorer` must be thread-safe when the global
+  // pool is wider than 1 (the library's no-tape model scorers are pure).
+  std::vector<int> ranks_by_case(cases.size(), -1);
+  parallel::ParallelFor(
+      0, static_cast<int64_t>(cases.size()), /*grain=*/1,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          const RankingCase& c = cases[i];
+          if (!keep(c.entity)) continue;
+          std::vector<data::ItemId> items;
+          items.reserve(c.candidates.size() + 1);
+          items.push_back(c.positive);
+          items.insert(items.end(), c.candidates.begin(),
+                       c.candidates.end());
+          const std::vector<double> scores = scorer(c.entity, items);
+          GROUPSA_CHECK(scores.size() == items.size(),
+                        "scorer returned wrong number of scores");
+          const std::vector<double> candidate_scores(scores.begin() + 1,
+                                                     scores.end());
+          ranks_by_case[i] = RankOfPositive(scores[0], candidate_scores);
+        }
+      });
   std::vector<int> ranks;
   ranks.reserve(cases.size());
-  for (const RankingCase& c : cases) {
-    if (!keep(c.entity)) continue;
-    std::vector<data::ItemId> items;
-    items.reserve(c.candidates.size() + 1);
-    items.push_back(c.positive);
-    items.insert(items.end(), c.candidates.begin(), c.candidates.end());
-    const std::vector<double> scores = scorer(c.entity, items);
-    GROUPSA_CHECK(scores.size() == items.size(),
-                  "scorer returned wrong number of scores");
-    const std::vector<double> candidate_scores(scores.begin() + 1,
-                                               scores.end());
-    ranks.push_back(RankOfPositive(scores[0], candidate_scores));
-  }
+  for (int rank : ranks_by_case)
+    if (rank >= 0) ranks.push_back(rank);
   return AggregateRanks(ranks, ks);
 }
 

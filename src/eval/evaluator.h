@@ -31,7 +31,9 @@ std::vector<RankingCase> BuildRankingCases(
 // Batch scorer: returns one score per item, higher = more preferred. The
 // item list contains the positive and all candidates of one case, so
 // implementations can amortize per-entity work (e.g. build the group
-// representation once).
+// representation once). Evaluation fans cases out across the global thread
+// pool, so scorers must be thread-safe (pure w.r.t. shared state) whenever
+// the pool is wider than 1; all no-tape model scorers in this library are.
 using Scorer =
     std::function<std::vector<double>(int32_t entity,
                                       const std::vector<data::ItemId>& items)>;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "data/tfidf.h"
 
 namespace groupsa::pipeline {
@@ -274,13 +275,16 @@ RunOptions ParseBenchArgs(int argc, char** argv, RunOptions defaults) {
       options.user_epochs = e;
       options.group_epochs = e;
       options.baseline_epochs = e;
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      options.threads = std::atoi(arg + 10);
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (supported: --quick --seed=N "
-                   "--candidates=N --epochs=N)\n",
+                   "--candidates=N --epochs=N --threads=N)\n",
                    arg);
     }
   }
+  if (options.threads > 0) parallel::SetGlobalThreads(options.threads);
   return options;
 }
 

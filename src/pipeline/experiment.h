@@ -29,6 +29,10 @@ struct RunOptions {
   int group_epochs = 10;
   int baseline_epochs = 10;  // joint epochs for NCF/AGREE/SIGR
   uint64_t seed = 1;
+  // Global pool width for training and evaluation (--threads=N); 0 keeps
+  // the current pool (GROUPSA_THREADS env default). Metrics are
+  // bit-identical at any width; only wall-clock changes.
+  int threads = 0;
 
   // Shrinks everything for CI smoke runs (--quick flag of the benches).
   RunOptions Quick() const {

@@ -1,25 +1,28 @@
 #include "tensor/ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
-namespace groupsa::tensor {
+#include "common/thread_pool.h"
 
-void Gemm(const Matrix& a, bool transpose_a, const Matrix& b, bool transpose_b,
-          float alpha, Matrix* out, bool accumulate) {
-  const int m = transpose_a ? a.cols() : a.rows();
-  const int k = transpose_a ? a.rows() : a.cols();
-  const int kb = transpose_b ? b.cols() : b.rows();
-  const int n = transpose_b ? b.rows() : b.cols();
-  GROUPSA_CHECK(k == kb, "Gemm inner dimension mismatch");
-  if (!accumulate || out->rows() != m || out->cols() != n) {
-    GROUPSA_CHECK(!accumulate || (out->rows() == m && out->cols() == n),
-                  "Gemm accumulate shape mismatch");
-    out->Resize(m, n);
-  }
-  // i-k-j loop order keeps the inner loop contiguous for the common
-  // no-transpose case; the transposed cases swap index roles.
-  for (int i = 0; i < m; ++i) {
+namespace groupsa::tensor {
+namespace {
+
+// Work (in multiply-adds / elements) below which kernels stay serial; at
+// these sizes the ParallelFor dispatch costs more than the loop body.
+constexpr int64_t kGemmParallelWork = 1 << 18;       // m * n * k
+constexpr int64_t kElementwiseParallelWork = 1 << 20;
+
+// Computes output rows [row_begin, row_end) of out = alpha * op(a) * op(b).
+// i-k-j loop order keeps the inner loop contiguous for the common
+// no-transpose case; the transposed cases swap index roles. This is the one
+// kernel both the serial and the tiled parallel paths run, so a given output
+// row is always produced by the same instruction sequence.
+void GemmRows(const Matrix& a, bool transpose_a, const Matrix& b,
+              bool transpose_b, float alpha, Matrix* out, int k, int n,
+              int row_begin, int row_end) {
+  for (int i = row_begin; i < row_end; ++i) {
     float* out_row = out->RowPtr(i);
     for (int kk = 0; kk < k; ++kk) {
       const float a_ik =
@@ -35,6 +38,54 @@ void Gemm(const Matrix& a, bool transpose_a, const Matrix& b, bool transpose_b,
   }
 }
 
+// Shape-checks and prepares the destination; returns {m, k, n}.
+struct GemmShape {
+  int m, k, n;
+};
+GemmShape PrepareGemm(const Matrix& a, bool transpose_a, const Matrix& b,
+                      bool transpose_b, Matrix* out, bool accumulate) {
+  const int m = transpose_a ? a.cols() : a.rows();
+  const int k = transpose_a ? a.rows() : a.cols();
+  const int kb = transpose_b ? b.cols() : b.rows();
+  const int n = transpose_b ? b.rows() : b.cols();
+  GROUPSA_CHECK(k == kb, "Gemm inner dimension mismatch");
+  if (!accumulate || out->rows() != m || out->cols() != n) {
+    GROUPSA_CHECK(!accumulate || (out->rows() == m && out->cols() == n),
+                  "Gemm accumulate shape mismatch");
+    out->Resize(m, n);
+  }
+  return {m, k, n};
+}
+
+}  // namespace
+
+void GemmSerial(const Matrix& a, bool transpose_a, const Matrix& b,
+                bool transpose_b, float alpha, Matrix* out, bool accumulate) {
+  const GemmShape s = PrepareGemm(a, transpose_a, b, transpose_b, out,
+                                  accumulate);
+  GemmRows(a, transpose_a, b, transpose_b, alpha, out, s.k, s.n, 0, s.m);
+}
+
+void Gemm(const Matrix& a, bool transpose_a, const Matrix& b, bool transpose_b,
+          float alpha, Matrix* out, bool accumulate) {
+  const GemmShape s = PrepareGemm(a, transpose_a, b, transpose_b, out,
+                                  accumulate);
+  const int64_t work = int64_t{s.m} * s.k * s.n;
+  const int threads = parallel::GlobalThreads();
+  if (threads <= 1 || work < kGemmParallelWork || s.m < 2 * threads) {
+    GemmRows(a, transpose_a, b, transpose_b, alpha, out, s.k, s.n, 0, s.m);
+    return;
+  }
+  // Tile over output rows: chunks write disjoint rows and each row is
+  // computed exactly as in the serial kernel, so the result is bit-identical
+  // at any thread count.
+  const int64_t grain = std::max<int64_t>(1, s.m / (4 * threads));
+  parallel::ParallelFor(0, s.m, grain, [&](int64_t begin, int64_t end) {
+    GemmRows(a, transpose_a, b, transpose_b, alpha, out, s.k, s.n,
+             static_cast<int>(begin), static_cast<int>(end));
+  });
+}
+
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   Matrix out;
   Gemm(a, /*transpose_a=*/false, b, /*transpose_b=*/false, 1.0f, &out);
@@ -43,25 +94,56 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 
 Matrix Transpose(const Matrix& a) {
   Matrix out(a.cols(), a.rows());
-  for (int r = 0; r < a.rows(); ++r)
-    for (int c = 0; c < a.cols(); ++c) out.At(c, r) = a.At(r, c);
+  auto rows = [&](int64_t begin, int64_t end) {
+    for (int r = static_cast<int>(begin); r < end; ++r)
+      for (int c = 0; c < a.cols(); ++c) out.At(c, r) = a.At(r, c);
+  };
+  if (a.size() < kElementwiseParallelWork || parallel::GlobalThreads() <= 1) {
+    rows(0, a.rows());
+  } else {
+    parallel::ParallelFor(
+        0, a.rows(),
+        std::max<int64_t>(1, a.rows() / (4 * parallel::GlobalThreads())),
+        rows);
+  }
   return out;
 }
 
 Matrix Hadamard(const Matrix& a, const Matrix& b) {
   GROUPSA_CHECK(a.SameShape(b), "Hadamard shape mismatch");
   Matrix out(a.rows(), a.cols());
-  for (int i = 0; i < a.size(); ++i) out.data()[i] = a.data()[i] * b.data()[i];
+  auto span = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i)
+      out.data()[i] = a.data()[i] * b.data()[i];
+  };
+  if (a.size() < kElementwiseParallelWork || parallel::GlobalThreads() <= 1) {
+    span(0, a.size());
+  } else {
+    parallel::ParallelFor(
+        0, a.size(),
+        std::max<int64_t>(1, a.size() / (4 * parallel::GlobalThreads())),
+        span);
+  }
   return out;
 }
 
 void AddRowBroadcastInPlace(Matrix* a, const Matrix& bias) {
   GROUPSA_CHECK(bias.rows() == 1 && bias.cols() == a->cols(),
                 "AddRowBroadcast bias must be 1 x cols");
-  for (int r = 0; r < a->rows(); ++r) {
-    float* row = a->RowPtr(r);
-    const float* b = bias.RowPtr(0);
-    for (int c = 0; c < a->cols(); ++c) row[c] += b[c];
+  auto rows = [&](int64_t begin, int64_t end) {
+    for (int r = static_cast<int>(begin); r < end; ++r) {
+      float* row = a->RowPtr(r);
+      const float* b = bias.RowPtr(0);
+      for (int c = 0; c < a->cols(); ++c) row[c] += b[c];
+    }
+  };
+  if (a->size() < kElementwiseParallelWork || parallel::GlobalThreads() <= 1) {
+    rows(0, a->rows());
+  } else {
+    parallel::ParallelFor(
+        0, a->rows(),
+        std::max<int64_t>(1, a->rows() / (4 * parallel::GlobalThreads())),
+        rows);
   }
 }
 

@@ -12,9 +12,19 @@ namespace groupsa::tensor {
 // flag: when true, the destination is added into instead of overwritten.
 
 // out = alpha * op(a) * op(b) (+ out if accumulate). op is transpose when the
-// corresponding flag is set.
+// corresponding flag is set. Large products are tiled over output rows across
+// the global thread pool; because each output row is produced by the same
+// inner-loop order as the serial kernel, results are bit-identical to
+// GemmSerial at any thread count.
 void Gemm(const Matrix& a, bool transpose_a, const Matrix& b, bool transpose_b,
           float alpha, Matrix* out, bool accumulate = false);
+
+// Single-threaded reference kernel with identical semantics to Gemm. Used as
+// the parity baseline in tests and benchmarks; Gemm dispatches here below the
+// parallel size cutoff.
+void GemmSerial(const Matrix& a, bool transpose_a, const Matrix& b,
+                bool transpose_b, float alpha, Matrix* out,
+                bool accumulate = false);
 
 // Convenience: returns a * b.
 Matrix MatMul(const Matrix& a, const Matrix& b);

@@ -34,8 +34,15 @@ TEST(EmbeddingTest, TracksTouchedRowsAsSparseParam) {
   ASSERT_NE(params[0].touched_rows, nullptr);
   EXPECT_TRUE(params[0].touched_rows->empty());
   ag::Tape tape;
-  emb.Forward(&tape, {1, 7});
-  emb.Forward(&tape, {7});
+  ag::TensorPtr a = emb.Forward(&tape, {1, 7});
+  ag::TensorPtr b = emb.Forward(&tape, {7});
+  // Touched rows are recorded during the backward pass (the forward pass is
+  // pure so concurrent no-tape inference is thread-safe), so nothing is
+  // tracked yet.
+  EXPECT_TRUE(params[0].touched_rows->empty());
+  ag::TensorPtr loss =
+      ag::Add(&tape, ag::SumAll(&tape, a), ag::SumAll(&tape, b));
+  tape.Backward(loss);
   EXPECT_EQ(params[0].touched_rows->size(), 2u);
   EXPECT_TRUE(params[0].touched_rows->count(1));
   EXPECT_TRUE(params[0].touched_rows->count(7));

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 suite under the plain build, then the race-labelled
+# tests again under ThreadSanitizer (GROUPSA_SANITIZE=thread) to shake out
+# data races in the thread pool, the sharded trainer and the parallel
+# kernels.
+#
+# Usage: tools/ci.sh [jobs]       (default: nproc)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "=== plain build ==="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "${JOBS}"
+echo "=== plain ctest (full tier-1 suite) ==="
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "=== tsan build ==="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGROUPSA_SANITIZE=thread
+cmake --build build-tsan -j "${JOBS}"
+echo "=== tsan ctest (race-labelled tests) ==="
+# TSan slows execution ~5-15x, so the sanitizer lane runs only the tests
+# that exercise the parallel paths; the full suite already ran above.
+ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L race
+
+echo "CI OK"
