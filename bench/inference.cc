@@ -1,0 +1,210 @@
+// Batched inference engine benchmark: full-catalog ranking through the
+// per-item reference path (one tape-free autograd forward per candidate,
+// GroupSaModel::Score*PerItem) vs the batched InferenceEngine path that every
+// production entry point now uses. The two paths are bit-identical by
+// contract (see src/core/inference_engine.h); this driver re-verifies the
+// 0-ULP claim on every run and exits non-zero on any mismatch, so the timing
+// numbers can never silently drift away from the semantics they claim to
+// measure.
+//
+// Flags: --items=N --groups=N --users=N --threads=N --k=N --quick
+//        --json=path   (machine-readable result record, see tools/bench.sh)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/groupsa_model.h"
+#include "core/inference_engine.h"
+#include "core/topk.h"
+#include "data/synthetic.h"
+#include "data/tfidf.h"
+
+using namespace groupsa;
+
+namespace {
+
+struct Flags {
+  int items = 2000;
+  int groups = 20;
+  int users = 40;
+  int threads = 1;
+  int k = 10;
+  bool quick = false;
+  std::string json;
+};
+
+bool ParseIntFlag(const char* arg, const char* name, int* out) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = std::atoi(arg + n + 1);
+  return true;
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--quick") == 0) {
+      f.quick = true;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      f.json = arg + 7;
+    } else if (!ParseIntFlag(arg, "--items", &f.items) &&
+               !ParseIntFlag(arg, "--groups", &f.groups) &&
+               !ParseIntFlag(arg, "--users", &f.users) &&
+               !ParseIntFlag(arg, "--threads", &f.threads) &&
+               !ParseIntFlag(arg, "--k", &f.k)) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      std::exit(2);
+    }
+  }
+  if (f.quick) {
+    f.items = std::min(f.items, 300);
+    f.groups = std::min(f.groups, 3);
+    f.users = std::min(f.users, 5);
+  }
+  return f;
+}
+
+bool BitIdentical(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+  parallel::SetGlobalThreads(std::max(1, flags.threads));
+
+  // An untrained model scores the same arithmetic as a trained one; the
+  // catalog size is what matters here.
+  data::SyntheticWorldConfig wc;
+  wc.name = "bench_inference";
+  wc.num_items = flags.items;
+  wc.num_users = 400;
+  wc.num_groups = std::max(flags.groups, 100);
+  const data::SyntheticWorld world = data::GenerateWorld(wc);
+  const data::InteractionMatrix ui_all = world.dataset.UserItemMatrix();
+
+  const core::GroupSaConfig config = core::GroupSaConfig::Default();
+  core::ModelData model_data;
+  model_data.groups = &world.dataset.groups;
+  model_data.social = &world.dataset.social;
+  model_data.top_items = data::TopItemsPerUser(ui_all, config.top_h);
+  model_data.top_friends =
+      data::TopFriendsPerUser(world.dataset.social, config.top_h);
+  Rng rng(13);
+  core::GroupSaModel model(config, world.dataset.num_users,
+                           world.dataset.num_items, model_data, &rng);
+  const std::vector<data::ItemId> catalog = core::AllItems(model.num_items());
+
+  std::vector<data::GroupId> groups(flags.groups);
+  for (int i = 0; i < flags.groups; ++i)
+    groups[i] = i % world.dataset.groups.num_groups();
+  std::vector<data::UserId> users(flags.users);
+  for (int i = 0; i < flags.users; ++i)
+    users[i] = (i * 7) % world.dataset.num_users;
+
+  std::printf("bench_inference: %d items, %d groups, %d users, %d thread(s)\n",
+              flags.items, flags.groups, flags.users,
+              parallel::GlobalThreads());
+
+  // ---- group tower ----
+  Stopwatch sw;
+  std::vector<std::vector<double>> group_ref(groups.size());
+  for (size_t i = 0; i < groups.size(); ++i)
+    group_ref[i] = model.ScoreItemsForGroupPerItem(groups[i], catalog);
+  const double group_per_item_s = sw.ElapsedSeconds();
+
+  model.inference().InvalidateAll();  // time cold rep builds too
+  sw.Reset();
+  std::vector<std::vector<double>> group_batched(groups.size());
+  for (size_t i = 0; i < groups.size(); ++i)
+    group_batched[i] = model.ScoreItemsForGroup(groups[i], catalog);
+  const double group_batched_s = sw.ElapsedSeconds();
+
+  bool identical = true;
+  for (size_t i = 0; i < groups.size(); ++i)
+    identical = identical && BitIdentical(group_ref[i], group_batched[i]);
+
+  // ---- user tower ----
+  sw.Reset();
+  std::vector<std::vector<double>> user_ref(users.size());
+  for (size_t i = 0; i < users.size(); ++i)
+    user_ref[i] = model.ScoreItemsForUserPerItem(users[i], catalog);
+  const double user_per_item_s = sw.ElapsedSeconds();
+
+  model.inference().InvalidateAll();
+  sw.Reset();
+  std::vector<std::vector<double>> user_batched(users.size());
+  for (size_t i = 0; i < users.size(); ++i)
+    user_batched[i] = model.ScoreItemsForUser(users[i], catalog);
+  const double user_batched_s = sw.ElapsedSeconds();
+
+  for (size_t i = 0; i < users.size(); ++i)
+    identical = identical && BitIdentical(user_ref[i], user_batched[i]);
+
+  // ---- warm-cache top-K (the serving steady state) ----
+  sw.Reset();
+  for (data::GroupId g : groups) {
+    const auto top = model.RecommendForGroup(g, flags.k, nullptr);
+    if (top.empty()) std::abort();
+  }
+  const double topk_warm_s = sw.ElapsedSeconds();
+
+  const double group_speedup = group_per_item_s / group_batched_s;
+  const double user_speedup = user_per_item_s / user_batched_s;
+  std::printf("  group full-catalog: per-item %8.3fs  batched %8.3fs  "
+              "speedup %6.2fx\n",
+              group_per_item_s, group_batched_s, group_speedup);
+  std::printf("  user  full-catalog: per-item %8.3fs  batched %8.3fs  "
+              "speedup %6.2fx\n",
+              user_per_item_s, user_batched_s, user_speedup);
+  std::printf("  warm top-%d over %zu groups: %.3fs (%.2f ms/group)\n",
+              flags.k, groups.size(), topk_warm_s,
+              topk_warm_s * 1000.0 / groups.size());
+  std::printf("  bit-identical: %s\n", identical ? "yes" : "NO");
+
+  if (!flags.json.empty()) {
+    FILE* out = std::fopen(flags.json.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", flags.json.c_str());
+      return 2;
+    }
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"bench\": \"inference\",\n"
+        "  \"items\": %d,\n"
+        "  \"groups\": %d,\n"
+        "  \"users\": %d,\n"
+        "  \"threads\": %d,\n"
+        "  \"group_per_item_seconds\": %.6f,\n"
+        "  \"group_batched_seconds\": %.6f,\n"
+        "  \"group_speedup\": %.3f,\n"
+        "  \"user_per_item_seconds\": %.6f,\n"
+        "  \"user_batched_seconds\": %.6f,\n"
+        "  \"user_speedup\": %.3f,\n"
+        "  \"warm_topk_ms_per_group\": %.4f,\n"
+        "  \"bit_identical\": %s\n"
+        "}\n",
+        flags.items, flags.groups, flags.users, parallel::GlobalThreads(),
+        group_per_item_s, group_batched_s, group_speedup, user_per_item_s,
+        user_batched_s, user_speedup, topk_warm_s * 1000.0 / groups.size(),
+        identical ? "true" : "false");
+    std::fclose(out);
+  }
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FATAL: batched scores diverged from the per-item path\n");
+    return 1;
+  }
+  return 0;
+}

@@ -19,7 +19,19 @@ class Tensor {
       : value_(std::move(value)), requires_grad_(requires_grad) {}
 
   const tensor::Matrix& value() const { return value_; }
-  tensor::Matrix& mutable_value() { return value_; }
+  // Mutable access bumps `value_version()`. Every code path that rewrites a
+  // parameter's values — optimizer steps, (re-)initialization, checkpoint
+  // restore, Embedding::SetTable, finite-difference perturbation — goes
+  // through here, which is what lets representation caches (e.g.
+  // core::InferenceEngine) detect staleness without hooks at every call
+  // site. Forward ops never take mutable access to their inputs.
+  tensor::Matrix& mutable_value() {
+    ++value_version_;
+    return value_;
+  }
+
+  // Monotone counter of mutable value accesses; see mutable_value().
+  uint64_t value_version() const { return value_version_; }
 
   bool requires_grad() const { return requires_grad_; }
   void set_requires_grad(bool requires_grad) {
@@ -53,6 +65,7 @@ class Tensor {
  private:
   tensor::Matrix value_;
   tensor::Matrix grad_;
+  uint64_t value_version_ = 0;
   bool requires_grad_ = false;
   std::string name_;
 };

@@ -1,8 +1,7 @@
 #include "core/fast_recommender.h"
 
-#include <algorithm>
-
 #include "common/macros.h"
+#include "core/topk.h"
 
 namespace groupsa::core {
 
@@ -23,21 +22,16 @@ std::vector<double> FastGroupRecommender::ScoreItemsForMembers(
 
 std::vector<std::pair<data::ItemId, double>>
 FastGroupRecommender::RecommendForMembers(
-    const std::vector<data::UserId>& members, int k) const {
-  std::vector<data::ItemId> all_items(model_->num_items());
-  for (int v = 0; v < model_->num_items(); ++v) all_items[v] = v;
+    const std::vector<data::UserId>& members, int k,
+    const data::InteractionMatrix* exclude) const {
   const std::vector<double> scores =
-      ScoreItemsForMembers(members, all_items);
-  std::vector<std::pair<data::ItemId, double>> ranked;
-  ranked.reserve(scores.size());
-  for (size_t v = 0; v < scores.size(); ++v)
-    ranked.emplace_back(static_cast<data::ItemId>(v), scores[v]);
-  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-    if (a.second != b.second) return a.second > b.second;
-    return a.first < b.first;
+      ScoreItemsForMembers(members, AllItems(model_->num_items()));
+  return TopKItems(scores, k, [&](data::ItemId item) {
+    if (exclude == nullptr) return false;
+    for (data::UserId member : members)
+      if (exclude->Has(member, item)) return true;
+    return false;
   });
-  if (static_cast<int>(ranked.size()) > k) ranked.resize(k);
-  return ranked;
 }
 
 }  // namespace groupsa::core

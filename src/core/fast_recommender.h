@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/groupsa_model.h"
+#include "data/interaction_matrix.h"
 
 namespace groupsa::core {
 
@@ -23,10 +24,12 @@ class FastGroupRecommender {
       const std::vector<data::UserId>& members,
       const std::vector<data::ItemId>& items) const;
 
-  // Top-K over the full catalog; `exclude` (group-row interaction matrix)
-  // filters already-consumed items when non-null.
+  // Top-K over the full catalog. `exclude` is a user-row interaction matrix
+  // (the members are ad-hoc, so there is no group row to consult): when
+  // non-null, an item is filtered as soon as ANY member has observed it.
   std::vector<std::pair<data::ItemId, double>> RecommendForMembers(
-      const std::vector<data::UserId>& members, int k) const;
+      const std::vector<data::UserId>& members, int k,
+      const data::InteractionMatrix* exclude = nullptr) const;
 
  private:
   GroupSaModel* model_;

@@ -1,9 +1,7 @@
 #include "core/groupsa_model.h"
 
-#include <algorithm>
-#include <functional>
-
 #include "autograd/ops.h"
+#include "core/inference_engine.h"
 
 namespace groupsa::core {
 
@@ -36,7 +34,11 @@ GroupSaModel::GroupSaModel(const GroupSaConfig& config, int num_users,
         std::make_unique<RankPredictor>("group_pred", config, rng);
     RegisterSubmodule("group_pred", group_predictor_.get());
   }
+  // Built last: the engine snapshots the flattened parameter list.
+  inference_ = std::make_unique<InferenceEngine>(this);
 }
+
+GroupSaModel::~GroupSaModel() = default;
 
 GroupSaModel::UserForward GroupSaModel::BuildUserForward(ag::Tape* tape,
                                                          data::UserId user,
@@ -150,6 +152,28 @@ GroupSaModel::GroupItemScore GroupSaModel::ScoreGroupItem(
 
 std::vector<double> GroupSaModel::ScoreItemsForUser(
     data::UserId user, const std::vector<data::ItemId>& items) {
+  return inference_->ScoreItemsForUser(user, items);
+}
+
+std::vector<double> GroupSaModel::ScoreItemsForGroup(
+    data::GroupId group, const std::vector<data::ItemId>& items) {
+  return inference_->ScoreItemsForGroup(group, items);
+}
+
+std::vector<double> GroupSaModel::ScoreItemsForMembers(
+    const std::vector<data::UserId>& members,
+    const std::vector<data::ItemId>& items) {
+  return inference_->ScoreItemsForMembers(members, items);
+}
+
+std::vector<std::vector<double>> GroupSaModel::MemberItemScores(
+    const std::vector<data::UserId>& members,
+    const std::vector<data::ItemId>& items) {
+  return inference_->MemberItemScores(members, items);
+}
+
+std::vector<double> GroupSaModel::ScoreItemsForUserPerItem(
+    data::UserId user, const std::vector<data::ItemId>& items) {
   UserForward fwd =
       BuildUserForward(/*tape=*/nullptr, user, /*training=*/false, nullptr);
   std::vector<double> scores;
@@ -162,7 +186,7 @@ std::vector<double> GroupSaModel::ScoreItemsForUser(
   return scores;
 }
 
-std::vector<double> GroupSaModel::ScoreItemsForGroup(
+std::vector<double> GroupSaModel::ScoreItemsForGroupPerItem(
     data::GroupId group, const std::vector<data::ItemId>& items) {
   GroupForward fwd =
       BuildGroupForward(nullptr, group, /*training=*/false, nullptr);
@@ -176,7 +200,7 @@ std::vector<double> GroupSaModel::ScoreItemsForGroup(
   return scores;
 }
 
-std::vector<double> GroupSaModel::ScoreItemsForMembers(
+std::vector<double> GroupSaModel::ScoreItemsForMembersPerItem(
     const std::vector<data::UserId>& members,
     const std::vector<data::ItemId>& items) {
   GroupForward fwd = BuildGroupForwardFromMembers(nullptr, members,
@@ -191,16 +215,6 @@ std::vector<double> GroupSaModel::ScoreItemsForMembers(
   return scores;
 }
 
-std::vector<std::vector<double>> GroupSaModel::MemberItemScores(
-    const std::vector<data::UserId>& members,
-    const std::vector<data::ItemId>& items) {
-  std::vector<std::vector<double>> scores;
-  scores.reserve(members.size());
-  for (data::UserId member : members)
-    scores.push_back(ScoreItemsForUser(member, items));
-  return scores;
-}
-
 GroupSaModel::GroupItemScore GroupSaModel::ScoreGroupItemDetailed(
     data::GroupId group, data::ItemId item) {
   GroupForward fwd =
@@ -208,46 +222,14 @@ GroupSaModel::GroupItemScore GroupSaModel::ScoreGroupItemDetailed(
   return ScoreGroupItem(nullptr, fwd, item, /*training=*/false, nullptr);
 }
 
-namespace {
-
-std::vector<std::pair<data::ItemId, double>> TopK(
-    const std::vector<double>& scores, int k,
-    const std::function<bool(data::ItemId)>& skip) {
-  std::vector<std::pair<data::ItemId, double>> ranked;
-  ranked.reserve(scores.size());
-  for (size_t v = 0; v < scores.size(); ++v) {
-    const auto item = static_cast<data::ItemId>(v);
-    if (skip(item)) continue;
-    ranked.emplace_back(item, scores[v]);
-  }
-  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-    if (a.second != b.second) return a.second > b.second;
-    return a.first < b.first;
-  });
-  if (static_cast<int>(ranked.size()) > k) ranked.resize(k);
-  return ranked;
-}
-
-}  // namespace
-
 std::vector<std::pair<data::ItemId, double>> GroupSaModel::RecommendForGroup(
     data::GroupId group, int k, const data::InteractionMatrix* exclude) {
-  std::vector<data::ItemId> all_items(num_items());
-  for (int v = 0; v < num_items(); ++v) all_items[v] = v;
-  const std::vector<double> scores = ScoreItemsForGroup(group, all_items);
-  return TopK(scores, k, [&](data::ItemId item) {
-    return exclude != nullptr && exclude->Has(group, item);
-  });
+  return inference_->RecommendForGroup(group, k, exclude);
 }
 
 std::vector<std::pair<data::ItemId, double>> GroupSaModel::RecommendForUser(
     data::UserId user, int k, const data::InteractionMatrix* exclude) {
-  std::vector<data::ItemId> all_items(num_items());
-  for (int v = 0; v < num_items(); ++v) all_items[v] = v;
-  const std::vector<double> scores = ScoreItemsForUser(user, all_items);
-  return TopK(scores, k, [&](data::ItemId item) {
-    return exclude != nullptr && exclude->Has(user, item);
-  });
+  return inference_->RecommendForUser(user, k, exclude);
 }
 
 }  // namespace groupsa::core

@@ -16,6 +16,8 @@
 
 namespace groupsa::core {
 
+class InferenceEngine;
+
 // Dataset-derived context the model needs at forward time: group membership,
 // social connectivity for the voting mask, and the TF-IDF Top-H
 // neighbourhoods for user modeling. The pointed-to structures must outlive
@@ -34,6 +36,7 @@ class GroupSaModel : public nn::Module {
  public:
   GroupSaModel(const GroupSaConfig& config, int num_users, int num_items,
                ModelData data, Rng* rng);
+  ~GroupSaModel();
 
   const GroupSaConfig& config() const { return config_; }
   int num_users() const { return user_emb_->count(); }
@@ -79,12 +82,27 @@ class GroupSaModel : public nn::Module {
 
   // ---------------- Inference (no-tape) scoring ----------------
 
-  // Scores `items` for a user / group; higher = more preferred.
+  // Scores `items` for a user / group; higher = more preferred. These
+  // delegate to the batched InferenceEngine (see inference_engine.h): one
+  // cached representation per entity, one GEMM pass over all candidates.
   std::vector<double> ScoreItemsForUser(data::UserId user,
                                         const std::vector<data::ItemId>& items);
   std::vector<double> ScoreItemsForGroup(
       data::GroupId group, const std::vector<data::ItemId>& items);
   std::vector<double> ScoreItemsForMembers(
+      const std::vector<data::UserId>& members,
+      const std::vector<data::ItemId>& items);
+
+  // Per-item reference implementations (one tape-free autograd forward per
+  // candidate). The engine's batched scores are bit-identical to these; they
+  // stay as the parity oracle and as the direct analogue of the training
+  // graph. O(items) scalar forwards — use the batched entry points above for
+  // anything catalog-sized.
+  std::vector<double> ScoreItemsForUserPerItem(
+      data::UserId user, const std::vector<data::ItemId>& items);
+  std::vector<double> ScoreItemsForGroupPerItem(
+      data::GroupId group, const std::vector<data::ItemId>& items);
+  std::vector<double> ScoreItemsForMembersPerItem(
       const std::vector<data::UserId>& members,
       const std::vector<data::ItemId>& items);
 
@@ -111,6 +129,28 @@ class GroupSaModel : public nn::Module {
   nn::Embedding& item_embedding() { return *item_emb_; }
   const ModelData& model_data() const { return data_; }
 
+  // The batched serving path; owned by the model so every consumer of the
+  // inference entry points above shares one representation cache.
+  InferenceEngine& inference() { return *inference_; }
+
+  // ---------------- Component access (inference engine) ----------------
+  const VotingScheme& voting() const { return *voting_; }
+  // Null when user modeling is disabled.
+  const UserModeling* user_modeling() const { return user_modeling_.get(); }
+  // Tower scoring r^R1 (Eq. 22).
+  const RankPredictor& user_tower() const { return *user_predictor_; }
+  // Tower scoring r^R2 (Eq. 23): the dedicated tower when configured,
+  // otherwise shared with r^R1.
+  const RankPredictor& latent_tower() const {
+    return latent_predictor_ != nullptr ? *latent_predictor_
+                                        : *user_predictor_;
+  }
+  // Tower scoring r^G (Eq. 20): shared with r^R1 unless share_predictors is
+  // off.
+  const RankPredictor& group_tower() const {
+    return config_.share_predictors ? *user_predictor_ : *group_predictor_;
+  }
+
  private:
   GroupSaConfig config_;
   ModelData data_;
@@ -121,6 +161,7 @@ class GroupSaModel : public nn::Module {
   std::unique_ptr<RankPredictor> user_predictor_;
   std::unique_ptr<RankPredictor> latent_predictor_;  // r^R2 tower (config)
   std::unique_ptr<RankPredictor> group_predictor_;
+  std::unique_ptr<InferenceEngine> inference_;
 };
 
 }  // namespace groupsa::core

@@ -1,0 +1,657 @@
+#include "core/inference_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+
+#include "core/topk.h"
+#include "tensor/ops.h"
+
+namespace groupsa::core {
+namespace {
+
+using tensor::Matrix;
+
+// Every helper below replays, float for float, the op sequence the per-item
+// autograd path runs at inference (tape == nullptr). tensor::Gemm computes
+// each output row with the same inner-loop order at any batch height and any
+// thread count, so feeding it input rows that are byte-identical to the
+// per-item rows yields byte-identical output rows — the engine's 0-ULP
+// contract reduces to constructing the right input rows (or, for the split
+// paths, the right partial sums: seeding an output row with the accumulation
+// over the first k weight rows and continuing over the rest reproduces the
+// full-width k-ascending chain exactly).
+
+// Same stable formulation as ag::Sigmoid.
+float StableSigmoid(float x) {
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+// Element-wise identical to nn::Activate on the matching ag op.
+void ActivateInPlace(Matrix* x, nn::Activation act) {
+  switch (act) {
+    case nn::Activation::kNone:
+      return;
+    case nn::Activation::kRelu:
+      for (int i = 0; i < x->size(); ++i)
+        x->data()[i] = std::max(0.0f, x->data()[i]);
+      return;
+    case nn::Activation::kSigmoid:
+      for (int i = 0; i < x->size(); ++i)
+        x->data()[i] = StableSigmoid(x->data()[i]);
+      return;
+    case nn::Activation::kTanh:
+      for (int i = 0; i < x->size(); ++i)
+        x->data()[i] = std::tanh(x->data()[i]);
+      return;
+  }
+  GROUPSA_CHECK(false, "unknown activation");
+}
+
+// Resizes without the zero-fill Matrix::Resize performs when the shape
+// already matches. Callers overwrite every element they read, so stale
+// contents are never observed; skipping the clear keeps reused workspace
+// buffers a pure capacity cache.
+void EnsureShape(Matrix* m, int rows, int cols) {
+  if (m->rows() != rows || m->cols() != cols) m->Resize(rows, cols);
+}
+
+// Applies layer-0 bias and activation to `*x` (which holds the layer-0
+// pre-activation produced by the split-weight path), then runs the remaining
+// layers exactly as nn::Mlp::Forward would, ping-ponging between the two
+// buffers. Returns the buffer holding the output.
+Matrix* MlpTailInPlace(const nn::Mlp& mlp, Matrix* x, Matrix* tmp) {
+  if (mlp.layer(0).bias() != nullptr)
+    tensor::AddRowBroadcastInPlace(x, mlp.layer(0).bias()->value());
+  for (int i = 0; i < mlp.num_layers(); ++i) {
+    if (i > 0) {
+      tensor::Gemm(*x, /*transpose_a=*/false, mlp.layer(i).weight()->value(),
+                   /*transpose_b=*/false, 1.0f, tmp);
+      if (mlp.layer(i).bias() != nullptr)
+        tensor::AddRowBroadcastInPlace(tmp, mlp.layer(i).bias()->value());
+      std::swap(x, tmp);
+    }
+    ActivateInPlace(x, i + 1 == mlp.num_layers() ? mlp.output_activation()
+                                                 : mlp.hidden_activation());
+  }
+  return x;
+}
+
+// Copies rows [0, split) and [split, rows) of `w` into two dense halves.
+// The halves are float-for-float the same weight rows, so running the bottom
+// half as a Gemm(accumulate=true) continuation after seeding with the top
+// half's partial sums reproduces the full-width accumulation chain exactly.
+void SplitRows(const Matrix& w, int split, Matrix* top, Matrix* bot) {
+  GROUPSA_CHECK(split > 0 && split < w.rows(),
+                "SplitRows: split outside weight rows");
+  top->Resize(split, w.cols());
+  bot->Resize(w.rows() - split, w.cols());
+  for (int r = 0; r < split; ++r) top->SetRow(r, w.RowPtr(r));
+  for (int r = split; r < w.rows(); ++r)
+    bot->SetRow(r - split, w.RowPtr(r));
+}
+
+// Copies item-table rows for a chunk into a reused buffer (GatherRows minus
+// the allocation).
+void GatherRowsInto(const Matrix& table, const int* ids, int count,
+                    Matrix* out) {
+  EnsureShape(out, count, table.cols());
+  for (int i = 0; i < count; ++i) {
+    GROUPSA_CHECK(ids[i] >= 0 && ids[i] < table.rows(),
+                  "item id out of range");
+    out->SetRow(i, table.RowPtr(ids[i]));
+  }
+}
+
+// Hidden widths up to this use the fused attention-logit loop (stack
+// accumulator); wider configs take the buffered Gemm path below.
+constexpr int kMaxFusedHidden = 128;
+
+// Computes one chunk of attention logits without materializing the
+// (c*l x hidden) buffer: for each (item, member) pair, seed a local
+// accumulator with the cached item-side partial sum, add the member's
+// precomputed addend rows (k ascending, exact zeros skipped upstream), then
+// run bias / ReLU / the logit dot in place. Each per-element float chain is
+// the one the buffered path (and therefore the per-item path) executes, so
+// the logits are bit-identical.
+//
+// Two throughput notes, neither of which changes any chain:
+//
+//  * Four items run interleaved per member. One item at a time leaves each
+//    accumulator lane as a single dependent add chain stalling on add
+//    latency; four items give four independent chains and share each addend
+//    row (and wout) load. H is the compile-time hidden width so all four
+//    accumulator tiles stay in vector registers. The runtime-width overload
+//    below runs the same chains one item at a time for other widths.
+//
+//  * The logit dot adds v*wout[j] unconditionally where the reference kernel
+//    (tensor::Gemm's zero-skip) would skip v == 0.0f terms. The two are
+//    bit-identical here: v >= 0 after the ReLU, so a skipped term's product
+//    is +/-0.0f, and the accumulator can never itself be -0.0f (it starts at
+//    +0.0f, and under round-to-nearest a sum is -0.0f only when both
+//    operands are), so adding the signed zero leaves every bit unchanged.
+//    Dropping the branch removes an unpredictable per-element branch from
+//    the innermost loop.
+template <int H>
+void FusedAttentionLogits(const Matrix& prefix, const int* ids, int c, int l,
+                          const Matrix& addends, const std::vector<int>& nz,
+                          const std::vector<int>& nz_begin, const float* hb,
+                          const float* wout, bool has_ob, float out_b,
+                          Matrix* out) {
+  constexpr int kItemTile = 4;
+  for (int i = 0; i < l; ++i) {
+    int t = 0;
+    for (; t + kItemTile <= c; t += kItemTile) {
+      float acc[kItemTile][H];
+      for (int r = 0; r < kItemTile; ++r) {
+        const float* p = prefix.RowPtr(ids[t + r]);
+        for (int j = 0; j < H; ++j) acc[r][j] = p[j];
+      }
+      for (int idx = nz_begin[i]; idx < nz_begin[i + 1]; ++idx) {
+        const float* row = addends.RowPtr(nz[idx]);
+        for (int r = 0; r < kItemTile; ++r)
+          for (int j = 0; j < H; ++j) acc[r][j] += row[j];
+      }
+      float logit[kItemTile] = {0.0f, 0.0f, 0.0f, 0.0f};
+      for (int j = 0; j < H; ++j) {
+        const float w = wout[j];
+        const float bias = hb != nullptr ? hb[j] : 0.0f;
+        for (int r = 0; r < kItemTile; ++r) {
+          float v = hb != nullptr ? acc[r][j] + bias : acc[r][j];
+          v = std::max(0.0f, v);
+          logit[r] += v * w;
+        }
+      }
+      for (int r = 0; r < kItemTile; ++r)
+        out->RowPtr(t + r)[i] = has_ob ? logit[r] + out_b : logit[r];
+    }
+    for (; t < c; ++t) {
+      const float* p = prefix.RowPtr(ids[t]);
+      float acc[H];
+      for (int j = 0; j < H; ++j) acc[j] = p[j];
+      for (int idx = nz_begin[i]; idx < nz_begin[i + 1]; ++idx) {
+        const float* row = addends.RowPtr(nz[idx]);
+        for (int j = 0; j < H; ++j) acc[j] += row[j];
+      }
+      float logit = 0.0f;
+      for (int j = 0; j < H; ++j) {
+        float v = hb != nullptr ? acc[j] + hb[j] : acc[j];
+        v = std::max(0.0f, v);
+        logit += v * wout[j];
+      }
+      out->RowPtr(t)[i] = has_ob ? logit + out_b : logit;
+    }
+  }
+}
+
+void FusedAttentionLogitsRuntime(const Matrix& prefix, const int* ids, int c,
+                                 int l, int h, const Matrix& addends,
+                                 const std::vector<int>& nz,
+                                 const std::vector<int>& nz_begin,
+                                 const float* hb, const float* wout,
+                                 bool has_ob, float out_b, Matrix* out) {
+  float acc[kMaxFusedHidden];
+  for (int t = 0; t < c; ++t) {
+    const float* p = prefix.RowPtr(ids[t]);
+    float* out_row = out->RowPtr(t);
+    for (int i = 0; i < l; ++i) {
+      for (int j = 0; j < h; ++j) acc[j] = p[j];
+      for (int idx = nz_begin[i]; idx < nz_begin[i + 1]; ++idx) {
+        const float* row = addends.RowPtr(nz[idx]);
+        for (int j = 0; j < h; ++j) acc[j] += row[j];
+      }
+      float logit = 0.0f;
+      for (int j = 0; j < h; ++j) {
+        float v = hb != nullptr ? acc[j] + hb[j] : acc[j];
+        v = std::max(0.0f, v);
+        logit += v * wout[j];  // branchless zero-skip; see note above
+      }
+      out_row[i] = has_ob ? logit + out_b : logit;
+    }
+  }
+}
+
+// Per-chunk row caps keeping intermediate buffers modest at catalog scale;
+// chunking is row-wise and therefore invisible to the scores.
+constexpr int kMaxPredictorRows = 4096;
+constexpr int kMaxAttentionRows = 16384;
+
+// Per-call scratch buffers. Reused across requests on the same thread so the
+// steady serving state performs no large allocations (a fresh multi-MB
+// buffer per request costs more in page faults than the math it holds).
+// Thread-local because scoring entry points run concurrently.
+struct Workspace {
+  Matrix embs, latents;           // gathered item rows
+  Matrix addends;                 // fused path: (l*d) x h member addend rows
+  std::vector<int> nz, nz_begin;  // fused path: nonzero (member, k) indices
+  Matrix hidden, cont, logits;    // buffered attention fallback
+  Matrix weights, pooled, group_rep;
+  Matrix t1, t2;                  // group tower ping-pong
+  Matrix r1a, r1b, r2a, r2b;      // user tower ping-pong pairs
+};
+Workspace& GetWorkspace() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(GroupSaModel* model) : model_(model) {
+  GROUPSA_CHECK(model_ != nullptr, "InferenceEngine requires a model");
+  for (const nn::ParamEntry& p : model_->Parameters())
+    params_.push_back(p.tensor);
+  cache_version_ = params_version();
+}
+
+uint64_t InferenceEngine::params_version() const {
+  uint64_t version = 0;
+  for (const ag::TensorPtr& p : params_) version += p->value_version();
+  return version;
+}
+
+uint64_t InferenceEngine::Revalidate() {
+  const uint64_t version = params_version();
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (cache_version_ == version) return version;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (cache_version_ != version) {
+    user_cache_.clear();
+    group_cache_.clear();
+    split_.reset();
+    cache_version_ = version;
+  }
+  return version;
+}
+
+void InferenceEngine::InvalidateAll() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  user_cache_.clear();
+  group_cache_.clear();
+  split_.reset();
+}
+
+size_t InferenceEngine::cached_users() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return user_cache_.size();
+}
+
+size_t InferenceEngine::cached_groups() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return group_cache_.size();
+}
+
+InferenceEngine::UserRep InferenceEngine::BuildUserRep(
+    data::UserId user) const {
+  GroupSaModel::UserForward fwd = model_->BuildUserForward(
+      /*tape=*/nullptr, user, /*training=*/false, /*rng=*/nullptr);
+  UserRep rep;
+  rep.embedding = fwd.embedding->value();
+  if (fwd.latent != nullptr) rep.latent = fwd.latent->value();
+  return rep;
+}
+
+InferenceEngine::GroupRep InferenceEngine::BuildMembersRep(
+    const std::vector<data::UserId>& members) const {
+  GroupSaModel::GroupForward fwd = model_->BuildGroupForwardFromMembers(
+      /*tape=*/nullptr, members, /*training=*/false, /*rng=*/nullptr);
+  GroupRep rep;
+  rep.member_reps = fwd.reps.reps->value();
+  return rep;
+}
+
+InferenceEngine::SplitWeights InferenceEngine::BuildSplitWeights() const {
+  SplitWeights sw;
+  const Matrix& item_table = model_->item_embedding().table()->value();
+  const int d = item_table.cols();
+  SplitRows(model_->voting().group_pool().score_hidden().weight()->value(), d,
+            &sw.attn_w_top, &sw.attn_w_bot);
+  // Item-side attention partial sums for the whole catalog. The kernel runs
+  // the same k-ascending, zero-skipping accumulation over row [emb_t^V] that
+  // the per-item path runs over the first d terms of [emb_t^V (+) x^U], so
+  // each prefix row equals the per-item partial sum bit for bit. Rebuilt at
+  // most once per parameter version and shared by every group.
+  tensor::Gemm(item_table, /*transpose_a=*/false, sw.attn_w_top,
+               /*transpose_b=*/false, 1.0f, &sw.attn_item_prefix);
+  SplitRows(model_->user_tower().tower().layer(0).weight()->value(), d,
+            &sw.user_w_top, &sw.user_w_bot);
+  SplitRows(model_->latent_tower().tower().layer(0).weight()->value(), d,
+            &sw.latent_w_top, &sw.latent_w_bot);
+  SplitRows(model_->group_tower().tower().layer(0).weight()->value(), d,
+            &sw.group_w_top, &sw.group_w_bot);
+  return sw;
+}
+
+std::shared_ptr<const InferenceEngine::SplitWeights>
+InferenceEngine::GetSplitWeights() {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (split_ != nullptr) return split_;
+  }
+  auto sw = std::make_shared<const SplitWeights>(BuildSplitWeights());
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Concurrent misses build identical splits; the first insert wins.
+  if (split_ == nullptr) split_ = std::move(sw);
+  return split_;
+}
+
+InferenceEngine::UserRep InferenceEngine::GetUserRep(data::UserId user) {
+  Revalidate();
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = user_cache_.find(user);
+    if (it != user_cache_.end()) return it->second;
+  }
+  UserRep rep = BuildUserRep(user);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    // Concurrent misses build identical reps (the forward is deterministic
+    // and pure); the first insert wins and the rest are dropped.
+    user_cache_.emplace(user, rep);
+  }
+  return rep;
+}
+
+InferenceEngine::GroupRep InferenceEngine::GetGroupRep(data::GroupId group) {
+  Revalidate();
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = group_cache_.find(group);
+    if (it != group_cache_.end()) return it->second;
+  }
+  GroupRep rep =
+      BuildMembersRep(model_->model_data().groups->Members(group));
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    group_cache_.emplace(group, rep);
+  }
+  return rep;
+}
+
+std::vector<double> InferenceEngine::ScoreBatchUser(
+    const UserRep& rep, const std::vector<data::ItemId>& items,
+    const SplitWeights& sw) const {
+  std::vector<double> scores;
+  scores.reserve(items.size());
+  if (items.empty()) return scores;
+  Workspace& ws = GetWorkspace();
+
+  const Matrix& item_table = model_->item_embedding().table()->value();
+  const float blend = model_->config().effective_user_blend();
+  // Mirrors the r1-only early-out of GroupSaModel::ScoreUserItem.
+  const bool blended = !rep.latent.empty() && blend > 0.0f;
+  const nn::Embedding* item_space =
+      blended && model_->user_modeling()->has_item_space()
+          ? model_->user_modeling()->item_space()
+          : nullptr;
+
+  // Layer-0 user-side partial sums: the left half of the concat row
+  // [emb_j^U (+) emb_t^V] is the same for every candidate, so its partial
+  // sum is computed once and seeds every batch row; the item-side weight
+  // half then continues the same k-ascending accumulation the per-item
+  // full-width kernel runs. Bias and activation land in MlpTailInPlace after
+  // the full continuation, matching the MatMul -> AddBias -> activation
+  // order of the per-item path.
+  Matrix prefix1;
+  tensor::Gemm(rep.embedding, /*transpose_a=*/false, sw.user_w_top,
+               /*transpose_b=*/false, 1.0f, &prefix1);
+  Matrix prefix2;
+  if (blended)
+    tensor::Gemm(rep.latent, /*transpose_a=*/false, sw.latent_w_top,
+                 /*transpose_b=*/false, 1.0f, &prefix2);
+
+  const int h = prefix1.cols();
+  const int n = static_cast<int>(items.size());
+  for (int begin = 0; begin < n; begin += kMaxPredictorRows) {
+    const int c = std::min(kMaxPredictorRows, n - begin);
+    const int* ids = items.data() + begin;
+    GatherRowsInto(item_table, ids, c, &ws.embs);  // c x d
+
+    EnsureShape(&ws.r1a, c, h);
+    for (int t = 0; t < c; ++t)
+      std::memcpy(ws.r1a.RowPtr(t), prefix1.RowPtr(0), sizeof(float) * h);
+    tensor::Gemm(ws.embs, /*transpose_a=*/false, sw.user_w_bot,
+                 /*transpose_b=*/false, 1.0f, &ws.r1a, /*accumulate=*/true);
+    Matrix* r1 = MlpTailInPlace(model_->user_tower().tower(), &ws.r1a,
+                                &ws.r1b);
+
+    if (blended) {
+      // r^R2 over [h_j (+) x_t^V] (x^V falls back to emb^V for Group-I).
+      const Matrix* latents = &ws.embs;
+      if (item_space != nullptr) {
+        GatherRowsInto(item_space->table()->value(), ids, c, &ws.latents);
+        latents = &ws.latents;
+      }
+      EnsureShape(&ws.r2a, c, h);
+      for (int t = 0; t < c; ++t)
+        std::memcpy(ws.r2a.RowPtr(t), prefix2.RowPtr(0), sizeof(float) * h);
+      tensor::Gemm(*latents, /*transpose_a=*/false, sw.latent_w_bot,
+                   /*transpose_b=*/false, 1.0f, &ws.r2a, /*accumulate=*/true);
+      Matrix* r2 = MlpTailInPlace(model_->latent_tower().tower(), &ws.r2a,
+                                  &ws.r2b);
+      // Eq. 23 blend via the same in-place ops as ag::Scale / ag::Add.
+      r1->ScaleInPlace(1.0f - blend);
+      r2->ScaleInPlace(blend);
+      r1->AddInPlace(*r2);
+    }
+    for (int t = 0; t < c; ++t)
+      scores.push_back(static_cast<double>(r1->At(t, 0)));
+  }
+  return scores;
+}
+
+std::vector<double> InferenceEngine::ScoreBatchGroup(
+    const GroupRep& rep, const std::vector<data::ItemId>& items,
+    const SplitWeights& sw) const {
+  std::vector<double> scores;
+  scores.reserve(items.size());
+  if (items.empty()) return scores;
+  Workspace& ws = GetWorkspace();
+
+  const Matrix& item_table = model_->item_embedding().table()->value();
+  const Matrix& reps = rep.member_reps;  // l x d
+  const int l = reps.rows();
+  const int d = reps.cols();
+  const int h = sw.attn_item_prefix.cols();
+  const nn::AttentionPool& pool = model_->voting().group_pool();
+  const nn::Linear& proj = model_->voting().group_proj();
+  const bool fused = h <= kMaxFusedHidden;
+
+  if (fused) {
+    // Precompute, per member, the addend rows rep_i[k] * W_bot[k][:] for the
+    // nonzero rep_i[k] (k ascending — the same terms, in the same order,
+    // with the same zero-skip the Gemm kernel applies to the member half of
+    // the per-item concat row).
+    EnsureShape(&ws.addends, l * d, h);
+    ws.nz.clear();
+    ws.nz_begin.assign(static_cast<size_t>(l) + 1, 0);
+    for (int i = 0; i < l; ++i) {
+      for (int k = 0; k < d; ++k) {
+        const float r = reps.At(i, k);
+        if (r == 0.0f) continue;
+        float* dst = ws.addends.RowPtr(i * d + k);
+        const float* wrow = sw.attn_w_bot.RowPtr(k);
+        for (int j = 0; j < h; ++j) dst[j] = r * wrow[j];
+        ws.nz.push_back(i * d + k);
+      }
+      ws.nz_begin[i + 1] = static_cast<int>(ws.nz.size());
+    }
+  }
+
+  const bool has_hb = pool.score_hidden().bias() != nullptr;
+  const float* hb = has_hb ? pool.score_hidden().bias()->value().data()
+                           : nullptr;
+  const float* wout = pool.score_out().weight()->value().data();  // h x 1
+  const bool has_ob = pool.score_out().bias() != nullptr;
+  const float out_b = has_ob ? pool.score_out().bias()->value().At(0, 0)
+                             : 0.0f;
+
+  const int n = static_cast<int>(items.size());
+  const int max_items = std::max(1, kMaxAttentionRows / l);
+  // Tracks the chunk height ws.cont currently holds; the tiled member reps
+  // are call-local state, so the buffer is rebuilt at least once per call.
+  int cont_rows = -1;
+  for (int begin = 0; begin < n; begin += max_items) {
+    const int c = std::min(max_items, n - begin);
+    const int* ids = items.data() + begin;
+    GatherRowsInto(item_table, ids, c, &ws.embs);  // c x d
+
+    // Eq. 8-10: attention logits for every (item, member) pair, one softmax
+    // row per item. The per-item path feeds row [emb_t^V (+) x_{t,i}^U]
+    // through score_hidden / ReLU / score_out; both paths below run the
+    // identical per-element chains — seed with the cached item-side partial
+    // sum (equal to the per-item k < d partial, see BuildSplitWeights),
+    // continue with the member-side terms k ascending, then bias, ReLU and
+    // the zero-skipping j-ascending logit dot, with biases applied only
+    // after each full accumulation as in nn::Linear.
+    EnsureShape(&ws.weights, c, l);
+    if (fused) {
+      switch (h) {
+        case 32:
+          FusedAttentionLogits<32>(sw.attn_item_prefix, ids, c, l, ws.addends,
+                                   ws.nz, ws.nz_begin, hb, wout, has_ob,
+                                   out_b, &ws.weights);
+          break;
+        case 64:
+          FusedAttentionLogits<64>(sw.attn_item_prefix, ids, c, l, ws.addends,
+                                   ws.nz, ws.nz_begin, hb, wout, has_ob,
+                                   out_b, &ws.weights);
+          break;
+        default:
+          FusedAttentionLogitsRuntime(sw.attn_item_prefix, ids, c, l, h,
+                                      ws.addends, ws.nz, ws.nz_begin, hb,
+                                      wout, has_ob, out_b, &ws.weights);
+      }
+    } else {
+      // Buffered fallback for wide attention layers: seed rows with the item
+      // prefix, continue via Gemm(accumulate) over the tiled member reps.
+      EnsureShape(&ws.hidden, c * l, h);
+      for (int t = 0; t < c; ++t) {
+        const float* p = sw.attn_item_prefix.RowPtr(ids[t]);
+        for (int i = 0; i < l; ++i)
+          std::memcpy(ws.hidden.RowPtr(t * l + i), p, sizeof(float) * h);
+      }
+      if (cont_rows != c * l) {
+        EnsureShape(&ws.cont, c * l, d);
+        for (int t = 0; t < c; ++t)
+          for (int i = 0; i < l; ++i)
+            ws.cont.SetRow(t * l + i, reps.RowPtr(i));
+        cont_rows = c * l;
+      }
+      tensor::Gemm(ws.cont, /*transpose_a=*/false, sw.attn_w_bot,
+                   /*transpose_b=*/false, 1.0f, &ws.hidden,
+                   /*accumulate=*/true);
+      if (has_hb)
+        tensor::AddRowBroadcastInPlace(&ws.hidden,
+                                       pool.score_hidden().bias()->value());
+      ActivateInPlace(&ws.hidden, nn::Activation::kRelu);
+      tensor::Gemm(ws.hidden, /*transpose_a=*/false,
+                   pool.score_out().weight()->value(), /*transpose_b=*/false,
+                   1.0f, &ws.logits);  // c*l x 1
+      if (has_ob)
+        tensor::AddRowBroadcastInPlace(&ws.logits,
+                                       pool.score_out().bias()->value());
+      // The (c*l) x 1 logit column is, row-major, already the c x l logit
+      // matrix (the per-item path's Transpose is a pure relayout).
+      std::memcpy(ws.weights.data(), ws.logits.data(),
+                  sizeof(float) * static_cast<size_t>(c) * l);
+    }
+    tensor::SoftmaxRowsInPlace(&ws.weights);  // Eq. 10, one row per item
+
+    // Eq. 7-8: pooled_t = gamma_t . X^U, then the outer projection + ReLU.
+    tensor::Gemm(ws.weights, /*transpose_a=*/false, reps,
+                 /*transpose_b=*/false, 1.0f, &ws.pooled);  // c x d
+    tensor::Gemm(ws.pooled, /*transpose_a=*/false, proj.weight()->value(),
+                 /*transpose_b=*/false, 1.0f, &ws.group_rep);
+    if (proj.bias() != nullptr)
+      tensor::AddRowBroadcastInPlace(&ws.group_rep, proj.bias()->value());
+    ActivateInPlace(&ws.group_rep, nn::Activation::kRelu);
+
+    // Eq. 20 tower over [x_t^G (+) emb_t^V], via the same split-weight
+    // seed/continue rewrite (both halves are full c-row matrices here, so
+    // the seed is itself a Gemm and no row tiling is needed).
+    tensor::Gemm(ws.group_rep, /*transpose_a=*/false, sw.group_w_top,
+                 /*transpose_b=*/false, 1.0f, &ws.t1);
+    tensor::Gemm(ws.embs, /*transpose_a=*/false, sw.group_w_bot,
+                 /*transpose_b=*/false, 1.0f, &ws.t1, /*accumulate=*/true);
+    const Matrix* out =
+        MlpTailInPlace(model_->group_tower().tower(), &ws.t1, &ws.t2);
+    for (int t = 0; t < c; ++t)
+      scores.push_back(static_cast<double>(out->At(t, 0)));
+  }
+  return scores;
+}
+
+std::vector<double> InferenceEngine::ScoreItemsForUser(
+    data::UserId user, const std::vector<data::ItemId>& items) {
+  const UserRep rep = GetUserRep(user);
+  return ScoreBatchUser(rep, items, *GetSplitWeights());
+}
+
+std::vector<double> InferenceEngine::ScoreItemsForGroup(
+    data::GroupId group, const std::vector<data::ItemId>& items) {
+  const GroupRep rep = GetGroupRep(group);
+  return ScoreBatchGroup(rep, items, *GetSplitWeights());
+}
+
+std::vector<double> InferenceEngine::ScoreItemsForMembers(
+    const std::vector<data::UserId>& members,
+    const std::vector<data::ItemId>& items) {
+  // Ad-hoc (cold) member lists have no stable key; build the reps per
+  // request and batch only the per-item work.
+  Revalidate();
+  const GroupRep rep = BuildMembersRep(members);
+  return ScoreBatchGroup(rep, items, *GetSplitWeights());
+}
+
+std::vector<std::vector<double>> InferenceEngine::MemberItemScores(
+    const std::vector<data::UserId>& members,
+    const std::vector<data::ItemId>& items) {
+  std::vector<std::vector<double>> scores;
+  scores.reserve(members.size());
+  for (data::UserId member : members)
+    scores.push_back(ScoreItemsForUser(member, items));
+  return scores;
+}
+
+std::vector<std::pair<data::ItemId, double>> InferenceEngine::RecommendForUser(
+    data::UserId user, int k, const data::InteractionMatrix* exclude) {
+  const std::vector<double> scores =
+      ScoreItemsForUser(user, AllItems(model_->num_items()));
+  return TopKItems(scores, k, [&](data::ItemId item) {
+    return exclude != nullptr && exclude->Has(user, item);
+  });
+}
+
+std::vector<std::pair<data::ItemId, double>>
+InferenceEngine::RecommendForGroup(data::GroupId group, int k,
+                                   const data::InteractionMatrix* exclude) {
+  const std::vector<double> scores =
+      ScoreItemsForGroup(group, AllItems(model_->num_items()));
+  return TopKItems(scores, k, [&](data::ItemId item) {
+    return exclude != nullptr && exclude->Has(group, item);
+  });
+}
+
+std::vector<std::pair<data::ItemId, double>>
+InferenceEngine::RecommendForMembers(const std::vector<data::UserId>& members,
+                                     int k,
+                                     const data::InteractionMatrix* exclude) {
+  const std::vector<double> scores =
+      ScoreItemsForMembers(members, AllItems(model_->num_items()));
+  return TopKItems(scores, k, [&](data::ItemId item) {
+    if (exclude == nullptr) return false;
+    for (data::UserId member : members)
+      if (exclude->Has(member, item)) return true;
+    return false;
+  });
+}
+
+}  // namespace groupsa::core

@@ -1,0 +1,167 @@
+#ifndef GROUPSA_CORE_INFERENCE_ENGINE_H_
+#define GROUPSA_CORE_INFERENCE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/groupsa_model.h"
+
+namespace groupsa::core {
+
+// Batched, tape-free serving path for GroupSA (the production answer to the
+// paper's Sec. II-F speed concern).
+//
+// The per-item scoring path builds a fresh 1 x d forward — attention pool,
+// projection, predictor tower — per candidate item, allocating a dozen tiny
+// autograd nodes each time. At catalog scale that is O(items) scalar
+// forwards for work that is really a handful of matrix products: the
+// enhanced user/group representation is item-independent, and everything
+// downstream of it is row-wise in the candidate item. This engine
+//
+//  1. computes the expensive item-independent representations once per
+//     entity — the user-modeling latent h_j (item-space + social-space
+//     aggregation, Eq. 11-19) and the voting-stack member representations
+//     x_{t,i}^U (Eq. 1-6) — and caches them across requests, and
+//  2. scores all candidate items in one batched pass over pure
+//     tensor::Matrix buffers: gather the item-embedding rows, run the
+//     item-guided attention + predictor MLP towers over the whole
+//     (num_items x d) batch via tensor::Gemm, and apply the Eq. 23 blend
+//     row-wise.
+//
+// Bit-exactness contract: batched scores are BIT-IDENTICAL (0 ULP) to the
+// per-item path (GroupSaModel::Score*PerItem) at any thread count. This
+// holds because tensor::Gemm produces each output row with the same
+// inner-loop order as a 1 x d product, and every batched input row here is
+// constructed to equal, float for float, the row the per-item path feeds its
+// ops (same concat order, same bias/activation/softmax/blend per-row math).
+// The per-item autograd path remains the training path and the parity
+// oracle; tests/core/inference_engine_test.cc enforces the contract.
+//
+// Cache lifetime: every cached representation is stamped with the model's
+// parameter version — the sum of ag::Tensor::value_version() over all
+// parameters, which advances on any mutable value access (optimizer steps,
+// checkpoint restore, SetTable, re-initialization). Each public call
+// revalidates the stamp and drops every cached entry on mismatch, so a
+// stale representation can never survive a parameter update. No explicit
+// hook is needed at optimizer call sites, but InvalidateAll() is available
+// for callers that want eager reclamation (e.g. at epoch boundaries).
+//
+// Thread-safety: all public methods may be called concurrently (the
+// evaluator fans ranking cases across the thread pool). Cache reads take a
+// shared lock; representation building and batched scoring run outside any
+// lock. Concurrent calls must not race with training steps — score either
+// before or after an optimizer Step(), not during.
+class InferenceEngine {
+ public:
+  // `model` must outlive the engine.
+  explicit InferenceEngine(GroupSaModel* model);
+
+  // Batched scorers; same semantics (and bits) as the per-item
+  // GroupSaModel::Score*PerItem reference implementations.
+  std::vector<double> ScoreItemsForUser(data::UserId user,
+                                        const std::vector<data::ItemId>& items);
+  std::vector<double> ScoreItemsForGroup(
+      data::GroupId group, const std::vector<data::ItemId>& items);
+  std::vector<double> ScoreItemsForMembers(
+      const std::vector<data::UserId>& members,
+      const std::vector<data::ItemId>& items);
+  std::vector<std::vector<double>> MemberItemScores(
+      const std::vector<data::UserId>& members,
+      const std::vector<data::ItemId>& items);
+
+  // Full-catalog Top-K (partial-sort selection; items observed in `exclude`
+  // are skipped when it is non-null). For RecommendForMembers the exclude
+  // matrix is user-row: an item is skipped when ANY member has observed it.
+  std::vector<std::pair<data::ItemId, double>> RecommendForUser(
+      data::UserId user, int k, const data::InteractionMatrix* exclude);
+  std::vector<std::pair<data::ItemId, double>> RecommendForGroup(
+      data::GroupId group, int k, const data::InteractionMatrix* exclude);
+  std::vector<std::pair<data::ItemId, double>> RecommendForMembers(
+      const std::vector<data::UserId>& members, int k,
+      const data::InteractionMatrix* exclude);
+
+  // Drops every cached representation immediately. Never required for
+  // correctness (version stamping already fences parameter updates); useful
+  // to reclaim memory at epoch boundaries.
+  void InvalidateAll();
+
+  // Current parameter version (sum of per-parameter value versions).
+  uint64_t params_version() const;
+
+  // Cache introspection (tests, ops counters).
+  size_t cached_users() const;
+  size_t cached_groups() const;
+
+ private:
+  // Item-independent per-user state: emb_j^U and (when user modeling is on)
+  // the latent h_j. `latent` is empty when the blend is inactive.
+  struct UserRep {
+    tensor::Matrix embedding;  // 1 x d
+    tensor::Matrix latent;     // 1 x d, or empty
+  };
+  // Item-independent per-group state: the voting-stack output x_{t,i}^U.
+  struct GroupRep {
+    tensor::Matrix member_reps;  // l x d
+  };
+
+  // Returns the cached representation, building (and inserting) it on miss.
+  // Returned by value: map storage may move under concurrent inserts.
+  UserRep GetUserRep(data::UserId user);
+  GroupRep GetGroupRep(data::GroupId group);
+
+  // Tape-free representation builders (no cache).
+  UserRep BuildUserRep(data::UserId user) const;
+  GroupRep BuildMembersRep(const std::vector<data::UserId>& members) const;
+
+  // Per-parameter-version derived weights. Every concat-input linear in the
+  // model sees rows of the form [left (+) right]; splitting its weight matrix
+  // at the concat boundary lets the engine seed each output row with the
+  // partial sum over one half and let tensor::Gemm(accumulate=true) continue
+  // the SAME k-ascending accumulation over the other half — the per-element
+  // float chain is unchanged, so this is a 0-ULP-preserving rewrite. For the
+  // attention score layer the left half is the item embedding, so its partial
+  // sums (`attn_item_prefix`, one row per catalog item) are item-only and are
+  // cached across every group and request at a given parameter version.
+  struct SplitWeights {
+    tensor::Matrix attn_w_top, attn_w_bot;  // group_pool score_hidden halves
+    tensor::Matrix attn_item_prefix;        // num_items x attention_hidden
+    tensor::Matrix user_w_top, user_w_bot;  // user tower layer-0 halves
+    tensor::Matrix latent_w_top, latent_w_bot;  // latent tower layer-0 halves
+    tensor::Matrix group_w_top, group_w_bot;  // group tower layer-0 halves
+  };
+  SplitWeights BuildSplitWeights() const;
+  // Returns the current-version split weights, building them on first use
+  // after an invalidation (shared across threads; first build wins).
+  std::shared_ptr<const SplitWeights> GetSplitWeights();
+
+  // Batched scoring given a prebuilt representation.
+  std::vector<double> ScoreBatchUser(const UserRep& rep,
+                                     const std::vector<data::ItemId>& items,
+                                     const SplitWeights& sw) const;
+  std::vector<double> ScoreBatchGroup(const GroupRep& rep,
+                                      const std::vector<data::ItemId>& items,
+                                      const SplitWeights& sw) const;
+
+  // Drops all caches when the parameter version moved; returns the current
+  // version.
+  uint64_t Revalidate();
+
+  GroupSaModel* model_;
+  // Flattened parameter tensors, captured once (parameter identity is fixed
+  // after model construction; only values change).
+  std::vector<ag::TensorPtr> params_;
+
+  mutable std::shared_mutex mu_;
+  uint64_t cache_version_ = 0;
+  std::unordered_map<data::UserId, UserRep> user_cache_;
+  std::unordered_map<data::GroupId, GroupRep> group_cache_;
+  std::shared_ptr<const SplitWeights> split_;  // reset on version change
+};
+
+}  // namespace groupsa::core
+
+#endif  // GROUPSA_CORE_INFERENCE_ENGINE_H_

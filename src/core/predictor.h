@@ -21,6 +21,10 @@ class RankPredictor : public nn::Module {
                       const ag::TensorPtr& right, bool training,
                       Rng* rng) const;
 
+  // The underlying MLP, exposed so the batched inference engine can score a
+  // whole (n x 2d) batch of [left (+) right] rows in one pass.
+  const nn::Mlp& tower() const { return *tower_; }
+
  private:
   float dropout_ratio_;
   std::unique_ptr<nn::Mlp> tower_;

@@ -1,0 +1,37 @@
+#include "core/topk.h"
+
+#include <algorithm>
+
+namespace groupsa::core {
+
+std::vector<std::pair<data::ItemId, double>> TopKItems(
+    const std::vector<double>& scores, int k,
+    const std::function<bool(data::ItemId)>& skip) {
+  std::vector<std::pair<data::ItemId, double>> ranked;
+  if (k <= 0) return ranked;
+  ranked.reserve(scores.size());
+  for (size_t v = 0; v < scores.size(); ++v) {
+    const auto item = static_cast<data::ItemId>(v);
+    if (skip != nullptr && skip(item)) continue;
+    ranked.emplace_back(item, scores[v]);
+  }
+  const auto better = [](const std::pair<data::ItemId, double>& a,
+                         const std::pair<data::ItemId, double>& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
+  if (static_cast<int>(ranked.size()) > k) {
+    std::nth_element(ranked.begin(), ranked.begin() + k, ranked.end(), better);
+    ranked.resize(k);
+  }
+  std::sort(ranked.begin(), ranked.end(), better);
+  return ranked;
+}
+
+std::vector<data::ItemId> AllItems(int num_items) {
+  std::vector<data::ItemId> items(num_items);
+  for (int v = 0; v < num_items; ++v) items[v] = v;
+  return items;
+}
+
+}  // namespace groupsa::core

@@ -1,0 +1,31 @@
+#ifndef GROUPSA_CORE_TOPK_H_
+#define GROUPSA_CORE_TOPK_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "data/types.h"
+
+namespace groupsa::core {
+
+// Top-K selection over a full-catalog score vector (scores[v] is the score
+// of item v). Items for which `skip` returns true are dropped before
+// ranking; pass nullptr to keep everything. Returns (item, score) sorted by
+// descending score, ties broken by ascending item id.
+//
+// Selection uses std::nth_element to cut the candidate set to K before the
+// final sort, so full-catalog ranking costs O(n + k log k) instead of
+// O(n log n). Because the comparator is a strict total order (the item-id
+// tie-break), the result is identical to sorting everything and truncating.
+std::vector<std::pair<data::ItemId, double>> TopKItems(
+    const std::vector<double>& scores, int k,
+    const std::function<bool(data::ItemId)>& skip = nullptr);
+
+// The 0..num_items-1 identity catalog used by every full-catalog ranking
+// entry point.
+std::vector<data::ItemId> AllItems(int num_items);
+
+}  // namespace groupsa::core
+
+#endif  // GROUPSA_CORE_TOPK_H_

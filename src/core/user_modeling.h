@@ -49,6 +49,9 @@ class UserModeling : public nn::Module {
   // False for Group-I, whose blended score uses the shared item embedding
   // in place of x^V.
   bool has_item_space() const { return item_space_ != nullptr; }
+  // The x^V table (null for Group-I); the inference engine gathers candidate
+  // latents from it in bulk.
+  const nn::Embedding* item_space() const { return item_space_; }
 
  private:
   GroupSaConfig config_;

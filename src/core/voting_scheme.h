@@ -44,6 +44,11 @@ class VotingScheme : public nn::Module {
   GroupRep AggregateGroup(ag::Tape* tape, const MemberReps& member_reps,
                           const ag::TensorPtr& item_embedding) const;
 
+  // Aggregation layers, exposed so the batched inference engine can run
+  // AggregateGroup for every candidate item in one pass.
+  const nn::AttentionPool& group_pool() const { return *group_pool_; }
+  const nn::Linear& group_proj() const { return *group_proj_; }
+
  private:
   GroupSaConfig config_;
   std::vector<std::unique_ptr<nn::TransformerBlock>> blocks_;

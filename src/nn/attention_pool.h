@@ -33,6 +33,12 @@ class AttentionPool : public Module {
   AttentionPoolOutput Forward(ag::Tape* tape, const ag::TensorPtr& guide,
                               const ag::TensorPtr& context) const;
 
+  // Scoring-net layers, exposed so batched no-tape forwards
+  // (core::InferenceEngine) can run many guides against one context in a
+  // single GEMM while replaying Forward()'s exact per-row math.
+  const Linear& score_hidden() const { return *score_hidden_; }
+  const Linear& score_out() const { return *score_out_; }
+
  private:
   std::unique_ptr<Linear> score_hidden_;  // (guide+context) -> hidden
   std::unique_ptr<Linear> score_out_;     // hidden -> 1

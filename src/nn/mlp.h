@@ -34,6 +34,13 @@ class Mlp : public Module {
   int out_dim() const { return layers_.back()->out_dim(); }
   int num_layers() const { return static_cast<int>(layers_.size()); }
 
+  // Layer/activation introspection for batched no-tape forwards
+  // (core::InferenceEngine) that replay the exact Forward() structure over
+  // plain matrices.
+  const Linear& layer(int i) const { return *layers_[i]; }
+  Activation hidden_activation() const { return hidden_activation_; }
+  Activation output_activation() const { return output_activation_; }
+
  private:
   std::vector<std::unique_ptr<Linear>> layers_;
   Activation hidden_activation_;

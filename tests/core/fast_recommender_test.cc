@@ -60,6 +60,35 @@ TEST(FastRecommenderTest, RecommendTopKSortedAndSized) {
     EXPECT_GE(top[i - 1].second, top[i].second);
 }
 
+TEST(FastRecommenderTest, RecommendExcludesItemsSeenByAnyMember) {
+  const GroupSaConfig config = FastConfig();
+  const TinyFixture f = TinyFixture::Make(config);
+  auto model = f.MakeModel(config);
+  FastGroupRecommender fast(model.get());
+  const std::vector<data::UserId> members = {0, 1, 2};
+
+  const auto top = fast.RecommendForMembers(members, 15, &f.ui_train);
+  EXPECT_FALSE(top.empty());
+  for (const auto& [item, score] : top)
+    for (data::UserId member : members)
+      EXPECT_FALSE(f.ui_train.Has(member, item))
+          << "item " << item << " seen by member " << member;
+
+  // Excluded items must be exactly the filtered prefix of the unfiltered
+  // ranking: filtering happens before selection, not by truncation.
+  const auto unfiltered =
+      fast.RecommendForMembers(members, model->num_items(), nullptr);
+  std::vector<std::pair<data::ItemId, double>> expect;
+  for (const auto& entry : unfiltered) {
+    bool seen = false;
+    for (data::UserId member : members)
+      seen = seen || f.ui_train.Has(member, entry.first);
+    if (!seen) expect.push_back(entry);
+    if (expect.size() == 15u) break;
+  }
+  EXPECT_EQ(top, expect);
+}
+
 TEST(FastRecommenderTest, FasterThanFullPathOnLargeGroups) {
   // The Sec. II-F claim: per additional candidate item, the fast path costs
   // one tower pass per member but no voting-network pass. We check it is at

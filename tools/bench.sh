@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Inference benchmark entry point: builds bench_inference and records the
+# full-catalog scoring comparison (per-item reference path vs the batched
+# InferenceEngine) to BENCH_inference.json at the repo root. The driver
+# re-verifies the 0-ULP parity contract on every run and exits non-zero if
+# the batched scores diverge, so a recorded speedup always describes
+# bit-identical results.
+#
+# Usage: tools/bench.sh [--items=N] [--groups=N] [--users=N] [--threads=N]
+#        (extra flags are forwarded to bench_inference; defaults below match
+#         the acceptance setup: 2000-item catalog, single thread)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j "$(nproc)" --target bench_inference
+
+./build/bench/bench_inference \
+  --items=2000 --groups=20 --users=40 --threads=1 \
+  --json=BENCH_inference.json "$@"
+
+echo "wrote BENCH_inference.json"

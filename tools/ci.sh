@@ -17,6 +17,11 @@ cmake --build build -j "${JOBS}"
 echo "=== plain ctest (full tier-1 suite) ==="
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
+echo "=== inference bench smoke (0-ULP parity gate) ==="
+# --quick caps the catalog; the run still exits non-zero if the batched
+# engine's scores are not bit-identical to the per-item reference.
+./build/bench/bench_inference --quick
+
 echo "=== tsan build ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGROUPSA_SANITIZE=thread
