@@ -1,0 +1,39 @@
+#include "common/crc32.h"
+
+namespace groupsa {
+namespace {
+
+// 256-entry lookup table for the reflected polynomial, built once on first
+// use (byte-at-a-time; the checkpoint path is I/O-bound, not CRC-bound).
+struct Crc32Table {
+  uint32_t entry[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      entry[i] = c;
+    }
+  }
+};
+
+const Crc32Table& Table() {
+  static const Crc32Table table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32::Update(uint32_t crc, const void* data, size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const Crc32Table& table = Table();
+  for (size_t i = 0; i < len; ++i)
+    crc = table.entry[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  return crc;
+}
+
+uint32_t Crc32Of(const void* data, size_t len) {
+  return Crc32::Finalize(Crc32::Update(Crc32::kInit, data, len));
+}
+
+}  // namespace groupsa

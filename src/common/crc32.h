@@ -1,0 +1,32 @@
+#ifndef GROUPSA_COMMON_CRC32_H_
+#define GROUPSA_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace groupsa {
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the same checksum
+// zlib computes. Used by the checkpoint format to detect torn writes and
+// bit rot; 4 bytes per record is cheap insurance for multi-hour training
+// runs whose only artifact is the checkpoint file.
+//
+// Incremental use: seed with `Crc32::kInit`, fold in chunks with Update(),
+// then finalize with Finalize(). Crc32Of() does all three for one buffer.
+class Crc32 {
+ public:
+  static constexpr uint32_t kInit = 0xFFFFFFFFu;
+
+  // Folds `len` bytes into the running value (which must have started at
+  // kInit and not yet been finalized).
+  static uint32_t Update(uint32_t crc, const void* data, size_t len);
+
+  static constexpr uint32_t Finalize(uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+};
+
+// One-shot CRC-32 of a buffer.
+uint32_t Crc32Of(const void* data, size_t len);
+
+}  // namespace groupsa
+
+#endif  // GROUPSA_COMMON_CRC32_H_

@@ -1,0 +1,139 @@
+#include "common/failpoint.h"
+
+#include <csignal>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/string_util.h"
+
+namespace groupsa::failpoint {
+namespace {
+
+struct Point {
+  Action action = Action::kNone;
+  int64_t fire_at = 0;     // 0 = every hit; else 1-based trigger ordinal
+  bool persistent = true;  // `@n+`/no-@: keep firing; `@n`: fire once
+  std::atomic<int64_t> hits{0};
+  std::atomic<int64_t> fires{0};
+};
+
+// Registry keyed by site name. The map itself only changes under Arm/Disarm
+// (which must not race with hits); per-point counters are atomic so pool
+// threads can hit a site concurrently.
+std::mutex g_mu;
+std::map<std::string, Point>& Registry() {
+  static auto* registry = new std::map<std::string, Point>();
+  return *registry;
+}
+
+bool ParseAction(const std::string& text, Action* action) {
+  if (text == "error") {
+    *action = Action::kError;
+  } else if (text == "kill") {
+    *action = Action::kKill;
+  } else if (text == "corrupt") {
+    *action = Action::kCorrupt;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::atomic<int> g_armed_count{0};
+
+bool Arm(const std::string& spec) {
+  const size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  const std::string name = StrTrim(spec.substr(0, eq));
+  std::string action_text = StrTrim(spec.substr(eq + 1));
+  int64_t fire_at = 0;
+  bool persistent = true;
+  if (const size_t at = action_text.find('@'); at != std::string::npos) {
+    std::string count_text = action_text.substr(at + 1);
+    if (!count_text.empty() && count_text.back() == '+') {
+      count_text.pop_back();
+    } else {
+      persistent = false;
+    }
+    char* end = nullptr;
+    fire_at = std::strtoll(count_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || end == count_text.c_str() ||
+        fire_at < 1) {
+      return false;
+    }
+    action_text = action_text.substr(0, at);
+  }
+  Action action = Action::kNone;
+  if (!ParseAction(action_text, &action)) return false;
+
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto [it, inserted] = Registry().try_emplace(name);
+  it->second.action = action;
+  it->second.fire_at = fire_at;
+  it->second.persistent = persistent;
+  it->second.hits.store(0);
+  it->second.fires.store(0);
+  if (inserted) g_armed_count.fetch_add(1);
+  return true;
+}
+
+bool ArmList(const std::string& specs) {
+  bool ok = true;
+  for (const std::string& entry : StrSplit(specs, ';')) {
+    const std::string trimmed = StrTrim(entry);
+    if (trimmed.empty()) continue;
+    ok = Arm(trimmed) && ok;
+  }
+  return ok;
+}
+
+bool ArmFromEnv() {
+  const char* env = std::getenv("GROUPSA_FAILPOINTS");
+  if (env == nullptr || env[0] == '\0') return true;
+  return ArmList(env);
+}
+
+void Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (Registry().erase(name) > 0) g_armed_count.fetch_sub(1);
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_armed_count.fetch_sub(static_cast<int>(Registry().size()));
+  Registry().clear();
+}
+
+Action HitSlow(const char* name) {
+  Point* point = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    auto it = Registry().find(name);
+    if (it == Registry().end()) return Action::kNone;
+    point = &it->second;
+  }
+  const int64_t hit = point->hits.fetch_add(1) + 1;
+  if (point->fire_at > 0 &&
+      (point->persistent ? hit < point->fire_at : hit != point->fire_at)) {
+    return Action::kNone;
+  }
+  point->fires.fetch_add(1);
+  if (point->action == Action::kKill) {
+    // Die exactly like `kill -9`: no destructors, no buffered-FILE flushes —
+    // the torn-write scenario the checkpoint format must survive.
+    std::raise(SIGKILL);
+    std::abort();  // unreachable; SIGKILL cannot be handled
+  }
+  return point->action;
+}
+
+int64_t FireCount(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.fires.load();
+}
+
+}  // namespace groupsa::failpoint

@@ -1,0 +1,83 @@
+#ifndef GROUPSA_COMMON_FAILPOINT_H_
+#define GROUPSA_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace groupsa::failpoint {
+
+// Fault-injection points for testing the crash/resume and torn-write paths
+// against real process death and real I/O errors, not just unit mocks.
+//
+// A failpoint is a named site in the code (e.g. "checkpoint.write",
+// "trainer.batch") that consults the registry every time it is passed. When
+// the site is unarmed — the production state — the entire consultation is one
+// relaxed atomic load of a global counter (see GROUPSA_FAILPOINT below), so
+// leaving the hooks compiled into release binaries costs nothing measurable.
+//
+// Arming uses a spec string, either programmatically (tests) or via the
+// GROUPSA_FAILPOINTS environment variable (CLI runs under tools/ci.sh):
+//
+//   GROUPSA_FAILPOINTS="checkpoint.write=error@2;trainer.batch=kill@12"
+//
+// Grammar: `name=action[@n[+]]` entries separated by ';'. With no `@n` the
+// action fires on every hit (a persistently failing disk); `@n` fires only
+// on the n-th hit (1-based — one poisoned batch, one torn write); `@n+`
+// fires on every hit from the n-th on. Actions:
+//
+//   error    Hit() returns kError; the site maps it to a Status failure
+//            (I/O sites simulate a failed write/rename this way).
+//   kill     the process dies immediately via SIGKILL — no destructors, no
+//            atexit, exactly like `kill -9` mid-run.
+//   corrupt  Hit() returns kCorrupt; the site applies a site-specific
+//            corruption (the trainer poisons the batch loss with NaN, the
+//            checkpoint writer flips a payload bit).
+//
+// Thread-safety: Arm/Disarm must not race with hits (arm before starting
+// work); hit counting itself is atomic and may be reached from pool threads.
+enum class Action {
+  kNone = 0,
+  kError,
+  kKill,
+  kCorrupt,
+};
+
+// Number of armed failpoints. Internal — sites go through GROUPSA_FAILPOINT.
+extern std::atomic<int> g_armed_count;
+
+// Parses and arms one `name=action[@n[+]]` spec. Returns false on a
+// malformed spec (unknown action, bad count). Re-arming a name replaces its
+// spec and resets its counters.
+bool Arm(const std::string& spec);
+
+// Arms every entry of a ';'-separated spec list. Returns false if any entry
+// is malformed (valid entries before it stay armed).
+bool ArmList(const std::string& specs);
+
+// Arms from the GROUPSA_FAILPOINTS environment variable; no-op when unset.
+// Called once by CLI binaries at startup. Returns false on a malformed list.
+bool ArmFromEnv();
+
+// Disarms one site / all sites and resets their hit counters.
+void Disarm(const std::string& name);
+void DisarmAll();
+
+// Slow path: records a hit on `name` and returns the action to apply now.
+// kKill never returns — the process is killed on the spot. Call through
+// GROUPSA_FAILPOINT so unarmed builds stay on the one-load fast path.
+Action HitSlow(const char* name);
+
+// Times a site was actually fired (test introspection).
+int64_t FireCount(const std::string& name);
+
+}  // namespace groupsa::failpoint
+
+// Evaluates to the Action for this hit of `name` — kNone on the fast path
+// with a single relaxed load when nothing is armed anywhere.
+#define GROUPSA_FAILPOINT(name)                                      \
+  (::groupsa::failpoint::g_armed_count.load(std::memory_order_relaxed) == 0 \
+       ? ::groupsa::failpoint::Action::kNone                         \
+       : ::groupsa::failpoint::HitSlow(name))
+
+#endif  // GROUPSA_COMMON_FAILPOINT_H_

@@ -50,6 +50,17 @@ class Rng {
   // Samples `k` distinct indices from [0, n) uniformly (k <= n).
   std::vector<int> SampleWithoutReplacement(int n, int k);
 
+  // Complete generator state, for crash-safe training snapshots: restoring a
+  // saved state resumes the exact draw sequence, including a cached
+  // Box-Muller half if one was pending.
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_gaussian = false;
+    double cached_gaussian = 0.0;
+  };
+  State SaveState() const;
+  void RestoreState(const State& state);
+
   // Derives an independent generator; useful for giving each experiment
   // repetition its own stream.
   Rng Fork();

@@ -23,11 +23,43 @@ class Status {
   bool ok() const { return ok_; }
   const std::string& message() const { return message_; }
 
+  // Returns this status with "<context>: " prepended to its message; Ok
+  // passes through unchanged. Call sites layer context as an error bubbles
+  // up ("load checkpoint ...: params section: truncated record"), replacing
+  // hand-rolled `if (!s.ok()) return Status::Error(...)` chains.
+  Status WithContext(const std::string& context) const {
+    if (ok_) return *this;
+    return Error(context + ": " + message_);
+  }
+
  private:
   bool ok_ = true;
   std::string message_;
 };
 
 }  // namespace groupsa
+
+// Evaluates `expr` (a Status expression) and returns it from the enclosing
+// function if it is an error. The workhorse of I/O and checkpoint code:
+//
+//   GROUPSA_RETURN_IF_ERROR(ReadSection(f, &payload));
+//
+#define GROUPSA_RETURN_IF_ERROR(expr)              \
+  do {                                             \
+    if (::groupsa::Status _groupsa_s = (expr);     \
+        !_groupsa_s.ok()) {                        \
+      return _groupsa_s;                           \
+    }                                              \
+  } while (false)
+
+// Like GROUPSA_RETURN_IF_ERROR but prepends `context` to the propagated
+// message (see Status::WithContext).
+#define GROUPSA_RETURN_IF_ERROR_CTX(expr, context) \
+  do {                                             \
+    if (::groupsa::Status _groupsa_s = (expr);     \
+        !_groupsa_s.ok()) {                        \
+      return _groupsa_s.WithContext(context);      \
+    }                                              \
+  } while (false)
 
 #endif  // GROUPSA_COMMON_STATUS_H_

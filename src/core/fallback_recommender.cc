@@ -1,0 +1,79 @@
+#include "core/fallback_recommender.h"
+
+namespace groupsa::core {
+namespace {
+
+// Bounds-guarded exclude check: any in-range row that observed `item` skips
+// it; out-of-range rows (the degraded path may be serving the very ids that
+// failed validation) are simply ignored.
+bool AnyRowHas(const data::InteractionMatrix* exclude,
+               const std::vector<int32_t>& rows, data::ItemId item) {
+  if (exclude == nullptr) return false;
+  for (int32_t row : rows) {
+    if (row < 0 || row >= exclude->num_rows()) continue;
+    if (exclude->Has(row, item)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FallbackRecommender::FallbackRecommender(InferenceEngine* engine,
+                                         const data::EdgeList& popularity,
+                                         int num_items)
+    : engine_(engine), counts_(num_items > 0 ? num_items : 0, 0.0) {
+  for (const data::Edge& edge : popularity) {
+    if (edge.item >= 0 && edge.item < static_cast<data::ItemId>(counts_.size()))
+      counts_[edge.item] += 1.0;
+  }
+}
+
+FallbackRecommender::Response FallbackRecommender::Degrade(
+    std::string error, int k, const data::InteractionMatrix* exclude,
+    const std::vector<int32_t>& rows) {
+  degraded_.fetch_add(1, std::memory_order_relaxed);
+  Response response;
+  response.degraded = true;
+  response.error = std::move(error);
+  response.items = PopularityTopK(k, [&](data::ItemId item) {
+    return AnyRowHas(exclude, rows, item);
+  });
+  return response;
+}
+
+FallbackRecommender::Response FallbackRecommender::RecommendForUser(
+    data::UserId user, int k, const data::InteractionMatrix* exclude) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (engine_ == nullptr)
+    return Degrade("model unavailable", k, exclude, {user});
+  Response response;
+  Status s = engine_->RecommendForUser(user, k, exclude, &response.items);
+  if (!s.ok()) return Degrade(s.message(), k, exclude, {user});
+  return response;
+}
+
+FallbackRecommender::Response FallbackRecommender::RecommendForGroup(
+    data::GroupId group, int k, const data::InteractionMatrix* exclude) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (engine_ == nullptr)
+    return Degrade("model unavailable", k, exclude, {group});
+  Response response;
+  Status s = engine_->RecommendForGroup(group, k, exclude, &response.items);
+  if (!s.ok()) return Degrade(s.message(), k, exclude, {group});
+  return response;
+}
+
+FallbackRecommender::Response FallbackRecommender::RecommendForMembers(
+    const std::vector<data::UserId>& members, int k,
+    const data::InteractionMatrix* exclude) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (engine_ == nullptr)
+    return Degrade("model unavailable", k, exclude, members);
+  Response response;
+  Status s =
+      engine_->RecommendForMembers(members, k, exclude, &response.items);
+  if (!s.ok()) return Degrade(s.message(), k, exclude, members);
+  return response;
+}
+
+}  // namespace groupsa::core

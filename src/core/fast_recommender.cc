@@ -1,6 +1,7 @@
 #include "core/fast_recommender.h"
 
 #include "common/macros.h"
+#include "common/string_util.h"
 #include "core/topk.h"
 
 namespace groupsa::core {
@@ -32,6 +33,43 @@ FastGroupRecommender::RecommendForMembers(
       if (exclude->Has(member, item)) return true;
     return false;
   });
+}
+
+Status FastGroupRecommender::ValidateMembers(
+    const std::vector<data::UserId>& members) const {
+  if (members.empty()) return Status::Error("empty member list");
+  for (data::UserId member : members) {
+    if (member < 0 || member >= model_->num_users()) {
+      return Status::Error(StrFormat("member id %d out of range [0, %d)",
+                                     member, model_->num_users()));
+    }
+  }
+  return Status::Ok();
+}
+
+Status FastGroupRecommender::ScoreItemsForMembers(
+    const std::vector<data::UserId>& members,
+    const std::vector<data::ItemId>& items,
+    std::vector<double>* scores) const {
+  GROUPSA_RETURN_IF_ERROR(ValidateMembers(members));
+  for (data::ItemId item : items) {
+    if (item < 0 || item >= model_->num_items()) {
+      return Status::Error(StrFormat("item id %d out of range [0, %d)", item,
+                                     model_->num_items()));
+    }
+  }
+  *scores = ScoreItemsForMembers(members, items);
+  return Status::Ok();
+}
+
+Status FastGroupRecommender::RecommendForMembers(
+    const std::vector<data::UserId>& members, int k,
+    const data::InteractionMatrix* exclude,
+    std::vector<std::pair<data::ItemId, double>>* out) const {
+  GROUPSA_RETURN_IF_ERROR(ValidateMembers(members));
+  if (k < 1) return Status::Error(StrFormat("k must be positive, got %d", k));
+  *out = RecommendForMembers(members, k, exclude);
+  return Status::Ok();
 }
 
 }  // namespace groupsa::core

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "core/groupsa_model.h"
 #include "data/interaction_matrix.h"
 
@@ -31,7 +32,19 @@ class FastGroupRecommender {
       const std::vector<data::UserId>& members, int k,
       const data::InteractionMatrix* exclude = nullptr) const;
 
+  // Validated variants: empty member lists, out-of-range member/item ids and
+  // non-positive k come back as an error Status instead of a CHECK-abort.
+  Status ScoreItemsForMembers(const std::vector<data::UserId>& members,
+                              const std::vector<data::ItemId>& items,
+                              std::vector<double>* scores) const;
+  Status RecommendForMembers(
+      const std::vector<data::UserId>& members, int k,
+      const data::InteractionMatrix* exclude,
+      std::vector<std::pair<data::ItemId, double>>* out) const;
+
  private:
+  Status ValidateMembers(const std::vector<data::UserId>& members) const;
+
   GroupSaModel* model_;
 };
 

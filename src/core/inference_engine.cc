@@ -5,6 +5,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "common/string_util.h"
 #include "core/topk.h"
 #include "tensor/ops.h"
 
@@ -652,6 +653,117 @@ InferenceEngine::RecommendForMembers(const std::vector<data::UserId>& members,
       if (exclude->Has(member, item)) return true;
     return false;
   });
+}
+
+// ---------------- Validated (Status) serving entry points ----------------
+
+Status InferenceEngine::ValidateUser(data::UserId user) const {
+  if (user < 0 || user >= model_->num_users()) {
+    return Status::Error(StrFormat("user id %d out of range [0, %d)", user,
+                                   model_->num_users()));
+  }
+  return Status::Ok();
+}
+
+Status InferenceEngine::ValidateGroup(data::GroupId group) const {
+  const data::GroupTable* groups = model_->model_data().groups;
+  if (groups == nullptr)
+    return Status::Error("model has no group table");
+  if (group < 0 || group >= groups->num_groups()) {
+    return Status::Error(StrFormat("group id %d out of range [0, %d)", group,
+                                   groups->num_groups()));
+  }
+  return Status::Ok();
+}
+
+Status InferenceEngine::ValidateMembers(
+    const std::vector<data::UserId>& members) const {
+  if (members.empty()) return Status::Error("empty member list");
+  for (data::UserId member : members) {
+    GROUPSA_RETURN_IF_ERROR_CTX(ValidateUser(member), "member");
+  }
+  return Status::Ok();
+}
+
+Status InferenceEngine::ValidateItems(
+    const std::vector<data::ItemId>& items) const {
+  for (data::ItemId item : items) {
+    if (item < 0 || item >= model_->num_items()) {
+      return Status::Error(StrFormat("item id %d out of range [0, %d)", item,
+                                     model_->num_items()));
+    }
+  }
+  return Status::Ok();
+}
+
+Status InferenceEngine::ValidateK(int k) const {
+  if (k < 1) return Status::Error(StrFormat("k must be positive, got %d", k));
+  return Status::Ok();
+}
+
+Status InferenceEngine::ScoreItemsForUser(data::UserId user,
+                                          const std::vector<data::ItemId>& items,
+                                          std::vector<double>* scores) {
+  GROUPSA_RETURN_IF_ERROR(ValidateUser(user));
+  GROUPSA_RETURN_IF_ERROR(ValidateItems(items));
+  *scores = ScoreItemsForUser(user, items);
+  return Status::Ok();
+}
+
+Status InferenceEngine::ScoreItemsForGroup(
+    data::GroupId group, const std::vector<data::ItemId>& items,
+    std::vector<double>* scores) {
+  GROUPSA_RETURN_IF_ERROR(ValidateGroup(group));
+  GROUPSA_RETURN_IF_ERROR(ValidateItems(items));
+  *scores = ScoreItemsForGroup(group, items);
+  return Status::Ok();
+}
+
+Status InferenceEngine::ScoreItemsForMembers(
+    const std::vector<data::UserId>& members,
+    const std::vector<data::ItemId>& items, std::vector<double>* scores) {
+  GROUPSA_RETURN_IF_ERROR(ValidateMembers(members));
+  GROUPSA_RETURN_IF_ERROR(ValidateItems(items));
+  *scores = ScoreItemsForMembers(members, items);
+  return Status::Ok();
+}
+
+Status InferenceEngine::MemberItemScores(
+    const std::vector<data::UserId>& members,
+    const std::vector<data::ItemId>& items,
+    std::vector<std::vector<double>>* scores) {
+  GROUPSA_RETURN_IF_ERROR(ValidateMembers(members));
+  GROUPSA_RETURN_IF_ERROR(ValidateItems(items));
+  *scores = MemberItemScores(members, items);
+  return Status::Ok();
+}
+
+Status InferenceEngine::RecommendForUser(
+    data::UserId user, int k, const data::InteractionMatrix* exclude,
+    std::vector<std::pair<data::ItemId, double>>* out) {
+  GROUPSA_RETURN_IF_ERROR(ValidateUser(user));
+  GROUPSA_RETURN_IF_ERROR(ValidateK(k));
+  *out = RecommendForUser(user, k, exclude);
+  return Status::Ok();
+}
+
+Status InferenceEngine::RecommendForGroup(
+    data::GroupId group, int k, const data::InteractionMatrix* exclude,
+    std::vector<std::pair<data::ItemId, double>>* out) {
+  GROUPSA_RETURN_IF_ERROR(ValidateGroup(group));
+  GROUPSA_RETURN_IF_ERROR(ValidateK(k));
+  *out = RecommendForGroup(group, k, exclude);
+  return Status::Ok();
+}
+
+Status InferenceEngine::RecommendForMembers(
+    const std::vector<data::UserId>& members, int k,
+    const data::InteractionMatrix* exclude,
+    std::vector<std::pair<data::ItemId, double>>* out) {
+  GROUPSA_RETURN_IF_ERROR(ValidateMembers(members));
+  GROUPSA_RETURN_IF_ERROR(ValidateK(k));
+  *out = RecommendForMembers(members, k, exclude);
+  return Status::Ok();
 }
 
 }  // namespace groupsa::core

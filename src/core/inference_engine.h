@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "core/groupsa_model.h"
 
 namespace groupsa::core {
@@ -84,6 +85,35 @@ class InferenceEngine {
       const std::vector<data::UserId>& members, int k,
       const data::InteractionMatrix* exclude);
 
+  // ---------------- Validated (Status) serving entry points --------------
+  // Production-facing variants of the scorers above: out-of-range
+  // user/group/member/item ids, empty member lists and non-positive k come
+  // back as a descriptive error Status instead of a CHECK-abort, leaving
+  // the process and caches intact. The unchecked variants remain the
+  // internal hot path (trusted ids from the evaluator/trainer).
+  Status ScoreItemsForUser(data::UserId user,
+                           const std::vector<data::ItemId>& items,
+                           std::vector<double>* scores);
+  Status ScoreItemsForGroup(data::GroupId group,
+                            const std::vector<data::ItemId>& items,
+                            std::vector<double>* scores);
+  Status ScoreItemsForMembers(const std::vector<data::UserId>& members,
+                              const std::vector<data::ItemId>& items,
+                              std::vector<double>* scores);
+  Status MemberItemScores(const std::vector<data::UserId>& members,
+                          const std::vector<data::ItemId>& items,
+                          std::vector<std::vector<double>>* scores);
+  Status RecommendForUser(data::UserId user, int k,
+                          const data::InteractionMatrix* exclude,
+                          std::vector<std::pair<data::ItemId, double>>* out);
+  Status RecommendForGroup(data::GroupId group, int k,
+                           const data::InteractionMatrix* exclude,
+                           std::vector<std::pair<data::ItemId, double>>* out);
+  Status RecommendForMembers(
+      const std::vector<data::UserId>& members, int k,
+      const data::InteractionMatrix* exclude,
+      std::vector<std::pair<data::ItemId, double>>* out);
+
   // Drops every cached representation immediately. Never required for
   // correctness (version stamping already fences parameter updates); useful
   // to reclaim memory at epoch boundaries.
@@ -149,6 +179,13 @@ class InferenceEngine {
   // Drops all caches when the parameter version moved; returns the current
   // version.
   uint64_t Revalidate();
+
+  // Request validation behind the Status entry points.
+  Status ValidateUser(data::UserId user) const;
+  Status ValidateGroup(data::GroupId group) const;
+  Status ValidateMembers(const std::vector<data::UserId>& members) const;
+  Status ValidateItems(const std::vector<data::ItemId>& items) const;
+  Status ValidateK(int k) const;
 
   GroupSaModel* model_;
   // Flattened parameter tensors, captured once (parameter identity is fixed

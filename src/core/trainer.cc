@@ -1,10 +1,18 @@
 #include "core/trainer.h"
 
+#include <cmath>
+#include <limits>
+
 #include "autograd/ops.h"
+#include "common/crc32.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/macros.h"
+#include "common/serialize.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "nn/checkpoint.h"
 
 namespace groupsa::core {
 namespace {
@@ -35,21 +43,66 @@ Trainer::Trainer(GroupSaModel* model, const data::EdgeList& user_train,
     grad_slots_.push_back({p.tensor.get(), p.touched_rows});
 }
 
+bool Trainer::GradientsFinite() const {
+  for (const ag::GradShard::ParamSlot& slot : grad_slots_) {
+    if (!slot.tensor->has_grad()) continue;
+    const tensor::Matrix& grad = slot.tensor->grad_view();
+    auto row_finite = [&](int r) {
+      const float* g = grad.RowPtr(r);
+      for (int c = 0; c < grad.cols(); ++c)
+        if (!std::isfinite(g[c])) return false;
+      return true;
+    };
+    if (slot.touched_rows != nullptr) {
+      for (int r : *slot.touched_rows)
+        if (!row_finite(r)) return false;
+    } else {
+      for (int r = 0; r < grad.rows(); ++r)
+        if (!row_finite(r)) return false;
+    }
+  }
+  return true;
+}
+
+void Trainer::DropBatchGradients() {
+  for (const ag::GradShard::ParamSlot& slot : grad_slots_) {
+    if (slot.tensor->has_grad()) slot.tensor->ZeroGrad();
+    if (slot.touched_rows != nullptr) slot.touched_rows->clear();
+  }
+}
+
 Trainer::EpochStats Trainer::RunShardedEpoch(int num_samples,
                                              int losses_per_sample,
                                              const SampleLossFn& fn) {
   const GroupSaConfig& config = model_->config();
   Stopwatch timer;
-  double total_loss = 0.0;
-  int total_losses = 0;
+  // Consume the per-Fit resume context; direct Run*Epoch calls see zeros.
+  const int start_batch = start_batch_;
+  double total_loss = start_loss_;
+  int total_losses = start_losses_;
+  start_batch_ = 0;
+  start_loss_ = 0.0;
+  start_losses_ = 0;
+
+  const FitOptions* opts = fit_options_;
+  const bool guard = opts != nullptr && opts->divergence_guard;
+  int consecutive_bad = 0;
+  int skipped = 0;
+
   const int batch_size = config.batch_size;
-  for (int start = 0; start < num_samples; start += batch_size) {
+  const int num_batches = (num_samples + batch_size - 1) / batch_size;
+  for (int b = 0; b < num_batches; ++b) {
+    // One sequential draw per batch on the calling thread; each shard's
+    // stream is a pure function of it and the shard index. Drawn before the
+    // resume fast-forward check so a resumed epoch consumes the exact RNG
+    // stream an uninterrupted one would.
+    const uint64_t batch_seed = rng_->NextU64();
+    if (b < start_batch) continue;  // resume: batch already applied
+
+    const int start = b * batch_size;
     const int end = std::min(num_samples, start + batch_size);
     const int batch_losses = (end - start) * losses_per_sample;
     const int num_shards = (end - start + kShardGrain - 1) / kShardGrain;
-    // One sequential draw per batch on the calling thread; each shard's
-    // stream is a pure function of it and the shard index.
-    const uint64_t batch_seed = rng_->NextU64();
 
     std::vector<std::unique_ptr<ag::GradShard>> shards(num_shards);
     std::vector<float> shard_loss(num_shards, 0.0f);
@@ -77,15 +130,52 @@ Trainer::EpochStats Trainer::RunShardedEpoch(int num_samples,
     });
     // Deterministic merge: shard order, on this thread.
     for (const auto& shard : shards) shard->ReduceInto();
-    for (float loss : shard_loss) total_loss += loss;
+
+    // Fault-injection site: `corrupt` poisons this batch's loss (exercising
+    // the divergence guard); `kill` dies here for the crash-resume CI gate.
+    if (GROUPSA_FAILPOINT("trainer.batch") == failpoint::Action::kCorrupt)
+      shard_loss[0] = std::numeric_limits<float>::quiet_NaN();
+
+    double batch_loss = 0.0;
+    for (float loss : shard_loss) batch_loss += loss;
+
+    if (guard && (!std::isfinite(batch_loss) || !GradientsFinite())) {
+      ++skipped;
+      DropBatchGradients();
+      if (++consecutive_bad > opts->max_consecutive_bad) {
+        if (!opts->snapshot_path.empty()) {
+          rollback_requested_ = true;
+        } else {
+          epoch_error_ = Status::Error(StrFormat(
+              "training diverged: %d consecutive non-finite batches and no "
+              "snapshot to roll back to",
+              consecutive_bad));
+        }
+        break;
+      }
+      continue;  // dropped: no optimizer step, no loss accumulation
+    }
+    consecutive_bad = 0;
+    total_loss += batch_loss;
     total_losses += batch_losses;
     optimizer_->Step();
+
+    if (opts != nullptr && !opts->snapshot_path.empty() &&
+        opts->snapshot_every > 0 && (b + 1) % opts->snapshot_every == 0 &&
+        b + 1 < num_batches) {
+      Status s = WriteSnapshot(opts->snapshot_path, current_unit_, b + 1,
+                               total_loss, total_losses, unit_start_rng_);
+      // A failed snapshot must not kill a healthy run; a later resume just
+      // restarts from the previous snapshot.
+      if (!s.ok()) LogWarning(s.message());
+    }
   }
 
   EpochStats stats;
   stats.num_samples = total_losses;
   stats.avg_loss = total_losses > 0 ? total_loss / total_losses : 0.0;
   stats.seconds = timer.ElapsedSeconds();
+  stats.skipped_batches = skipped;
   return stats;
 }
 
@@ -192,34 +282,256 @@ Trainer::EpochStats Trainer::RunSocialEpoch() {
       });
 }
 
-Trainer::FitReport Trainer::Fit(bool verbose) {
+std::vector<Trainer::ScheduleUnit> Trainer::BuildSchedule() const {
   const GroupSaConfig& config = model_->config();
-  Stopwatch total;
-  FitReport report;
+  std::vector<ScheduleUnit> schedule;
   if (config.use_user_task) {
     for (int e = 0; e < config.user_epochs; ++e) {
-      if (config.use_social_objective) RunSocialEpoch();
-      EpochStats stats = RunUserEpoch();
-      if (verbose) {
-        LogInfo(StrFormat("[%s] user epoch %d/%d loss=%.4f (%.1fs)",
-                          config.variant.c_str(), e + 1, config.user_epochs,
-                          stats.avg_loss, stats.seconds));
-      }
-      report.user_epochs.push_back(stats);
+      if (config.use_social_objective)
+        schedule.push_back({ScheduleUnit::kSocial, e + 1, false});
+      schedule.push_back({ScheduleUnit::kUser, e + 1, true});
     }
   }
   for (int e = 0; e < config.group_epochs; ++e) {
     if (config.use_user_task && config.interleave_user_in_stage2)
-      RunUserEpoch();
-    EpochStats stats = RunGroupEpoch();
-    if (verbose) {
-      LogInfo(StrFormat("[%s] group epoch %d/%d loss=%.4f (%.1fs)",
-                        config.variant.c_str(), e + 1, config.group_epochs,
-                        stats.avg_loss, stats.seconds));
-    }
-    report.group_epochs.push_back(stats);
+      schedule.push_back({ScheduleUnit::kUser, e + 1, false});
+    schedule.push_back({ScheduleUnit::kGroup, e + 1, true});
   }
-  report.total_seconds = total.ElapsedSeconds();
+  return schedule;
+}
+
+uint64_t Trainer::ConfigFingerprint() const {
+  const GroupSaConfig& c = model_->config();
+  ByteWriter w;
+  w.WriteString("groupsa.trainer.fingerprint.v1");
+  w.WriteString(c.variant);
+  w.WriteU32(static_cast<uint32_t>(c.embedding_dim));
+  w.WriteU32(static_cast<uint32_t>(c.attention_hidden));
+  w.WriteU32(static_cast<uint32_t>(c.ffn_hidden));
+  w.WriteU32(static_cast<uint32_t>(c.predictor_hidden.size()));
+  for (int h : c.predictor_hidden) w.WriteU32(static_cast<uint32_t>(h));
+  w.WriteU32(static_cast<uint32_t>(c.fusion_hidden.size()));
+  for (int h : c.fusion_hidden) w.WriteU32(static_cast<uint32_t>(h));
+  w.WriteU32(static_cast<uint32_t>(c.num_voting_layers));
+  w.WriteU32(static_cast<uint32_t>(c.top_h));
+  w.WriteU32(static_cast<uint32_t>(c.num_negatives));
+  w.WriteDouble(c.user_score_blend);
+  w.WriteDouble(c.learning_rate);
+  w.WriteDouble(c.weight_decay);
+  w.WriteDouble(c.dropout_ratio);
+  w.WriteU32(static_cast<uint32_t>(c.user_epochs));
+  w.WriteU32(static_cast<uint32_t>(c.group_epochs));
+  w.WriteU32(static_cast<uint32_t>(c.batch_size));
+  // c.threads deliberately omitted: resuming at a different pool width is
+  // bit-identical (see the determinism contract above) and must be allowed.
+  uint32_t switches = 0;
+  for (bool b : {c.use_voting_scheme, c.use_social_mask,
+                 c.use_item_aggregation, c.use_social_aggregation,
+                 c.use_user_task, c.share_predictors,
+                 c.interleave_user_in_stage2, c.use_enhanced_member_reps,
+                 c.separate_latent_tower, c.detach_attention_guides,
+                 c.train_group_head_on_singletons, c.tie_latent_spaces,
+                 c.use_social_objective}) {
+    switches = (switches << 1) | (b ? 1u : 0u);
+  }
+  w.WriteU32(switches);
+  w.WriteU32(static_cast<uint32_t>(c.social_closeness));
+  w.WriteDouble(c.closeness_threshold);
+  // Dataset dimensions and the parameter inventory: a snapshot must only
+  // resume against the exact model it was taken from.
+  w.WriteU32(static_cast<uint32_t>(model_->num_users()));
+  w.WriteU32(static_cast<uint32_t>(model_->num_items()));
+  w.WriteU64(user_train_.size());
+  w.WriteU64(group_train_.size());
+  for (const nn::ParamEntry& p : model_->Parameters()) {
+    w.WriteString(p.name);
+    w.WriteU32(static_cast<uint32_t>(p.tensor->rows()));
+    w.WriteU32(static_cast<uint32_t>(p.tensor->cols()));
+  }
+  const std::string& bytes = w.bytes();
+  const uint32_t lo = Crc32Of(bytes.data(), bytes.size());
+  // Second independent 32 bits: same data, CRC seeded off the first pass.
+  const uint32_t hi =
+      Crc32::Finalize(Crc32::Update(~lo, bytes.data(), bytes.size()));
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+Status Trainer::WriteSnapshot(const std::string& path, int unit,
+                              int next_batch, double acc_loss, int acc_losses,
+                              const Rng::State& unit_start) const {
+  nn::CheckpointWriter writer;
+  writer.AddSection("params", nn::EncodeParameters(model_->Parameters()));
+  writer.AddSection("adam", optimizer_->SerializeState());
+  ByteWriter t;
+  t.WriteU64(ConfigFingerprint());
+  t.WriteU32(static_cast<uint32_t>(unit));
+  t.WriteU32(static_cast<uint32_t>(next_batch));
+  t.WriteDouble(acc_loss);
+  t.WriteI64(acc_losses);
+  for (uint64_t s : unit_start.s) t.WriteU64(s);
+  t.WriteU32(unit_start.has_cached_gaussian ? 1 : 0);
+  t.WriteDouble(unit_start.cached_gaussian);
+  writer.AddSection("trainer", t.Release());
+  return writer.Commit(path).WithContext("write training snapshot " + path);
+}
+
+Status Trainer::ResumeFrom(const std::string& path) {
+  nn::CheckpointReader reader;
+  GROUPSA_RETURN_IF_ERROR_CTX(nn::CheckpointReader::Read(path, &reader),
+                              "resume from " + path);
+  const std::string* params = reader.Find("params");
+  const std::string* adam = reader.Find("adam");
+  const std::string* trainer = reader.Find("trainer");
+  if (params == nullptr || adam == nullptr || trainer == nullptr) {
+    return Status::Error(
+        "not a training snapshot (params/adam/trainer section missing): " +
+        path);
+  }
+
+  // Parse and validate the cursor first; nothing is mutated until every
+  // section checked out.
+  ByteReader t(*trainer);
+  uint64_t fingerprint = 0;
+  uint32_t unit = 0;
+  uint32_t next_batch = 0;
+  double acc_loss = 0.0;
+  int64_t acc_losses = 0;
+  Rng::State rng_state;
+  uint32_t has_cached = 0;
+  bool parsed = t.ReadU64(&fingerprint) && t.ReadU32(&unit) &&
+                t.ReadU32(&next_batch) && t.ReadDouble(&acc_loss) &&
+                t.ReadI64(&acc_losses);
+  for (int i = 0; parsed && i < 4; ++i) parsed = t.ReadU64(&rng_state.s[i]);
+  parsed = parsed && t.ReadU32(&has_cached) &&
+           t.ReadDouble(&rng_state.cached_gaussian) && t.AtEnd();
+  if (!parsed)
+    return Status::Error("malformed trainer section: " + path);
+  rng_state.has_cached_gaussian = has_cached != 0;
+  if (fingerprint != ConfigFingerprint()) {
+    return Status::Error(
+        "snapshot was written under a different config, dataset or model "
+        "(fingerprint mismatch): " + path);
+  }
+  const size_t num_units = BuildSchedule().size();
+  if (unit > num_units) {
+    return Status::Error(StrFormat(
+        "snapshot cursor (unit %u) beyond the %zu-unit schedule: %s", unit,
+        num_units, path.c_str()));
+  }
+
+  // Restore. Each step stages internally and only commits when valid, so a
+  // corrupt section cannot leave the model half-mutated.
+  GROUPSA_RETURN_IF_ERROR_CTX(
+      nn::DecodeParameters(model_->Parameters(), *params),
+      "resume from " + path);
+  GROUPSA_RETURN_IF_ERROR_CTX(optimizer_->RestoreState(*adam),
+                              "resume from " + path);
+  rng_->RestoreState(rng_state);
+  has_resume_ = true;
+  resume_unit_ = static_cast<int>(unit);
+  resume_batch_ = static_cast<int>(next_batch);
+  resume_loss_ = acc_loss;
+  resume_losses_ = static_cast<int>(acc_losses);
+  resume_rng_ = rng_state;
+  return Status::Ok();
+}
+
+Status Trainer::Fit(const FitOptions& options, FitReport* report) {
+  const GroupSaConfig& config = model_->config();
+  Stopwatch total;
+  const std::vector<ScheduleUnit> schedule = BuildSchedule();
+  fit_options_ = &options;
+  report->resumed = has_resume_;
+  int rollbacks = 0;
+  int unit = has_resume_ ? resume_unit_ : 0;
+  while (unit < static_cast<int>(schedule.size())) {
+    const ScheduleUnit& su = schedule[unit];
+    current_unit_ = unit;
+    if (has_resume_ && unit == resume_unit_) {
+      // Continue the interrupted unit: rewind the stream to its start and
+      // let RunShardedEpoch fast-forward over the already-applied batches.
+      rng_->RestoreState(resume_rng_);
+      unit_start_rng_ = resume_rng_;
+      start_batch_ = resume_batch_;
+      start_loss_ = resume_loss_;
+      start_losses_ = resume_losses_;
+      has_resume_ = false;
+    } else {
+      unit_start_rng_ = rng_->SaveState();
+      start_batch_ = 0;
+      start_loss_ = 0.0;
+      start_losses_ = 0;
+    }
+    rollback_requested_ = false;
+    epoch_error_ = Status::Ok();
+
+    EpochStats stats;
+    switch (su.kind) {
+      case ScheduleUnit::kSocial:
+        stats = RunSocialEpoch();
+        break;
+      case ScheduleUnit::kUser:
+        stats = RunUserEpoch();
+        break;
+      case ScheduleUnit::kGroup:
+        stats = RunGroupEpoch();
+        break;
+    }
+    if (!epoch_error_.ok()) {
+      fit_options_ = nullptr;
+      return epoch_error_;
+    }
+    if (rollback_requested_) {
+      if (++rollbacks > options.max_rollbacks) {
+        fit_options_ = nullptr;
+        return Status::Error(StrFormat(
+            "training diverged: still non-finite after %d rollbacks to %s",
+            options.max_rollbacks, options.snapshot_path.c_str()));
+      }
+      if (Status s = ResumeFrom(options.snapshot_path)
+                         .WithContext("divergence rollback");
+          !s.ok()) {
+        fit_options_ = nullptr;
+        return s;
+      }
+      report->rollbacks = rollbacks;
+      unit = resume_unit_;
+      continue;
+    }
+    report->skipped_batches += stats.skipped_batches;
+    if (su.record) {
+      const bool is_user = su.kind == ScheduleUnit::kUser;
+      if (options.verbose) {
+        LogInfo(StrFormat("[%s] %s epoch %d/%d loss=%.4f (%.1fs)",
+                          config.variant.c_str(), is_user ? "user" : "group",
+                          su.display,
+                          is_user ? config.user_epochs : config.group_epochs,
+                          stats.avg_loss, stats.seconds));
+      }
+      if (is_user)
+        report->user_epochs.push_back(stats);
+      else
+        report->group_epochs.push_back(stats);
+    }
+    ++unit;
+    if (!options.snapshot_path.empty()) {
+      // End-of-unit snapshot: a resume never replays more than one unit.
+      Status s = WriteSnapshot(options.snapshot_path, unit, 0, 0.0, 0,
+                               rng_->SaveState());
+      if (!s.ok()) LogWarning(s.message());
+    }
+  }
+  report->total_seconds = total.ElapsedSeconds();
+  fit_options_ = nullptr;
+  return Status::Ok();
+}
+
+Trainer::FitReport Trainer::Fit(bool verbose) {
+  FitOptions options;
+  options.verbose = verbose;
+  FitReport report;
+  const Status status = Fit(options, &report);
+  GROUPSA_CHECK(status.ok(), status.message().c_str());
   return report;
 }
 

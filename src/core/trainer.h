@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "autograd/grad_shard.h"
+#include "common/rng.h"
+#include "common/status.h"
 #include "core/groupsa_model.h"
 #include "data/negative_sampler.h"
 #include "nn/optimizer.h"
@@ -42,6 +44,8 @@ class Trainer {
     double avg_loss = 0.0;
     double seconds = 0.0;
     int num_samples = 0;
+    // Batches dropped by the divergence guard (non-finite loss/gradients).
+    int skipped_batches = 0;
   };
 
   // One pass over the user-item training edges (L_R).
@@ -56,11 +60,64 @@ class Trainer {
     std::vector<EpochStats> user_epochs;
     std::vector<EpochStats> group_epochs;
     double total_seconds = 0.0;
+    int64_t skipped_batches = 0;  // total across all epochs
+    int rollbacks = 0;            // snapshot rollbacks taken by the guard
+    bool resumed = false;         // this Fit continued a ResumeFrom cursor
+  };
+
+  // Fault-tolerance knobs of Fit. Defaults run exactly the historical
+  // schedule with the divergence guard armed and no snapshotting.
+  struct FitOptions {
+    bool verbose = false;
+
+    // Crash-safe snapshotting: when non-empty, Fit atomically writes a full
+    // TrainingState snapshot (parameters, Adam moments + step counters, RNG
+    // stream, schedule cursor, config fingerprint) to this path after every
+    // epoch unit, and additionally every `snapshot_every` batches when
+    // snapshot_every > 0. A run killed at any point resumes from the last
+    // snapshot via ResumeFrom() and finishes bit-identical to an
+    // uninterrupted run — at any thread count.
+    std::string snapshot_path;
+    int snapshot_every = 0;
+
+    // Divergence guard: a batch whose loss or merged gradients are
+    // non-finite is skipped (gradients dropped, no optimizer step, counted
+    // in skipped_batches). After more than `max_consecutive_bad`
+    // consecutive bad batches Fit rolls back to the last snapshot (when
+    // snapshot_path is set) at most `max_rollbacks` times, then fails.
+    bool divergence_guard = true;
+    int max_consecutive_bad = 3;
+    int max_rollbacks = 2;
   };
 
   // Runs the full two-stage schedule from the model's config. Group-G
-  // (use_user_task == false) skips stage 1 entirely.
+  // (use_user_task == false) skips stage 1 entirely. Continues from a
+  // pending ResumeFrom() cursor when one is loaded.
+  Status Fit(const FitOptions& options, FitReport* report);
+
+  // Legacy entry point: no snapshotting, guard armed; CHECK-fails on the
+  // (snapshot-less) divergence-abort path.
   FitReport Fit(bool verbose = false);
+
+  // Loads a TrainingState snapshot written by Fit: restores parameters,
+  // optimizer state and the RNG stream, verifies the config fingerprint,
+  // and primes the next Fit call to continue from the saved cursor.
+  //
+  // Resume invariant: the snapshot stores the RNG state at the start of the
+  // interrupted epoch unit plus the next batch ordinal. Fit re-derives the
+  // epoch's shuffle from that state and fast-forwards the per-batch seed
+  // draws, so the resumed stream — shuffle order, shard RNG streams,
+  // negative samples, dropout — is the exact continuation of the
+  // interrupted one, and the final checkpoint is byte-identical to an
+  // uninterrupted run's.
+  Status ResumeFrom(const std::string& path);
+
+  // Fingerprint of everything a snapshot must agree on to be resumable:
+  // the model config (minus the thread count — resume at any width is
+  // bit-identical), dataset dimensions, training-edge counts and the
+  // parameter inventory. Stored in every snapshot and verified by
+  // ResumeFrom.
+  uint64_t ConfigFingerprint() const;
 
  private:
   // Appends the loss tensor(s) of one training sample to `losses`, building
@@ -77,6 +134,32 @@ class Trainer {
   EpochStats RunShardedEpoch(int num_samples, int losses_per_sample,
                              const SampleLossFn& fn);
 
+  // The two-stage schedule flattened into a linear sequence of epoch units;
+  // the snapshot cursor is an index into this sequence. `record` marks the
+  // main user/group epochs that land in FitReport (social and interleaved
+  // user passes do not, matching the historical report shape).
+  struct ScheduleUnit {
+    enum Kind { kSocial, kUser, kGroup };
+    Kind kind;
+    int display;  // 1-based epoch number within its stage, for logging
+    bool record;
+  };
+  std::vector<ScheduleUnit> BuildSchedule() const;
+
+  // Atomically writes a full TrainingState snapshot: sections "params"
+  // (model parameters), "adam" (optimizer moments + step counters) and
+  // "trainer" (config fingerprint, schedule cursor, in-epoch loss
+  // accumulators, unit-start RNG state).
+  Status WriteSnapshot(const std::string& path, int unit, int next_batch,
+                       double acc_loss, int acc_losses,
+                       const Rng::State& unit_start) const;
+
+  // Divergence guard helpers: scan the merged gradients of the current
+  // batch / drop them without stepping (dense grads zeroed, touched-row sets
+  // cleared).
+  bool GradientsFinite() const;
+  void DropBatchGradients();
+
   GroupSaModel* model_;
   const data::EdgeList& user_train_;
   const data::EdgeList& group_train_;
@@ -86,6 +169,29 @@ class Trainer {
   std::unique_ptr<nn::Adam> optimizer_;
   // GradShard registration of the model's parameters, built once.
   std::vector<ag::GradShard::ParamSlot> grad_slots_;
+
+  // Per-Fit context consumed by RunShardedEpoch (null outside Fit: direct
+  // Run*Epoch calls run the plain path with the guard off).
+  const FitOptions* fit_options_ = nullptr;
+  int current_unit_ = 0;
+  Rng::State unit_start_rng_{};
+  // Resume fast-forward for the first unit after ResumeFrom: completed
+  // batches whose RNG draws are burned without running them, plus the saved
+  // in-epoch loss accumulators.
+  int start_batch_ = 0;
+  double start_loss_ = 0.0;
+  int start_losses_ = 0;
+  // Epoch -> Fit signals from the divergence guard.
+  bool rollback_requested_ = false;
+  Status epoch_error_;
+
+  // Cursor loaded by ResumeFrom, consumed by the next Fit.
+  bool has_resume_ = false;
+  int resume_unit_ = 0;
+  int resume_batch_ = 0;
+  double resume_loss_ = 0.0;
+  int resume_losses_ = 0;
+  Rng::State resume_rng_{};
 };
 
 }  // namespace groupsa::core

@@ -1,13 +1,34 @@
 #include "data/io.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
+#include "common/status.h"
 #include "common/string_util.h"
 
 namespace groupsa::data {
 namespace {
+
+// Parses a whole token as a base-10 int32. No exceptions, no partial
+// matches, no silent overflow — malformed dataset files must fail with a
+// Status naming the offending line, never crash or truncate.
+bool ParseInt(const std::string& token, int32_t* out) {
+  if (token.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(token.c_str(), &end, 10);
+  if (errno != 0 || end != token.c_str() + token.size()) return false;
+  if (value < std::numeric_limits<int32_t>::min() ||
+      value > std::numeric_limits<int32_t>::max()) {
+    return false;
+  }
+  *out = static_cast<int32_t>(value);
+  return true;
+}
 
 Status WriteEdges(const EdgeList& edges, const std::string& path) {
   std::ofstream out(path);
@@ -16,17 +37,35 @@ Status WriteEdges(const EdgeList& edges, const std::string& path) {
   return out ? Status::Ok() : Status::Error("write failed: " + path);
 }
 
-Status ReadEdges(const std::string& path, EdgeList* edges) {
+// Reads a (row, item) TSV, validating every id against the dataset bounds.
+// `row_kind`/`num_rows` name and bound the row id space ("user" or "group").
+Status ReadEdges(const std::string& path, const char* row_kind, int num_rows,
+                 int num_items, EdgeList* edges) {
   std::ifstream in(path);
   if (!in) return Status::Error("cannot open for read: " + path);
   edges->clear();
   std::string line;
+  int line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
-    std::istringstream ss(line);
+    const auto parts = StrSplit(line, '\t');
     Edge e;
-    if (!(ss >> e.row >> e.item))
-      return Status::Error("malformed edge line in " + path + ": " + line);
+    if (parts.size() != 2 || !ParseInt(parts[0], &e.row) ||
+        !ParseInt(parts[1], &e.item)) {
+      return Status::Error(StrFormat("%s:%d: malformed edge line: '%s'",
+                                     path.c_str(), line_no, line.c_str()));
+    }
+    if (e.row < 0 || e.row >= num_rows) {
+      return Status::Error(StrFormat("%s:%d: %s id %d out of range [0, %d)",
+                                     path.c_str(), line_no, row_kind, e.row,
+                                     num_rows));
+    }
+    if (e.item < 0 || e.item >= num_items) {
+      return Status::Error(StrFormat("%s:%d: item id %d out of range [0, %d)",
+                                     path.c_str(), line_no, e.item,
+                                     num_items));
+    }
     edges->push_back(e);
   }
   return Status::Ok();
@@ -35,12 +74,10 @@ Status ReadEdges(const std::string& path, EdgeList* edges) {
 }  // namespace
 
 Status SaveDataset(const Dataset& dataset, const std::string& directory) {
-  if (Status s = WriteEdges(dataset.user_item, directory + "/user_item.tsv");
-      !s.ok())
-    return s;
-  if (Status s = WriteEdges(dataset.group_item, directory + "/group_item.tsv");
-      !s.ok())
-    return s;
+  GROUPSA_RETURN_IF_ERROR(
+      WriteEdges(dataset.user_item, directory + "/user_item.tsv"));
+  GROUPSA_RETURN_IF_ERROR(
+      WriteEdges(dataset.group_item, directory + "/group_item.tsv"));
 
   {
     std::ofstream out(directory + "/social.tsv");
@@ -75,63 +112,118 @@ Status SaveDataset(const Dataset& dataset, const std::string& directory) {
 }
 
 Status LoadDataset(const std::string& directory, Dataset* dataset) {
-  // meta.tsv first: counts are needed to build the graphs.
+  // meta.tsv first: the counts bound every id that follows.
   {
-    std::ifstream in(directory + "/meta.tsv");
+    const std::string path = directory + "/meta.tsv";
+    std::ifstream in(path);
     if (!in) return Status::Error("cannot read meta.tsv in " + directory);
     std::string line;
+    int line_no = 0;
     while (std::getline(in, line)) {
+      ++line_no;
+      if (line.empty()) continue;
       const auto parts = StrSplit(line, '\t');
       if (parts.size() != 2) continue;
       if (parts[0] == "name") dataset->name = parts[1];
-      if (parts[0] == "num_users") dataset->num_users = std::stoi(parts[1]);
-      if (parts[0] == "num_items") dataset->num_items = std::stoi(parts[1]);
+      if (parts[0] == "num_users" || parts[0] == "num_items") {
+        int32_t value = 0;
+        if (!ParseInt(parts[1], &value)) {
+          return Status::Error(StrFormat("%s:%d: malformed %s value: '%s'",
+                                         path.c_str(), line_no,
+                                         parts[0].c_str(), parts[1].c_str()));
+        }
+        (parts[0] == "num_users" ? dataset->num_users : dataset->num_items) =
+            value;
+      }
     }
     if (dataset->num_users <= 0 || dataset->num_items <= 0)
-      return Status::Error("meta.tsv missing counts");
+      return Status::Error("meta.tsv missing counts in " + directory);
   }
-  if (Status s = ReadEdges(directory + "/user_item.tsv", &dataset->user_item);
-      !s.ok())
-    return s;
-  if (Status s =
-          ReadEdges(directory + "/group_item.tsv", &dataset->group_item);
-      !s.ok())
-    return s;
   {
-    std::ifstream in(directory + "/social.tsv");
-    if (!in) return Status::Error("cannot read social.tsv");
+    const std::string path = directory + "/social.tsv";
+    std::ifstream in(path);
+    if (!in) return Status::Error("cannot read social.tsv in " + directory);
     std::vector<std::pair<UserId, UserId>> edges;
     std::string line;
+    int line_no = 0;
     while (std::getline(in, line)) {
+      ++line_no;
       if (line.empty()) continue;
-      std::istringstream ss(line);
-      UserId a;
-      UserId b;
-      if (!(ss >> a >> b))
-        return Status::Error("malformed social line: " + line);
+      const auto parts = StrSplit(line, '\t');
+      UserId a = 0;
+      UserId b = 0;
+      if (parts.size() != 2 || !ParseInt(parts[0], &a) ||
+          !ParseInt(parts[1], &b)) {
+        return Status::Error(StrFormat("%s:%d: malformed social line: '%s'",
+                                       path.c_str(), line_no, line.c_str()));
+      }
+      for (UserId u : {a, b}) {
+        if (u < 0 || u >= dataset->num_users) {
+          return Status::Error(
+              StrFormat("%s:%d: user id %d out of range [0, %d)", path.c_str(),
+                        line_no, u, dataset->num_users));
+        }
+      }
       edges.emplace_back(a, b);
     }
     dataset->social = SocialGraph(dataset->num_users, edges);
   }
+  // groups.tsv before group_item.tsv: the group count bounds its row ids.
   {
-    std::ifstream in(directory + "/groups.tsv");
-    if (!in) return Status::Error("cannot read groups.tsv");
+    const std::string path = directory + "/groups.tsv";
+    std::ifstream in(path);
+    if (!in) return Status::Error("cannot read groups.tsv in " + directory);
     std::vector<std::vector<UserId>> members;
     std::string line;
+    int line_no = 0;
     while (std::getline(in, line)) {
+      ++line_no;
       if (line.empty()) continue;
       const auto parts = StrSplit(line, '\t');
-      if (parts.size() != 2)
-        return Status::Error("malformed group line: " + line);
+      GroupId id = -1;
+      if (parts.size() != 2 || !ParseInt(parts[0], &id)) {
+        return Status::Error(StrFormat("%s:%d: malformed group line: '%s'",
+                                       path.c_str(), line_no, line.c_str()));
+      }
+      // Group ids are dense and 0-based; anything else (duplicates, gaps,
+      // reordering) silently remaps every group-item edge, so reject it.
+      if (id != static_cast<GroupId>(members.size())) {
+        return Status::Error(StrFormat(
+            "%s:%d: group id %d out of order (expected %d; ids must be "
+            "dense, 0-based and ascending)",
+            path.c_str(), line_no, id,
+            static_cast<GroupId>(members.size())));
+      }
       std::vector<UserId> group;
       for (const std::string& tok : StrSplit(parts[1], ',')) {
-        if (!tok.empty()) group.push_back(std::stoi(tok));
+        if (tok.empty()) continue;
+        UserId member = 0;
+        if (!ParseInt(tok, &member)) {
+          return Status::Error(StrFormat("%s:%d: malformed member id: '%s'",
+                                         path.c_str(), line_no, tok.c_str()));
+        }
+        if (member < 0 || member >= dataset->num_users) {
+          return Status::Error(
+              StrFormat("%s:%d: member id %d out of range [0, %d)",
+                        path.c_str(), line_no, member, dataset->num_users));
+        }
+        group.push_back(member);
       }
-      if (group.empty()) return Status::Error("empty group line: " + line);
+      if (group.empty()) {
+        return Status::Error(
+            StrFormat("%s:%d: empty group %d", path.c_str(), line_no, id));
+      }
       members.push_back(std::move(group));
     }
     dataset->groups = GroupTable(std::move(members));
   }
+  GROUPSA_RETURN_IF_ERROR(ReadEdges(directory + "/user_item.tsv", "user",
+                                    dataset->num_users, dataset->num_items,
+                                    &dataset->user_item));
+  GROUPSA_RETURN_IF_ERROR(ReadEdges(directory + "/group_item.tsv", "group",
+                                    dataset->groups.num_groups(),
+                                    dataset->num_items,
+                                    &dataset->group_item));
   return Status::Ok();
 }
 

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "common/serialize.h"
+#include "common/string_util.h"
+
 namespace groupsa::nn {
 
 Optimizer::Optimizer(std::vector<ParamEntry> params, float learning_rate,
@@ -100,6 +103,85 @@ void Adam::Step() {
       for (int r = 0; r < value.rows(); ++r) update_row(r, t);
     }
   }
+}
+
+std::string Adam::SerializeState() const {
+  ByteWriter out;
+  out.WriteU32(static_cast<uint32_t>(params_.size()));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    out.WriteString(params_[i].name);
+    out.WriteU32(static_cast<uint32_t>(m_[i].rows()));
+    out.WriteU32(static_cast<uint32_t>(m_[i].cols()));
+    out.WriteFloats(m_[i].data(), static_cast<size_t>(m_[i].size()));
+    out.WriteFloats(v_[i].data(), static_cast<size_t>(v_[i].size()));
+    out.WriteI64(step_[i]);
+    out.WriteU32(static_cast<uint32_t>(row_step_[i].size()));
+    for (int64_t t : row_step_[i]) out.WriteI64(t);
+  }
+  return out.Release();
+}
+
+Status Adam::RestoreState(const std::string& payload) {
+  ByteReader reader(payload);
+  uint32_t count = 0;
+  if (!reader.ReadU32(&count))
+    return Status::Error("truncated adam section");
+  if (count != params_.size()) {
+    return Status::Error(StrFormat(
+        "adam state holds %u parameters, optimizer has %zu", count,
+        params_.size()));
+  }
+  // Stage everything before touching live moments (all-or-nothing, matching
+  // the DecodeParameters contract).
+  std::vector<tensor::Matrix> m(count), v(count);
+  std::vector<int64_t> step(count, 0);
+  std::vector<std::vector<int64_t>> row_step(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    uint32_t rows = 0;
+    uint32_t cols = 0;
+    if (!reader.ReadString(&name) || !reader.ReadU32(&rows) ||
+        !reader.ReadU32(&cols)) {
+      return Status::Error(StrFormat("truncated adam record %u", i));
+    }
+    if (name != params_[i].name) {
+      return Status::Error(StrFormat(
+          "adam state parameter %u is '%s', optimizer expects '%s'", i,
+          name.c_str(), params_[i].name.c_str()));
+    }
+    if (static_cast<int>(rows) != m_[i].rows() ||
+        static_cast<int>(cols) != m_[i].cols()) {
+      return Status::Error(StrFormat(
+          "adam state shape mismatch for %s: file %ux%u vs %dx%d",
+          name.c_str(), rows, cols, m_[i].rows(), m_[i].cols()));
+    }
+    m[i].Resize(static_cast<int>(rows), static_cast<int>(cols));
+    v[i].Resize(static_cast<int>(rows), static_cast<int>(cols));
+    uint32_t num_row_steps = 0;
+    if (!reader.ReadFloats(m[i].data(), static_cast<size_t>(m[i].size())) ||
+        !reader.ReadFloats(v[i].data(), static_cast<size_t>(v[i].size())) ||
+        !reader.ReadI64(&step[i]) || !reader.ReadU32(&num_row_steps)) {
+      return Status::Error(StrFormat("truncated adam record %u", i));
+    }
+    const size_t expected =
+        params_[i].touched_rows != nullptr ? static_cast<size_t>(rows) : 0;
+    if (num_row_steps != expected) {
+      return Status::Error(StrFormat(
+          "adam state row-step count mismatch for %s", name.c_str()));
+    }
+    row_step[i].resize(num_row_steps);
+    for (uint32_t r = 0; r < num_row_steps; ++r) {
+      if (!reader.ReadI64(&row_step[i][r]))
+        return Status::Error(StrFormat("truncated adam record %u", i));
+    }
+  }
+  if (!reader.AtEnd())
+    return Status::Error("trailing bytes in adam section");
+  m_ = std::move(m);
+  v_ = std::move(v);
+  step_ = std::move(step);
+  row_step_ = std::move(row_step);
+  return Status::Ok();
 }
 
 }  // namespace groupsa::nn

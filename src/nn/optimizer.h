@@ -1,8 +1,10 @@
 #ifndef GROUPSA_NN_OPTIMIZER_H_
 #define GROUPSA_NN_OPTIMIZER_H_
 
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "nn/module.h"
 
 namespace groupsa::nn {
@@ -69,6 +71,15 @@ class Adam : public Optimizer {
        float epsilon = 1e-8f);
 
   void Step() override;
+
+  // Serializes the full optimizer state — first/second moments and the
+  // dense and per-row step counters — for crash-safe training snapshots
+  // (core/trainer.h). Restoring into an Adam built over the same parameter
+  // list resumes updates bit-identically to an uninterrupted run.
+  std::string SerializeState() const;
+  // All-or-nothing: validates the payload (parameter count, shapes) before
+  // touching any live state.
+  Status RestoreState(const std::string& payload);
 
  private:
   float beta1_;

@@ -1,0 +1,107 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace groupsa::failpoint {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { DisarmAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedSiteIsNone) {
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.site"), Action::kNone);
+  // Unarmed hits never even reach the registry, so nothing is counted.
+  EXPECT_EQ(FireCount("test.site"), 0);
+}
+
+TEST_F(FailpointTest, ErrorFiresOnEveryHit) {
+  ASSERT_TRUE(Arm("test.site=error"));
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.site"), Action::kError);
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.site"), Action::kError);
+  EXPECT_EQ(FireCount("test.site"), 2);
+}
+
+TEST_F(FailpointTest, UnrelatedSiteUnaffected) {
+  ASSERT_TRUE(Arm("test.site=error"));
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.other"), Action::kNone);
+  EXPECT_EQ(FireCount("test.other"), 0);
+}
+
+TEST_F(FailpointTest, OneShotFiresOnlyOnNthHit) {
+  ASSERT_TRUE(Arm("test.site=corrupt@3"));
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.site"), Action::kNone);
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.site"), Action::kNone);
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.site"), Action::kCorrupt);
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.site"), Action::kNone);
+  EXPECT_EQ(FireCount("test.site"), 1);
+}
+
+TEST_F(FailpointTest, PersistentFiresFromNthHitOn) {
+  ASSERT_TRUE(Arm("test.site=error@2+"));
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.site"), Action::kNone);
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.site"), Action::kError);
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.site"), Action::kError);
+  EXPECT_EQ(FireCount("test.site"), 2);
+}
+
+TEST_F(FailpointTest, RearmResetsCounters) {
+  ASSERT_TRUE(Arm("test.site=error@2"));
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.site"), Action::kNone);
+  ASSERT_TRUE(Arm("test.site=error@2"));  // replaces spec, resets hit count
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.site"), Action::kNone);
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.site"), Action::kError);
+}
+
+TEST_F(FailpointTest, DisarmStopsFiring) {
+  ASSERT_TRUE(Arm("test.site=error"));
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.site"), Action::kError);
+  Disarm("test.site");
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.site"), Action::kNone);
+}
+
+TEST_F(FailpointTest, ArmListArmsMultipleSites) {
+  ASSERT_TRUE(ArmList("test.a=error;test.b=corrupt@1"));
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.a"), Action::kError);
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.b"), Action::kCorrupt);
+}
+
+TEST_F(FailpointTest, MalformedSpecsRejected) {
+  EXPECT_FALSE(Arm(""));
+  EXPECT_FALSE(Arm("no_equals"));
+  EXPECT_FALSE(Arm("test.site=explode"));
+  EXPECT_FALSE(Arm("test.site=error@"));
+  EXPECT_FALSE(Arm("test.site=error@zero"));
+  EXPECT_FALSE(Arm("test.site=error@0"));
+  EXPECT_FALSE(Arm("=error"));
+  // A malformed entry in a list fails the call but keeps valid entries armed.
+  EXPECT_FALSE(ArmList("test.good=error;test.bad=nope"));
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.good"), Action::kError);
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.bad"), Action::kNone);
+}
+
+TEST_F(FailpointTest, ArmFromEnvReadsVariable) {
+  ASSERT_EQ(setenv("GROUPSA_FAILPOINTS", "test.env=corrupt@2", 1), 0);
+  EXPECT_TRUE(ArmFromEnv());
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.env"), Action::kNone);
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.env"), Action::kCorrupt);
+  ASSERT_EQ(unsetenv("GROUPSA_FAILPOINTS"), 0);
+  // Unset variable is a clean no-op.
+  DisarmAll();
+  EXPECT_TRUE(ArmFromEnv());
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.env"), Action::kNone);
+}
+
+TEST_F(FailpointTest, DisarmAllRestoresFastPath) {
+  ASSERT_TRUE(Arm("test.site=error"));
+  DisarmAll();
+  EXPECT_EQ(g_armed_count.load(), 0);
+  EXPECT_EQ(GROUPSA_FAILPOINT("test.site"), Action::kNone);
+  EXPECT_EQ(FireCount("test.site"), 0);  // counters reset too
+}
+
+}  // namespace
+}  // namespace groupsa::failpoint

@@ -1,0 +1,216 @@
+#include "core/fallback_recommender.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fast_recommender.h"
+#include "core/inference_engine.h"
+#include "core/test_fixtures.h"
+
+namespace groupsa::core {
+namespace {
+
+using core::testing::TinyFixture;
+
+GroupSaConfig SmallConfig() {
+  GroupSaConfig c = GroupSaConfig::Default();
+  c.embedding_dim = 8;
+  c.attention_hidden = 8;
+  c.ffn_hidden = 8;
+  c.predictor_hidden = {8};
+  c.fusion_hidden = {8};
+  return c;
+}
+
+data::EdgeList PopularityEdges() {
+  // Item 2 three times, item 0 twice, item 1 once; items 3/4 unseen.
+  // Out-of-range rows/items must be ignored, not trusted.
+  return {{0, 2}, {1, 2}, {2, 2}, {0, 0}, {1, 0}, {2, 1}, {0, 99}, {0, -3}};
+}
+
+TEST(FallbackRecommenderTest, PopularityRankingIsCountDescIdAsc) {
+  FallbackRecommender fallback(nullptr, PopularityEdges(), /*num_items=*/5);
+  const auto ranked =
+      fallback.PopularityTopK(5, [](data::ItemId) { return false; });
+  ASSERT_EQ(ranked.size(), 5u);
+  EXPECT_EQ(ranked[0].first, 2);  // count 3
+  EXPECT_EQ(ranked[1].first, 0);  // count 2
+  EXPECT_EQ(ranked[2].first, 1);  // count 1
+  EXPECT_EQ(ranked[3].first, 3);  // count 0, id ascending
+  EXPECT_EQ(ranked[4].first, 4);
+  EXPECT_DOUBLE_EQ(ranked[0].second, 3.0);
+}
+
+TEST(FallbackRecommenderTest, NullEngineDegradesEveryRequest) {
+  FallbackRecommender fallback(nullptr, PopularityEdges(), 5);
+  const auto response = fallback.RecommendForUser(0, 3, nullptr);
+  EXPECT_TRUE(response.degraded);
+  EXPECT_EQ(response.error, "model unavailable");
+  ASSERT_EQ(response.items.size(), 3u);
+  EXPECT_EQ(response.items[0].first, 2);
+  EXPECT_EQ(fallback.requests(), 1);
+  EXPECT_EQ(fallback.degraded_responses(), 1);
+}
+
+TEST(FallbackRecommenderTest, HealthyEngineServesModelScores) {
+  const GroupSaConfig config = SmallConfig();
+  const TinyFixture f = TinyFixture::Make(config);
+  auto model = f.MakeModel(config);
+  InferenceEngine engine(model.get());
+  FallbackRecommender fallback(&engine, f.ui.train,
+                               f.world.dataset.num_items);
+
+  const auto response = fallback.RecommendForGroup(3, 5, nullptr);
+  EXPECT_FALSE(response.degraded);
+  EXPECT_TRUE(response.error.empty());
+  ASSERT_EQ(response.items.size(), 5u);
+  // The model path answered: identical to the engine's own ranking.
+  const auto direct = engine.RecommendForGroup(3, 5, nullptr);
+  EXPECT_EQ(response.items, direct);
+  EXPECT_EQ(fallback.requests(), 1);
+  EXPECT_EQ(fallback.degraded_responses(), 0);
+}
+
+TEST(FallbackRecommenderTest, InvalidIdsDegradeInsteadOfCrashing) {
+  const GroupSaConfig config = SmallConfig();
+  const TinyFixture f = TinyFixture::Make(config);
+  auto model = f.MakeModel(config);
+  InferenceEngine engine(model.get());
+  FallbackRecommender fallback(&engine, f.ui.train,
+                               f.world.dataset.num_items);
+
+  const auto bad_user = fallback.RecommendForUser(-1, 3, nullptr);
+  EXPECT_TRUE(bad_user.degraded);
+  EXPECT_NE(bad_user.error.find("out of range"), std::string::npos);
+  EXPECT_EQ(bad_user.items.size(), 3u);
+
+  const auto bad_group = fallback.RecommendForGroup(10'000, 3, nullptr);
+  EXPECT_TRUE(bad_group.degraded);
+
+  const auto bad_members = fallback.RecommendForMembers({0, 5'000}, 3,
+                                                        nullptr);
+  EXPECT_TRUE(bad_members.degraded);
+
+  const auto no_members = fallback.RecommendForMembers({}, 3, nullptr);
+  EXPECT_TRUE(no_members.degraded);
+  EXPECT_NE(no_members.error.find("empty member list"), std::string::npos);
+
+  EXPECT_EQ(fallback.requests(), 4);
+  EXPECT_EQ(fallback.degraded_responses(), 4);
+}
+
+TEST(FallbackRecommenderTest, ExcludeAppliedOnDegradedPathWithBadRows) {
+  const TinyFixture f = TinyFixture::Make(SmallConfig());
+  FallbackRecommender fallback(nullptr, PopularityEdges(), 5);
+  // The exclude matrix is consulted with the very user id that broke the
+  // model path; out-of-range rows must be skipped, in-range rows applied.
+  data::InteractionMatrix exclude(/*num_rows=*/3, /*num_items=*/5,
+                                  {{1, 2}});  // user 1 has seen item 2
+  const auto response = fallback.RecommendForMembers({1, 400'000}, 2,
+                                                     &exclude);
+  EXPECT_TRUE(response.degraded);
+  ASSERT_EQ(response.items.size(), 2u);
+  EXPECT_EQ(response.items[0].first, 0);  // item 2 excluded via member 1
+  EXPECT_EQ(response.items[1].first, 1);
+}
+
+TEST(FallbackRecommenderTest, NonPositiveKDegradesToEmptyRanking) {
+  FallbackRecommender fallback(nullptr, PopularityEdges(), 5);
+  const auto response = fallback.RecommendForUser(0, 0, nullptr);
+  EXPECT_TRUE(response.degraded);
+  EXPECT_TRUE(response.items.empty());
+}
+
+// ---------------- Validated (Status) serving entry points ----------------
+
+class ServingStatusTest : public ::testing::Test {
+ protected:
+  ServingStatusTest()
+      : config_(SmallConfig()),
+        f_(TinyFixture::Make(config_)),
+        model_(f_.MakeModel(config_)),
+        engine_(model_.get()) {}
+
+  GroupSaConfig config_;
+  TinyFixture f_;
+  std::unique_ptr<GroupSaModel> model_;
+  InferenceEngine engine_;
+};
+
+TEST_F(ServingStatusTest, ValidRequestsMatchUncheckedVariants) {
+  const std::vector<data::ItemId> items = {0, 3, 7};
+  std::vector<double> scores;
+  ASSERT_TRUE(engine_.ScoreItemsForUser(4, items, &scores).ok());
+  EXPECT_EQ(scores, engine_.ScoreItemsForUser(4, items));
+
+  ASSERT_TRUE(engine_.ScoreItemsForGroup(2, items, &scores).ok());
+  EXPECT_EQ(scores, engine_.ScoreItemsForGroup(2, items));
+
+  ASSERT_TRUE(engine_.ScoreItemsForMembers({1, 2}, items, &scores).ok());
+  EXPECT_EQ(scores, engine_.ScoreItemsForMembers({1, 2}, items));
+
+  std::vector<std::vector<double>> member_scores;
+  ASSERT_TRUE(engine_.MemberItemScores({1, 2}, items, &member_scores).ok());
+  EXPECT_EQ(member_scores, engine_.MemberItemScores({1, 2}, items));
+
+  std::vector<std::pair<data::ItemId, double>> ranked;
+  ASSERT_TRUE(engine_.RecommendForUser(4, 5, nullptr, &ranked).ok());
+  EXPECT_EQ(ranked, engine_.RecommendForUser(4, 5, nullptr));
+
+  ASSERT_TRUE(engine_.RecommendForGroup(2, 5, nullptr, &ranked).ok());
+  EXPECT_EQ(ranked, engine_.RecommendForGroup(2, 5, nullptr));
+
+  ASSERT_TRUE(engine_.RecommendForMembers({1, 2}, 5, nullptr, &ranked).ok());
+  EXPECT_EQ(ranked, engine_.RecommendForMembers({1, 2}, 5, nullptr));
+}
+
+TEST_F(ServingStatusTest, InvalidIdsReturnDescriptiveErrors) {
+  std::vector<double> scores;
+  Status s = engine_.ScoreItemsForUser(-1, {0}, &scores);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("user id -1 out of range"), std::string::npos);
+
+  s = engine_.ScoreItemsForUser(model_->num_users(), {0}, &scores);
+  EXPECT_FALSE(s.ok());
+
+  s = engine_.ScoreItemsForUser(0, {model_->num_items()}, &scores);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("item id"), std::string::npos);
+
+  s = engine_.ScoreItemsForGroup(-7, {0}, &scores);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("group id -7 out of range"), std::string::npos);
+
+  s = engine_.ScoreItemsForMembers({}, {0}, &scores);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("empty member list"), std::string::npos);
+
+  s = engine_.ScoreItemsForMembers({0, -2}, {0}, &scores);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("member"), std::string::npos);
+
+  std::vector<std::pair<data::ItemId, double>> ranked;
+  s = engine_.RecommendForUser(0, 0, nullptr, &ranked);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("k must be positive"), std::string::npos);
+}
+
+TEST_F(ServingStatusTest, FastRecommenderValidatesMembers) {
+  FastGroupRecommender fast(model_.get());
+  const std::vector<data::ItemId> items = {0, 1, 2};
+  std::vector<double> scores;
+  ASSERT_TRUE(fast.ScoreItemsForMembers({0, 1}, items, &scores).ok());
+  EXPECT_EQ(scores, fast.ScoreItemsForMembers({0, 1}, items));
+
+  Status s = fast.ScoreItemsForMembers({0, -1}, items, &scores);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("out of range"), std::string::npos);
+
+  std::vector<std::pair<data::ItemId, double>> ranked;
+  ASSERT_TRUE(fast.RecommendForMembers({0, 1}, 4, nullptr, &ranked).ok());
+  EXPECT_EQ(ranked, fast.RecommendForMembers({0, 1}, 4, nullptr));
+  EXPECT_FALSE(fast.RecommendForMembers({}, 4, nullptr, &ranked).ok());
+  EXPECT_FALSE(fast.RecommendForMembers({0}, -2, nullptr, &ranked).ok());
+}
+
+}  // namespace
+}  // namespace groupsa::core

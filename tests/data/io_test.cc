@@ -1,11 +1,140 @@
 #include "data/io.h"
 
+#include <sys/stat.h>
+
+#include <fstream>
+
 #include <gtest/gtest.h>
 
 #include "data/synthetic.h"
 
 namespace groupsa::data {
 namespace {
+
+// A minimal valid on-disk dataset (3 users, 4 items, 2 groups) that corrupt-
+// fixture tests mutate one file at a time.
+class CorruptFixtureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::string(::testing::TempDir()) + "/corrupt_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ::mkdir(dir_.c_str(), 0755);
+    WriteTsv("meta.tsv", "name\ttiny\nnum_users\t3\nnum_items\t4\n");
+    WriteTsv("social.tsv", "0\t1\n1\t2\n");
+    WriteTsv("groups.tsv", "0\t0,1\n1\t1,2\n");
+    WriteTsv("user_item.tsv", "0\t0\n1\t3\n2\t2\n");
+    WriteTsv("group_item.tsv", "0\t1\n1\t2\n");
+  }
+
+  void WriteTsv(const std::string& name, const std::string& content) {
+    std::ofstream out(dir_ + "/" + name);
+    ASSERT_TRUE(out.is_open());
+    out << content;
+  }
+
+  // Loads the directory and expects an error whose message carries the file
+  // name, the 1-based line number and the given detail fragment.
+  void ExpectLoadError(const std::string& file, int line,
+                       const std::string& detail) {
+    Dataset dataset;
+    const Status s = LoadDataset(dir_, &dataset);
+    ASSERT_FALSE(s.ok()) << file << " should have been rejected";
+    const std::string location =
+        dir_ + "/" + file + ":" + std::to_string(line);
+    EXPECT_NE(s.message().find(location), std::string::npos) << s.message();
+    EXPECT_NE(s.message().find(detail), std::string::npos) << s.message();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CorruptFixtureTest, BaselineFixtureLoads) {
+  Dataset dataset;
+  ASSERT_TRUE(LoadDataset(dir_, &dataset).ok());
+  EXPECT_EQ(dataset.num_users, 3);
+  EXPECT_EQ(dataset.num_items, 4);
+  EXPECT_EQ(dataset.groups.num_groups(), 2);
+  EXPECT_EQ(dataset.user_item.size(), 3u);
+}
+
+TEST_F(CorruptFixtureTest, MalformedEdgeLineNamesFileAndLine) {
+  WriteTsv("user_item.tsv", "0\t0\n1\tbanana\n");
+  ExpectLoadError("user_item.tsv", 2, "malformed edge line");
+}
+
+TEST_F(CorruptFixtureTest, MissingColumnRejected) {
+  WriteTsv("user_item.tsv", "0\t0\n17\n");
+  ExpectLoadError("user_item.tsv", 2, "malformed edge line");
+}
+
+TEST_F(CorruptFixtureTest, NegativeUserIdRejected) {
+  WriteTsv("user_item.tsv", "-1\t0\n");
+  ExpectLoadError("user_item.tsv", 1, "user id -1 out of range [0, 3)");
+}
+
+TEST_F(CorruptFixtureTest, OutOfRangeItemIdRejected) {
+  WriteTsv("user_item.tsv", "0\t0\n0\t4\n");
+  ExpectLoadError("user_item.tsv", 2, "item id 4 out of range [0, 4)");
+}
+
+TEST_F(CorruptFixtureTest, OutOfRangeGroupRowRejected) {
+  WriteTsv("group_item.tsv", "2\t0\n");
+  ExpectLoadError("group_item.tsv", 1, "group id 2 out of range [0, 2)");
+}
+
+TEST_F(CorruptFixtureTest, IntOverflowRejected) {
+  WriteTsv("user_item.tsv", "99999999999999999999\t0\n");
+  ExpectLoadError("user_item.tsv", 1, "malformed edge line");
+}
+
+TEST_F(CorruptFixtureTest, OutOfRangeSocialUserRejected) {
+  WriteTsv("social.tsv", "0\t1\n0\t3\n");
+  ExpectLoadError("social.tsv", 2, "user id 3 out of range [0, 3)");
+}
+
+TEST_F(CorruptFixtureTest, DuplicateGroupIdRejected) {
+  WriteTsv("groups.tsv", "0\t0,1\n0\t1,2\n");
+  ExpectLoadError("groups.tsv", 2, "group id 0 out of order");
+}
+
+TEST_F(CorruptFixtureTest, NonSequentialGroupIdRejected) {
+  WriteTsv("groups.tsv", "0\t0,1\n2\t1,2\n");
+  ExpectLoadError("groups.tsv", 2, "group id 2 out of order (expected 1");
+}
+
+TEST_F(CorruptFixtureTest, MalformedMemberIdRejected) {
+  WriteTsv("groups.tsv", "0\t0,x\n");
+  ExpectLoadError("groups.tsv", 1, "malformed member id: 'x'");
+}
+
+TEST_F(CorruptFixtureTest, OutOfRangeMemberIdRejected) {
+  WriteTsv("groups.tsv", "0\t0,7\n");
+  ExpectLoadError("groups.tsv", 1, "member id 7 out of range [0, 3)");
+}
+
+TEST_F(CorruptFixtureTest, EmptyGroupRejected) {
+  WriteTsv("groups.tsv", "0\t0,1\n1\t,\n");
+  ExpectLoadError("groups.tsv", 2, "empty group 1");
+}
+
+TEST_F(CorruptFixtureTest, MalformedMetaValueRejected) {
+  WriteTsv("meta.tsv", "name\ttiny\nnum_users\tmany\nnum_items\t4\n");
+  ExpectLoadError("meta.tsv", 2, "malformed num_users value: 'many'");
+}
+
+TEST_F(CorruptFixtureTest, MissingMetaCountsRejected) {
+  WriteTsv("meta.tsv", "name\ttiny\n");
+  Dataset dataset;
+  const Status s = LoadDataset(dir_, &dataset);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("missing counts"), std::string::npos);
+}
+
+TEST_F(CorruptFixtureTest, NegativeMetaCountRejected) {
+  WriteTsv("meta.tsv", "name\ttiny\nnum_users\t-3\nnum_items\t4\n");
+  Dataset dataset;
+  EXPECT_FALSE(LoadDataset(dir_, &dataset).ok());
+}
 
 TEST(DataIoTest, SaveLoadRoundTrip) {
   SyntheticWorld world = GenerateWorld(SyntheticWorldConfig::Tiny());

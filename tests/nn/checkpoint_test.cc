@@ -1,9 +1,14 @@
 #include "nn/checkpoint.h"
 
+#include <csignal>
 #include <cstdio>
 
 #include <gtest/gtest.h>
 
+#include "common/crc32.h"
+#include "common/failpoint.h"
+#include "common/serialize.h"
+#include "nn/embedding.h"
 #include "nn/linear.h"
 #include "nn/mlp.h"
 
@@ -14,6 +19,44 @@ using tensor::Matrix;
 
 std::string TempPath(const char* name) {
   return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string bytes;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+// Deep copy of current parameter values, for model-untouched assertions.
+std::vector<Matrix> SnapshotValues(const std::vector<ParamEntry>& params) {
+  std::vector<Matrix> values;
+  for (const ParamEntry& p : params) values.push_back(p.tensor->value());
+  return values;
+}
+
+bool ValuesEqual(const std::vector<ParamEntry>& params,
+                 const std::vector<Matrix>& values) {
+  for (size_t i = 0; i < params.size(); ++i) {
+    const Matrix& live = params[i].tensor->value();
+    if (live.rows() != values[i].rows() || live.cols() != values[i].cols())
+      return false;
+    for (int r = 0; r < live.rows(); ++r)
+      for (int c = 0; c < live.cols(); ++c)
+        if (live.At(r, c) != values[i].At(r, c)) return false;
+  }
+  return true;
 }
 
 TEST(CheckpointTest, SaveLoadRoundTrip) {
@@ -35,6 +78,30 @@ TEST(CheckpointTest, SaveLoadRoundTrip) {
   }
 }
 
+TEST(CheckpointTest, ResaveIsByteIdentical) {
+  Rng rng(7);
+  Mlp source("m", {3, 4, 2}, &rng);
+  const std::string path_a = TempPath("ckpt_resave_a.bin");
+  const std::string path_b = TempPath("ckpt_resave_b.bin");
+  ASSERT_TRUE(SaveParameters(source.Parameters(), path_a).ok());
+
+  Rng rng2(8);
+  Mlp dest("m", {3, 4, 2}, &rng2);
+  ASSERT_TRUE(LoadParameters(dest.Parameters(), path_a).ok());
+  ASSERT_TRUE(SaveParameters(dest.Parameters(), path_b).ok());
+  EXPECT_EQ(ReadFile(path_a), ReadFile(path_b));
+}
+
+TEST(CheckpointTest, NoTmpFileLeftBehind) {
+  Rng rng(9);
+  Linear layer("l", 2, 2, &rng);
+  const std::string path = TempPath("ckpt_tmp_gone.bin");
+  ASSERT_TRUE(SaveParameters(layer.Parameters(), path).ok());
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+}
+
 TEST(CheckpointTest, LoadRejectsMissingFile) {
   Rng rng(2);
   Linear layer("l", 2, 2, &rng);
@@ -49,9 +116,11 @@ TEST(CheckpointTest, LoadRejectsShapeMismatch) {
   const std::string path = TempPath("ckpt_shape.bin");
   ASSERT_TRUE(SaveParameters(small.Parameters(), path).ok());
   Linear big("l", 3, 3, &rng);  // same names, different shapes
+  const auto before = SnapshotValues(big.Parameters());
   const Status s = LoadParameters(big.Parameters(), path);
   EXPECT_FALSE(s.ok());
   EXPECT_NE(s.message().find("shape mismatch"), std::string::npos);
+  EXPECT_TRUE(ValuesEqual(big.Parameters(), before));
 }
 
 TEST(CheckpointTest, LoadRejectsUnknownParameter) {
@@ -60,15 +129,61 @@ TEST(CheckpointTest, LoadRejectsUnknownParameter) {
   const std::string path = TempPath("ckpt_unknown.bin");
   ASSERT_TRUE(SaveParameters(a.Parameters(), path).ok());
   Linear b("b", 2, 2, &rng);  // different names
-  EXPECT_FALSE(LoadParameters(b.Parameters(), path).ok());
+  const Status s = LoadParameters(b.Parameters(), path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unknown parameter"), std::string::npos);
 }
 
-TEST(CheckpointTest, LoadRejectsGarbageMagic) {
+TEST(CheckpointTest, LoadRejectsDuplicateParameter) {
+  Rng rng(14);
+  Linear layer("l", 2, 2, &rng);
+  CheckpointWriter writer;
+  std::vector<ParamEntry> doubled = layer.Parameters();
+  const auto params = layer.Parameters();
+  doubled.insert(doubled.end(), params.begin(), params.end());
+  writer.AddSection("params", EncodeParameters(doubled));
+  const std::string path = TempPath("ckpt_duplicate.bin");
+  ASSERT_TRUE(writer.Commit(path).ok());
+  const Status s = LoadParameters(layer.Parameters(), path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("duplicate parameter"), std::string::npos);
+}
+
+TEST(CheckpointTest, PartialParameterSetLeavesModelUntouched) {
+  Rng rng(6);
+  Linear one("l", 2, 2, &rng);
+  const std::string path = TempPath("ckpt_partial.bin");
+  // Save only the weight entry, then try to load weight+bias.
+  ASSERT_TRUE(SaveParameters({one.Parameters()[0]}, path).ok());
+  const auto before = SnapshotValues(one.Parameters());
+  const Status s = LoadParameters(one.Parameters(), path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("missing"), std::string::npos);
+  // All-or-nothing: even the parameter that WAS in the file is unchanged.
+  EXPECT_TRUE(ValuesEqual(one.Parameters(), before));
+}
+
+TEST(CheckpointTest, GarbageFileRejectedByFileCrc) {
   const std::string path = TempPath("ckpt_garbage.bin");
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  ASSERT_NE(f, nullptr);
-  std::fputs("not a checkpoint", f);
-  std::fclose(f);
+  WriteFile(path, "this is definitely not a checkpoint file at all");
+  Rng rng(5);
+  Linear layer("l", 2, 2, &rng);
+  const Status s = LoadParameters(layer.Parameters(), path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("CRC"), std::string::npos);
+}
+
+// A file with a valid trailer CRC but the wrong magic exercises the header
+// check behind the CRC tier.
+TEST(CheckpointTest, BadMagicRejected) {
+  ByteWriter w;
+  w.WriteU32(0x58585858);  // "XXXX"
+  w.WriteU32(2);
+  w.WriteU32(0);
+  const uint32_t crc = Crc32Of(w.bytes().data(), w.bytes().size());
+  w.WriteU32(crc);
+  const std::string path = TempPath("ckpt_bad_magic.bin");
+  WriteFile(path, w.bytes());
   Rng rng(5);
   Linear layer("l", 2, 2, &rng);
   const Status s = LoadParameters(layer.Parameters(), path);
@@ -76,14 +191,146 @@ TEST(CheckpointTest, LoadRejectsGarbageMagic) {
   EXPECT_NE(s.message().find("magic"), std::string::npos);
 }
 
-TEST(CheckpointTest, PartialFileReportsIncomplete) {
-  Rng rng(6);
-  Linear one("l", 2, 2, &rng);
-  const std::string path = TempPath("ckpt_partial.bin");
-  // Save only the weight entry, then try to load weight+bias.
-  ASSERT_TRUE(SaveParameters({one.Parameters()[0]}, path).ok());
-  const Status s = LoadParameters(one.Parameters(), path);
+TEST(CheckpointTest, LegacyV1MagicRejectedWithExplanation) {
+  ByteWriter w;
+  w.WriteU32(0x41505347);  // "GSPA", the v1 magic
+  w.WriteU32(1);
+  w.WriteU32(0);
+  const uint32_t crc = Crc32Of(w.bytes().data(), w.bytes().size());
+  w.WriteU32(crc);
+  const std::string path = TempPath("ckpt_v1_magic.bin");
+  WriteFile(path, w.bytes());
+  Rng rng(5);
+  Linear layer("l", 2, 2, &rng);
+  const Status s = LoadParameters(layer.Parameters(), path);
   EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("legacy v1"), std::string::npos);
+}
+
+// Crash-safety core: every possible torn prefix of a checkpoint must be
+// rejected, and a failed load must leave the in-memory model untouched.
+TEST(CheckpointTest, EveryTruncationRejectedAndModelUntouched) {
+  Rng rng(10);
+  Mlp source("m", {3, 4, 2}, &rng);
+  const std::string path = TempPath("ckpt_trunc_src.bin");
+  ASSERT_TRUE(SaveParameters(source.Parameters(), path).ok());
+  const std::string bytes = ReadFile(path);
+  ASSERT_GT(bytes.size(), 16u);
+
+  Rng rng2(11);
+  Mlp dest("m", {3, 4, 2}, &rng2);
+  const auto before = SnapshotValues(dest.Parameters());
+  const std::string trunc_path = TempPath("ckpt_trunc.bin");
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteFile(trunc_path, bytes.substr(0, len));
+    const Status s = LoadParameters(dest.Parameters(), trunc_path);
+    EXPECT_FALSE(s.ok()) << "prefix of " << len << " bytes was accepted";
+    ASSERT_TRUE(ValuesEqual(dest.Parameters(), before))
+        << "model mutated by a " << len << "-byte torn file";
+  }
+  // Sanity: the full file loads.
+  EXPECT_TRUE(LoadParameters(dest.Parameters(), path).ok());
+}
+
+TEST(CheckpointTest, EverySingleBitFlipCaughtByCrc) {
+  Rng rng(12);
+  Linear layer("l", 3, 2, &rng);
+  const std::string path = TempPath("ckpt_flip_src.bin");
+  ASSERT_TRUE(SaveParameters(layer.Parameters(), path).ok());
+  const std::string bytes = ReadFile(path);
+
+  Rng rng2(13);
+  Linear dest("l", 3, 2, &rng2);
+  const auto before = SnapshotValues(dest.Parameters());
+  const std::string flip_path = TempPath("ckpt_flip.bin");
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; bit += 3) {  // 3 bits per byte: cheap + dense
+      std::string corrupted = bytes;
+      corrupted[i] = static_cast<char>(corrupted[i] ^ (1 << bit));
+      WriteFile(flip_path, corrupted);
+      const Status s = LoadParameters(dest.Parameters(), flip_path);
+      EXPECT_FALSE(s.ok()) << "bit " << bit << " of byte " << i;
+      ASSERT_TRUE(ValuesEqual(dest.Parameters(), before));
+    }
+  }
+}
+
+TEST(CheckpointTest, InjectedWriteErrorReturnsStatusAndKeepsOldFile) {
+  Rng rng(15);
+  Linear layer("l", 2, 2, &rng);
+  const std::string path = TempPath("ckpt_inject_err.bin");
+  ASSERT_TRUE(SaveParameters(layer.Parameters(), path).ok());
+  const std::string old_bytes = ReadFile(path);
+
+  failpoint::Arm("checkpoint.write=error");
+  const Status s = SaveParameters(layer.Parameters(), path);
+  failpoint::DisarmAll();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("injected"), std::string::npos);
+  // The previous checkpoint is still there, byte for byte, and no tmp file
+  // litters the directory.
+  EXPECT_EQ(ReadFile(path), old_bytes);
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+}
+
+TEST(CheckpointTest, InjectedFsyncAndRenameFailuresKeepOldFile) {
+  Rng rng(16);
+  Linear layer("l", 2, 2, &rng);
+  const std::string path = TempPath("ckpt_inject_fsync.bin");
+  ASSERT_TRUE(SaveParameters(layer.Parameters(), path).ok());
+  const std::string old_bytes = ReadFile(path);
+  for (const char* spec :
+       {"checkpoint.fsync=error", "checkpoint.rename=error"}) {
+    failpoint::Arm(spec);
+    EXPECT_FALSE(SaveParameters(layer.Parameters(), path).ok()) << spec;
+    failpoint::DisarmAll();
+    EXPECT_EQ(ReadFile(path), old_bytes) << spec;
+  }
+}
+
+TEST(CheckpointTest, InjectedBitCorruptionCaughtAtLoad) {
+  Rng rng(17);
+  Linear layer("l", 4, 4, &rng);
+  const std::string path = TempPath("ckpt_inject_corrupt.bin");
+  failpoint::Arm("checkpoint.write=corrupt");
+  ASSERT_TRUE(SaveParameters(layer.Parameters(), path).ok());
+  failpoint::DisarmAll();
+  const Status s = LoadParameters(layer.Parameters(), path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("CRC"), std::string::npos);
+}
+
+// Real process death in the middle of the on-disk write: the atomic
+// tmp-then-rename protocol must leave the previous checkpoint intact. The
+// payload is sized past one 64 KiB write chunk so the kill (armed on chunk
+// 2) fires genuinely mid-file.
+TEST(CheckpointCrashDeathTest, SigkillMidWriteLeavesOldCheckpointIntact) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Rng rng(18);
+  Embedding big("emb", /*count=*/300, /*dim=*/80, &rng);  // ~96 KiB payload
+  const std::string path = TempPath("ckpt_sigkill.bin");
+  ASSERT_TRUE(SaveParameters(big.Parameters(), path).ok());
+  const std::string old_bytes = ReadFile(path);
+
+  Rng rng2(19);
+  Embedding changed("emb", 300, 80, &rng2);
+  EXPECT_EXIT(
+      {
+        failpoint::Arm("checkpoint.write=kill@2");
+        SaveParameters(changed.Parameters(), path).ok();
+        std::exit(0);  // not reached: the failpoint SIGKILLs the child
+      },
+      ::testing::KilledBySignal(SIGKILL), "");
+
+  // Old checkpoint untouched; loading it yields the ORIGINAL values.
+  EXPECT_EQ(ReadFile(path), old_bytes);
+  Rng rng3(20);
+  Embedding loaded("emb", 300, 80, &rng3);
+  ASSERT_TRUE(LoadParameters(loaded.Parameters(), path).ok());
+  EXPECT_TRUE(tensor::AllClose(loaded.Parameters()[0].tensor->value(),
+                               big.Parameters()[0].tensor->value()));
 }
 
 }  // namespace

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 suite under the plain build, then the race-labelled
-# tests again under ThreadSanitizer (GROUPSA_SANITIZE=thread) to shake out
-# data races in the thread pool, the sharded trainer and the parallel
-# kernels.
+# CI entry point: tier-1 suite under the plain build, a crash-resume
+# determinism gate (real SIGKILL mid-training via failpoints, resume, byte
+# compare), the fault-labelled tests again under AddressSanitizer, and the
+# race-labelled tests under ThreadSanitizer (GROUPSA_SANITIZE=thread) to
+# shake out data races in the thread pool, the sharded trainer and the
+# parallel kernels.
 #
 # Usage: tools/ci.sh [jobs]       (default: nproc)
 
@@ -21,6 +23,52 @@ echo "=== inference bench smoke (0-ULP parity gate) ==="
 # --quick caps the catalog; the run still exits non-zero if the batched
 # engine's scores are not bit-identical to the per-item reference.
 ./build/bench/bench_inference --quick
+
+echo "=== crash-resume determinism gate ==="
+# Train the tiny world to completion, then repeat the run with a failpoint
+# that SIGKILLs the process mid-schedule, resume from the surviving snapshot
+# and require the final model checkpoint AND the final training snapshot
+# (parameters + Adam moments + RNG stream) to be byte-identical to the
+# uninterrupted run's — at pool widths 1 and 4.
+CRASH_DIR="$(mktemp -d)"
+trap 'rm -rf "${CRASH_DIR}"' EXIT
+./build/tools/groupsa_cli generate --out "${CRASH_DIR}" --preset tiny \
+  > /dev/null
+for THREADS in 1 4; do
+  echo "--- crash-resume @ ${THREADS} thread(s) ---"
+  REF="${CRASH_DIR}/ref_t${THREADS}"
+  CRASH="${CRASH_DIR}/crash_t${THREADS}"
+  ./build/tools/groupsa_cli train --data "${CRASH_DIR}" --epochs 2 \
+    --threads "${THREADS}" --model "${REF}.ckpt" \
+    --snapshot "${REF}.snap" --snapshot_every 1 > /dev/null
+  # The killed run must actually die by SIGKILL (shell exit code 137).
+  set +e
+  GROUPSA_FAILPOINTS="trainer.batch=kill@7" \
+    ./build/tools/groupsa_cli train --data "${CRASH_DIR}" --epochs 2 \
+      --threads "${THREADS}" --model "${CRASH}.ckpt" \
+      --snapshot "${CRASH}.snap" --snapshot_every 1 > /dev/null 2>&1
+  KILL_RC=$?
+  set -e
+  if [ "${KILL_RC}" -ne 137 ]; then
+    echo "FAIL: killed run exited with ${KILL_RC}, expected SIGKILL (137)" >&2
+    exit 1
+  fi
+  ./build/tools/groupsa_cli train --data "${CRASH_DIR}" --epochs 2 \
+    --threads "${THREADS}" --model "${CRASH}.ckpt" \
+    --snapshot "${CRASH}.snap" --snapshot_every 1 --resume > /dev/null
+  cmp "${REF}.ckpt" "${CRASH}.ckpt"
+  cmp "${REF}.snap" "${CRASH}.snap"
+done
+echo "crash-resume gate OK"
+
+echo "=== asan build ==="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGROUPSA_SANITIZE=address
+cmake --build build-asan -j "${JOBS}"
+echo "=== asan ctest (fault-labelled tests) ==="
+# The fault suite injects I/O errors, poisons batches and SIGKILLs children
+# mid-write; ASan guards the recovery paths against leaks and UB.
+ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L fault
 
 echo "=== tsan build ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -5,7 +5,13 @@
 //   groupsa_cli stats --data DIR
 //       Print Table-I-style statistics of a stored dataset.
 //   groupsa_cli train --data DIR --model FILE [--epochs N] [--seed N]
-//       Train GroupSA on a stored dataset and save a checkpoint.
+//               [--snapshot FILE] [--snapshot_every N] [--resume]
+//       Train GroupSA on a stored dataset and save a checkpoint. Training
+//       snapshots (default FILE.snap) are written atomically after every
+//       epoch and every --snapshot_every batches; a killed run restarted
+//       with --resume continues from the last snapshot and produces a
+//       checkpoint byte-identical to an uninterrupted run, at any
+//       --threads value.
 //   groupsa_cli evaluate --data DIR --model FILE [--candidates N]
 //       Evaluate a checkpoint with the paper's ranking protocol.
 //
@@ -14,18 +20,27 @@
 // bit-identical at any thread count.
 //   groupsa_cli recommend --data DIR --model FILE --members 1,2,3 [--top K]
 //       Score the catalog for an ad-hoc group and print the Top-K items.
+//       When the checkpoint cannot be loaded the command degrades to the
+//       popularity baseline (pass --strict to fail instead).
 //
 // The train/evaluate/recommend commands re-derive the split and TF-IDF
 // neighbourhoods deterministically from --seed, so a saved model and its
 // evaluation always agree.
+//
+// Fault injection: GROUPSA_FAILPOINTS="name=action[@n[+]];..." arms
+// failpoints (common/failpoint.h) in any command, e.g.
+// GROUPSA_FAILPOINTS="trainer.batch=kill@12" kills training at batch 12 for
+// the crash-resume CI gate.
 
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "core/fallback_recommender.h"
 #include "core/trainer.h"
 #include "data/io.h"
 #include "data/split.h"
@@ -157,7 +172,31 @@ int CmdTrain(const std::map<std::string, std::string>& flags) {
               epochs);
   core::Trainer trainer(&model, ws.ui.train, ws.gi.train, &ws.ui_train,
                         &ws.gi_train, &rng);
-  trainer.Fit(/*verbose=*/true);
+
+  core::Trainer::FitOptions options;
+  options.verbose = true;
+  options.snapshot_path = FlagOr(flags, "snapshot", model_path + ".snap");
+  options.snapshot_every =
+      std::atoi(FlagOr(flags, "snapshot_every", "0").c_str());
+  if (flags.count("resume") != 0) {
+    if (std::FILE* f = std::fopen(options.snapshot_path.c_str(), "rb")) {
+      std::fclose(f);
+      if (Status s = trainer.ResumeFrom(options.snapshot_path); !s.ok())
+        return Fail(s.message());
+      std::printf("resuming from %s\n", options.snapshot_path.c_str());
+    } else {
+      std::printf("no snapshot at %s, starting fresh\n",
+                  options.snapshot_path.c_str());
+    }
+  }
+  core::Trainer::FitReport report;
+  if (Status s = trainer.Fit(options, &report); !s.ok())
+    return Fail(s.message());
+  if (report.skipped_batches > 0 || report.rollbacks > 0) {
+    std::printf("divergence guard: skipped %lld batches, %d rollbacks\n",
+                static_cast<long long>(report.skipped_batches),
+                report.rollbacks);
+  }
   if (Status s = nn::SaveParameters(model.Parameters(), model_path); !s.ok())
     return Fail(s.message());
   std::printf("saved checkpoint to %s\n", model_path.c_str());
@@ -218,32 +257,40 @@ int CmdRecommend(const std::map<std::string, std::string>& flags) {
   Rng rng(seed + 1);
   core::GroupSaModel model(ws.config, ws.dataset.num_users,
                            ws.dataset.num_items, ws.model_data, &rng);
-  if (Status s = nn::LoadParameters(model.Parameters(), model_path); !s.ok())
-    return Fail(s.message());
+  // Gracefully degrading serving: a bad checkpoint (missing, torn, corrupt)
+  // downgrades to the popularity baseline instead of refusing to serve,
+  // unless --strict asks for a hard failure.
+  core::InferenceEngine* engine = &model.inference();
+  std::string degrade_reason;
+  if (Status s = nn::LoadParameters(model.Parameters(), model_path);
+      !s.ok()) {
+    if (flags.count("strict") != 0) return Fail(s.message());
+    std::fprintf(stderr, "warning: %s; serving popularity fallback\n",
+                 s.message().c_str());
+    engine = nullptr;
+    degrade_reason = s.message();
+  }
+  core::FallbackRecommender recommender(engine, ws.ui.train,
+                                        ws.dataset.num_items);
 
   std::vector<data::UserId> members;
   for (const std::string& token : StrSplit(members_flag, ',')) {
     if (token.empty()) continue;
-    const int user = std::atoi(token.c_str());
-    if (user < 0 || user >= ws.dataset.num_users)
-      return Fail("member id out of range: " + token);
-    members.push_back(user);
+    members.push_back(std::atoi(token.c_str()));
   }
-  if (members.empty()) return Fail("no valid member ids in --members");
+  if (members.empty()) return Fail("no member ids in --members");
 
   const int top_k = std::atoi(FlagOr(flags, "top", "10").c_str());
-  std::vector<data::ItemId> all_items(ws.dataset.num_items);
-  for (int v = 0; v < ws.dataset.num_items; ++v) all_items[v] = v;
-  const auto scores = model.ScoreItemsForMembers(members, all_items);
-  std::vector<std::pair<data::ItemId, double>> ranked;
-  for (size_t v = 0; v < scores.size(); ++v)
-    ranked.emplace_back(static_cast<data::ItemId>(v), scores[v]);
-  std::sort(ranked.begin(), ranked.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
-  std::printf("Top-%d for group {%s}:\n", top_k, members_flag.c_str());
-  for (int i = 0; i < top_k && i < static_cast<int>(ranked.size()); ++i)
-    std::printf("  item #%-5d score %.4f\n", ranked[i].first,
-                ranked[i].second);
+  const core::FallbackRecommender::Response response =
+      recommender.RecommendForMembers(members, top_k, nullptr);
+  if (response.degraded) {
+    std::fprintf(stderr, "warning: degraded response (%s)\n",
+                 response.error.c_str());
+  }
+  std::printf("Top-%d for group {%s}%s:\n", top_k, members_flag.c_str(),
+              response.degraded ? " [popularity fallback]" : "");
+  for (const auto& [item, score] : response.items)
+    std::printf("  item #%-5d score %.4f\n", item, score);
   return 0;
 }
 
@@ -258,6 +305,8 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const auto flags = ParseFlags(argc, argv, 2);
+  // Fault injection for crash/IO testing (no-op unless the env var is set).
+  failpoint::ArmFromEnv();
   // --threads N sizes the global pool for every command (train, evaluate,
   // recommend); results are bit-identical at any width.
   if (const int threads = std::atoi(FlagOr(flags, "threads", "0").c_str());
