@@ -1,0 +1,460 @@
+#include "analysis/source_lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace groupsa::analysis {
+namespace {
+
+// True when `path` equals `suffix` or ends with "/<suffix>".
+bool PathMatches(const std::string& path, const std::string& suffix) {
+  if (path == suffix) return true;
+  if (path.size() <= suffix.size()) return false;
+  return path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+             0 &&
+         path[path.size() - suffix.size() - 1] == '/';
+}
+
+bool PathMatchesAny(const std::string& path,
+                    const std::vector<std::string>& suffixes) {
+  for (const std::string& s : suffixes) {
+    if (PathMatches(path, s)) return true;
+  }
+  return false;
+}
+
+struct LineRule {
+  const char* name;
+  const char* message;
+  // Files (suffix-matched) where the construct is the sanctioned home.
+  std::vector<std::string> exempt;
+  std::regex pattern;
+};
+
+const std::vector<LineRule>& LineRules() {
+  static const std::vector<LineRule> rules{
+      {"banned-time",
+       "wall-clock read; route timing through common/stopwatch.h so results "
+       "never depend on when they ran",
+       {"common/stopwatch.h"},
+       std::regex(
+           R"(\b(time|clock|gettimeofday|clock_gettime|localtime|gmtime)\s*\()"
+           R"(|std::chrono::(system_clock|steady_clock|high_resolution_clock))"
+           R"(|::now\s*\()")},
+      {"banned-rand",
+       "ad-hoc randomness; use common/rng.h streams, which are seeded, "
+       "splittable and checkpointable",
+       {},
+       std::regex(
+           R"(\b(rand|srand|rand_r|drand48|random)\s*\()"
+           R"(|std::(random_device|mt19937|mt19937_64|minstd_rand0?|default_random_engine))"
+           R"(|std::(uniform_int|uniform_real|normal|bernoulli)_distribution)")},
+      {"naked-thread",
+       "raw thread primitive; run work on common/thread_pool.h so scheduling "
+       "stays deterministic (std::thread::id / std::this_thread are fine)",
+       {"common/thread_pool.h", "common/thread_pool.cc"},
+       std::regex(R"(std::thread\b(?!::)|std::jthread\b|std::async\b)"
+                  R"(|\bpthread_(create|join|detach|mutex|cond|rwlock)\w*)")},
+      {"raw-new-delete",
+       "raw new/delete; hold memory in containers or smart pointers",
+       {},
+       std::regex(R"(\bnew\b|\bdelete\b)")},
+  };
+  return rules;
+}
+
+// `= delete` / `= default` member declarations are not memory management;
+// erase them before the raw-new-delete pattern runs.
+std::string EraseDeletedFunctions(const std::string& line) {
+  static const std::regex kDeletedFn(R"(=\s*(delete|default)\b)");
+  return std::regex_replace(line, kDeletedFn, "");
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string::size_type start = 0;
+  while (start <= text.size()) {
+    std::string::size_type end = text.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Last identifier in `expr` ("(*p.touched_rows)" -> "touched_rows").
+std::string LastIdentifier(const std::string& expr) {
+  int end = static_cast<int>(expr.size());
+  while (end > 0 && !IsIdentChar(expr[static_cast<size_t>(end) - 1])) --end;
+  int begin = end;
+  while (begin > 0 && IsIdentChar(expr[static_cast<size_t>(begin) - 1]))
+    --begin;
+  return expr.substr(static_cast<size_t>(begin),
+                     static_cast<size_t>(end - begin));
+}
+
+// A range expression like "buffer.rows" or "(*p.touched_rows)" names a
+// member; a bare "rows" does not.
+bool IsMemberAccess(const std::string& expr) {
+  return expr.find('.') != std::string::npos ||
+         expr.find("->") != std::string::npos;
+}
+
+struct RangeFor {
+  int line = 0;           // 1-based line of the `for`
+  std::string range_expr; // text after the ':' inside the parens
+  size_t body_begin = 0;  // offset just past the closing ')'
+};
+
+// Finds range-based for statements in stripped source. Classic for loops
+// (with ';' inside the parens) are skipped.
+std::vector<RangeFor> FindRangeFors(const std::string& stripped) {
+  std::vector<RangeFor> fors;
+  static const std::regex kFor(R"(\bfor\s*\()");
+  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(), kFor);
+       it != std::sregex_iterator(); ++it) {
+    size_t open = static_cast<size_t>(it->position()) + it->length() - 1;
+    int depth = 0;
+    size_t close = std::string::npos;
+    size_t colon = std::string::npos;
+    bool has_semi = false;
+    for (size_t i = open; i < stripped.size(); ++i) {
+      char c = stripped[i];
+      if (c == '(') ++depth;
+      if (c == ')' && --depth == 0) {
+        close = i;
+        break;
+      }
+      if (depth == 1 && c == ';') has_semi = true;
+      if (depth == 1 && c == ':' && colon == std::string::npos) {
+        // Skip '::' scope qualifiers.
+        if (i + 1 < stripped.size() && stripped[i + 1] == ':') {
+          ++i;
+          continue;
+        }
+        if (i > 0 && stripped[i - 1] == ':') continue;
+        colon = i;
+      }
+    }
+    if (close == std::string::npos || has_semi ||
+        colon == std::string::npos) {
+      continue;
+    }
+    RangeFor rf;
+    rf.line = 1 + static_cast<int>(std::count(
+                      stripped.begin(),
+                      stripped.begin() + static_cast<long>(it->position()),
+                      '\n'));
+    rf.range_expr = stripped.substr(colon + 1, close - colon - 1);
+    rf.body_begin = close + 1;
+    fors.push_back(std::move(rf));
+  }
+  return fors;
+}
+
+// Extent of the loop body: the matched {...} block, or the single statement
+// up to ';' for braceless loops.
+std::string BodyText(const std::string& stripped, size_t body_begin) {
+  size_t i = body_begin;
+  while (i < stripped.size() &&
+         std::isspace(static_cast<unsigned char>(stripped[i])) != 0) {
+    ++i;
+  }
+  if (i >= stripped.size()) return "";
+  if (stripped[i] == '{') {
+    int depth = 0;
+    size_t j = i;
+    for (; j < stripped.size(); ++j) {
+      if (stripped[j] == '{') ++depth;
+      if (stripped[j] == '}' && --depth == 0) break;
+    }
+    return stripped.substr(i, j - i + 1);
+  }
+  size_t semi = stripped.find(';', i);
+  if (semi == std::string::npos) semi = stripped.size();
+  return stripped.substr(i, semi - i);
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(const std::string& source) {
+  std::string out = source;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < out.size(); ++i) {
+    char c = out[i];
+    char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\n') {
+          out[i] = ' ';
+          if (i + 1 < out.size()) out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\n') {
+          out[i] = ' ';
+          if (i + 1 < out.size()) out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+void CollectUnorderedNames(const std::string& stripped,
+                           std::set<std::string>* names) {
+  // Declarations shaped "std::unordered_map<...> name" / "...>* name" /
+  // "...>& name". Template arguments never contain ';', '{', '(' or ')' in
+  // this codebase, which keeps the match from leaking across statements.
+  static const std::regex kDecl(
+      R"(std::unordered_(?:map|set)\s*<[^;{}()]*>\s*[*&]?\s*([A-Za-z_]\w*))");
+  for (auto it =
+           std::sregex_iterator(stripped.begin(), stripped.end(), kDecl);
+       it != std::sregex_iterator(); ++it) {
+    names->insert((*it)[1].str());
+  }
+}
+
+std::vector<LintFinding> LintSource(
+    const std::string& path, const std::string& content,
+    const std::set<std::string>& global_unordered) {
+  std::vector<LintFinding> findings;
+  const std::string stripped = StripCommentsAndStrings(content);
+  const std::vector<std::string> lines = SplitLines(stripped);
+
+  for (const LineRule& rule : LineRules()) {
+    if (PathMatchesAny(path, rule.exempt)) continue;
+    const bool is_new_delete = std::string(rule.name) == "raw-new-delete";
+    for (size_t i = 0; i < lines.size(); ++i) {
+      const std::string line =
+          is_new_delete ? EraseDeletedFunctions(lines[i]) : lines[i];
+      if (std::regex_search(line, rule.pattern)) {
+        findings.push_back({path, static_cast<int>(i) + 1, rule.name,
+                            rule.message});
+      }
+    }
+  }
+
+  // unordered-iter: a range-for whose range names an unordered container and
+  // whose body accumulates with += / -=.
+  std::set<std::string> local_unordered;
+  CollectUnorderedNames(stripped, &local_unordered);
+  for (const RangeFor& rf : FindRangeFors(stripped)) {
+    const std::string name = LastIdentifier(rf.range_expr);
+    if (name.empty()) continue;
+    const bool member = IsMemberAccess(rf.range_expr);
+    const bool unordered =
+        member ? global_unordered.count(name) != 0 ||
+                     local_unordered.count(name) != 0
+               : local_unordered.count(name) != 0;
+    if (!unordered) continue;
+    const std::string body = BodyText(stripped, rf.body_begin);
+    if (body.find("+=") == std::string::npos &&
+        body.find("-=") == std::string::npos) {
+      continue;
+    }
+    findings.push_back(
+        {path, rf.line, "unordered-iter",
+         StrFormat("accumulation over unordered container '%s'; iteration "
+                   "order is unspecified, so the reduction result is not "
+                   "reproducible — iterate a sorted copy or restructure",
+                   name.c_str())});
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const LintFinding& a, const LintFinding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::vector<LintFinding> LintSimdGuardList(
+    const std::string& cmake_path, const std::string& cmake_content,
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  std::vector<LintFinding> findings;
+  const std::string stripped_cmake = cmake_content;
+
+  // Parse the GROUPSA_SIMD_SOURCES guard list out of src/CMakeLists.txt;
+  // entries may share the set() line or span several.
+  std::vector<std::string> guarded;
+  int guard_line = 0;
+  {
+    static const std::regex kGuardSet(
+        R"(set\s*\(\s*GROUPSA_SIMD_SOURCES([^)]*)\))");
+    std::smatch m;
+    if (std::regex_search(stripped_cmake, m, kGuardSet)) {
+      guard_line =
+          1 + static_cast<int>(std::count(
+                  stripped_cmake.begin(),
+                  stripped_cmake.begin() + static_cast<long>(m.position()),
+                  '\n'));
+      for (const std::string& token : StrSplit(m[1].str(), ' ')) {
+        for (const std::string& entry : StrSplit(token, '\n')) {
+          const std::string trimmed = StrTrim(entry);
+          if (!trimmed.empty() && trimmed[0] != '#' && trimmed[0] != '$')
+            guarded.push_back(trimmed);
+        }
+      }
+    }
+  }
+  const bool guard_has_fp_contract_off =
+      stripped_cmake.find("-ffp-contract=off") != std::string::npos;
+
+  if (guard_line == 0) {
+    findings.push_back(
+        {cmake_path, 1, "fp-contract",
+         "GROUPSA_SIMD_SOURCES guard list not found; SIMD translation units "
+         "must receive -ffp-contract=off -mno-fma via this list"});
+    return findings;
+  }
+  if (!guard_has_fp_contract_off) {
+    findings.push_back(
+        {cmake_path, guard_line, "fp-contract",
+         "GROUPSA_SIMD_SOURCES entries are not compiled with "
+         "-ffp-contract=off; contraction would fuse a*b+c differently "
+         "across compilers and break bit-exact reproducibility"});
+  }
+
+  // Any scanned file using intrinsics or target pragmas must be guarded.
+  static const std::regex kSimdMarker(
+      R"(#\s*include\s*<(immintrin|x86intrin|emmintrin|avxintrin)\.h>)"
+      R"(|\b_mm\d{0,3}_\w+\s*\()"
+      R"(|#\s*pragma\s+(GCC|clang)\s+(target|push_options))");
+  for (const auto& [path, content] : files) {
+    const std::string stripped = StripCommentsAndStrings(content);
+    std::smatch m;
+    if (!std::regex_search(stripped, m, kSimdMarker)) continue;
+    if (PathMatchesAny(path, guarded)) continue;
+    const int line =
+        1 + static_cast<int>(std::count(
+                stripped.begin(),
+                stripped.begin() + static_cast<long>(m.position()), '\n'));
+    findings.push_back(
+        {path, line, "fp-contract",
+         "uses SIMD intrinsics but is not listed in GROUPSA_SIMD_SOURCES "
+         "(src/CMakeLists.txt), so it compiles without -ffp-contract=off "
+         "-mno-fma and its float results depend on the compiler's "
+         "contraction choices"});
+  }
+  return findings;
+}
+
+Status Allowlist::Parse(const std::string& content, Allowlist* out) {
+  out->entries_.clear();
+  const std::vector<std::string> lines = SplitLines(content);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::string line = lines[i];
+    const std::string::size_type hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = StrTrim(line);
+    if (line.empty()) continue;
+    const std::vector<std::string> parts = StrSplit(line, ' ');
+    std::vector<std::string> fields;
+    for (const std::string& p : parts) {
+      if (!StrTrim(p).empty()) fields.push_back(StrTrim(p));
+    }
+    if (fields.size() != 2) {
+      return Status::Error(
+          StrFormat("allowlist line %zu: expected \"<path> <rule>\", got "
+                    "\"%s\"",
+                    i + 1, line.c_str()));
+    }
+    Entry entry;
+    entry.path = fields[0];
+    entry.rule = fields[1];
+    entry.line = static_cast<int>(i) + 1;
+    out->entries_.push_back(std::move(entry));
+  }
+  return Status::Ok();
+}
+
+bool Allowlist::Allows(const std::string& path,
+                       const std::string& rule) const {
+  for (const Entry& e : entries_) {
+    if (e.rule == rule && PathMatches(path, e.path)) return true;
+  }
+  return false;
+}
+
+std::vector<LintFinding> ApplyAllowlist(std::vector<LintFinding> findings,
+                                        const Allowlist& allow,
+                                        const std::string& allow_path) {
+  std::vector<bool> used(allow.entries().size(), false);
+  std::vector<LintFinding> kept;
+  for (LintFinding& f : findings) {
+    bool allowed = false;
+    for (size_t i = 0; i < allow.entries().size(); ++i) {
+      const Allowlist::Entry& e = allow.entries()[i];
+      if (e.rule == f.rule && PathMatches(f.file, e.path)) {
+        used[i] = true;
+        allowed = true;
+      }
+    }
+    if (!allowed) kept.push_back(std::move(f));
+  }
+  for (size_t i = 0; i < allow.entries().size(); ++i) {
+    if (used[i]) continue;
+    const Allowlist::Entry& e = allow.entries()[i];
+    kept.push_back(
+        {allow_path, e.line, "stale-allowlist",
+         StrFormat("entry \"%s %s\" matches no current finding; delete it "
+                   "so the allowlist only documents live exceptions",
+                   e.path.c_str(), e.rule.c_str())});
+  }
+  return kept;
+}
+
+}  // namespace groupsa::analysis

@@ -1,0 +1,103 @@
+#ifndef GROUPSA_ANALYSIS_SOURCE_LINT_H_
+#define GROUPSA_ANALYSIS_SOURCE_LINT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace groupsa::analysis {
+
+// Rules engine behind tools/groupsa_lint: a textual determinism linter for
+// the src/ tree. It bans the constructs that historically break bit-exact
+// reproducibility or the repo's ownership discipline:
+//
+//   banned-time     wall-clock reads (time(), *_clock::now(), ...) outside
+//                   common/stopwatch.h — a time-derived value anywhere else
+//                   leaks nondeterminism into results or seeds
+//   banned-rand     rand()/std::random_device/std::mt19937 & friends — all
+//                   randomness must flow through common/rng.h streams, which
+//                   snapshot/restore for crash-safe resume
+//   naked-thread    std::thread/std::async/pthread_* outside
+//                   common/thread_pool.{h,cc} — ad-hoc threads bypass the
+//                   pool's determinism contract (std::thread::id and
+//                   std::this_thread remain allowed)
+//   raw-new-delete  raw new/delete — ownership goes through containers and
+//                   smart pointers; `= delete` declarations are exempt
+//   unordered-iter  range-for over an unordered_{map,set} whose body
+//                   accumulates (`+=`/`-=`) — iteration order is
+//                   unspecified, so order-sensitive reductions are
+//                   nondeterministic across libstdc++ versions
+//   fp-contract     files using SIMD intrinsics / target pragmas must be on
+//                   the GROUPSA_SIMD_SOURCES guard list in src/CMakeLists.txt
+//                   (which forces -ffp-contract=off -mno-fma), and the guard
+//                   list itself must carry those flags
+//
+// Matching is heuristic and purely textual (comments and string literals are
+// stripped first); justified violations are silenced via an allowlist file
+// (tools/lint_allow.txt) so every exception stays explicit and reviewed.
+
+struct LintFinding {
+  std::string file;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+// Replaces //-comments, /*...*/ blocks and the contents of string/char
+// literals with spaces, preserving line structure so reported line numbers
+// match the original file.
+std::string StripCommentsAndStrings(const std::string& source);
+
+// Pass 1 of the unordered-iter rule: collects identifiers declared with an
+// unordered container type in `stripped` (variables, members, parameters).
+// The caller unions the result over every scanned file; member accesses
+// (`x.rows`, `p->touched_rows`) match against this global set, while bare
+// identifiers only match names declared in the same file.
+void CollectUnorderedNames(const std::string& stripped,
+                           std::set<std::string>* names);
+
+// Pass 2: lints one file. `content` is the raw source; `global_unordered`
+// the union of CollectUnorderedNames over all scanned files.
+std::vector<LintFinding> LintSource(const std::string& path,
+                                    const std::string& content,
+                                    const std::set<std::string>& global_unordered);
+
+// The fp-contract rule. `cmake_content` is src/CMakeLists.txt; `files` maps
+// scanned path -> raw content. Paths inside GROUPSA_SIMD_SOURCES are
+// relative to src/, so scanned paths are matched by suffix.
+std::vector<LintFinding> LintSimdGuardList(
+    const std::string& cmake_path, const std::string& cmake_content,
+    const std::vector<std::pair<std::string, std::string>>& files);
+
+// Allowlist: one entry per line, "<path> <rule>", '#' starts a comment.
+// Paths match a finding when equal to or a '/'-suffix of the finding's
+// path, so entries stay stable across checkout locations.
+class Allowlist {
+ public:
+  static Status Parse(const std::string& content, Allowlist* out);
+
+  bool Allows(const std::string& path, const std::string& rule) const;
+
+  struct Entry {
+    std::string path;
+    std::string rule;
+    int line = 0;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+// Drops findings the allowlist covers. Every allowlist entry must still
+// match at least one finding; stale entries produce a "stale-allowlist"
+// finding against `allow_path` so the list cannot silently rot.
+std::vector<LintFinding> ApplyAllowlist(std::vector<LintFinding> findings,
+                                        const Allowlist& allow,
+                                        const std::string& allow_path);
+
+}  // namespace groupsa::analysis
+
+#endif  // GROUPSA_ANALYSIS_SOURCE_LINT_H_

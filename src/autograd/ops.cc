@@ -25,6 +25,25 @@ TensorPtr MakeOutput(Matrix value, bool requires_grad) {
   return out;
 }
 
+// Appends the structural record the graph validator consumes
+// (analysis/graph_lint.h). Every op calls this once with its inputs, output
+// and shape-relevant attributes; it is a no-op unless the tape records graph
+// structure (debug default — see Tape::GraphRecordingDefault).
+void RecordNode(Tape* tape, OpKind kind, std::vector<TensorPtr> inputs,
+                const TensorPtr& out, int arg0 = 0, int arg1 = 0,
+                bool flag0 = false, bool flag1 = false) {
+  if (tape == nullptr || !tape->records_graph()) return;
+  OpNode node;
+  node.kind = kind;
+  node.inputs = std::move(inputs);
+  node.output = out;
+  node.arg0 = arg0;
+  node.arg1 = arg1;
+  node.flag0 = flag0;
+  node.flag1 = flag1;
+  tape->RecordNode(std::move(node));
+}
+
 // Numerically stable sigmoid.
 float StableSigmoid(float x) {
   if (x >= 0.0f) {
@@ -48,6 +67,8 @@ TensorPtr MatMul(Tape* tape, const TensorPtr& a, const TensorPtr& b,
   tensor::Gemm(a->value(), transpose_a, b->value(), transpose_b, 1.0f, &value);
   const bool needs_grad = tape != nullptr && AnyRequiresGrad({&a, &b});
   TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  RecordNode(tape, OpKind::kMatMul, {a, b}, out, 0, 0, transpose_a,
+             transpose_b);
   if (!needs_grad) return out;
   tape->Record([a, b, out, transpose_a, transpose_b]() {
     const Matrix& g = out->grad();
@@ -85,6 +106,7 @@ TensorPtr Add(Tape* tape, const TensorPtr& a, const TensorPtr& b) {
   value.AddInPlace(b->value());
   const bool needs_grad = tape != nullptr && AnyRequiresGrad({&a, &b});
   TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  RecordNode(tape, OpKind::kAdd, {a, b}, out);
   if (!needs_grad) return out;
   tape->Record([a, b, out]() {
     if (a->requires_grad()) a->grad().AddInPlace(out->grad());
@@ -99,6 +121,7 @@ TensorPtr Sub(Tape* tape, const TensorPtr& a, const TensorPtr& b) {
   value.SubInPlace(b->value());
   const bool needs_grad = tape != nullptr && AnyRequiresGrad({&a, &b});
   TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  RecordNode(tape, OpKind::kSub, {a, b}, out);
   if (!needs_grad) return out;
   tape->Record([a, b, out]() {
     if (a->requires_grad()) a->grad().AddInPlace(out->grad());
@@ -111,6 +134,7 @@ TensorPtr Mul(Tape* tape, const TensorPtr& a, const TensorPtr& b) {
   Matrix value = tensor::Hadamard(a->value(), b->value());
   const bool needs_grad = tape != nullptr && AnyRequiresGrad({&a, &b});
   TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  RecordNode(tape, OpKind::kMul, {a, b}, out);
   if (!needs_grad) return out;
   tape->Record([a, b, out]() {
     const Matrix& g = out->grad();
@@ -127,6 +151,7 @@ TensorPtr Scale(Tape* tape, const TensorPtr& a, float factor) {
   value.ScaleInPlace(factor);
   const bool needs_grad = tape != nullptr && a->requires_grad();
   TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  RecordNode(tape, OpKind::kScale, {a}, out);
   if (!needs_grad) return out;
   tape->Record([a, out, factor]() {
     a->grad().AxpyInPlace(factor, out->grad());
@@ -139,6 +164,7 @@ TensorPtr AddBias(Tape* tape, const TensorPtr& x, const TensorPtr& bias) {
   tensor::AddRowBroadcastInPlace(&value, bias->value());
   const bool needs_grad = tape != nullptr && AnyRequiresGrad({&x, &bias});
   TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  RecordNode(tape, OpKind::kAddBias, {x, bias}, out);
   if (!needs_grad) return out;
   tape->Record([x, bias, out]() {
     if (x->requires_grad()) x->grad().AddInPlace(out->grad());
@@ -154,6 +180,7 @@ TensorPtr BroadcastRow(Tape* tape, const TensorPtr& row, int n) {
   for (int r = 0; r < n; ++r) value.SetRow(r, row->value().RowPtr(0));
   const bool needs_grad = tape != nullptr && row->requires_grad();
   TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  RecordNode(tape, OpKind::kBroadcastRow, {row}, out, n);
   if (!needs_grad) return out;
   tape->Record([row, out]() {
     row->grad().AddInPlace(tensor::SumRows(out->grad()));
@@ -172,6 +199,7 @@ TensorPtr ConcatCols(Tape* tape, const std::vector<TensorPtr>& parts) {
   }
   needs_grad = needs_grad && tape != nullptr;
   TensorPtr out = MakeOutput(tensor::ConcatCols(raw), needs_grad);
+  RecordNode(tape, OpKind::kConcatCols, parts, out);
   if (!needs_grad) return out;
   tape->Record([parts, out]() {
     const Matrix& g = out->grad();
@@ -199,6 +227,7 @@ TensorPtr ConcatRows(Tape* tape, const std::vector<TensorPtr>& parts) {
   }
   needs_grad = needs_grad && tape != nullptr;
   TensorPtr out = MakeOutput(tensor::ConcatRows(raw), needs_grad);
+  RecordNode(tape, OpKind::kConcatRows, parts, out);
   if (!needs_grad) return out;
   tape->Record([parts, out]() {
     const Matrix& g = out->grad();
@@ -222,6 +251,7 @@ TensorPtr SliceRows(Tape* tape, const TensorPtr& x, int start, int count) {
   for (int r = 0; r < count; ++r) value.SetRow(r, x->value().RowPtr(start + r));
   const bool needs_grad = tape != nullptr && x->requires_grad();
   TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  RecordNode(tape, OpKind::kSliceRows, {x}, out, start, count);
   if (!needs_grad) return out;
   tape->Record([x, out, start, count]() {
     Matrix& xg = x->grad();
@@ -238,6 +268,10 @@ TensorPtr GatherRows(Tape* tape, const TensorPtr& table,
   Matrix value = tensor::GatherRows(table->value(), row_ids);
   const bool needs_grad = tape != nullptr && table->requires_grad();
   TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  int max_id = -1;
+  for (int id : row_ids) max_id = std::max(max_id, id);
+  RecordNode(tape, OpKind::kGatherRows, {table}, out,
+             static_cast<int>(row_ids.size()), max_id);
   if (!needs_grad) return out;
   // Touched rows are recorded at backward time, not forward time: rows only
   // matter to the optimizer once they carry gradient, and keeping the
@@ -261,6 +295,7 @@ TensorPtr Transpose(Tape* tape, const TensorPtr& x) {
   Matrix value = tensor::Transpose(x->value());
   const bool needs_grad = tape != nullptr && x->requires_grad();
   TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  RecordNode(tape, OpKind::kTranspose, {x}, out);
   if (!needs_grad) return out;
   tape->Record([x, out]() {
     x->grad().AddInPlace(tensor::Transpose(out->grad()));
@@ -274,6 +309,7 @@ TensorPtr Relu(Tape* tape, const TensorPtr& x) {
     value.data()[i] = std::max(0.0f, value.data()[i]);
   const bool needs_grad = tape != nullptr && x->requires_grad();
   TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  RecordNode(tape, OpKind::kRelu, {x}, out);
   if (!needs_grad) return out;
   tape->Record([x, out]() {
     Matrix& xg = x->grad();
@@ -291,6 +327,7 @@ TensorPtr Sigmoid(Tape* tape, const TensorPtr& x) {
     value.data()[i] = StableSigmoid(value.data()[i]);
   const bool needs_grad = tape != nullptr && x->requires_grad();
   TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  RecordNode(tape, OpKind::kSigmoid, {x}, out);
   if (!needs_grad) return out;
   tape->Record([x, out]() {
     Matrix& xg = x->grad();
@@ -310,6 +347,7 @@ TensorPtr Tanh(Tape* tape, const TensorPtr& x) {
     value.data()[i] = std::tanh(value.data()[i]);
   const bool needs_grad = tape != nullptr && x->requires_grad();
   TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  RecordNode(tape, OpKind::kTanh, {x}, out);
   if (!needs_grad) return out;
   tape->Record([x, out]() {
     Matrix& xg = x->grad();
@@ -329,6 +367,7 @@ TensorPtr LogSigmoid(Tape* tape, const TensorPtr& x) {
     value.data()[i] = -Softplus(-value.data()[i]);
   const bool needs_grad = tape != nullptr && x->requires_grad();
   TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  RecordNode(tape, OpKind::kLogSigmoid, {x}, out);
   if (!needs_grad) return out;
   tape->Record([x, out]() {
     Matrix& xg = x->grad();
@@ -357,6 +396,8 @@ TensorPtr SoftmaxRows(Tape* tape, const TensorPtr& x,
   tensor::SoftmaxRowsInPlace(&value);
   const bool needs_grad = tape != nullptr && x->requires_grad();
   TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  RecordNode(tape, OpKind::kSoftmaxRows, {x}, out, 0, 0,
+             /*flag0=*/additive_mask != nullptr);
   if (!needs_grad) return out;
   tape->Record([x, out]() {
     // dx_row = y_row * (g_row - <g_row, y_row>); masked entries have y = 0
@@ -410,15 +451,16 @@ TensorPtr LayerNorm(Tape* tape, const TensorPtr& x, const TensorPtr& gain,
   }
   const bool needs_grad = tape != nullptr && AnyRequiresGrad({&x, &gain, &bias});
   TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  RecordNode(tape, OpKind::kLayerNorm, {x, gain, bias}, out);
   if (!needs_grad) return out;
   tape->Record([x, gain, bias, out, x_hat, inv_std]() {
     const Matrix& g = out->grad();
-    const int d = g.cols();
+    const int cols = g.cols();
     for (int r = 0; r < g.rows(); ++r) {
       const float* gr = g.RowPtr(r);
       const float* xh = x_hat->RowPtr(r);
       if (gain->requires_grad() || bias->requires_grad()) {
-        for (int c = 0; c < d; ++c) {
+        for (int c = 0; c < cols; ++c) {
           if (gain->requires_grad()) gain->grad().At(0, c) += gr[c] * xh[c];
           if (bias->requires_grad()) bias->grad().At(0, c) += gr[c];
         }
@@ -428,17 +470,17 @@ TensorPtr LayerNorm(Tape* tape, const TensorPtr& x, const TensorPtr& gain,
         // dL/dx = inv_std * (dxh - mean(dxh) - x_hat * mean(dxh * x_hat)).
         double mean_dxh = 0.0;
         double mean_dxh_xh = 0.0;
-        for (int c = 0; c < d; ++c) {
+        for (int c = 0; c < cols; ++c) {
           const double dxh =
               static_cast<double>(gr[c]) * gain->value().At(0, c);
           mean_dxh += dxh;
           mean_dxh_xh += dxh * xh[c];
         }
-        mean_dxh /= d;
-        mean_dxh_xh /= d;
+        mean_dxh /= cols;
+        mean_dxh_xh /= cols;
         float* xr = x->grad().RowPtr(r);
         const float inv = (*inv_std)[r];
-        for (int c = 0; c < d; ++c) {
+        for (int c = 0; c < cols; ++c) {
           const double dxh =
               static_cast<double>(gr[c]) * gain->value().At(0, c);
           xr[c] += inv * static_cast<float>(dxh - mean_dxh -
@@ -466,6 +508,7 @@ TensorPtr Dropout(Tape* tape, const TensorPtr& x, float ratio, bool training,
   }
   const bool needs_grad = tape != nullptr && x->requires_grad();
   TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  RecordNode(tape, OpKind::kDropout, {x}, out);
   if (!needs_grad) return out;
   tape->Record([x, out, mask]() {
     Matrix& xg = x->grad();
@@ -481,6 +524,7 @@ TensorPtr SumAll(Tape* tape, const TensorPtr& x) {
   value.At(0, 0) = x->value().Sum();
   const bool needs_grad = tape != nullptr && x->requires_grad();
   TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  RecordNode(tape, OpKind::kSumAll, {x}, out);
   if (!needs_grad) return out;
   tape->Record([x, out]() {
     const float g = out->grad().At(0, 0);
@@ -508,13 +552,14 @@ TensorPtr BprLoss(Tape* tape, const TensorPtr& pos, const TensorPtr& negs) {
   value.At(0, 0) = static_cast<float>(total);
   const bool needs_grad = tape != nullptr && AnyRequiresGrad({&pos, &negs});
   TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  RecordNode(tape, OpKind::kBprLoss, {pos, negs}, out);
   if (!needs_grad) return out;
   tape->Record([pos, negs, out]() {
     const float g = out->grad().At(0, 0);
-    const float p = pos->scalar();
+    const float pv = pos->scalar();
     for (int i = 0; i < negs->rows(); ++i) {
       // d/dn softplus(n - p) = sigmoid(n - p); d/dp = -sigmoid(n - p).
-      const float s = StableSigmoid(negs->value().At(i, 0) - p);
+      const float s = StableSigmoid(negs->value().At(i, 0) - pv);
       if (negs->requires_grad()) negs->grad().At(i, 0) += g * s;
       if (pos->requires_grad()) pos->grad().At(0, 0) -= g * s;
     }

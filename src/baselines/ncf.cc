@@ -50,11 +50,11 @@ double Ncf::Fit(const data::EdgeList& train,
                 const BprFitOptions& options, Rng* rng) {
   return FitBpr(
       [this](ag::Tape* tape, int row, data::ItemId pos,
-             const std::vector<data::ItemId>& negs, Rng* rng) {
-        ag::TensorPtr pos_score = Score(tape, row, pos, true, rng);
+             const std::vector<data::ItemId>& negs, Rng* batch_rng) {
+        ag::TensorPtr pos_score = Score(tape, row, pos, true, batch_rng);
         std::vector<ag::TensorPtr> neg_scores;
         for (data::ItemId neg : negs)
-          neg_scores.push_back(Score(tape, row, neg, true, rng));
+          neg_scores.push_back(Score(tape, row, neg, true, batch_rng));
         return ag::BprLoss(tape, pos_score,
                            ag::ConcatRows(tape, neg_scores));
       },

@@ -144,21 +144,21 @@ void Sigr::Fit(const data::EdgeList& user_train,
   const TripleLossFn user_loss = [this](ag::Tape* tape, int row,
                                         data::ItemId pos,
                                         const std::vector<data::ItemId>& negs,
-                                        Rng* rng) {
-    ag::TensorPtr p = ScoreUserItem(tape, row, pos, true, rng);
+                                        Rng* batch_rng) {
+    ag::TensorPtr p = ScoreUserItem(tape, row, pos, true, batch_rng);
     std::vector<ag::TensorPtr> n;
     for (data::ItemId neg : negs)
-      n.push_back(ScoreUserItem(tape, row, neg, true, rng));
+      n.push_back(ScoreUserItem(tape, row, neg, true, batch_rng));
     return ag::BprLoss(tape, p, ag::ConcatRows(tape, n));
   };
   const TripleLossFn group_loss = [this](ag::Tape* tape, int row,
                                          data::ItemId pos,
                                          const std::vector<data::ItemId>& negs,
-                                         Rng* rng) {
-    ag::TensorPtr p = ScoreGroupItem(tape, row, pos, true, rng);
+                                         Rng* batch_rng) {
+    ag::TensorPtr p = ScoreGroupItem(tape, row, pos, true, batch_rng);
     std::vector<ag::TensorPtr> n;
     for (data::ItemId neg : negs)
-      n.push_back(ScoreGroupItem(tape, row, neg, true, rng));
+      n.push_back(ScoreGroupItem(tape, row, neg, true, batch_rng));
     return ag::BprLoss(tape, p, ag::ConcatRows(tape, n));
   };
   for (int epoch = 0; epoch < options.epochs; ++epoch) {

@@ -1,6 +1,11 @@
 #include "core/groupsa_model.h"
 
+#include <unordered_set>
+#include <utility>
+
+#include "analysis/graph_lint.h"
 #include "autograd/ops.h"
+#include "common/rng.h"
 #include "core/inference_engine.h"
 
 namespace groupsa::core {
@@ -220,6 +225,87 @@ GroupSaModel::GroupItemScore GroupSaModel::ScoreGroupItemDetailed(
   GroupForward fwd =
       BuildGroupForward(nullptr, group, /*training=*/false, nullptr);
   return ScoreGroupItem(nullptr, fwd, item, /*training=*/false, nullptr);
+}
+
+Status GroupSaModel::ValidateGraph() {
+  // Representative entities: the user with the richest Top-H neighbourhoods
+  // (so both user-modeling attention spaces are exercised) and the first
+  // real group, falling back to a singleton group of that user.
+  data::UserId user = 0;
+  size_t best_cover = 0;
+  for (int u = 0; u < num_users(); ++u) {
+    size_t cover = 0;
+    if (u < static_cast<int>(data_.top_items.size()))
+      cover += data_.top_items[static_cast<size_t>(u)].size();
+    if (u < static_cast<int>(data_.top_friends.size()))
+      cover += data_.top_friends[static_cast<size_t>(u)].size();
+    if (cover > best_cover) {
+      best_cover = cover;
+      user = u;
+    }
+  }
+  const data::ItemId pos = 0;
+  std::vector<data::ItemId> negatives;
+  for (data::ItemId item = 1; item < num_items() && negatives.size() < 2;
+       ++item) {
+    negatives.push_back(item);
+  }
+  if (negatives.empty()) negatives.push_back(pos);
+
+  // The probe forward marks embedding rows as touched (exactly as a training
+  // forward would); snapshot the touched-row sets so validation leaves the
+  // optimizer's sparse-update bookkeeping untouched.
+  std::vector<std::pair<std::unordered_set<int>*, std::unordered_set<int>>>
+      saved_touched;
+  for (const nn::ParamEntry& p : Parameters()) {
+    if (p.touched_rows != nullptr)
+      saved_touched.emplace_back(p.touched_rows, *p.touched_rows);
+  }
+
+  Rng probe_rng(0x9E3779B9u);
+  ag::Tape tape;
+  tape.set_record_graph(true);
+
+  // User task: blended BPR triple (Eq. 22-23).
+  UserForward uf = BuildUserForward(&tape, user, /*training=*/true, &probe_rng);
+  ag::TensorPtr user_pos = ScoreUserItem(&tape, uf, pos, true, &probe_rng);
+  std::vector<ag::TensorPtr> user_negs;
+  for (data::ItemId item : negatives)
+    user_negs.push_back(ScoreUserItem(&tape, uf, item, true, &probe_rng));
+  ag::TensorPtr user_loss =
+      ag::BprLoss(&tape, user_pos, ag::ConcatRows(&tape, user_negs));
+
+  // Group task: voting rounds + group tower (Eq. 10, 20).
+  GroupForward gf =
+      data_.groups->num_groups() > 0
+          ? BuildGroupForward(&tape, 0, /*training=*/true, &probe_rng)
+          : BuildGroupForwardFromMembers(&tape, {user}, true, &probe_rng);
+  ag::TensorPtr group_pos =
+      ScoreGroupItem(&tape, gf, pos, true, &probe_rng).score;
+  std::vector<ag::TensorPtr> group_negs;
+  for (data::ItemId item : negatives) {
+    group_negs.push_back(
+        ScoreGroupItem(&tape, gf, item, true, &probe_rng).score);
+  }
+  ag::TensorPtr group_loss =
+      ag::BprLoss(&tape, group_pos, ag::ConcatRows(&tape, group_negs));
+
+  ag::TensorPtr total = ag::SumAll(
+      &tape, ag::ConcatRows(&tape, {user_loss, group_loss}));
+
+  analysis::TapeLintOptions options;
+  options.root = total;
+  for (const nn::ParamEntry& p : Parameters())
+    options.parameters.push_back(p.tensor.get());
+  // The combined user+group graph must reach every registered parameter:
+  // anything unreached here would be "trained" by the optimizer without ever
+  // receiving a gradient.
+  options.check_unreached_params = true;
+  Status status = analysis::ValidateTape(tape, options);
+
+  for (auto& [set_ptr, snapshot] : saved_touched)
+    *set_ptr = std::move(snapshot);
+  return status;
 }
 
 std::vector<std::pair<data::ItemId, double>> GroupSaModel::RecommendForGroup(

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "core/config.h"
 #include "core/predictor.h"
 #include "core/user_modeling.h"
@@ -124,6 +125,19 @@ class GroupSaModel : public nn::Module {
       data::GroupId group, int k, const data::InteractionMatrix* exclude);
   std::vector<std::pair<data::ItemId, double>> RecommendForUser(
       data::UserId user, int k, const data::InteractionMatrix* exclude);
+
+  // ---------------- Static validation ----------------
+
+  // Builds a representative combined user+group training graph on a probe
+  // tape with structure recording forced on and runs the graph validator
+  // (analysis/graph_lint.h) over it: every op must pass shape inference, no
+  // tensor may be written twice, no parameter may be overwritten, and every
+  // registered parameter must be reachable backward from the loss — i.e. the
+  // wiring the optimizer assumes actually exists. Returns Ok on a
+  // well-formed graph, otherwise an error with op-by-op diagnostics. Cheap
+  // (one tiny forward pass); never mutates parameters or RNG state reachable
+  // from training.
+  Status ValidateGraph();
 
   nn::Embedding& user_embedding() { return *user_emb_; }
   nn::Embedding& item_embedding() { return *item_emb_; }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "analysis/graph_lint.h"
 #include "autograd/ops.h"
 #include "common/crc32.h"
 #include "common/failpoint.h"
@@ -41,6 +42,10 @@ Trainer::Trainer(GroupSaModel* model, const data::EdgeList& user_train,
       model->Parameters(), config.learning_rate, config.weight_decay);
   for (const nn::ParamEntry& p : model->Parameters())
     grad_slots_.push_back({p.tensor.get(), p.touched_rows});
+  // A malformed registration (duplicate tensor, shared touched-row set)
+  // would double-count gradients on every batch; fail construction instead.
+  if (Status s = analysis::ValidateShardSlots(grad_slots_); !s.ok())
+    GROUPSA_CHECK(false, s.message().c_str());
 }
 
 bool Trainer::GradientsFinite() const {
@@ -119,6 +124,21 @@ Trainer::EpochStats Trainer::RunShardedEpoch(int num_samples,
           fn(&tape, i, &shard_rng, &losses);
         ag::TensorPtr sum =
             ag::SumAll(&tape, ag::ConcatRows(&tape, losses));
+        // When the tape carries graph structure (debug builds; see
+        // Tape::GraphRecordingDefault), validate the first shard of the
+        // first executed batch before its backward pass runs — every later
+        // shard records the same op skeleton, so one check per epoch
+        // certifies the whole training graph.
+        if (tape.records_graph() && b == start_batch && s == 0) {
+          analysis::TapeLintOptions lint;
+          lint.root = sum;
+          for (const ag::GradShard::ParamSlot& slot : grad_slots_)
+            lint.parameters.push_back(slot.tensor);
+          if (Status lint_status = analysis::ValidateTape(tape, lint);
+              !lint_status.ok()) {
+            GROUPSA_CHECK(false, lint_status.message().c_str());
+          }
+        }
         shard_loss[s] = sum->scalar();
         // Seeding with 1/batch_losses makes each sample's gradient carry
         // the batch-mean weight, exactly as the historical mean-loss graph

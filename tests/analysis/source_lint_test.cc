@@ -1,0 +1,262 @@
+#include "analysis/source_lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace groupsa::analysis {
+namespace {
+
+// Fixture sources live next to this test; the build injects the absolute
+// path so the test is independent of the ctest working directory.
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(GROUPSA_TESTDATA_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<LintFinding> LintFixture(const std::string& name,
+                                     const std::string& path_as) {
+  const std::string content = ReadFixture(name);
+  std::set<std::string> names;
+  CollectUnorderedNames(StripCommentsAndStrings(content), &names);
+  return LintSource(path_as, content, names);
+}
+
+std::vector<int> LinesForRule(const std::vector<LintFinding>& findings,
+                              const std::string& rule) {
+  std::vector<int> lines;
+  for (const LintFinding& f : findings)
+    if (f.rule == rule) lines.push_back(f.line);
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+TEST(StripCommentsAndStringsTest, BlanksCommentAndLiteralContent) {
+  const std::string stripped = StripCommentsAndStrings(
+      "int x = 1; // rand()\n"
+      "const char* s = \"time(\";\n"
+      "/* new\n   delete */ int y = 2;\n");
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(stripped.find("time"), std::string::npos);
+  EXPECT_EQ(stripped.find("new"), std::string::npos);
+  EXPECT_EQ(stripped.find("delete"), std::string::npos);
+  EXPECT_NE(stripped.find("int x = 1;"), std::string::npos);
+  EXPECT_NE(stripped.find("int y = 2;"), std::string::npos);
+  // Line structure is preserved for line numbering.
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 4);
+}
+
+TEST(SourceLintTest, BannedTimeFixtureYieldsExactFindings) {
+  const std::vector<LintFinding> findings =
+      LintFixture("banned_time.cc", "src/eval/banned_time.cc");
+  EXPECT_EQ(LinesForRule(findings, "banned-time"),
+            (std::vector<int>{8, 11, 15}));
+  EXPECT_EQ(findings.size(), 3u);
+}
+
+TEST(SourceLintTest, BannedTimeAllowedInStopwatch) {
+  const std::vector<LintFinding> findings =
+      LintFixture("banned_time.cc", "src/common/stopwatch.h");
+  EXPECT_TRUE(LinesForRule(findings, "banned-time").empty());
+}
+
+TEST(SourceLintTest, BannedRandFixtureYieldsExactFindings) {
+  const std::vector<LintFinding> findings =
+      LintFixture("banned_rand.cc", "src/data/banned_rand.cc");
+  EXPECT_EQ(LinesForRule(findings, "banned-rand"),
+            (std::vector<int>{5, 7, 10, 15, 16}));
+  EXPECT_EQ(findings.size(), 5u);
+}
+
+TEST(SourceLintTest, NakedThreadFixtureYieldsExactFindings) {
+  const std::vector<LintFinding> findings =
+      LintFixture("naked_thread.cc", "src/core/naked_thread.cc");
+  // std::thread::id and std::this_thread on lines 5 and 8 must not match.
+  EXPECT_EQ(LinesForRule(findings, "naked-thread"),
+            (std::vector<int>{14, 19, 25}));
+  EXPECT_EQ(findings.size(), 3u);
+}
+
+TEST(SourceLintTest, NakedThreadAllowedInThreadPool) {
+  const std::vector<LintFinding> findings =
+      LintFixture("naked_thread.cc", "src/common/thread_pool.cc");
+  EXPECT_TRUE(LinesForRule(findings, "naked-thread").empty());
+}
+
+TEST(SourceLintTest, RawNewDeleteFixtureYieldsExactFindings) {
+  const std::vector<LintFinding> findings =
+      LintFixture("raw_new_delete.cc", "src/nn/raw_new_delete.cc");
+  // Deleted special members (lines 6-7) and new_/deleted_ identifiers
+  // (lines 18-19) must not match.
+  EXPECT_EQ(LinesForRule(findings, "raw-new-delete"),
+            (std::vector<int>{12, 14, 16}));
+  EXPECT_EQ(findings.size(), 3u);
+}
+
+TEST(SourceLintTest, UnorderedIterFixtureYieldsExactFindings) {
+  const std::vector<LintFinding> findings =
+      LintFixture("unordered_iter.cc", "src/autograd/unordered_iter.cc");
+  // Line 11: bare identifier declared unordered in the same file.
+  // Line 17: member access resolved through the collected name set.
+  // The loops without accumulation and over ordered containers must pass.
+  EXPECT_EQ(LinesForRule(findings, "unordered-iter"),
+            (std::vector<int>{11, 17}));
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(SourceLintTest, MemberAccessUsesGlobalNameSet) {
+  // The declaring header is a *different* file: the member's name reaches
+  // the use site only through the global (cross-file) name set.
+  const std::string user =
+      "float Sum(const Slot& slot) {\n"
+      "  float total = 0.0f;\n"
+      "  for (int r : *slot.touched_rows) total += r;\n"
+      "  return total;\n"
+      "}\n";
+  std::set<std::string> global;
+  CollectUnorderedNames(
+      StripCommentsAndStrings(
+          "struct Slot { std::unordered_set<int>* touched_rows; };\n"),
+      &global);
+  EXPECT_EQ(global.count("touched_rows"), 1u);
+  const std::vector<LintFinding> findings =
+      LintSource("src/nn/user.cc", user, global);
+  EXPECT_EQ(LinesForRule(findings, "unordered-iter"),
+            (std::vector<int>{3}));
+
+  // A bare (non-member) identifier must NOT match the global set: only
+  // same-file declarations bind plain names.
+  const std::string bare =
+      "float Sum(const std::vector<int>& touched_rows) {\n"
+      "  float total = 0.0f;\n"
+      "  for (int r : touched_rows) total += r;\n"
+      "  return total;\n"
+      "}\n";
+  EXPECT_TRUE(LintSource("src/nn/bare.cc", bare, global).empty());
+}
+
+TEST(SourceLintTest, CollectUnorderedNamesFindsDeclarations) {
+  std::set<std::string> names;
+  CollectUnorderedNames(
+      "std::unordered_map<std::string, std::vector<int>> by_name;\n"
+      "std::unordered_set<int>* touched = nullptr;\n"
+      "void F(const std::unordered_set<const char*>& seen);\n",
+      &names);
+  EXPECT_EQ(names.count("by_name"), 1u);
+  EXPECT_EQ(names.count("touched"), 1u);
+  EXPECT_EQ(names.count("seen"), 1u);
+}
+
+// ---------------- fp-contract / SIMD guard list ----------------
+
+constexpr char kGuardedCMake[] =
+    "set(GROUPSA_SIMD_SOURCES tensor/ops.cc core/inference_engine.cc)\n"
+    "set_source_files_properties(${GROUPSA_SIMD_SOURCES} PROPERTIES\n"
+    "  COMPILE_OPTIONS \"-mavx2;-mno-fma;-ffp-contract=off\")\n";
+
+TEST(SourceLintTest, UnguardedSimdFileIsFlagged) {
+  const std::string content = ReadFixture("unguarded_simd.cc");
+  const std::vector<LintFinding> findings = LintSimdGuardList(
+      "src/CMakeLists.txt", kGuardedCMake,
+      {{"src/math/unguarded_simd.cc", content}});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "fp-contract");
+  EXPECT_EQ(findings[0].file, "src/math/unguarded_simd.cc");
+  EXPECT_EQ(findings[0].line, 3);  // the immintrin.h include
+  EXPECT_NE(findings[0].message.find("GROUPSA_SIMD_SOURCES"),
+            std::string::npos);
+}
+
+TEST(SourceLintTest, GuardedSimdFileIsClean) {
+  const std::string content = ReadFixture("unguarded_simd.cc");
+  const std::vector<LintFinding> findings = LintSimdGuardList(
+      "src/CMakeLists.txt", kGuardedCMake,
+      {{"src/tensor/ops.cc", content}});  // suffix-matches the guard entry
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(SourceLintTest, GuardListWithoutFpContractOffIsFlagged) {
+  const std::vector<LintFinding> findings = LintSimdGuardList(
+      "src/CMakeLists.txt",
+      "set(GROUPSA_SIMD_SOURCES tensor/ops.cc)\n"
+      "set_source_files_properties(${GROUPSA_SIMD_SOURCES} PROPERTIES\n"
+      "  COMPILE_OPTIONS \"-mavx2\")\n",
+      {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "fp-contract");
+  EXPECT_NE(findings[0].message.find("-ffp-contract=off"),
+            std::string::npos);
+}
+
+TEST(SourceLintTest, MissingGuardListIsFlagged) {
+  const std::vector<LintFinding> findings = LintSimdGuardList(
+      "src/CMakeLists.txt", "add_library(x a.cc)\n", {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("guard list not found"),
+            std::string::npos);
+}
+
+// ---------------- allowlist ----------------
+
+TEST(AllowlistTest, ParsesEntriesAndComments) {
+  Allowlist allow;
+  const Status status = Allowlist::Parse(
+      "# header comment\n"
+      "\n"
+      "src/common/failpoint.cc raw-new-delete  # leaky singleton\n"
+      "autograd/grad_shard.cc unordered-iter\n",
+      &allow);
+  ASSERT_TRUE(status.ok()) << status.message();
+  ASSERT_EQ(allow.entries().size(), 2u);
+  EXPECT_TRUE(allow.Allows("src/common/failpoint.cc", "raw-new-delete"));
+  // Suffix matching: a deeper checkout prefix still matches.
+  EXPECT_TRUE(
+      allow.Allows("/repo/src/autograd/grad_shard.cc", "unordered-iter"));
+  // Same path, different rule: no.
+  EXPECT_FALSE(allow.Allows("src/common/failpoint.cc", "banned-rand"));
+  // Suffix must start at a path component boundary.
+  EXPECT_FALSE(allow.Allows("src/common/not_failpoint.cc.x", "raw-new-delete"));
+}
+
+TEST(AllowlistTest, RejectsMalformedLine) {
+  Allowlist allow;
+  const Status status =
+      Allowlist::Parse("just-a-path-without-a-rule\n", &allow);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("allowlist line 1"), std::string::npos);
+}
+
+TEST(AllowlistTest, ApplyDropsAllowedAndFlagsStaleEntries) {
+  Allowlist allow;
+  ASSERT_TRUE(Allowlist::Parse("src/a.cc banned-rand\n"
+                               "src/gone.cc banned-time\n",
+                               &allow)
+                  .ok());
+  std::vector<LintFinding> findings = {
+      {"src/a.cc", 3, "banned-rand", "ad-hoc randomness"},
+      {"src/b.cc", 7, "banned-rand", "ad-hoc randomness"},
+  };
+  const std::vector<LintFinding> kept =
+      ApplyAllowlist(std::move(findings), allow, "tools/lint_allow.txt");
+  // a.cc dropped; b.cc kept; the unmatched gone.cc entry surfaces as stale.
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].file, "src/b.cc");
+  EXPECT_EQ(kept[0].rule, "banned-rand");
+  EXPECT_EQ(kept[1].file, "tools/lint_allow.txt");
+  EXPECT_EQ(kept[1].rule, "stale-allowlist");
+  EXPECT_EQ(kept[1].line, 2);
+  EXPECT_NE(kept[1].message.find("src/gone.cc banned-time"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace groupsa::analysis

@@ -1,0 +1,18 @@
+// Lint fixture (never compiled): banned-rand rule.
+#include <cstdlib>
+#include <random>
+
+int LibcDraw() { return rand(); }  // finding
+
+void LibcSeed() { srand(42); }  // finding
+
+unsigned HardwareDraw() {
+  std::random_device device;  // finding
+  return device();
+}
+
+double StreamDraw() {
+  std::mt19937 generator(1);  // finding
+  std::uniform_real_distribution<double> unit(0.0, 1.0);  // finding
+  return unit(generator);
+}

@@ -1,0 +1,15 @@
+// Lint fixture (never compiled): banned-time rule.
+// time( in this comment must not count.
+#include <chrono>
+#include <ctime>
+
+static const char* kMessage = "time(now)";  // string content must not count
+
+long WallSeconds() { return time(nullptr); }  // finding
+
+double MonotonicSeconds() {
+  const auto t = std::chrono::steady_clock::now();  // finding
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long CpuTicks() { return clock(); }  // finding

@@ -1,0 +1,26 @@
+// Lint fixture (never compiled): naked-thread rule.
+#include <future>
+#include <thread>
+
+std::thread::id CurrentOwner();  // allowed: thread::id is just a value type
+
+bool OnOwnerThread() {
+  return std::this_thread::get_id() == CurrentOwner();  // allowed
+}
+
+void Work();
+
+void SpawnRaw() {
+  std::thread worker(Work);  // finding
+  worker.join();
+}
+
+void SpawnAsync() {
+  auto pending = std::async(Work);  // finding
+  pending.wait();
+}
+
+void SpawnPosix(void* (*entry)(void*)) {
+  pthread_t handle;
+  pthread_create(&handle, nullptr, entry, nullptr);  // finding
+}

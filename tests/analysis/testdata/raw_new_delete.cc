@@ -1,0 +1,19 @@
+// Lint fixture (never compiled): raw-new-delete rule.
+// Saying new or delete in a comment must not count.
+
+struct Widget {
+  Widget() = default;                       // allowed
+  Widget(const Widget&) = delete;           // allowed: deleted function
+  Widget& operator=(const Widget&) = delete;  // allowed
+};
+
+static const char* kNote = "never delete this";  // string must not count
+
+int* MakeBuffer() { return new int[4]; }  // finding
+
+void FreeBuffer(int* p) { delete[] p; }  // finding
+
+Widget* MakeWidget() { return new Widget(); }  // finding
+
+int new_cols = 0;     // allowed: identifier containing 'new'
+int deleted_rows = 0;  // allowed: identifier containing 'delete'

@@ -1,0 +1,11 @@
+// Lint fixture (never compiled): fp-contract rule. Uses intrinsics, so it
+// must appear in the GROUPSA_SIMD_SOURCES guard list.
+#include <immintrin.h>
+
+void AddLanes(float* a, const float* b, int n) {
+  for (int i = 0; i + 8 <= n; i += 8) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    _mm256_storeu_ps(a + i, _mm256_add_ps(va, vb));
+  }
+}

@@ -1,0 +1,40 @@
+// Lint fixture (never compiled): unordered-iter rule.
+#include <unordered_set>
+#include <vector>
+
+struct Slot {
+  std::unordered_set<int>* touched_rows = nullptr;
+};
+
+float SumLocalDeclaration(const std::unordered_set<int>& weights) {
+  float total = 0.0f;
+  for (int w : weights) total += w;  // finding: local unordered, += body
+  return total;
+}
+
+float SumThroughMember(const Slot& slot) {
+  float total = 0.0f;
+  for (int r : *slot.touched_rows) total += r;  // finding: member access
+  return total;
+}
+
+int CountWithoutAccumulation(const std::unordered_set<int>& ids) {
+  int n = 0;
+  for (int id : ids) {  // allowed: body has no += / -=
+    if (id > 0) ++n;
+  }
+  return n;
+}
+
+float SumSortedCopy(const std::unordered_set<int>& rows) {
+  std::vector<int> ordered(rows.begin(), rows.end());
+  float total = 0.0f;
+  for (int r : ordered) total += r;  // allowed: ordered container
+  return total;
+}
+
+float SumPlainVector(const std::vector<float>& values) {
+  float total = 0.0f;
+  for (float v : values) total += v;  // allowed: vector
+  return total;
+}

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 suite under the plain build, a crash-resume
-# determinism gate (real SIGKILL mid-training via failpoints, resume, byte
-# compare), the fault-labelled tests again under AddressSanitizer, and the
-# race-labelled tests under ThreadSanitizer (GROUPSA_SANITIZE=thread) to
-# shake out data races in the thread pool, the sharded trainer and the
-# parallel kernels.
+# CI entry point: tier-1 suite under the plain build, the determinism linter
+# and clang-tidy lanes over src/, a crash-resume determinism gate (real
+# SIGKILL mid-training via failpoints, resume, byte compare), the
+# fault-labelled tests again under AddressSanitizer, the race-labelled tests
+# under ThreadSanitizer (GROUPSA_SANITIZE=thread) to shake out data races in
+# the thread pool, the sharded trainer and the parallel kernels, and the
+# full suite once more under UBSan (GROUPSA_SANITIZE=undefined) with
+# recovery disabled, so any undefined behaviour on a tested path fails CI.
 #
 # Usage: tools/ci.sh [jobs]       (default: nproc)
 
@@ -18,6 +20,21 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "${JOBS}"
 echo "=== plain ctest (full tier-1 suite) ==="
 ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "=== lint lane (determinism linter over src/) ==="
+# Zero findings required; reviewed exceptions live in tools/lint_allow.txt
+# and stale allowlist entries are findings themselves.
+./build/tools/groupsa_lint --allowlist tools/lint_allow.txt src/
+
+echo "=== clang-tidy lane ==="
+# The image ships gcc only; when clang-tidy is absent the lane degrades to a
+# visible skip rather than silently passing.
+if command -v clang-tidy > /dev/null 2>&1; then
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  git ls-files 'src/*.cc' | xargs clang-tidy -p build --quiet
+else
+  echo "clang-tidy not installed; skipping tidy lane"
+fi
 
 echo "=== inference bench smoke (0-ULP parity gate) ==="
 # --quick caps the catalog; the run still exits non-zero if the batched
@@ -78,5 +95,14 @@ echo "=== tsan ctest (race-labelled tests) ==="
 # TSan slows execution ~5-15x, so the sanitizer lane runs only the tests
 # that exercise the parallel paths; the full suite already ran above.
 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L race
+
+echo "=== ubsan build ==="
+cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGROUPSA_SANITIZE=undefined
+cmake --build build-ubsan -j "${JOBS}"
+echo "=== ubsan ctest (full suite, -fno-sanitize-recover=all) ==="
+# UBSan's overhead is small enough to run everything; recovery is disabled
+# at compile time, so one UB report anywhere aborts the test that hit it.
+ctest --test-dir build-ubsan --output-on-failure -j "${JOBS}"
 
 echo "CI OK"

@@ -1,0 +1,181 @@
+// Determinism linter for the GroupSA source tree.
+//
+//   groupsa_lint [--allowlist <file>|none] [--cmake <file>] <dir|file>...
+//
+// Scans every .h/.cc under the given paths with the rules in
+// analysis/source_lint.h (banned wall-clock reads, ad-hoc randomness, naked
+// threads, raw new/delete, order-sensitive unordered iteration, unguarded
+// SIMD translation units) and prints findings as "file:line: [rule]
+// message". Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+//
+// The allowlist (default tools/lint_allow.txt when present) silences
+// reviewed exceptions; stale entries are themselves findings, so the list
+// can only shrink when the code it excuses goes away. The fp-contract rule
+// reads the GROUPSA_SIMD_SOURCES guard list from --cmake (default
+// <dir>/CMakeLists.txt of the first scanned directory).
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/source_lint.h"
+
+namespace fs = std::filesystem;
+using groupsa::analysis::Allowlist;
+using groupsa::analysis::LintFinding;
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: groupsa_lint [--allowlist <file>|none] "
+               "[--cmake <file>] <dir|file>...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string allow_path;
+  bool allow_disabled = false;
+  std::string cmake_path;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--allowlist") {
+      if (++i >= argc) return Usage();
+      if (std::string(argv[i]) == "none") {
+        allow_disabled = true;
+      } else {
+        allow_path = argv[i];
+      }
+    } else if (arg == "--cmake") {
+      if (++i >= argc) return Usage();
+      cmake_path = argv[i];
+    } else if (arg == "--help" || arg == "-h" || arg[0] == '-') {
+      return Usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) return Usage();
+
+  // Gather the file set, sorted so output and allowlist matching never
+  // depend on directory enumeration order.
+  std::vector<std::pair<std::string, std::string>> files;  // path, content
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (fs::recursive_directory_iterator it(root, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (it->is_regular_file() && IsSourceFile(it->path()))
+          files.emplace_back(it->path().generic_string(), "");
+      }
+      if (cmake_path.empty()) {
+        const fs::path candidate = fs::path(root) / "CMakeLists.txt";
+        if (fs::exists(candidate, ec)) cmake_path = candidate.generic_string();
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.emplace_back(fs::path(root).generic_string(), "");
+    } else {
+      std::fprintf(stderr, "groupsa_lint: no such file or directory: %s\n",
+                   root.c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  for (auto& [path, content] : files) {
+    if (!ReadFile(path, &content)) {
+      std::fprintf(stderr, "groupsa_lint: cannot read %s\n", path.c_str());
+      return 2;
+    }
+  }
+
+  // Pass 1: union of unordered-container names across the whole tree, so a
+  // member declared in one header is recognized at its use sites elsewhere.
+  std::set<std::string> unordered_names;
+  for (const auto& [path, content] : files) {
+    groupsa::analysis::CollectUnorderedNames(
+        groupsa::analysis::StripCommentsAndStrings(content),
+        &unordered_names);
+  }
+
+  // Pass 2: per-file rules, then the cross-file SIMD guard-list rule.
+  std::vector<LintFinding> findings;
+  for (const auto& [path, content] : files) {
+    std::vector<LintFinding> file_findings =
+        groupsa::analysis::LintSource(path, content, unordered_names);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  if (!cmake_path.empty()) {
+    std::string cmake_content;
+    if (!ReadFile(cmake_path, &cmake_content)) {
+      std::fprintf(stderr, "groupsa_lint: cannot read %s\n",
+                   cmake_path.c_str());
+      return 2;
+    }
+    std::vector<LintFinding> simd = groupsa::analysis::LintSimdGuardList(
+        cmake_path, cmake_content, files);
+    findings.insert(findings.end(), simd.begin(), simd.end());
+  }
+
+  if (allow_path.empty() && !allow_disabled) {
+    std::error_code ec;
+    if (fs::exists("tools/lint_allow.txt", ec))
+      allow_path = "tools/lint_allow.txt";
+  }
+  if (!allow_path.empty()) {
+    std::string allow_content;
+    if (!ReadFile(allow_path, &allow_content)) {
+      std::fprintf(stderr, "groupsa_lint: cannot read allowlist %s\n",
+                   allow_path.c_str());
+      return 2;
+    }
+    Allowlist allow;
+    if (groupsa::Status s = Allowlist::Parse(allow_content, &allow);
+        !s.ok()) {
+      std::fprintf(stderr, "groupsa_lint: %s: %s\n", allow_path.c_str(),
+                   s.message().c_str());
+      return 2;
+    }
+    findings = groupsa::analysis::ApplyAllowlist(std::move(findings), allow,
+                                                 allow_path);
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const LintFinding& a, const LintFinding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  for (const LintFinding& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::printf("groupsa_lint: %zu finding(s) in %zu file(s) scanned\n",
+                findings.size(), files.size());
+    return 1;
+  }
+  return 0;
+}
