@@ -45,6 +45,7 @@ class Linter {
       if (!CheckOperandsPresent(nodes[i], i)) continue;
       CheckShapes(nodes[i], i);
       CheckWrites(nodes[i], i);
+      CheckStaleGrad(nodes[i], i);
     }
     CheckReachability();
     return std::move(issues_);
@@ -314,6 +315,24 @@ class Linter {
     }
   }
 
+  // Pre-backward gradient hygiene: an intermediate that wants gradients
+  // must start with an absent or all-zero gradient, or backward would add
+  // onto leftovers (the failure mode of recycling a pooled tensor without
+  // zeroing). Registered parameters are exempt: they legitimately carry
+  // accumulated gradient across a batch (and appearing as an op output at
+  // all is already kParamOverwrite).
+  void CheckStaleGrad(const OpNode& node, int i) {
+    const Tensor* out = node.output.get();
+    if (!out->requires_grad() || !out->has_grad()) return;
+    for (const ag::Tensor* param : options_.parameters)
+      if (param == out) return;
+    if (out->grad_view().MaxAbs() == 0.0f) return;
+    Add(GraphIssue::Kind::kStaleGrad, i,
+        NodeLabel(node, i) +
+            ": output carries a nonzero gradient before backward ran "
+            "(recycled tensor with an unzeroed gradient?)");
+  }
+
   void CheckReachability() {
     const std::vector<OpNode>& nodes = tape_.nodes();
     if (options_.root == nullptr) return;
@@ -397,6 +416,7 @@ const char* GraphIssueKindName(GraphIssue::Kind kind) {
     case GraphIssue::Kind::kDetachedGrad: return "detached-grad";
     case GraphIssue::Kind::kUnreachedParam: return "unreached-param";
     case GraphIssue::Kind::kMissingRoot: return "missing-root";
+    case GraphIssue::Kind::kStaleGrad: return "stale-grad";
   }
   return "<unknown>";
 }

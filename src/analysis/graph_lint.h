@@ -44,6 +44,12 @@ struct GraphIssue {
     kUnreachedParam,
     // The requested root was not produced by any op on this tape.
     kMissingRoot,
+    // A non-parameter op output that requests gradients already carries a
+    // nonzero gradient before backward ran. With tensor pooling this means
+    // a recycled tensor was handed out without its stale gradient being
+    // zeroed; the backward pass would silently add last batch's gradient on
+    // top of this batch's.
+    kStaleGrad,
   };
 
   Kind kind = Kind::kShapeMismatch;

@@ -39,6 +39,7 @@ tensor::Matrix* GradShard::Redirect(const Tensor* t) {
   Buffer* buffer = it->second;
   if (!buffer->grad.SameShape(t->value()))
     buffer->grad.Resize(t->value().rows(), t->value().cols());
+  buffer->used = true;
   return &buffer->grad;
 }
 
@@ -56,21 +57,37 @@ void GradShard::ReduceInto() {
   GROUPSA_CHECK(tls_active_shard == nullptr,
                 "ReduceInto must run outside any active shard");
   for (Buffer& buffer : buffers_) {
+    if (!buffer.used) continue;  // not redirected to since the last reduce
+    buffer.used = false;
     Tensor* t = buffer.slot.tensor;
-    if (!buffer.grad.SameShape(t->value())) continue;  // never touched
     tensor::Matrix& real = t->grad();
     if (buffer.slot.touched_rows != nullptr) {
       // Sparse: only rows this shard gathered carry gradient; adding just
-      // those keeps the reduction O(touched) instead of O(table).
+      // those keeps the reduction O(touched) instead of O(table). The same
+      // rows are then re-zeroed so the persistent buffer is clean for the
+      // next batch without an O(table) clear.
       for (int row : buffer.rows) {
         float* dst = real.RowPtr(row);
-        const float* src = buffer.grad.RowPtr(row);
-        for (int c = 0; c < real.cols(); ++c) dst[c] += src[c];
+        float* src = buffer.grad.RowPtr(row);
+        for (int c = 0; c < real.cols(); ++c) {
+          dst[c] += src[c];
+          src[c] = 0.0f;
+        }
       }
       buffer.slot.touched_rows->insert(buffer.rows.begin(),
                                        buffer.rows.end());
+      buffer.rows.clear();
+#ifndef NDEBUG
+      // Touched-row zeroing invariant: gradient may only ever land in rows
+      // recorded as touched, so clearing those rows must leave the whole
+      // buffer zero. A violation means some closure wrote the table grad
+      // without recording the row.
+      GROUPSA_DCHECK(buffer.grad.MaxAbs() == 0.0f,
+                     "GradShard sparse buffer nonzero outside touched rows");
+#endif
     } else {
       real.AddInPlace(buffer.grad);
+      buffer.grad.SetZero();
     }
   }
 }

@@ -24,13 +24,23 @@ namespace groupsa::ag {
 // common/thread_pool.h).
 //
 // Usage (per shard, on the executing thread):
-//   GradShard shard(slots);
+//   GradShard shard(slots);           // persistent: lives across batches
 //   {
 //     GradShard::ActiveScope scope(&shard);
 //     ... build forward on a local tape, tape.BackwardFrom(...) ...
 //   }
 //   // later, on the calling thread, in shard order:
 //   shard.ReduceInto();
+//
+// A shard is reusable across batches: ReduceInto leaves every buffer
+// all-zero again, so the next batch accumulates into clean storage without
+// any per-batch allocation. For sparse (embedding) parameters the re-zero
+// touches only the rows the shard actually gathered — O(|touched| x d)
+// instead of the O(|vocab| x d) a full clear (or a fresh buffer) would
+// cost; dense parameters get a full clear, which is cheap at their size.
+// Debug builds audit the sparse invariant after each reduce: the entire
+// buffer must be zero once the touched rows are cleared, so a row that
+// carried gradient but missed the touched set fails loudly.
 class GradShard {
  public:
   struct ParamSlot {
@@ -69,8 +79,10 @@ class GradShard {
                                 const std::vector<int>& row_ids);
 
   // Adds the shard's accumulated gradients into the real parameter tensors
-  // and merges touched-row sets. Must run with no shard active, serially,
-  // in shard order across shards.
+  // and merges touched-row sets, then re-zeroes the shard's buffers so the
+  // next batch starts clean (touched-row zeroing for sparse parameters,
+  // full clear for dense). Must run with no shard active, serially, in
+  // shard order across shards.
   void ReduceInto();
 
  private:
@@ -78,6 +90,7 @@ class GradShard {
     ParamSlot slot;
     tensor::Matrix grad;           // lazily sized on first redirect
     std::unordered_set<int> rows;  // shard-local touched rows (sparse only)
+    bool used = false;             // redirected to since the last reduce
   };
 
   std::vector<Buffer> buffers_;                        // registration order

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "autograd/grad_shard.h"
+#include "autograd/pool.h"
 #include "tensor/ops.h"
 
 namespace groupsa::ag {
@@ -20,9 +21,27 @@ bool AnyRequiresGrad(std::initializer_list<const TensorPtr*> inputs) {
   return false;
 }
 
-TensorPtr MakeOutput(Matrix value, bool requires_grad) {
-  auto out = std::make_shared<Tensor>(std::move(value), requires_grad);
+// Output tensor for an op. With a TensorPool active on this thread (the
+// sharded training path) the tensor — value storage included — is recycled
+// from previous batches and already has shape (rows, cols); without one it
+// is freshly allocated with an empty value. Either way the contents are
+// unspecified and the op must fully overwrite them (via CopyFrom, an *Into
+// kernel, Gemm, or EnsureShape + direct writes).
+TensorPtr AcquireOutput(int rows, int cols, bool requires_grad) {
+  if (TensorPool* pool = TensorPool::Active())
+    return pool->Acquire(rows, cols, requires_grad);
+  auto out = std::make_shared<Tensor>();
+  out->set_requires_grad(requires_grad);
   return out;
+}
+
+// Workspace matrix captured by backward closures (dropout masks, layer-norm
+// statistics, row-sum temporaries); pooled under the same protocol.
+// Contents are unspecified.
+std::shared_ptr<Matrix> AcquireWorkspace(int rows, int cols) {
+  if (TensorPool* pool = TensorPool::Active())
+    return pool->AcquireWorkspace(rows, cols);
+  return std::make_shared<Matrix>(rows, cols);
 }
 
 // Appends the structural record the graph validator consumes
@@ -63,10 +82,12 @@ float Softplus(float x) {
 
 TensorPtr MatMul(Tape* tape, const TensorPtr& a, const TensorPtr& b,
                  bool transpose_a, bool transpose_b) {
-  Matrix value;
-  tensor::Gemm(a->value(), transpose_a, b->value(), transpose_b, 1.0f, &value);
+  const int m = transpose_a ? a->cols() : a->rows();
+  const int n = transpose_b ? b->rows() : b->cols();
   const bool needs_grad = tape != nullptr && AnyRequiresGrad({&a, &b});
-  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  TensorPtr out = AcquireOutput(m, n, needs_grad);
+  tensor::Gemm(a->value(), transpose_a, b->value(), transpose_b, 1.0f,
+               &out->mutable_value());
   RecordNode(tape, OpKind::kMatMul, {a, b}, out, 0, 0, transpose_a,
              transpose_b);
   if (!needs_grad) return out;
@@ -102,10 +123,11 @@ TensorPtr MatMul(Tape* tape, const TensorPtr& a, const TensorPtr& b,
 
 TensorPtr Add(Tape* tape, const TensorPtr& a, const TensorPtr& b) {
   GROUPSA_CHECK(a->value().SameShape(b->value()), "Add shape mismatch");
-  Matrix value = a->value();
-  value.AddInPlace(b->value());
   const bool needs_grad = tape != nullptr && AnyRequiresGrad({&a, &b});
-  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  TensorPtr out = AcquireOutput(a->rows(), a->cols(), needs_grad);
+  Matrix& value = out->mutable_value();
+  value.CopyFrom(a->value());
+  value.AddInPlace(b->value());
   RecordNode(tape, OpKind::kAdd, {a, b}, out);
   if (!needs_grad) return out;
   tape->Record([a, b, out]() {
@@ -117,10 +139,11 @@ TensorPtr Add(Tape* tape, const TensorPtr& a, const TensorPtr& b) {
 
 TensorPtr Sub(Tape* tape, const TensorPtr& a, const TensorPtr& b) {
   GROUPSA_CHECK(a->value().SameShape(b->value()), "Sub shape mismatch");
-  Matrix value = a->value();
-  value.SubInPlace(b->value());
   const bool needs_grad = tape != nullptr && AnyRequiresGrad({&a, &b});
-  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  TensorPtr out = AcquireOutput(a->rows(), a->cols(), needs_grad);
+  Matrix& value = out->mutable_value();
+  value.CopyFrom(a->value());
+  value.SubInPlace(b->value());
   RecordNode(tape, OpKind::kSub, {a, b}, out);
   if (!needs_grad) return out;
   tape->Record([a, b, out]() {
@@ -131,26 +154,37 @@ TensorPtr Sub(Tape* tape, const TensorPtr& a, const TensorPtr& b) {
 }
 
 TensorPtr Mul(Tape* tape, const TensorPtr& a, const TensorPtr& b) {
-  Matrix value = tensor::Hadamard(a->value(), b->value());
   const bool needs_grad = tape != nullptr && AnyRequiresGrad({&a, &b});
-  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  TensorPtr out = AcquireOutput(a->rows(), a->cols(), needs_grad);
+  tensor::HadamardInto(a->value(), b->value(), &out->mutable_value());
   RecordNode(tape, OpKind::kMul, {a, b}, out);
   if (!needs_grad) return out;
   tape->Record([a, b, out]() {
+    // In-place accumulation, no Hadamard temporary. Bit-identical to the
+    // historical temp-then-AddInPlace form: each element still computes one
+    // float multiply then one float add in the same order, and this TU is
+    // compiled without FMA so the two can never contract.
     const Matrix& g = out->grad();
-    if (a->requires_grad())
-      a->grad().AddInPlace(tensor::Hadamard(g, b->value()));
-    if (b->requires_grad())
-      b->grad().AddInPlace(tensor::Hadamard(g, a->value()));
+    if (a->requires_grad()) {
+      Matrix& ga = a->grad();
+      const float* bv = b->value().data();
+      for (int i = 0; i < g.size(); ++i) ga.data()[i] += g.data()[i] * bv[i];
+    }
+    if (b->requires_grad()) {
+      Matrix& gb = b->grad();
+      const float* av = a->value().data();
+      for (int i = 0; i < g.size(); ++i) gb.data()[i] += g.data()[i] * av[i];
+    }
   });
   return out;
 }
 
 TensorPtr Scale(Tape* tape, const TensorPtr& a, float factor) {
-  Matrix value = a->value();
-  value.ScaleInPlace(factor);
   const bool needs_grad = tape != nullptr && a->requires_grad();
-  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  TensorPtr out = AcquireOutput(a->rows(), a->cols(), needs_grad);
+  Matrix& value = out->mutable_value();
+  value.CopyFrom(a->value());
+  value.ScaleInPlace(factor);
   RecordNode(tape, OpKind::kScale, {a}, out);
   if (!needs_grad) return out;
   tape->Record([a, out, factor]() {
@@ -160,30 +194,41 @@ TensorPtr Scale(Tape* tape, const TensorPtr& a, float factor) {
 }
 
 TensorPtr AddBias(Tape* tape, const TensorPtr& x, const TensorPtr& bias) {
-  Matrix value = x->value();
-  tensor::AddRowBroadcastInPlace(&value, bias->value());
   const bool needs_grad = tape != nullptr && AnyRequiresGrad({&x, &bias});
-  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  TensorPtr out = AcquireOutput(x->rows(), x->cols(), needs_grad);
+  Matrix& value = out->mutable_value();
+  value.CopyFrom(x->value());
+  tensor::AddRowBroadcastInPlace(&value, bias->value());
   RecordNode(tape, OpKind::kAddBias, {x, bias}, out);
   if (!needs_grad) return out;
-  tape->Record([x, bias, out]() {
+  // The bias gradient keeps the historical sum-rows-into-a-temp-then-add
+  // order: accumulating each output row directly into bias->grad() would
+  // reassociate the float additions and change the rounding.
+  auto ws = bias->requires_grad() ? AcquireWorkspace(1, x->cols()) : nullptr;
+  tape->Record([x, bias, out, ws]() {
     if (x->requires_grad()) x->grad().AddInPlace(out->grad());
-    if (bias->requires_grad())
-      bias->grad().AddInPlace(tensor::SumRows(out->grad()));
+    if (bias->requires_grad()) {
+      tensor::SumRowsInto(out->grad(), ws.get());
+      bias->grad().AddInPlace(*ws);
+    }
   });
   return out;
 }
 
 TensorPtr BroadcastRow(Tape* tape, const TensorPtr& row, int n) {
   GROUPSA_CHECK(row->rows() == 1, "BroadcastRow requires a 1 x d input");
-  Matrix value(n, row->cols());
-  for (int r = 0; r < n; ++r) value.SetRow(r, row->value().RowPtr(0));
   const bool needs_grad = tape != nullptr && row->requires_grad();
-  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  TensorPtr out = AcquireOutput(n, row->cols(), needs_grad);
+  Matrix& value = out->mutable_value();
+  value.EnsureShape(n, row->cols());
+  for (int r = 0; r < n; ++r) value.SetRow(r, row->value().RowPtr(0));
   RecordNode(tape, OpKind::kBroadcastRow, {row}, out, n);
   if (!needs_grad) return out;
-  tape->Record([row, out]() {
-    row->grad().AddInPlace(tensor::SumRows(out->grad()));
+  // Same sum-into-temp-then-add ordering rationale as AddBias.
+  auto ws = AcquireWorkspace(1, row->cols());
+  tape->Record([row, out, ws]() {
+    tensor::SumRowsInto(out->grad(), ws.get());
+    row->grad().AddInPlace(*ws);
   });
   return out;
 }
@@ -198,7 +243,10 @@ TensorPtr ConcatCols(Tape* tape, const std::vector<TensorPtr>& parts) {
     needs_grad = needs_grad || p->requires_grad();
   }
   needs_grad = needs_grad && tape != nullptr;
-  TensorPtr out = MakeOutput(tensor::ConcatCols(raw), needs_grad);
+  int total_cols = 0;
+  for (const Matrix* m : raw) total_cols += m->cols();
+  TensorPtr out = AcquireOutput(raw[0]->rows(), total_cols, needs_grad);
+  tensor::ConcatColsInto(raw, &out->mutable_value());
   RecordNode(tape, OpKind::kConcatCols, parts, out);
   if (!needs_grad) return out;
   tape->Record([parts, out]() {
@@ -226,7 +274,10 @@ TensorPtr ConcatRows(Tape* tape, const std::vector<TensorPtr>& parts) {
     needs_grad = needs_grad || p->requires_grad();
   }
   needs_grad = needs_grad && tape != nullptr;
-  TensorPtr out = MakeOutput(tensor::ConcatRows(raw), needs_grad);
+  int total_rows = 0;
+  for (const Matrix* m : raw) total_rows += m->rows();
+  TensorPtr out = AcquireOutput(total_rows, raw[0]->cols(), needs_grad);
+  tensor::ConcatRowsInto(raw, &out->mutable_value());
   RecordNode(tape, OpKind::kConcatRows, parts, out);
   if (!needs_grad) return out;
   tape->Record([parts, out]() {
@@ -247,10 +298,11 @@ TensorPtr ConcatRows(Tape* tape, const std::vector<TensorPtr>& parts) {
 TensorPtr SliceRows(Tape* tape, const TensorPtr& x, int start, int count) {
   GROUPSA_CHECK(start >= 0 && count >= 0 && start + count <= x->rows(),
                 "SliceRows range out of bounds");
-  Matrix value(count, x->cols());
-  for (int r = 0; r < count; ++r) value.SetRow(r, x->value().RowPtr(start + r));
   const bool needs_grad = tape != nullptr && x->requires_grad();
-  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  TensorPtr out = AcquireOutput(count, x->cols(), needs_grad);
+  Matrix& value = out->mutable_value();
+  value.EnsureShape(count, x->cols());
+  for (int r = 0; r < count; ++r) value.SetRow(r, x->value().RowPtr(start + r));
   RecordNode(tape, OpKind::kSliceRows, {x}, out, start, count);
   if (!needs_grad) return out;
   tape->Record([x, out, start, count]() {
@@ -265,9 +317,10 @@ TensorPtr SliceRows(Tape* tape, const TensorPtr& x, int start, int count) {
 TensorPtr GatherRows(Tape* tape, const TensorPtr& table,
                      const std::vector<int>& row_ids,
                      std::unordered_set<int>* touched_rows) {
-  Matrix value = tensor::GatherRows(table->value(), row_ids);
   const bool needs_grad = tape != nullptr && table->requires_grad();
-  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  TensorPtr out = AcquireOutput(static_cast<int>(row_ids.size()),
+                                table->cols(), needs_grad);
+  tensor::GatherRowsInto(table->value(), row_ids, &out->mutable_value());
   int max_id = -1;
   for (int id : row_ids) max_id = std::max(max_id, id);
   RecordNode(tape, OpKind::kGatherRows, {table}, out,
@@ -292,23 +345,31 @@ TensorPtr GatherRows(Tape* tape, const TensorPtr& table,
 }
 
 TensorPtr Transpose(Tape* tape, const TensorPtr& x) {
-  Matrix value = tensor::Transpose(x->value());
   const bool needs_grad = tape != nullptr && x->requires_grad();
-  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  TensorPtr out = AcquireOutput(x->cols(), x->rows(), needs_grad);
+  tensor::TransposeInto(x->value(), &out->mutable_value());
   RecordNode(tape, OpKind::kTranspose, {x}, out);
   if (!needs_grad) return out;
   tape->Record([x, out]() {
-    x->grad().AddInPlace(tensor::Transpose(out->grad()));
+    // In-place transposed accumulation; visits xg in the same row-major
+    // order AddInPlace(Transpose(g)) did, so the float sums are unchanged.
+    Matrix& xg = x->grad();
+    const Matrix& g = out->grad();
+    for (int r = 0; r < xg.rows(); ++r) {
+      float* xr = xg.RowPtr(r);
+      for (int c = 0; c < xg.cols(); ++c) xr[c] += g.At(c, r);
+    }
   });
   return out;
 }
 
 TensorPtr Relu(Tape* tape, const TensorPtr& x) {
-  Matrix value = x->value();
+  const bool needs_grad = tape != nullptr && x->requires_grad();
+  TensorPtr out = AcquireOutput(x->rows(), x->cols(), needs_grad);
+  Matrix& value = out->mutable_value();
+  value.CopyFrom(x->value());
   for (int i = 0; i < value.size(); ++i)
     value.data()[i] = std::max(0.0f, value.data()[i]);
-  const bool needs_grad = tape != nullptr && x->requires_grad();
-  TensorPtr out = MakeOutput(std::move(value), needs_grad);
   RecordNode(tape, OpKind::kRelu, {x}, out);
   if (!needs_grad) return out;
   tape->Record([x, out]() {
@@ -322,11 +383,12 @@ TensorPtr Relu(Tape* tape, const TensorPtr& x) {
 }
 
 TensorPtr Sigmoid(Tape* tape, const TensorPtr& x) {
-  Matrix value = x->value();
+  const bool needs_grad = tape != nullptr && x->requires_grad();
+  TensorPtr out = AcquireOutput(x->rows(), x->cols(), needs_grad);
+  Matrix& value = out->mutable_value();
+  value.CopyFrom(x->value());
   for (int i = 0; i < value.size(); ++i)
     value.data()[i] = StableSigmoid(value.data()[i]);
-  const bool needs_grad = tape != nullptr && x->requires_grad();
-  TensorPtr out = MakeOutput(std::move(value), needs_grad);
   RecordNode(tape, OpKind::kSigmoid, {x}, out);
   if (!needs_grad) return out;
   tape->Record([x, out]() {
@@ -342,11 +404,12 @@ TensorPtr Sigmoid(Tape* tape, const TensorPtr& x) {
 }
 
 TensorPtr Tanh(Tape* tape, const TensorPtr& x) {
-  Matrix value = x->value();
+  const bool needs_grad = tape != nullptr && x->requires_grad();
+  TensorPtr out = AcquireOutput(x->rows(), x->cols(), needs_grad);
+  Matrix& value = out->mutable_value();
+  value.CopyFrom(x->value());
   for (int i = 0; i < value.size(); ++i)
     value.data()[i] = std::tanh(value.data()[i]);
-  const bool needs_grad = tape != nullptr && x->requires_grad();
-  TensorPtr out = MakeOutput(std::move(value), needs_grad);
   RecordNode(tape, OpKind::kTanh, {x}, out);
   if (!needs_grad) return out;
   tape->Record([x, out]() {
@@ -362,11 +425,12 @@ TensorPtr Tanh(Tape* tape, const TensorPtr& x) {
 }
 
 TensorPtr LogSigmoid(Tape* tape, const TensorPtr& x) {
-  Matrix value = x->value();
+  const bool needs_grad = tape != nullptr && x->requires_grad();
+  TensorPtr out = AcquireOutput(x->rows(), x->cols(), needs_grad);
+  Matrix& value = out->mutable_value();
+  value.CopyFrom(x->value());
   for (int i = 0; i < value.size(); ++i)
     value.data()[i] = -Softplus(-value.data()[i]);
-  const bool needs_grad = tape != nullptr && x->requires_grad();
-  TensorPtr out = MakeOutput(std::move(value), needs_grad);
   RecordNode(tape, OpKind::kLogSigmoid, {x}, out);
   if (!needs_grad) return out;
   tape->Record([x, out]() {
@@ -382,7 +446,10 @@ TensorPtr LogSigmoid(Tape* tape, const TensorPtr& x) {
 
 TensorPtr SoftmaxRows(Tape* tape, const TensorPtr& x,
                       const Matrix* additive_mask) {
-  Matrix value = x->value();
+  const bool needs_grad = tape != nullptr && x->requires_grad();
+  TensorPtr out = AcquireOutput(x->rows(), x->cols(), needs_grad);
+  Matrix& value = out->mutable_value();
+  value.CopyFrom(x->value());
   if (additive_mask != nullptr) {
     GROUPSA_CHECK(value.SameShape(*additive_mask),
                   "SoftmaxRows mask shape mismatch");
@@ -394,8 +461,6 @@ TensorPtr SoftmaxRows(Tape* tape, const TensorPtr& x,
     }
   }
   tensor::SoftmaxRowsInPlace(&value);
-  const bool needs_grad = tape != nullptr && x->requires_grad();
-  TensorPtr out = MakeOutput(std::move(value), needs_grad);
   RecordNode(tape, OpKind::kSoftmaxRows, {x}, out, 0, 0,
              /*flag0=*/additive_mask != nullptr);
   if (!needs_grad) return out;
@@ -426,10 +491,13 @@ TensorPtr LayerNorm(Tape* tape, const TensorPtr& x, const TensorPtr& gain,
                 "LayerNorm gain must be 1 x d");
   GROUPSA_CHECK(bias->rows() == 1 && bias->cols() == d,
                 "LayerNorm bias must be 1 x d");
-  Matrix value(x->rows(), d);
+  const bool needs_grad = tape != nullptr && AnyRequiresGrad({&x, &gain, &bias});
+  TensorPtr out = AcquireOutput(x->rows(), d, needs_grad);
+  Matrix& value = out->mutable_value();
+  value.EnsureShape(x->rows(), d);
   // Keep normalized activations and inverse stddev for the backward pass.
-  auto x_hat = std::make_shared<Matrix>(x->rows(), d);
-  auto inv_std = std::make_shared<std::vector<float>>(x->rows());
+  auto x_hat = AcquireWorkspace(x->rows(), d);
+  auto inv_std = AcquireWorkspace(x->rows(), 1);
   for (int r = 0; r < x->rows(); ++r) {
     const float* row = x->value().RowPtr(r);
     double mean = 0.0;
@@ -442,15 +510,13 @@ TensorPtr LayerNorm(Tape* tape, const TensorPtr& x, const TensorPtr& gain,
     }
     var /= d;
     const float inv = 1.0f / std::sqrt(static_cast<float>(var) + epsilon);
-    (*inv_std)[r] = inv;
+    inv_std->At(r, 0) = inv;
     for (int c = 0; c < d; ++c) {
       const float xh = (row[c] - static_cast<float>(mean)) * inv;
       x_hat->At(r, c) = xh;
       value.At(r, c) = xh * gain->value().At(0, c) + bias->value().At(0, c);
     }
   }
-  const bool needs_grad = tape != nullptr && AnyRequiresGrad({&x, &gain, &bias});
-  TensorPtr out = MakeOutput(std::move(value), needs_grad);
   RecordNode(tape, OpKind::kLayerNorm, {x, gain, bias}, out);
   if (!needs_grad) return out;
   tape->Record([x, gain, bias, out, x_hat, inv_std]() {
@@ -479,7 +545,7 @@ TensorPtr LayerNorm(Tape* tape, const TensorPtr& x, const TensorPtr& gain,
         mean_dxh /= cols;
         mean_dxh_xh /= cols;
         float* xr = x->grad().RowPtr(r);
-        const float inv = (*inv_std)[r];
+        const float inv = inv_std->At(r, 0);
         for (int c = 0; c < cols; ++c) {
           const double dxh =
               static_cast<double>(gr[c]) * gain->value().At(0, c);
@@ -499,15 +565,16 @@ TensorPtr Dropout(Tape* tape, const TensorPtr& x, float ratio, bool training,
   GROUPSA_CHECK(rng != nullptr, "Dropout in training mode requires an Rng");
   const float keep = 1.0f - ratio;
   const float scale = 1.0f / keep;
-  auto mask = std::make_shared<Matrix>(x->rows(), x->cols());
-  Matrix value = x->value();
+  const bool needs_grad = tape != nullptr && x->requires_grad();
+  TensorPtr out = AcquireOutput(x->rows(), x->cols(), needs_grad);
+  auto mask = AcquireWorkspace(x->rows(), x->cols());
+  Matrix& value = out->mutable_value();
+  value.CopyFrom(x->value());
   for (int i = 0; i < value.size(); ++i) {
     const float m = rng->NextBernoulli(keep) ? scale : 0.0f;
     mask->data()[i] = m;
     value.data()[i] *= m;
   }
-  const bool needs_grad = tape != nullptr && x->requires_grad();
-  TensorPtr out = MakeOutput(std::move(value), needs_grad);
   RecordNode(tape, OpKind::kDropout, {x}, out);
   if (!needs_grad) return out;
   tape->Record([x, out, mask]() {
@@ -520,10 +587,11 @@ TensorPtr Dropout(Tape* tape, const TensorPtr& x, float ratio, bool training,
 }
 
 TensorPtr SumAll(Tape* tape, const TensorPtr& x) {
-  Matrix value(1, 1);
-  value.At(0, 0) = x->value().Sum();
   const bool needs_grad = tape != nullptr && x->requires_grad();
-  TensorPtr out = MakeOutput(std::move(value), needs_grad);
+  TensorPtr out = AcquireOutput(1, 1, needs_grad);
+  Matrix& value = out->mutable_value();
+  value.EnsureShape(1, 1);
+  value.At(0, 0) = x->value().Sum();
   RecordNode(tape, OpKind::kSumAll, {x}, out);
   if (!needs_grad) return out;
   tape->Record([x, out]() {
@@ -543,15 +611,16 @@ TensorPtr BprLoss(Tape* tape, const TensorPtr& pos, const TensorPtr& negs) {
                 "BprLoss pos must be scalar");
   GROUPSA_CHECK(negs->cols() == 1, "BprLoss negs must be n x 1");
   const float p = pos->scalar();
-  Matrix value(1, 1);
+  const bool needs_grad = tape != nullptr && AnyRequiresGrad({&pos, &negs});
+  TensorPtr out = AcquireOutput(1, 1, needs_grad);
+  Matrix& value = out->mutable_value();
+  value.EnsureShape(1, 1);
   double total = 0.0;
   for (int i = 0; i < negs->rows(); ++i) {
     // -ln sigmoid(p - n) == softplus(n - p).
     total += Softplus(negs->value().At(i, 0) - p);
   }
   value.At(0, 0) = static_cast<float>(total);
-  const bool needs_grad = tape != nullptr && AnyRequiresGrad({&pos, &negs});
-  TensorPtr out = MakeOutput(std::move(value), needs_grad);
   RecordNode(tape, OpKind::kBprLoss, {pos, negs}, out);
   if (!needs_grad) return out;
   tape->Record([pos, negs, out]() {

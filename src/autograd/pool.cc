@@ -1,0 +1,102 @@
+#include "autograd/pool.h"
+
+#include "common/macros.h"
+
+namespace groupsa::ag {
+namespace {
+
+thread_local TensorPool* tls_active_pool = nullptr;
+
+uint64_t MatrixBytes(int rows, int cols) {
+  return static_cast<uint64_t>(rows) * static_cast<uint64_t>(cols) *
+         sizeof(float);
+}
+
+}  // namespace
+
+TensorPool::ActiveScope::ActiveScope(TensorPool* pool)
+    : activated_(pool != nullptr) {
+  if (!activated_) return;  // null pool: pooling off for this scope
+  GROUPSA_CHECK(tls_active_pool == nullptr, "TensorPool scopes do not nest");
+  tls_active_pool = pool;
+}
+
+TensorPool::ActiveScope::~ActiveScope() {
+  if (activated_) tls_active_pool = nullptr;
+}
+
+TensorPool* TensorPool::Active() { return tls_active_pool; }
+
+uint64_t TensorPool::TensorKey(int rows, int cols, bool requires_grad) {
+  // rows/cols are int-positive (< 2^31); 31 + 31 + 1 bits pack losslessly.
+  return (static_cast<uint64_t>(static_cast<uint32_t>(rows)) << 33) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(cols)) << 1) |
+         (requires_grad ? 1u : 0u);
+}
+
+TensorPtr TensorPool::Acquire(int rows, int cols, bool requires_grad) {
+  std::vector<TensorPtr>& bucket =
+      tensor_buckets_[TensorKey(rows, cols, requires_grad)];
+  TensorPtr t;
+  if (!bucket.empty()) {
+    t = std::move(bucket.back());
+    bucket.pop_back();
+    // A recycled tensor must start the batch exactly like a fresh one: its
+    // value is about to be fully overwritten by the op, but its gradient
+    // still holds the previous batch's backward results.
+    t->ZeroGrad();
+    ++stats_.tensors_reused;
+  } else {
+    t = std::make_shared<Tensor>(tensor::Matrix(rows, cols), requires_grad);
+    ++stats_.tensors_created;
+    stats_.bytes += MatrixBytes(rows, cols);
+  }
+  tensors_out_.push_back(t);
+  return t;
+}
+
+std::shared_ptr<tensor::Matrix> TensorPool::AcquireWorkspace(int rows,
+                                                             int cols) {
+  std::vector<std::shared_ptr<tensor::Matrix>>& bucket =
+      workspace_buckets_[TensorKey(rows, cols, false)];
+  std::shared_ptr<tensor::Matrix> m;
+  if (!bucket.empty()) {
+    m = std::move(bucket.back());
+    bucket.pop_back();
+    ++stats_.workspaces_reused;
+  } else {
+    m = std::make_shared<tensor::Matrix>(rows, cols);
+    ++stats_.workspaces_created;
+    stats_.bytes += MatrixBytes(rows, cols);
+  }
+  workspaces_out_.push_back(m);
+  return m;
+}
+
+void TensorPool::EndBatch() {
+  ++stats_.batches;
+  for (TensorPtr& t : tensors_out_) {
+    if (t.use_count() == 1) {
+      tensor_buckets_[TensorKey(t->rows(), t->cols(), t->requires_grad())]
+          .push_back(std::move(t));
+    } else {
+      // Someone kept a reference past the batch; release it to them. The
+      // value bytes leave the pool's books with it.
+      ++stats_.escaped;
+      stats_.bytes -= MatrixBytes(t->rows(), t->cols());
+    }
+  }
+  tensors_out_.clear();
+  for (std::shared_ptr<tensor::Matrix>& m : workspaces_out_) {
+    if (m.use_count() == 1) {
+      workspace_buckets_[TensorKey(m->rows(), m->cols(), false)].push_back(
+          std::move(m));
+    } else {
+      ++stats_.escaped;
+      stats_.bytes -= MatrixBytes(m->rows(), m->cols());
+    }
+  }
+  workspaces_out_.clear();
+}
+
+}  // namespace groupsa::ag

@@ -124,6 +124,25 @@ class Tape {
     ops_.clear();
     nodes_.clear();
   }
+
+  // Clears the tape for reuse by the next batch and re-binds ownership to
+  // the calling thread (the pool makes no guarantee about which thread runs
+  // a given shard in a given batch). clear() — never a {}-swap — keeps the
+  // vectors' capacity, and the recorded-graph vectors are additionally
+  // reserve()d to the previous batch's size, so a steady-state batch
+  // appends every op without reallocating either vector. Dropping the
+  // closures here also releases their captured TensorPtrs, which is what
+  // lets TensorPool::EndBatch reclaim the batch's tensors.
+  void Reset() {
+    const size_t prev_ops = ops_.size();
+    const size_t prev_nodes = nodes_.size();
+    ops_.clear();
+    nodes_.clear();
+    ops_.reserve(prev_ops);
+    nodes_.reserve(prev_nodes);
+    owner_ = std::this_thread::get_id();
+  }
+
   size_t num_ops() const { return ops_.size(); }
 
   bool records_graph() const { return record_graph_; }

@@ -48,14 +48,28 @@ Trainer::Trainer(GroupSaModel* model, const data::EdgeList& user_train,
     GROUPSA_CHECK(false, s.message().c_str());
 }
 
+ag::TensorPool::Stats Trainer::PoolStats() const {
+  ag::TensorPool::Stats total;
+  for (const std::unique_ptr<ShardContext>& ctx : shard_ctx_) {
+    const ag::TensorPool::Stats& s = ctx->pool.stats();
+    total.tensors_created += s.tensors_created;
+    total.tensors_reused += s.tensors_reused;
+    total.workspaces_created += s.workspaces_created;
+    total.workspaces_reused += s.workspaces_reused;
+    total.escaped += s.escaped;
+    total.bytes += s.bytes;
+    total.batches += s.batches;
+  }
+  return total;
+}
+
 bool Trainer::GradientsFinite() const {
   for (const ag::GradShard::ParamSlot& slot : grad_slots_) {
     if (!slot.tensor->has_grad()) continue;
     const tensor::Matrix& grad = slot.tensor->grad_view();
     auto row_finite = [&](int r) {
-      const float* g = grad.RowPtr(r);
-      for (int c = 0; c < grad.cols(); ++c)
-        if (!std::isfinite(g[c])) return false;
+      for (float g : grad.RowAt(r))
+        if (!std::isfinite(g)) return false;
       return true;
     };
     if (slot.touched_rows != nullptr) {
@@ -109,55 +123,72 @@ Trainer::EpochStats Trainer::RunShardedEpoch(int num_samples,
     const int batch_losses = (end - start) * losses_per_sample;
     const int num_shards = (end - start + kShardGrain - 1) / kShardGrain;
 
-    std::vector<std::unique_ptr<ag::GradShard>> shards(num_shards);
-    std::vector<float> shard_loss(num_shards, 0.0f);
+    // Persistent contexts: shard s reuses the same tape, gradient sink and
+    // tensor pool every batch, so the steady state allocates nothing here.
+    while (shard_ctx_.size() < static_cast<size_t>(num_shards)) {
+      auto ctx = std::make_unique<ShardContext>();
+      ctx->sink = std::make_unique<ag::GradShard>(grad_slots_);
+      shard_ctx_.push_back(std::move(ctx));
+    }
+    shard_loss_.assign(static_cast<size_t>(num_shards), 0.0f);
+    // Seeding with 1/batch_losses makes each sample's gradient carry the
+    // batch-mean weight, exactly as the historical mean-loss graph did.
+    tensor::Matrix seed(1, 1);
+    seed.At(0, 0) = 1.0f / static_cast<float>(batch_losses);
     parallel::ParallelFor(0, num_shards, 1, [&](int64_t sb, int64_t se) {
       for (int64_t s = sb; s < se; ++s) {
         Rng shard_rng(Rng::StreamSeed(batch_seed, static_cast<uint64_t>(s)));
-        shards[s] = std::make_unique<ag::GradShard>(grad_slots_);
-        ag::GradShard::ActiveScope scope(shards[s].get());
-        ag::Tape tape;
-        std::vector<ag::TensorPtr> losses;
-        const int shard_begin = start + static_cast<int>(s) * kShardGrain;
-        const int shard_end = std::min(end, shard_begin + kShardGrain);
-        for (int i = shard_begin; i < shard_end; ++i)
-          fn(&tape, i, &shard_rng, &losses);
-        ag::TensorPtr sum =
-            ag::SumAll(&tape, ag::ConcatRows(&tape, losses));
-        // When the tape carries graph structure (debug builds; see
-        // Tape::GraphRecordingDefault), validate the first shard of the
-        // first executed batch before its backward pass runs — every later
-        // shard records the same op skeleton, so one check per epoch
-        // certifies the whole training graph.
-        if (tape.records_graph() && b == start_batch && s == 0) {
-          analysis::TapeLintOptions lint;
-          lint.root = sum;
-          for (const ag::GradShard::ParamSlot& slot : grad_slots_)
-            lint.parameters.push_back(slot.tensor);
-          if (Status lint_status = analysis::ValidateTape(tape, lint);
-              !lint_status.ok()) {
-            GROUPSA_CHECK(false, lint_status.message().c_str());
+        ShardContext& ctx = *shard_ctx_[static_cast<size_t>(s)];
+        ctx.tape.Reset();
+        ctx.losses.clear();
+        {
+          ag::GradShard::ActiveScope scope(ctx.sink.get());
+          ag::TensorPool::ActiveScope pool_scope(
+              pooling_enabled_ ? &ctx.pool : nullptr);
+          const int shard_begin = start + static_cast<int>(s) * kShardGrain;
+          const int shard_end = std::min(end, shard_begin + kShardGrain);
+          for (int i = shard_begin; i < shard_end; ++i)
+            fn(&ctx.tape, i, &shard_rng, &ctx.losses);
+          ag::TensorPtr sum =
+              ag::SumAll(&ctx.tape, ag::ConcatRows(&ctx.tape, ctx.losses));
+          // When the tape carries graph structure (debug builds; see
+          // Tape::GraphRecordingDefault), validate the first shard of the
+          // first executed batch before its backward pass runs — every later
+          // shard records the same op skeleton, so one check per epoch
+          // certifies the whole training graph.
+          if (ctx.tape.records_graph() && b == start_batch && s == 0) {
+            analysis::TapeLintOptions lint;
+            lint.root = sum;
+            for (const ag::GradShard::ParamSlot& slot : grad_slots_)
+              lint.parameters.push_back(slot.tensor);
+            if (Status lint_status = analysis::ValidateTape(ctx.tape, lint);
+                !lint_status.ok()) {
+              GROUPSA_CHECK(false, lint_status.message().c_str());
+            }
           }
+          shard_loss_[static_cast<size_t>(s)] = sum->scalar();
+          ctx.tape.BackwardFrom(sum, seed);
         }
-        shard_loss[s] = sum->scalar();
-        // Seeding with 1/batch_losses makes each sample's gradient carry
-        // the batch-mean weight, exactly as the historical mean-loss graph
-        // did.
-        tensor::Matrix seed(1, 1);
-        seed.At(0, 0) = 1.0f / static_cast<float>(batch_losses);
-        tape.BackwardFrom(sum, seed);
+        // Drop every reference the batch took (closures, node records, loss
+        // roots) so EndBatch can reclaim the pool's tensors for the next
+        // batch this shard runs.
+        ctx.tape.Reset();
+        ctx.losses.clear();
+        if (pooling_enabled_) ctx.pool.EndBatch();
       }
     });
-    // Deterministic merge: shard order, on this thread.
-    for (const auto& shard : shards) shard->ReduceInto();
+    // Deterministic merge: shard order, on this thread. ReduceInto also
+    // re-zeroes each sink's buffers (touched rows only for embeddings).
+    for (int s = 0; s < num_shards; ++s)
+      shard_ctx_[static_cast<size_t>(s)]->sink->ReduceInto();
 
     // Fault-injection site: `corrupt` poisons this batch's loss (exercising
     // the divergence guard); `kill` dies here for the crash-resume CI gate.
     if (GROUPSA_FAILPOINT("trainer.batch") == failpoint::Action::kCorrupt)
-      shard_loss[0] = std::numeric_limits<float>::quiet_NaN();
+      shard_loss_[0] = std::numeric_limits<float>::quiet_NaN();
 
     double batch_loss = 0.0;
-    for (float loss : shard_loss) batch_loss += loss;
+    for (float loss : shard_loss_) batch_loss += loss;
 
     if (guard && (!std::isfinite(batch_loss) || !GradientsFinite())) {
       ++skipped;

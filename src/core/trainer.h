@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "autograd/grad_shard.h"
+#include "autograd/pool.h"
+#include "autograd/tape.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/groupsa_model.h"
@@ -30,6 +32,13 @@ namespace groupsa::core {
 // streams and reduction order depend only on the data and the seed — never
 // on the thread count — training is bit-identical at any pool width,
 // including width 1.
+//
+// The per-shard machinery (tape, gradient sink, tensor pool, loss list) is
+// persistent: each shard index owns a ShardContext reused batch after
+// batch, so a steady-state batch performs no tensor, gradient-buffer or
+// tape allocations (see DESIGN.md "Training memory architecture"). Pooling
+// can be disabled per trainer (set_tensor_pooling) for parity testing and
+// benchmarking; results are bit-identical either way.
 class Trainer {
  public:
   // `user_train` / `group_train` are the training edges; `ui_observed` /
@@ -112,6 +121,18 @@ class Trainer {
   // uninterrupted run's.
   Status ResumeFrom(const std::string& path);
 
+  // Tensor pooling toggle (default on). Off: every op output and workspace
+  // is heap-allocated as before; training results are bit-identical either
+  // way, which the parity test asserts.
+  void set_tensor_pooling(bool on) { pooling_enabled_ = on; }
+  bool tensor_pooling() const { return pooling_enabled_; }
+
+  // Aggregate tensor-pool counters across all shard contexts; all monotone.
+  // The steady-state allocation test asserts the created/bytes counters
+  // stop moving once every shard has warmed its shapes.
+  ag::TensorPool::Stats PoolStats() const;
+  size_t num_shard_contexts() const { return shard_ctx_.size(); }
+
   // Fingerprint of everything a snapshot must agree on to be resumable:
   // the model config (minus the thread count — resume at any width is
   // bit-identical), dataset dimensions, training-edge counts and the
@@ -160,6 +181,18 @@ class Trainer {
   bool GradientsFinite() const;
   void DropBatchGradients();
 
+  // Everything one shard index needs across batches. Only the thread
+  // running the shard touches it during the parallel region (the same
+  // lock-free discipline GradShard always had); the calling thread reduces
+  // the sink afterwards. Tape::Reset re-binds tape ownership to whichever
+  // pool thread picks the shard up next batch.
+  struct ShardContext {
+    ag::Tape tape;
+    std::unique_ptr<ag::GradShard> sink;
+    ag::TensorPool pool;
+    std::vector<ag::TensorPtr> losses;
+  };
+
   GroupSaModel* model_;
   const data::EdgeList& user_train_;
   const data::EdgeList& group_train_;
@@ -169,6 +202,11 @@ class Trainer {
   std::unique_ptr<nn::Adam> optimizer_;
   // GradShard registration of the model's parameters, built once.
   std::vector<ag::GradShard::ParamSlot> grad_slots_;
+  // Persistent shard contexts, grown to the widest batch seen; index ==
+  // shard index. shard_loss_ is the per-batch loss staging area, reused.
+  std::vector<std::unique_ptr<ShardContext>> shard_ctx_;
+  std::vector<float> shard_loss_;
+  bool pooling_enabled_ = true;
 
   // Per-Fit context consumed by RunShardedEpoch (null outside Fit: direct
   // Run*Epoch calls run the plain path with the guard off).

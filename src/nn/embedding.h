@@ -22,7 +22,9 @@ class Embedding : public Module {
   ag::TensorPtr Lookup(ag::Tape* tape, int id);
 
   // Direct (no-grad) read of a row, for inference-only scoring paths.
-  tensor::Matrix Row(int id) const { return table_->value().Row(id); }
+  // Returns a borrowed view — no allocation, no copy; valid until the table
+  // is mutated or resized.
+  tensor::RowView Row(int id) const { return table_->value().RowAt(id); }
 
   int count() const { return table_->rows(); }
   int dim() const { return table_->cols(); }

@@ -34,6 +34,12 @@ void Matrix::Resize(int rows, int cols) {
   data_.assign(static_cast<size_t>(rows) * cols, 0.0f);
 }
 
+void Matrix::CopyFrom(const Matrix& src) {
+  rows_ = src.rows_;
+  cols_ = src.cols_;
+  data_.assign(src.data_.begin(), src.data_.end());
+}
+
 void Matrix::Fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
 }
@@ -125,6 +131,23 @@ bool AllClose(const Matrix& a, const Matrix& b, float tolerance) {
     }
   }
   return true;
+}
+
+bool AllClose(RowView a, RowView b, float tolerance) {
+  if (a.cols != b.cols) return false;
+  for (int c = 0; c < a.cols; ++c)
+    if (std::fabs(a[c] - b[c]) > tolerance) return false;
+  return true;
+}
+
+bool AllClose(const Matrix& a, RowView b, float tolerance) {
+  if (a.rows() != 1) return false;
+  return AllClose(a.RowAt(0), b, tolerance);
+}
+
+bool AllClose(RowView a, const Matrix& b, float tolerance) {
+  if (b.rows() != 1) return false;
+  return AllClose(a, b.RowAt(0), tolerance);
 }
 
 }  // namespace groupsa::tensor

@@ -224,11 +224,11 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   return out;
 }
 
-Matrix Transpose(const Matrix& a) {
-  Matrix out(a.cols(), a.rows());
+void TransposeInto(const Matrix& a, Matrix* out) {
+  out->EnsureShape(a.cols(), a.rows());
   auto rows = [&](int64_t begin, int64_t end) {
     for (int r = static_cast<int>(begin); r < end; ++r)
-      for (int c = 0; c < a.cols(); ++c) out.At(c, r) = a.At(r, c);
+      for (int c = 0; c < a.cols(); ++c) out->At(c, r) = a.At(r, c);
   };
   if (a.size() < kElementwiseParallelWork || parallel::GlobalThreads() <= 1) {
     rows(0, a.rows());
@@ -238,15 +238,20 @@ Matrix Transpose(const Matrix& a) {
         std::max<int64_t>(1, a.rows() / (4 * parallel::GlobalThreads())),
         rows);
   }
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix out;
+  TransposeInto(a, &out);
   return out;
 }
 
-Matrix Hadamard(const Matrix& a, const Matrix& b) {
+void HadamardInto(const Matrix& a, const Matrix& b, Matrix* out) {
   GROUPSA_CHECK(a.SameShape(b), "Hadamard shape mismatch");
-  Matrix out(a.rows(), a.cols());
+  out->EnsureShape(a.rows(), a.cols());
   auto span = [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i)
-      out.data()[i] = a.data()[i] * b.data()[i];
+      out->data()[i] = a.data()[i] * b.data()[i];
   };
   if (a.size() < kElementwiseParallelWork || parallel::GlobalThreads() <= 1) {
     span(0, a.size());
@@ -256,6 +261,11 @@ Matrix Hadamard(const Matrix& a, const Matrix& b) {
         std::max<int64_t>(1, a.size() / (4 * parallel::GlobalThreads())),
         span);
   }
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  HadamardInto(a, b, &out);
   return out;
 }
 
@@ -279,12 +289,17 @@ void AddRowBroadcastInPlace(Matrix* a, const Matrix& bias) {
   }
 }
 
-Matrix SumRows(const Matrix& a) {
-  Matrix out(1, a.cols());
+void SumRowsInto(const Matrix& a, Matrix* out) {
+  out->Resize(1, a.cols());  // accumulates, so the zero-fill is load-bearing
   for (int r = 0; r < a.rows(); ++r) {
     const float* row = a.RowPtr(r);
-    for (int c = 0; c < a.cols(); ++c) out.At(0, c) += row[c];
+    for (int c = 0; c < a.cols(); ++c) out->At(0, c) += row[c];
   }
+}
+
+Matrix SumRows(const Matrix& a) {
+  Matrix out;
+  SumRowsInto(a, &out);
   return out;
 }
 
@@ -328,7 +343,15 @@ float Dot(const Matrix& a, const Matrix& b) {
   return static_cast<float>(total);
 }
 
-Matrix ConcatCols(const std::vector<const Matrix*>& parts) {
+float Dot(RowView a, RowView b) {
+  GROUPSA_CHECK(a.cols == b.cols, "Dot size mismatch");
+  double total = 0.0;
+  for (int i = 0; i < a.cols; ++i)
+    total += static_cast<double>(a.data[i]) * b.data[i];
+  return static_cast<float>(total);
+}
+
+void ConcatColsInto(const std::vector<const Matrix*>& parts, Matrix* out) {
   GROUPSA_CHECK(!parts.empty(), "ConcatCols requires input");
   const int rows = parts[0]->rows();
   int cols = 0;
@@ -336,18 +359,23 @@ Matrix ConcatCols(const std::vector<const Matrix*>& parts) {
     GROUPSA_CHECK(p->rows() == rows, "ConcatCols row mismatch");
     cols += p->cols();
   }
-  Matrix out(rows, cols);
+  out->EnsureShape(rows, cols);
   for (int r = 0; r < rows; ++r) {
     int offset = 0;
     for (const Matrix* p : parts) {
-      for (int c = 0; c < p->cols(); ++c) out.At(r, offset + c) = p->At(r, c);
+      for (int c = 0; c < p->cols(); ++c) out->At(r, offset + c) = p->At(r, c);
       offset += p->cols();
     }
   }
+}
+
+Matrix ConcatCols(const std::vector<const Matrix*>& parts) {
+  Matrix out;
+  ConcatColsInto(parts, &out);
   return out;
 }
 
-Matrix ConcatRows(const std::vector<const Matrix*>& parts) {
+void ConcatRowsInto(const std::vector<const Matrix*>& parts, Matrix* out) {
   GROUPSA_CHECK(!parts.empty(), "ConcatRows requires input");
   const int cols = parts[0]->cols();
   int rows = 0;
@@ -355,22 +383,33 @@ Matrix ConcatRows(const std::vector<const Matrix*>& parts) {
     GROUPSA_CHECK(p->cols() == cols, "ConcatRows col mismatch");
     rows += p->rows();
   }
-  Matrix out(rows, cols);
+  out->EnsureShape(rows, cols);
   int offset = 0;
   for (const Matrix* p : parts) {
-    for (int r = 0; r < p->rows(); ++r) out.SetRow(offset + r, p->RowPtr(r));
+    for (int r = 0; r < p->rows(); ++r) out->SetRow(offset + r, p->RowPtr(r));
     offset += p->rows();
   }
+}
+
+Matrix ConcatRows(const std::vector<const Matrix*>& parts) {
+  Matrix out;
+  ConcatRowsInto(parts, &out);
   return out;
 }
 
-Matrix GatherRows(const Matrix& table, const std::vector<int>& row_ids) {
-  Matrix out(static_cast<int>(row_ids.size()), table.cols());
+void GatherRowsInto(const Matrix& table, const std::vector<int>& row_ids,
+                    Matrix* out) {
+  out->EnsureShape(static_cast<int>(row_ids.size()), table.cols());
   for (size_t i = 0; i < row_ids.size(); ++i) {
     const int id = row_ids[i];
     GROUPSA_CHECK(id >= 0 && id < table.rows(), "GatherRows id out of range");
-    out.SetRow(static_cast<int>(i), table.RowPtr(id));
+    out->SetRow(static_cast<int>(i), table.RowPtr(id));
   }
+}
+
+Matrix GatherRows(const Matrix& table, const std::vector<int>& row_ids) {
+  Matrix out;
+  GatherRowsInto(table, row_ids, &out);
   return out;
 }
 

@@ -41,6 +41,21 @@ void AddRowBroadcastInPlace(Matrix* a, const Matrix& bias);
 // Sums the rows of `a` into a 1 x cols vector.
 Matrix SumRows(const Matrix& a);
 
+// Destination variants of the value-returning kernels above, for callers
+// that recycle output storage (the training tensor pool, autograd/pool.h).
+// Each runs the exact loop of its value-returning twin — the twins are
+// implemented on top of these — so results are bit-identical; `out` is
+// reshaped without reallocation when its capacity suffices and fully
+// overwritten (SumRowsInto zeroes it first, as its accumulation requires).
+// `out` must not alias an input.
+void TransposeInto(const Matrix& a, Matrix* out);
+void HadamardInto(const Matrix& a, const Matrix& b, Matrix* out);
+void SumRowsInto(const Matrix& a, Matrix* out);
+void ConcatColsInto(const std::vector<const Matrix*>& parts, Matrix* out);
+void ConcatRowsInto(const std::vector<const Matrix*>& parts, Matrix* out);
+void GatherRowsInto(const Matrix& table, const std::vector<int>& row_ids,
+                    Matrix* out);
+
 // Numerically stable in-place softmax over each row. Entries equal to
 // -infinity are treated as masked out (weight exactly 0). Rows that are fully
 // masked except for at most self entries must contain at least one finite
@@ -52,6 +67,7 @@ Matrix LogSumExpRows(const Matrix& a);
 
 // Dot product of two equal-shape matrices viewed as flat vectors.
 float Dot(const Matrix& a, const Matrix& b);
+float Dot(RowView a, RowView b);
 
 // Concatenates matrices left-to-right (equal row counts).
 Matrix ConcatCols(const std::vector<const Matrix*>& parts);

@@ -326,6 +326,37 @@ TEST(GraphLintTest, RealOpsRecordValidatableStructure) {
   EXPECT_EQ(tape.nodes().size(), 4u);
 }
 
+// --- Stale gradients on recycled tensors ----------------------------------
+
+TEST(GraphLintTest, RejectsOutputWithStaleGradient) {
+  // A pooled tensor handed out without zeroing its previous batch's
+  // gradient: backward would silently accumulate on top of it.
+  ag::Tape tape;
+  tape.set_record_graph(true);
+  ag::TensorPtr x = Var(2, 2);
+  ag::TensorPtr out = Var(2, 2);
+  out->grad().At(1, 1) = 0.5f;  // leftover from a "previous batch"
+  tape.RecordNode(Node(ag::OpKind::kRelu, {x}, out));
+  const Status status = ValidateTape(tape, TapeLintOptions());
+  ASSERT_FALSE(status.ok());
+  EXPECT_HAS(status.message(), ("[stale-grad]"));
+  EXPECT_HAS(status.message(),
+             ("output carries a nonzero gradient before backward ran"));
+}
+
+TEST(GraphLintTest, AcceptsOutputWithZeroedGradient) {
+  // The pool's contract: a recycled tensor re-enters the graph with its
+  // gradient zeroed, indistinguishable from a fresh one.
+  ag::Tape tape;
+  tape.set_record_graph(true);
+  ag::TensorPtr x = Var(2, 2);
+  ag::TensorPtr out = Var(2, 2);
+  out->grad().SetZero();
+  tape.RecordNode(Node(ag::OpKind::kRelu, {x}, out));
+  const Status status = ValidateTape(tape, TapeLintOptions());
+  EXPECT_TRUE(status.ok()) << status.message();
+}
+
 // --- Shard-slot registration ----------------------------------------------
 
 TEST(GraphLintTest, ShardSlotsRejectDuplicateTensor) {

@@ -1,0 +1,150 @@
+#include "autograd/pool.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/tape.h"
+
+namespace groupsa::ag {
+namespace {
+
+TEST(TensorPoolTest, AcquireCreatesThenRecycles) {
+  TensorPool pool;
+  {
+    TensorPtr t = pool.Acquire(2, 3, /*requires_grad=*/false);
+    EXPECT_EQ(t->rows(), 2);
+    EXPECT_EQ(t->cols(), 3);
+  }
+  pool.EndBatch();
+  EXPECT_EQ(pool.stats().tensors_created, 1u);
+  EXPECT_EQ(pool.stats().tensors_reused, 0u);
+
+  { TensorPtr t = pool.Acquire(2, 3, false); }
+  pool.EndBatch();
+  EXPECT_EQ(pool.stats().tensors_created, 1u);
+  EXPECT_EQ(pool.stats().tensors_reused, 1u);
+  EXPECT_EQ(pool.stats().batches, 2u);
+}
+
+TEST(TensorPoolTest, BucketsAreKeyedOnShapeAndRequiresGrad) {
+  TensorPool pool;
+  {
+    TensorPtr a = pool.Acquire(2, 3, false);
+    TensorPtr b = pool.Acquire(3, 2, false);   // different shape
+    TensorPtr c = pool.Acquire(2, 3, true);    // different grad flag
+  }
+  pool.EndBatch();
+  { TensorPtr a = pool.Acquire(2, 3, false); }
+  pool.EndBatch();
+  EXPECT_EQ(pool.stats().tensors_created, 3u);
+  EXPECT_EQ(pool.stats().tensors_reused, 1u);
+}
+
+TEST(TensorPoolTest, EscapedTensorIsNotRecycled) {
+  TensorPool pool;
+  TensorPtr kept = pool.Acquire(4, 4, false);
+  pool.EndBatch();
+  EXPECT_EQ(pool.stats().escaped, 1u);
+  // The escaped tensor left the pool's books; the next request allocates.
+  { TensorPtr t = pool.Acquire(4, 4, false); }
+  pool.EndBatch();
+  EXPECT_EQ(pool.stats().tensors_created, 2u);
+  EXPECT_EQ(pool.stats().tensors_reused, 0u);
+}
+
+TEST(TensorPoolTest, RecycledTensorStartsWithZeroGradient) {
+  TensorPool pool;
+  {
+    TensorPtr t = pool.Acquire(2, 2, /*requires_grad=*/true);
+    t->mutable_value().Fill(1.0f);
+    t->grad().At(0, 0) = 42.0f;  // simulate a backward pass
+  }
+  pool.EndBatch();
+  TensorPtr t = pool.Acquire(2, 2, true);
+  ASSERT_TRUE(t->has_grad());
+  EXPECT_EQ(t->grad_view().MaxAbs(), 0.0f);
+}
+
+TEST(TensorPoolTest, WorkspacesRecycleLikeTensors) {
+  TensorPool pool;
+  { auto ws = pool.AcquireWorkspace(1, 8); }
+  pool.EndBatch();
+  { auto ws = pool.AcquireWorkspace(1, 8); }
+  pool.EndBatch();
+  EXPECT_EQ(pool.stats().workspaces_created, 1u);
+  EXPECT_EQ(pool.stats().workspaces_reused, 1u);
+}
+
+TEST(TensorPoolTest, ActiveScopeInstallsAndClearsThePool) {
+  EXPECT_EQ(TensorPool::Active(), nullptr);
+  TensorPool pool;
+  {
+    TensorPool::ActiveScope scope(&pool);
+    EXPECT_EQ(TensorPool::Active(), &pool);
+  }
+  EXPECT_EQ(TensorPool::Active(), nullptr);
+  {
+    // A null pool deactivates pooling for the scope.
+    TensorPool::ActiveScope scope(nullptr);
+    EXPECT_EQ(TensorPool::Active(), nullptr);
+  }
+}
+
+TEST(TensorPoolTest, OpsDrawOutputsFromTheActivePool) {
+  TensorPool pool;
+  Tape tape;
+  TensorPtr a = Constant(tensor::Matrix::FromRows({{1, 2}}));
+  TensorPtr b = Constant(tensor::Matrix::FromRows({{3, 4}}));
+  {
+    TensorPool::ActiveScope scope(&pool);
+    TensorPtr sum = Add(&tape, a, b);
+    EXPECT_EQ(sum->value().At(0, 1), 6.0f);
+  }
+  tape.Reset();
+  pool.EndBatch();
+  EXPECT_GE(pool.stats().tensors_created, 1u);
+  EXPECT_EQ(pool.stats().escaped, 0u);
+
+  // The identical graph next batch is served entirely from the pool.
+  const uint64_t created = pool.stats().tensors_created;
+  {
+    TensorPool::ActiveScope scope(&pool);
+    TensorPtr sum = Add(&tape, a, b);
+    EXPECT_EQ(sum->value().At(0, 0), 4.0f);
+  }
+  tape.Reset();
+  pool.EndBatch();
+  EXPECT_EQ(pool.stats().tensors_created, created);
+  EXPECT_GE(pool.stats().tensors_reused, 1u);
+}
+
+TEST(TensorPoolTest, PooledBackwardMatchesUnpooledBitExactly) {
+  // One small graph, run twice with a fresh Variable each way; gradients
+  // must agree to the bit.
+  auto run = [](TensorPool* pool) {
+    Tape tape;
+    TensorPtr x = Variable(tensor::Matrix::FromRows({{0.5f, -1.25f}}));
+    tensor::Matrix gx;
+    {
+      TensorPool::ActiveScope scope(pool);
+      TensorPtr h = Tanh(&tape, Scale(&tape, x, 3.0f));
+      TensorPtr loss = SumAll(&tape, Mul(&tape, h, h));
+      tape.Backward(loss);
+      gx = x->grad();
+    }
+    tape.Reset();
+    if (pool != nullptr) pool->EndBatch();
+    return gx;
+  };
+  TensorPool pool;
+  const tensor::Matrix unpooled = run(nullptr);
+  const tensor::Matrix warm = run(&pool);      // batch 1: pool allocates
+  const tensor::Matrix recycled = run(&pool);  // batch 2: pool recycles
+  for (int c = 0; c < unpooled.cols(); ++c) {
+    EXPECT_EQ(unpooled.At(0, c), warm.At(0, c));
+    EXPECT_EQ(unpooled.At(0, c), recycled.At(0, c));
+  }
+}
+
+}  // namespace
+}  // namespace groupsa::ag

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/thread_pool.h"
+#include "core/test_fixtures.h"
+#include "core/trainer.h"
+#include "nn/checkpoint.h"
+
+namespace groupsa::core {
+namespace {
+
+using core::testing::TinyFixture;
+
+GroupSaConfig PoolConfig(int threads) {
+  GroupSaConfig c = GroupSaConfig::Default();
+  c.embedding_dim = 8;
+  c.attention_hidden = 8;
+  c.ffn_hidden = 8;
+  c.predictor_hidden = {8};
+  c.fusion_hidden = {8};
+  c.user_epochs = 2;
+  c.group_epochs = 2;
+  c.threads = threads;
+  return c;
+}
+
+std::string TrainAndEncode(int threads, bool pooling) {
+  const GroupSaConfig config = PoolConfig(threads);
+  const TinyFixture f = TinyFixture::Make(config);
+  auto model = f.MakeModel(config);
+  Rng rng(17);
+  Trainer trainer(model.get(), f.ui.train, f.gi.train, &f.ui_train,
+                  &f.gi_train, &rng);
+  trainer.set_tensor_pooling(pooling);
+  trainer.Fit();
+  return nn::EncodeParameters(model->Parameters());
+}
+
+// The tentpole guarantee: recycling every per-batch tensor changes nothing
+// about the numbers. Pooled and unpooled training produce byte-identical
+// parameters, at any thread count.
+TEST(TrainerPoolTest, PooledTrainingIsByteIdenticalToUnpooled) {
+  const std::string unpooled_t1 = TrainAndEncode(1, /*pooling=*/false);
+  const std::string pooled_t1 = TrainAndEncode(1, /*pooling=*/true);
+  EXPECT_EQ(pooled_t1, unpooled_t1);
+
+  const std::string pooled_t4 = TrainAndEncode(4, /*pooling=*/true);
+  EXPECT_EQ(pooled_t4, unpooled_t1);
+}
+
+// The social epoch's graph is shape-uniform (every sample records the same
+// op skeleton with the same shapes), so one warm-up epoch must teach every
+// shard's pool everything it will ever need: afterwards the created/bytes
+// counters stop moving no matter how long training runs.
+void ExpectSteadyStateZeroGrowth(int threads) {
+  const GroupSaConfig config = PoolConfig(threads);
+  const TinyFixture f = TinyFixture::Make(config);
+  auto model = f.MakeModel(config);
+  Rng rng(23);
+  Trainer trainer(model.get(), f.ui.train, f.gi.train, &f.ui_train,
+                  &f.gi_train, &rng);
+
+  trainer.RunSocialEpoch();  // warm-up: every shard sees every shape
+  const ag::TensorPool::Stats warm = trainer.PoolStats();
+  EXPECT_GT(warm.tensors_created, 0u);
+  EXPECT_EQ(warm.escaped, 0u) << "trainer leaked batch tensors";
+
+  trainer.RunSocialEpoch();
+  trainer.RunSocialEpoch();
+  const ag::TensorPool::Stats steady = trainer.PoolStats();
+  EXPECT_EQ(steady.tensors_created, warm.tensors_created)
+      << "steady-state batches allocated fresh tensors";
+  EXPECT_EQ(steady.workspaces_created, warm.workspaces_created)
+      << "steady-state batches allocated fresh workspaces";
+  EXPECT_EQ(steady.bytes, warm.bytes) << "pool kept growing";
+  EXPECT_EQ(steady.escaped, 0u);
+  EXPECT_GT(steady.tensors_reused, warm.tensors_reused);
+}
+
+TEST(TrainerPoolTest, SteadyStateAllocatesNothingSingleThread) {
+  ExpectSteadyStateZeroGrowth(1);
+}
+
+TEST(TrainerPoolTest, SteadyStateAllocatesNothingFourThreads) {
+  ExpectSteadyStateZeroGrowth(4);
+}
+
+// The shard structure — and with it every pool's request stream — is a pure
+// function of the data and the seed, so the aggregate counters must not
+// depend on the thread count.
+TEST(TrainerPoolTest, PoolStatsAreThreadCountInvariant) {
+  auto stats_at = [](int threads) {
+    const GroupSaConfig config = PoolConfig(threads);
+    const TinyFixture f = TinyFixture::Make(config);
+    auto model = f.MakeModel(config);
+    Rng rng(31);
+    Trainer trainer(model.get(), f.ui.train, f.gi.train, &f.ui_train,
+                    &f.gi_train, &rng);
+    trainer.RunUserEpoch();
+    trainer.RunGroupEpoch();
+    return trainer.PoolStats();
+  };
+  const ag::TensorPool::Stats t1 = stats_at(1);
+  const ag::TensorPool::Stats t4 = stats_at(4);
+  EXPECT_EQ(t1.tensors_created, t4.tensors_created);
+  EXPECT_EQ(t1.tensors_reused, t4.tensors_reused);
+  EXPECT_EQ(t1.workspaces_created, t4.workspaces_created);
+  EXPECT_EQ(t1.workspaces_reused, t4.workspaces_reused);
+  EXPECT_EQ(t1.bytes, t4.bytes);
+  EXPECT_EQ(t1.escaped, 0u);
+  EXPECT_EQ(t4.escaped, 0u);
+}
+
+// User/group epochs have data-dependent shapes (member counts, neighbor
+// lists), so their pools warm the union of shapes each shard encounters —
+// but nothing may leak, and disabling pooling must keep the counters at
+// zero.
+TEST(TrainerPoolTest, MixedEpochsNeverLeakAndToggleDisablesPooling) {
+  const GroupSaConfig config = PoolConfig(1);
+  const TinyFixture f = TinyFixture::Make(config);
+  auto model = f.MakeModel(config);
+  Rng rng(41);
+  Trainer trainer(model.get(), f.ui.train, f.gi.train, &f.ui_train,
+                  &f.gi_train, &rng);
+
+  trainer.set_tensor_pooling(false);
+  trainer.RunUserEpoch();
+  EXPECT_EQ(trainer.PoolStats().tensors_created, 0u);
+  EXPECT_EQ(trainer.PoolStats().batches, 0u);
+
+  trainer.set_tensor_pooling(true);
+  trainer.RunUserEpoch();
+  trainer.RunGroupEpoch();
+  const ag::TensorPool::Stats stats = trainer.PoolStats();
+  EXPECT_GT(stats.tensors_created, 0u);
+  EXPECT_GT(stats.tensors_reused, 0u);
+  EXPECT_EQ(stats.escaped, 0u);
+  EXPECT_GT(trainer.num_shard_contexts(), 0u);
+}
+
+}  // namespace
+}  // namespace groupsa::core

@@ -147,5 +147,49 @@ TEST(MatrixTest, DebugStringTruncates) {
   EXPECT_NE(s.find("..."), std::string::npos);
 }
 
+TEST(MatrixTest, RowAtViewsWithoutCopying) {
+  const Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const RowView row = m.RowAt(1);
+  EXPECT_EQ(row.cols, 3);
+  EXPECT_EQ(row.data, m.RowPtr(1));  // borrowed, not copied
+  EXPECT_EQ(row[0], 4.0f);
+  EXPECT_EQ(row[2], 6.0f);
+  float sum = 0.0f;
+  for (float v : row) sum += v;
+  EXPECT_EQ(sum, 15.0f);
+}
+
+TEST(MatrixTest, AllCloseAcceptsRowViews) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix single = Matrix::FromRows({{3, 4}});
+  EXPECT_TRUE(AllClose(m.RowAt(1), m.RowAt(1)));
+  EXPECT_FALSE(AllClose(m.RowAt(0), m.RowAt(1)));
+  EXPECT_TRUE(AllClose(single, m.RowAt(1)));
+  EXPECT_TRUE(AllClose(m.RowAt(1), single));
+}
+
+TEST(MatrixTest, CopyFromReusesStorage) {
+  Matrix src = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix dst(4, 4);
+  const float* storage = dst.data();
+  dst.CopyFrom(src);
+  EXPECT_EQ(dst.rows(), 2);
+  EXPECT_EQ(dst.cols(), 2);
+  EXPECT_EQ(dst.At(1, 0), 3.0f);
+  // Shrinking fits in the existing capacity: no reallocation.
+  EXPECT_EQ(dst.data(), storage);
+}
+
+TEST(MatrixTest, EnsureShapeSkipsZeroFillWhenShapeMatches) {
+  Matrix m(2, 3);
+  m.Fill(7.0f);
+  m.EnsureShape(2, 3);  // same shape: contents untouched
+  EXPECT_EQ(m.At(1, 2), 7.0f);
+  m.EnsureShape(3, 2);  // shape change: reshaped and zeroed
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_EQ(m.MaxAbs(), 0.0f);
+}
+
 }  // namespace
 }  // namespace groupsa::tensor

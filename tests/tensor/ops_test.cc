@@ -177,5 +177,52 @@ TEST(GatherRowsTest, EmptyIds) {
   EXPECT_EQ(out.cols(), 2);
 }
 
+TEST(DotTest, RowViewOverloadMatchesMatrixOverload) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix b = Matrix::FromRows({{7, 8, 9}, {1, 0, 2}});
+  EXPECT_FLOAT_EQ(Dot(a.RowAt(1), b.RowAt(0)), 122.0f);
+  for (int r = 0; r < a.rows(); ++r)
+    EXPECT_EQ(Dot(a.RowAt(r), b.RowAt(r)), Dot(a.Row(r), b.Row(r)));
+}
+
+// The *Into destination kernels back the value-returning twins, which are
+// now thin wrappers; these tests pin the reuse contract — a dirty,
+// differently-shaped destination is reshaped and fully overwritten without
+// reallocating when capacity suffices.
+TEST(IntoKernelsTest, ReuseDirtyDestinationBitExactly) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix b = Matrix::FromRows({{2, 2, 2}, {3, 3, 3}});
+  Matrix dirty(5, 5, 99.0f);
+  const float* storage = dirty.data();
+
+  TransposeInto(a, &dirty);
+  EXPECT_TRUE(AllClose(dirty, Transpose(a)));
+  EXPECT_EQ(dirty.data(), storage);
+
+  HadamardInto(a, b, &dirty);
+  EXPECT_TRUE(AllClose(dirty, Hadamard(a, b)));
+
+  SumRowsInto(a, &dirty);
+  EXPECT_TRUE(AllClose(dirty, SumRows(a)));
+
+  GatherRowsInto(a, {1, 0, 1}, &dirty);
+  EXPECT_TRUE(AllClose(dirty, GatherRows(a, {1, 0, 1})));
+
+  ConcatColsInto({&a, &b}, &dirty);
+  EXPECT_TRUE(AllClose(dirty, ConcatCols({&a, &b})));
+
+  ConcatRowsInto({&a, &b}, &dirty);
+  EXPECT_TRUE(AllClose(dirty, ConcatRows({&a, &b})));
+}
+
+TEST(IntoKernelsTest, SumRowsIntoZeroesItsAccumulator) {
+  // SumRowsInto accumulates into its destination, so the zero-fill on
+  // reshape (and on same-shape reuse) is load-bearing.
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix out(1, 2, 50.0f);  // same shape, dirty contents
+  SumRowsInto(a, &out);
+  EXPECT_TRUE(AllClose(out, Matrix::FromRows({{4, 6}})));
+}
+
 }  // namespace
 }  // namespace groupsa::tensor

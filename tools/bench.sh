@@ -1,23 +1,38 @@
 #!/usr/bin/env bash
-# Inference benchmark entry point: builds bench_inference and records the
-# full-catalog scoring comparison (per-item reference path vs the batched
-# InferenceEngine) to BENCH_inference.json at the repo root. The driver
-# re-verifies the 0-ULP parity contract on every run and exits non-zero if
-# the batched scores diverge, so a recorded speedup always describes
+# Performance benchmark entry point: builds and runs the two timing drivers
+# and records their machine-readable results at the repo root.
+#
+#   bench_inference -> BENCH_inference.json  (full-catalog scoring: per-item
+#                      reference path vs the batched InferenceEngine)
+#   bench_training  -> BENCH_training.json   (two-stage Fit with the tensor
+#                      pool on vs off, at one and four threads)
+#
+# Both drivers re-verify their bit-identity contracts on every run and exit
+# non-zero on any divergence, so a recorded speedup always describes
 # bit-identical results.
 #
-# Usage: tools/bench.sh [--items=N] [--groups=N] [--users=N] [--threads=N]
-#        (extra flags are forwarded to bench_inference; defaults below match
-#         the acceptance setup: 2000-item catalog, single thread)
+# Usage: tools/bench.sh [inference|training|all] [extra flags...]
+#        (extra flags are forwarded to the selected driver; the inference
+#         defaults below match the acceptance setup: 2000-item catalog,
+#         single thread)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+TARGET="${1:-all}"
+if [ $# -gt 0 ]; then shift; fi
+
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build -j "$(nproc)" --target bench_inference
+cmake --build build -j "$(nproc)" --target bench_inference bench_training
 
-./build/bench/bench_inference \
-  --items=2000 --groups=20 --users=40 --threads=1 \
-  --json=BENCH_inference.json "$@"
+if [ "${TARGET}" = "inference" ] || [ "${TARGET}" = "all" ]; then
+  ./build/bench/bench_inference \
+    --items=2000 --groups=20 --users=40 --threads=1 \
+    --json=BENCH_inference.json "$@"
+  echo "wrote BENCH_inference.json"
+fi
 
-echo "wrote BENCH_inference.json"
+if [ "${TARGET}" = "training" ] || [ "${TARGET}" = "all" ]; then
+  ./build/bench/bench_training --json=BENCH_training.json "$@"
+  echo "wrote BENCH_training.json"
+fi

@@ -41,6 +41,12 @@ echo "=== inference bench smoke (0-ULP parity gate) ==="
 # engine's scores are not bit-identical to the per-item reference.
 ./build/bench/bench_inference --quick
 
+echo "=== training bench smoke (pooled/unpooled parity gate) ==="
+# --quick caps the world and schedule; the run still exits non-zero if
+# pooled training's parameters are not byte-identical to unpooled's, at one
+# and four threads.
+./build/bench/bench_training --quick
+
 echo "=== crash-resume determinism gate ==="
 # Train the tiny world to completion, then repeat the run with a failpoint
 # that SIGKILLs the process mid-schedule, resume from the surviving snapshot
@@ -86,6 +92,11 @@ echo "=== asan ctest (fault-labelled tests) ==="
 # The fault suite injects I/O errors, poisons batches and SIGKILLs children
 # mid-write; ASan guards the recovery paths against leaks and UB.
 ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L fault
+echo "=== asan ctest (tensor-pool allocation suite) ==="
+# The pool hands recycled storage back to the ops; ASan verifies nothing in
+# the steady-state loop reads stale bytes or leaks escaped tensors.
+ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
+  -R 'TrainerPoolTest|TensorPoolTest'
 
 echo "=== tsan build ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
