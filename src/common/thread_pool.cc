@@ -84,6 +84,13 @@ void ThreadPool::Enqueue(std::function<void()> task) {
   cv_.notify_one();
 }
 
+void ThreadPool::Post(std::function<void()> task) {
+  GROUPSA_CHECK(num_threads_ > 1,
+                "ThreadPool::Post on a width-1 pool: no spawned worker could "
+                "ever run the task");
+  Enqueue(std::move(task));
+}
+
 void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
                              const std::function<void(int64_t, int64_t)>& fn) {
   if (end <= begin) return;

@@ -46,6 +46,16 @@ class ThreadPool {
   void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                    const std::function<void(int64_t, int64_t)>& fn);
 
+  // Runs `task` asynchronously on a spawned pool worker. Unlike ParallelFor
+  // the caller neither participates nor waits, so the pool must have at
+  // least one spawned worker (size >= 2) — posting to a width-1 pool is a
+  // programmer error (the task could never run). A long-lived task (a
+  // serving worker loop) occupies its worker until it returns; tasks still
+  // queued at destruction run to completion before the workers join, so a
+  // posted task is never silently dropped. Exceptions must not escape
+  // `task` (they would terminate the worker thread's process).
+  void Post(std::function<void()> task);
+
   // True when the current thread is one of this process's pool workers.
   static bool OnWorkerThread();
 

@@ -41,6 +41,13 @@ FallbackRecommender::Response FallbackRecommender::Degrade(
   return response;
 }
 
+FallbackRecommender::Response FallbackRecommender::ServeDegraded(
+    std::string reason, int k, const data::InteractionMatrix* exclude,
+    const std::vector<int32_t>& rows) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  return Degrade(std::move(reason), k, exclude, rows);
+}
+
 FallbackRecommender::Response FallbackRecommender::RecommendForUser(
     data::UserId user, int k, const data::InteractionMatrix* exclude) {
   requests_.fetch_add(1, std::memory_order_relaxed);

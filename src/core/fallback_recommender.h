@@ -53,6 +53,15 @@ class FallbackRecommender {
                                int k,
                                const data::InteractionMatrix* exclude);
 
+  // Popularity-path response with the same per-row exclude semantics as the
+  // model path, without attempting the model at all. The serving daemon's
+  // admission-control shed and fault-injection degrade paths answer through
+  // this: a full queue or an injected worker fault still yields a ranked
+  // list. Counts as one (degraded) request in the aggregate counters.
+  Response ServeDegraded(std::string reason, int k,
+                         const data::InteractionMatrix* exclude,
+                         const std::vector<int32_t>& rows);
+
   // Ops counters: total requests served and how many of them degraded.
   int64_t requests() const {
     return requests_.load(std::memory_order_relaxed);

@@ -1,0 +1,166 @@
+#include "serve/harness.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+#include "common/macros.h"
+#include "common/thread_pool.h"
+
+namespace groupsa::serve {
+namespace {
+
+std::string FormatScore(double score) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", score);
+  return buffer;
+}
+
+std::string JoinIds(const std::vector<data::UserId>& ids) {
+  std::string out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(ids[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Request> BuildSchedule(const ScheduleConfig& config) {
+  GROUPSA_CHECK(config.num_users >= 1 && config.num_groups >= 1,
+                "schedule needs at least one user and one group");
+  GROUPSA_CHECK(config.max_k >= 1, "schedule needs max_k >= 1");
+  Rng rng(config.seed);
+  std::vector<Request> schedule;
+  schedule.reserve(static_cast<size_t>(std::max(0, config.num_requests)));
+  for (int i = 0; i < config.num_requests; ++i) {
+    Request request;
+    const double kind_draw = rng.NextDouble();
+    if (kind_draw < config.group_fraction) {
+      request.kind = Request::Kind::kGroup;
+      request.group = rng.NextInt(config.num_groups);
+    } else if (kind_draw < config.group_fraction + config.members_fraction) {
+      request.kind = Request::Kind::kMembers;
+      const int count =
+          1 + rng.NextInt(std::min(config.max_members, config.num_users));
+      for (int index : rng.SampleWithoutReplacement(config.num_users, count))
+        request.members.push_back(index);
+    } else {
+      request.kind = Request::Kind::kUser;
+      request.user = rng.NextInt(config.num_users);
+    }
+    request.k = 1 + rng.NextInt(config.max_k);
+    request.exclude_seen = rng.NextBernoulli(config.exclude_fraction);
+    schedule.push_back(std::move(request));
+  }
+  return schedule;
+}
+
+DriveReport DriveSchedule(Server* server, const std::vector<Request>& schedule,
+                          const DriveOptions& options) {
+  DriveReport report;
+  report.responses.resize(schedule.size());
+  const int64_t n = static_cast<int64_t>(schedule.size());
+  if (n == 0) return report;
+  const int lanes = std::max(1, options.client_lanes);
+  std::atomic<int64_t> reload_attempts{0};
+  std::atomic<int64_t> reload_failures{0};
+  // A dedicated pool: client lanes must not contend with the server's
+  // worker pool (or the global pool) for threads, or a closed-loop lane
+  // could starve the very workers it is waiting on.
+  parallel::ThreadPool pool(lanes);
+  const int64_t grain = (n + lanes - 1) / lanes;
+  pool.ParallelFor(0, n, grain, [&](int64_t begin, int64_t end) {
+    int issued = 0;
+    for (int64_t i = begin; i < end; ++i) {
+      report.responses[static_cast<size_t>(i)] =
+          server->Call(schedule[static_cast<size_t>(i)]);
+      ++issued;
+      if (begin == 0 && options.reload_every > 0 &&
+          issued % options.reload_every == 0) {
+        reload_attempts.fetch_add(1, std::memory_order_relaxed);
+        if (!server->Reload(options.reload_path).ok())
+          reload_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  report.reload_attempts = reload_attempts.load(std::memory_order_relaxed);
+  report.reload_failures = reload_failures.load(std::memory_order_relaxed);
+  return report;
+}
+
+std::string FormatRequest(const Request& request) {
+  std::string out;
+  switch (request.kind) {
+    case Request::Kind::kUser:
+      out = "user " + std::to_string(request.user);
+      break;
+    case Request::Kind::kGroup:
+      out = "group " + std::to_string(request.group);
+      break;
+    case Request::Kind::kMembers:
+      out = "members " + JoinIds(request.members);
+      break;
+  }
+  out += " k=" + std::to_string(request.k);
+  out += " x=" + std::to_string(request.exclude_seen ? 1 : 0);
+  return out;
+}
+
+std::string FormatResponse(const Response& response) {
+  std::string out = "gen=" + std::to_string(response.generation);
+  out += " deg=" + std::to_string(response.degraded ? 1 : 0);
+  out += " shed=" + std::to_string(response.shed ? 1 : 0);
+  out += " rej=" + std::to_string(response.rejected ? 1 : 0);
+  if (!response.error.empty()) out += " err=[" + response.error + "]";
+  out += " items=";
+  for (size_t i = 0; i < response.items.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(response.items[i].first) + ":" +
+           FormatScore(response.items[i].second);
+  }
+  return out;
+}
+
+std::string FormatDrive(const std::vector<Request>& schedule,
+                        const DriveReport& report) {
+  GROUPSA_CHECK(schedule.size() == report.responses.size(),
+                "drive report does not match its schedule");
+  std::string out;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    out += FormatRequest(schedule[i]) + " -> " +
+           FormatResponse(report.responses[i]) + "\n";
+  }
+  return out;
+}
+
+std::string CheckConservation(const DriveReport& report,
+                              const ServerStats& stats, bool stopped) {
+  std::vector<uint64_t> ids;
+  ids.reserve(report.responses.size());
+  for (size_t i = 0; i < report.responses.size(); ++i) {
+    const Response& r = report.responses[i];
+    if (r.id == 0)
+      return "slot " + std::to_string(i) + " never received a response";
+    ids.push_back(r.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (size_t i = 1; i < ids.size(); ++i) {
+    if (ids[i] == ids[i - 1])
+      return "response id " + std::to_string(ids[i]) +
+             " delivered to two schedule slots";
+  }
+  if (stats.submitted != stats.admitted + stats.shed + stats.rejected)
+    return "submitted " + std::to_string(stats.submitted) +
+           " != admitted " + std::to_string(stats.admitted) + " + shed " +
+           std::to_string(stats.shed) + " + rejected " +
+           std::to_string(stats.rejected);
+  if (stopped && stats.admitted != stats.completed)
+    return "stopped server left " +
+           std::to_string(stats.admitted - stats.completed) +
+           " admitted request(s) unanswered";
+  return "";
+}
+
+}  // namespace groupsa::serve

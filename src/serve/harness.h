@@ -1,0 +1,85 @@
+#ifndef GROUPSA_SERVE_HARNESS_H_
+#define GROUPSA_SERVE_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/server.h"
+
+namespace groupsa::serve {
+
+// Deterministic in-process client harness. Concurrency tests (and the load
+// bench) must be reproducible, so the traffic they drive is never ad-hoc:
+// a seeded ScheduleConfig expands to the exact same request sequence every
+// run, DriveSchedule fans it across client lanes with a fixed
+// lane-to-request partition, and FormatResponse renders answers into
+// byte-stable text so whole runs can be compared with a string equality.
+
+struct ScheduleConfig {
+  int num_requests = 100;
+  uint64_t seed = 1;
+  // Entity id ranges of the world being served.
+  int num_users = 1;
+  int num_groups = 1;
+  // Request mix; the remainder of the mass is kUser requests.
+  double group_fraction = 0.4;
+  double members_fraction = 0.2;
+  int max_members = 5;  // kMembers draws 1..max_members distinct users
+  int max_k = 10;       // k drawn uniformly in 1..max_k
+  double exclude_fraction = 0.5;  // probability a request sets exclude_seen
+};
+
+// Expands the config into its request sequence (pure function of the
+// config; same seed, same schedule).
+std::vector<Request> BuildSchedule(const ScheduleConfig& config);
+
+struct DriveOptions {
+  // Client lanes submitting concurrently. Lane L owns the contiguous slice
+  // of the schedule ParallelFor assigns it; each lane is closed-loop
+  // (submit, wait, next), so `client_lanes` bounds the harness's own
+  // in-flight requests.
+  int client_lanes = 1;
+  // Control-plane interleaving: when > 0, the lane that owns schedule index
+  // 0 issues Server::Reload(reload_path) after every `reload_every`-th of
+  // its own requests — hot reloads land mid-flight relative to the other
+  // lanes' traffic.
+  int reload_every = 0;
+  std::string reload_path;
+};
+
+struct DriveReport {
+  // responses[i] answers schedule[i]; every slot is filled exactly once.
+  std::vector<Response> responses;
+  int64_t reload_attempts = 0;
+  int64_t reload_failures = 0;
+};
+
+// Drives the schedule against the server and blocks until every request has
+// resolved. Lanes run on a dedicated thread pool sized to `client_lanes`.
+DriveReport DriveSchedule(Server* server, const std::vector<Request>& schedule,
+                          const DriveOptions& options);
+
+// Byte-stable rendering of a request/response pair: fixed field order,
+// scores in %.17g (round-trip exact for double), no timestamps. Two
+// serving runs agree byte-for-byte iff every response agrees bit-for-bit.
+std::string FormatRequest(const Request& request);
+std::string FormatResponse(const Response& response);
+
+// Renders a whole drive: one "<request> -> <response>" line per schedule
+// slot, in schedule order (independent of completion order).
+std::string FormatDrive(const std::vector<Request>& schedule,
+                        const DriveReport& report);
+
+// Checks the no-lost/no-duplicated-response invariant over a drive: one
+// response per slot, ids unique, and the server's conservation identity
+// (submitted == admitted + shed + rejected; admitted == completed once
+// stopped). Returns an empty string when everything holds, else a
+// description of the first violation.
+std::string CheckConservation(const DriveReport& report,
+                              const ServerStats& stats, bool stopped);
+
+}  // namespace groupsa::serve
+
+#endif  // GROUPSA_SERVE_HARNESS_H_

@@ -1,0 +1,340 @@
+#include "serve/server.h"
+
+#include <algorithm>
+
+#include "common/failpoint.h"
+#include "common/macros.h"
+#include "core/inference_engine.h"
+
+namespace groupsa::serve {
+namespace {
+
+// Exclude-matrix rows a degraded answer must respect, mirroring the rows
+// the model path would have consulted (user row / group row / every member
+// row).
+std::vector<int32_t> ExcludeRows(const Request& request) {
+  switch (request.kind) {
+    case Request::Kind::kUser:
+      return {request.user};
+    case Request::Kind::kGroup:
+      return {request.group};
+    case Request::Kind::kMembers:
+      return std::vector<int32_t>(request.members.begin(),
+                                  request.members.end());
+  }
+  return {};
+}
+
+}  // namespace
+
+Server::Server(const ServeConfig& config, ModelFactory factory,
+               std::string checkpoint_path, const data::EdgeList& popularity,
+               int num_items, const data::InteractionMatrix* user_exclude,
+               const data::InteractionMatrix* group_exclude)
+    : config_(config),
+      factory_(std::move(factory)),
+      checkpoint_path_(std::move(checkpoint_path)),
+      popularity_(popularity),
+      num_items_(num_items),
+      user_exclude_(user_exclude),
+      group_exclude_(group_exclude) {
+  GROUPSA_CHECK(config_.workers >= 1, "ServeConfig::workers must be >= 1");
+  GROUPSA_CHECK(config_.queue_depth >= 1,
+                "ServeConfig::queue_depth must be >= 1");
+  GROUPSA_CHECK(factory_ != nullptr, "Server requires a model factory");
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::BuildGeneration(const std::string& checkpoint_path,
+                               std::shared_ptr<Generation>* out) {
+  std::unique_ptr<core::GroupSaModel> model;
+  GROUPSA_RETURN_IF_ERROR_CTX(factory_(checkpoint_path, &model),
+                              "build model generation");
+  auto gen = std::make_shared<Generation>();
+  core::InferenceEngine* engine =
+      model != nullptr ? &model->inference() : nullptr;
+  gen->model = std::move(model);
+  gen->fallback = std::make_unique<core::FallbackRecommender>(
+      engine, popularity_, num_items_);
+  *out = std::move(gen);
+  return Status::Ok();
+}
+
+Status Server::Start() {
+  GROUPSA_CHECK(!running_, "Server::Start on a running server");
+  std::shared_ptr<Generation> gen;
+  GROUPSA_RETURN_IF_ERROR_CTX(BuildGeneration(checkpoint_path_, &gen),
+                              "serve start");
+  {
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    gen->number = ++next_generation_;
+    generation_ = std::move(gen);
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_closed_ = false;
+  }
+  pool_ = std::make_unique<parallel::ThreadPool>(config_.workers + 1);
+  for (int i = 0; i < config_.workers; ++i)
+    pool_->Post([this] { WorkerLoop(); });
+  running_ = true;
+  return Status::Ok();
+}
+
+void Server::Stop() {
+  if (!running_) return;
+  CloseQueue();
+  // Worker loops drain the queue and return; the pool destructor joins them.
+  pool_.reset();
+  running_ = false;
+}
+
+bool Server::running() const { return running_; }
+
+std::shared_ptr<Server::Generation> Server::CurrentGeneration() const {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  return generation_;
+}
+
+uint64_t Server::generation() const {
+  const std::shared_ptr<Generation> gen = CurrentGeneration();
+  return gen == nullptr ? 0 : gen->number;
+}
+
+// ---------------------------------------------------------------------------
+// Bounded admission queue
+// ---------------------------------------------------------------------------
+
+Server::PushResult Server::TryPush(Job* job) {
+  int64_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_closed_) return PushResult::kClosed;
+    if (static_cast<int>(queue_.size()) >= config_.queue_depth)
+      return PushResult::kFull;
+    queue_.push_back(std::move(*job));
+    depth = static_cast<int64_t>(queue_.size());
+  }
+  // Monotone max over racing updates.
+  int64_t seen = peak_queue_depth_.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !peak_queue_depth_.compare_exchange_weak(
+             seen, depth, std::memory_order_relaxed)) {
+  }
+  queue_cv_.notify_one();
+  return PushResult::kOk;
+}
+
+bool Server::PopBlocking(Job* out) {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  // A paused worker parks here even with work queued; closing the queue
+  // overrides the pause so shutdown always drains.
+  queue_cv_.wait(lock, [this] {
+    return queue_closed_ || (!paused_ && !queue_.empty());
+  });
+  if (queue_.empty()) return false;  // closed and drained
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+void Server::Pause() {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  paused_ = true;
+}
+
+void Server::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    paused_ = false;
+  }
+  queue_cv_.notify_all();
+}
+
+void Server::CloseQueue() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_closed_ = true;
+  }
+  queue_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Request path
+// ---------------------------------------------------------------------------
+
+std::future<Response> Server::Submit(Request req) {
+  Job job;
+  job.request = std::move(req);
+  job.id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::future<Response> future = job.promise.get_future();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  // Front-door fault injection: an error here models a failure before the
+  // request ever reaches the queue (a torn read off the wire). The request
+  // still resolves — rejected, never dropped.
+  if (GROUPSA_FAILPOINT("serve.submit") != failpoint::Action::kNone) {
+    Response r;
+    r.id = job.id;
+    r.rejected = true;
+    r.error = "injected fault at serve.submit";
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    job.promise.set_value(std::move(r));
+    return future;
+  }
+
+  switch (TryPush(&job)) {
+    case PushResult::kOk:
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      return future;
+    case PushResult::kFull: {
+      if (config_.overload == ServeConfig::OverloadPolicy::kShedToFallback) {
+        // Shed on the caller thread: popularity is O(items log k) with no
+        // model work, so the overload path stays cheap under pressure.
+        Response r = DegradedAnswer(CurrentGeneration(), job.request, job.id,
+                                    "admission queue full");
+        r.shed = true;
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        job.promise.set_value(std::move(r));
+      } else {
+        Response r;
+        r.id = job.id;
+        r.rejected = true;
+        r.error = "admission queue full";
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        job.promise.set_value(std::move(r));
+      }
+      return future;
+    }
+    case PushResult::kClosed: {
+      Response r;
+      r.id = job.id;
+      r.rejected = true;
+      r.error = "server not running";
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      job.promise.set_value(std::move(r));
+      return future;
+    }
+  }
+  GROUPSA_CHECK(false, "unreachable TryPush result");
+  return future;
+}
+
+Response Server::Call(Request req) { return Submit(std::move(req)).get(); }
+
+void Server::WorkerLoop() {
+  for (;;) {
+    Job job;
+    if (!PopBlocking(&job)) return;
+    Response r = Process(job.request, job.id);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (r.degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
+    job.promise.set_value(std::move(r));
+  }
+}
+
+Response Server::DegradedAnswer(const std::shared_ptr<Generation>& gen,
+                                const Request& request, uint64_t id,
+                                std::string reason) const {
+  const data::InteractionMatrix* exclude = nullptr;
+  if (request.exclude_seen) {
+    exclude = request.kind == Request::Kind::kGroup ? group_exclude_
+                                                    : user_exclude_;
+  }
+  const core::FallbackRecommender::Response fr = gen->fallback->ServeDegraded(
+      std::move(reason), request.k, exclude, ExcludeRows(request));
+  Response r;
+  r.id = id;
+  r.items = fr.items;
+  r.degraded = true;
+  r.error = fr.error;
+  r.generation = gen->number;
+  return r;
+}
+
+Response Server::Process(const Request& request, uint64_t id) {
+  const std::shared_ptr<Generation> gen = CurrentGeneration();
+  // Worker-side fault injection: the daemon degrades this one response
+  // instead of crashing (error and corrupt both map to "the model path is
+  // unusable for this request"; kill is the crash-test hammer and never
+  // returns).
+  if (GROUPSA_FAILPOINT("serve.worker") != failpoint::Action::kNone)
+    return DegradedAnswer(gen, request, id, "injected fault at serve.worker");
+
+  const data::InteractionMatrix* user_ex =
+      request.exclude_seen ? user_exclude_ : nullptr;
+  const data::InteractionMatrix* group_ex =
+      request.exclude_seen ? group_exclude_ : nullptr;
+  core::FallbackRecommender::Response fr;
+  switch (request.kind) {
+    case Request::Kind::kUser:
+      fr = gen->fallback->RecommendForUser(request.user, request.k, user_ex);
+      break;
+    case Request::Kind::kGroup:
+      fr = gen->fallback->RecommendForGroup(request.group, request.k,
+                                            group_ex);
+      break;
+    case Request::Kind::kMembers:
+      fr = gen->fallback->RecommendForMembers(request.members, request.k,
+                                              user_ex);
+      break;
+  }
+  Response r;
+  r.id = id;
+  r.items = std::move(fr.items);
+  r.degraded = fr.degraded;
+  r.error = std::move(fr.error);
+  r.generation = gen->number;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Hot reload
+// ---------------------------------------------------------------------------
+
+Status Server::Reload(const std::string& checkpoint_path) {
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  // Build-phase fault: a reload that cannot stage its new generation
+  // (missing/torn checkpoint, injected error) leaves the old one serving.
+  if (GROUPSA_FAILPOINT("serve.reload.build") != failpoint::Action::kNone) {
+    failed_reloads_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Error("injected fault at serve.reload.build");
+  }
+  std::shared_ptr<Generation> gen;
+  if (Status s = BuildGeneration(checkpoint_path, &gen); !s.ok()) {
+    failed_reloads_.fetch_add(1, std::memory_order_relaxed);
+    return s.WithContext("serve reload");
+  }
+  // The swap site: a kill here models a crash mid-swap. The staged
+  // generation is process-local, so the checkpoint on disk — written
+  // atomically by checkpoint v2 — stays the restart's last good state.
+  GROUPSA_FAILPOINT("serve.reload.swap");
+  {
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    gen->number = ++next_generation_;
+    generation_ = std::move(gen);
+  }
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.reloads = reloads_.load(std::memory_order_relaxed);
+  s.failed_reloads = failed_reloads_.load(std::memory_order_relaxed);
+  s.peak_queue_depth = peak_queue_depth_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace groupsa::serve

@@ -1,0 +1,249 @@
+#ifndef GROUPSA_SERVE_SERVER_H_
+#define GROUPSA_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/fallback_recommender.h"
+#include "core/groupsa_model.h"
+#include "data/interaction_matrix.h"
+#include "data/types.h"
+
+namespace groupsa::serve {
+
+// ---------------------------------------------------------------------------
+// groupsa_serve — the queue-driven concurrent request pipeline.
+//
+// The library's InferenceEngine and FallbackRecommender answer one call at a
+// time on the caller's thread; this daemon turns them into a process that
+// admits concurrent traffic:
+//
+//   Submit() ──► bounded admission queue ──► W worker loops (pool threads)
+//                      │                        │
+//                      │ full: overload policy  │ serve via the current
+//                      ▼                        ▼ model generation
+//               shed → popularity        FallbackRecommender → engine
+//
+// Worker loops run on a dedicated groupsa::parallel::ThreadPool (never raw
+// std::thread — the determinism linter bans those); each popped request is
+// answered through the generation's shared FallbackRecommender, whose
+// InferenceEngine keeps one value-version-keyed representation cache that
+// all workers share. Scoring inside a worker that fans out through the
+// global pool runs inline (nested ParallelFor), so responses are
+// bit-identical at any worker count and any global pool width.
+//
+// Hot reload: Reload(path) stages a complete new model generation off to
+// the side (factory + checkpoint v2 all-or-nothing load) and then swaps one
+// shared_ptr. In-flight and queued requests keep the generation they
+// grabbed alive through the shared_ptr, so a reload never drops, blocks or
+// corrupts a request; each response records the generation that served it.
+// A failed reload (missing/torn checkpoint, injected fault) leaves the old
+// generation serving and only bumps a counter.
+//
+// Failure behavior: the daemon degrades, never crashes. Admission overflow
+// sheds to the popularity path (or rejects, per policy); worker-side faults
+// (failpoint "serve.worker") degrade that one response; reload faults
+// ("serve.reload.build" / "serve.reload.swap") keep the last good
+// generation. Every submitted request resolves its future exactly once —
+// including requests still queued at Stop(), which are drained, and
+// requests submitted after Stop(), which resolve as rejected.
+//
+// Determinism: the daemon itself never reads a clock or ad-hoc randomness;
+// a response is a pure function of (request, model generation). That is
+// what makes the stress/soak suite and the serve-mode golden test
+// byte-reproducible at any worker count.
+// ---------------------------------------------------------------------------
+
+// A recommend request: one of the three entity kinds the engine serves.
+struct Request {
+  enum class Kind { kUser, kGroup, kMembers };
+  Kind kind = Kind::kUser;
+  data::UserId user = 0;       // kUser
+  data::GroupId group = 0;     // kGroup
+  std::vector<data::UserId> members;  // kMembers (ad-hoc / occasional group)
+  int k = 10;
+  // Apply the server's exclude matrices (seen-item filtering) to this
+  // request: the user matrix for kUser/kMembers, the group matrix for
+  // kGroup.
+  bool exclude_seen = false;
+};
+
+struct Response {
+  uint64_t id = 0;  // submission ticket (monotone per server)
+  std::vector<std::pair<data::ItemId, double>> items;
+  bool degraded = false;  // popularity path answered (model bypassed)
+  bool shed = false;      // admission control answered; never reached a worker
+  bool rejected = false;  // no ranking at all (policy kReject or stopped)
+  std::string error;      // why, when degraded/shed/rejected
+  uint64_t generation = 0;  // model generation that served it (0 = none)
+};
+
+// Monotone ops counters. Conservation invariant, checked by the stress
+// suite: submitted == admitted + shed + rejected, and once the server is
+// stopped admitted == completed (the queue is drained, never dropped).
+struct ServerStats {
+  int64_t submitted = 0;
+  int64_t admitted = 0;   // made it into the queue
+  int64_t shed = 0;       // overload policy served popularity at the door
+  int64_t rejected = 0;   // resolved with no ranking
+  int64_t completed = 0;  // answered by a worker
+  int64_t degraded = 0;   // worker answers that fell back to popularity
+  int64_t reloads = 0;
+  int64_t failed_reloads = 0;
+  int64_t peak_queue_depth = 0;
+};
+
+struct ServeConfig {
+  int workers = 2;       // scoring worker loops (>= 1)
+  int queue_depth = 64;  // admission queue bound (>= 1)
+  enum class OverloadPolicy {
+    kShedToFallback,  // full queue: answer popularity on the caller thread
+    kReject,          // full queue: resolve as rejected, no ranking
+  };
+  OverloadPolicy overload = OverloadPolicy::kShedToFallback;
+};
+
+class Server {
+ public:
+  // Builds the model for one checkpoint generation. Called once by Start()
+  // and once per Reload(); runs off the serving path, so a slow build never
+  // stalls traffic. Returning an error keeps the previous generation (at
+  // Start: fails Start). Returning Ok with a null model is the explicit
+  // "serve permanently degraded" state (popularity only) — the factory
+  // decides whether a bad checkpoint is fatal or degradable.
+  using ModelFactory =
+      std::function<Status(const std::string& checkpoint_path,
+                           std::unique_ptr<core::GroupSaModel>*)>;
+
+  // `popularity` seeds the fallback ranking (training interactions);
+  // `user_exclude` / `group_exclude` are the seen-item matrices consulted
+  // when Request::exclude_seen is set (either may be null). The matrices
+  // must outlive the server.
+  Server(const ServeConfig& config, ModelFactory factory,
+         std::string checkpoint_path, const data::EdgeList& popularity,
+         int num_items, const data::InteractionMatrix* user_exclude,
+         const data::InteractionMatrix* group_exclude);
+  ~Server();  // Stop()s if still running
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Builds generation 1 via the factory and starts the worker loops.
+  Status Start();
+
+  // Closes admission, drains every queued request through the workers and
+  // joins them. Idempotent. After Stop(), Submit() resolves as rejected.
+  void Stop();
+
+  bool running() const;
+
+  // Admits `req` and returns a future that resolves exactly once, whatever
+  // happens (served, degraded, shed, rejected, drained at shutdown).
+  std::future<Response> Submit(Request req);
+
+  // Submit + wait: the synchronous convenience used by tools and tests.
+  Response Call(Request req);
+
+  // Atomically swaps in a freshly built model generation (see the class
+  // comment). Safe to call concurrently with traffic; concurrent Reloads
+  // serialize. On error the previous generation keeps serving.
+  Status Reload(const std::string& checkpoint_path);
+
+  // Maintenance window: Pause() parks the worker loops after their current
+  // request; admission keeps queueing (and the overload policy keeps
+  // applying), so a paused server backs up deterministically — which is
+  // also how the admission-control tests fill the queue without racing the
+  // workers. Resume() releases the loops; Stop() resumes implicitly so
+  // shutdown always drains.
+  void Pause();
+  void Resume();
+
+  ServerStats stats() const;
+  uint64_t generation() const;
+
+ private:
+  // One model generation: the model (owns its InferenceEngine and therefore
+  // the shared value-version-keyed representation cache) plus the fallback
+  // front-end every worker answers through. `model` is null in the
+  // permanently-degraded state; `fallback` never is.
+  struct Generation {
+    std::unique_ptr<core::GroupSaModel> model;
+    std::unique_ptr<core::FallbackRecommender> fallback;
+    uint64_t number = 0;
+  };
+
+  struct Job {
+    Request request;
+    uint64_t id = 0;
+    std::promise<Response> promise;
+  };
+
+  enum class PushResult { kOk, kFull, kClosed };
+
+  // Builds a Generation from `checkpoint_path` via the factory.
+  Status BuildGeneration(const std::string& checkpoint_path,
+                         std::shared_ptr<Generation>* out);
+
+  std::shared_ptr<Generation> CurrentGeneration() const;
+
+  // Queue operations (bounded deque + cv under one mutex).
+  PushResult TryPush(Job* job);
+  bool PopBlocking(Job* out);  // false once closed and drained
+  void CloseQueue();
+
+  void WorkerLoop();
+  Response Process(const Request& request, uint64_t id);
+
+  // Popularity-only answer with per-kind exclude-row semantics (shed and
+  // injected-fault paths).
+  Response DegradedAnswer(const std::shared_ptr<Generation>& gen,
+                          const Request& request, uint64_t id,
+                          std::string reason) const;
+
+  const ServeConfig config_;
+  const ModelFactory factory_;
+  const std::string checkpoint_path_;
+  const data::EdgeList popularity_;
+  const int num_items_;
+  const data::InteractionMatrix* const user_exclude_;
+  const data::InteractionMatrix* const group_exclude_;
+
+  mutable std::mutex gen_mu_;
+  std::shared_ptr<Generation> generation_;  // null until Start()
+  uint64_t next_generation_ = 0;
+  std::mutex reload_mu_;  // serializes Reload() bodies
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool queue_closed_ = true;  // opened by Start()
+  bool paused_ = false;
+
+  std::unique_ptr<parallel::ThreadPool> pool_;  // workers + 1
+  bool running_ = false;
+
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> admitted_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> degraded_{0};
+  std::atomic<int64_t> reloads_{0};
+  std::atomic<int64_t> failed_reloads_{0};
+  std::atomic<int64_t> peak_queue_depth_{0};
+};
+
+}  // namespace groupsa::serve
+
+#endif  // GROUPSA_SERVE_SERVER_H_

@@ -120,6 +120,52 @@ TEST(FallbackRecommenderTest, NonPositiveKDegradesToEmptyRanking) {
   EXPECT_TRUE(response.items.empty());
 }
 
+TEST(FallbackRecommenderTest, KPastTheCatalogReturnsWholeCatalog) {
+  FallbackRecommender fallback(nullptr, PopularityEdges(), 5);
+  const auto response = fallback.RecommendForUser(0, 50, nullptr);
+  EXPECT_TRUE(response.degraded);
+  ASSERT_EQ(response.items.size(), 5u);  // all of it, never more
+  EXPECT_EQ(response.items[0].first, 2);
+}
+
+TEST(FallbackRecommenderTest, ExcludeCoveringWholeCatalogYieldsEmpty) {
+  FallbackRecommender fallback(nullptr, PopularityEdges(), 3);
+  // User 0 has seen every item: nothing is left to recommend, and the
+  // answer is an empty ranking, not an error or a crash.
+  data::InteractionMatrix exclude(/*num_rows=*/1, /*num_items=*/3,
+                                  {{0, 0}, {0, 1}, {0, 2}});
+  const auto response = fallback.RecommendForUser(0, 3, &exclude);
+  EXPECT_TRUE(response.degraded);
+  EXPECT_TRUE(response.items.empty());
+}
+
+TEST(FallbackRecommenderTest, EmptyInteractionsStillRankIdAscending) {
+  // A cold-start world with zero interactions: every count is 0, so the
+  // popularity order collapses to the id-ascending tie-break.
+  FallbackRecommender fallback(nullptr, data::EdgeList{}, /*num_items=*/4);
+  const auto response = fallback.RecommendForUser(0, 3, nullptr);
+  EXPECT_TRUE(response.degraded);
+  ASSERT_EQ(response.items.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(response.items[static_cast<size_t>(i)].first, i);
+    EXPECT_DOUBLE_EQ(response.items[static_cast<size_t>(i)].second, 0.0);
+  }
+}
+
+TEST(FallbackRecommenderTest, ServeDegradedCountsAndExcludesLikeTheModel) {
+  FallbackRecommender fallback(nullptr, PopularityEdges(), 5);
+  data::InteractionMatrix exclude(/*num_rows=*/2, /*num_items=*/5,
+                                  {{0, 2}});  // row 0 has seen item 2
+  const auto response =
+      fallback.ServeDegraded("queue full", 2, &exclude, {0, 900});
+  EXPECT_TRUE(response.degraded);
+  EXPECT_EQ(response.error, "queue full");
+  ASSERT_EQ(response.items.size(), 2u);
+  EXPECT_EQ(response.items[0].first, 0);  // item 2 excluded via row 0
+  EXPECT_EQ(fallback.requests(), 1);
+  EXPECT_EQ(fallback.degraded_responses(), 1);
+}
+
 // ---------------- Validated (Status) serving entry points ----------------
 
 class ServingStatusTest : public ::testing::Test {

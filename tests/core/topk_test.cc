@@ -1,0 +1,92 @@
+// Edge cases for the full-catalog top-K selector: the serving paths lean on
+// TopKItems behaving sanely at the boundaries (k past the catalog, k == 0,
+// ties, skip filters that eat everything), because requests arriving at the
+// daemon can put any of these in play.
+
+#include "core/topk.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace groupsa::core {
+namespace {
+
+TEST(TopKItemsTest, RanksByScoreDescendingThenIdAscending) {
+  const std::vector<double> scores = {0.5, 2.0, 1.0, 2.0};
+  const auto ranked = TopKItems(scores, 4);
+  ASSERT_EQ(ranked.size(), 4u);
+  EXPECT_EQ(ranked[0].first, 1);  // 2.0, lower id wins the tie
+  EXPECT_EQ(ranked[1].first, 3);  // 2.0
+  EXPECT_EQ(ranked[2].first, 2);  // 1.0
+  EXPECT_EQ(ranked[3].first, 0);  // 0.5
+  EXPECT_DOUBLE_EQ(ranked[0].second, 2.0);
+}
+
+TEST(TopKItemsTest, KLargerThanCatalogReturnsWholeCatalog) {
+  const std::vector<double> scores = {3.0, 1.0, 2.0};
+  const auto ranked = TopKItems(scores, 100);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].first, 0);
+  EXPECT_EQ(ranked[1].first, 2);
+  EXPECT_EQ(ranked[2].first, 1);
+}
+
+TEST(TopKItemsTest, NonPositiveKIsEmpty) {
+  const std::vector<double> scores = {3.0, 1.0};
+  EXPECT_TRUE(TopKItems(scores, 0).empty());
+  EXPECT_TRUE(TopKItems(scores, -5).empty());
+}
+
+TEST(TopKItemsTest, AllTiedScoresComeBackInIdOrder) {
+  const std::vector<double> scores(7, 1.25);
+  const auto ranked = TopKItems(scores, 5);
+  ASSERT_EQ(ranked.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(ranked[static_cast<size_t>(i)].first, i);
+    EXPECT_DOUBLE_EQ(ranked[static_cast<size_t>(i)].second, 1.25);
+  }
+}
+
+TEST(TopKItemsTest, SkipDropsItemsBeforeRanking) {
+  const std::vector<double> scores = {5.0, 4.0, 3.0, 2.0};
+  const auto ranked =
+      TopKItems(scores, 3, [](data::ItemId item) { return item % 2 == 0; });
+  ASSERT_EQ(ranked.size(), 2u);  // only odd items survive
+  EXPECT_EQ(ranked[0].first, 1);
+  EXPECT_EQ(ranked[1].first, 3);
+}
+
+TEST(TopKItemsTest, SkipEverythingYieldsEmptyNotError) {
+  const std::vector<double> scores = {5.0, 4.0, 3.0};
+  const auto ranked = TopKItems(scores, 2, [](data::ItemId) { return true; });
+  EXPECT_TRUE(ranked.empty());
+}
+
+TEST(TopKItemsTest, EmptyCatalogYieldsEmpty) {
+  EXPECT_TRUE(TopKItems({}, 3).empty());
+}
+
+TEST(TopKItemsTest, SelectionMatchesFullSortTruncation) {
+  // The nth_element cut must be invisible: identical to sort-everything.
+  std::vector<double> scores;
+  for (int i = 0; i < 257; ++i)
+    scores.push_back(static_cast<double>((i * 7919) % 101));  // many ties
+  const auto selected = TopKItems(scores, 10);
+  const auto full = TopKItems(scores, static_cast<int>(scores.size()));
+  ASSERT_EQ(selected.size(), 10u);
+  for (size_t i = 0; i < selected.size(); ++i) {
+    EXPECT_EQ(selected[i].first, full[i].first);
+    EXPECT_DOUBLE_EQ(selected[i].second, full[i].second);
+  }
+}
+
+TEST(AllItemsTest, IdentityCatalog) {
+  const auto items = AllItems(4);
+  ASSERT_EQ(items.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(items[static_cast<size_t>(i)], i);
+  EXPECT_TRUE(AllItems(0).empty());
+}
+
+}  // namespace
+}  // namespace groupsa::core

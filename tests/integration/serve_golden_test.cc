@@ -1,0 +1,209 @@
+// Serve-mode golden test: train on the tiny world, write a real checkpoint,
+// then serve it through the daemon's checkpoint-loading factory — the same
+// shape as `groupsa_cli train` followed by `groupsa_serve`. The drive
+// transcript over a fixed seeded schedule must be byte-identical across
+// every (server workers) x (global pool threads) combination, and every
+// response must bit-match a direct InferenceEngine call on a separately
+// restored model. This is the end-to-end determinism claim: checkpoint
+// round-trip + concurrent pipeline + engine threading are all invisible in
+// the output bytes.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/test_fixtures.h"
+#include "core/trainer.h"
+#include "nn/checkpoint.h"
+#include "serve/harness.h"
+#include "serve/server.h"
+
+namespace groupsa::serve {
+namespace {
+
+using core::testing::TinyFixture;
+
+core::GroupSaConfig GoldenConfig() {
+  core::GroupSaConfig c = core::GroupSaConfig::Default();
+  c.embedding_dim = 8;
+  c.attention_hidden = 8;
+  c.ffn_hidden = 8;
+  c.predictor_hidden = {8};
+  c.fusion_hidden = {8};
+  c.user_epochs = 1;
+  c.group_epochs = 1;
+  return c;
+}
+
+class ServeGoldenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    config_ = new core::GroupSaConfig(GoldenConfig());
+    fixture_ = new TinyFixture(TinyFixture::Make(*config_));
+    // TinyFixture::Make returns by value; re-point the ModelData pointers at
+    // the object we actually keep.
+    fixture_->model_data.groups = &fixture_->world.dataset.groups;
+    fixture_->model_data.social = &fixture_->world.dataset.social;
+
+    // Train briefly and checkpoint — the "groupsa_cli train" half.
+    auto model = fixture_->MakeModel(*config_, /*seed=*/11);
+    Rng rng(29);
+    core::Trainer trainer(model.get(), fixture_->ui.train, fixture_->gi.train,
+                          &fixture_->ui_train, &fixture_->gi_train, &rng);
+    trainer.Fit();
+    // Per-process path: ctest runs each TEST of this suite as its own
+    // process, concurrently; a shared fixed path would race the checkpoint
+    // writer's tmp file across processes.
+    checkpoint_path_ = new std::string(
+        std::string(::testing::TempDir()) + "/serve_golden_" +
+        std::to_string(::getpid()) + ".ckpt");
+    ASSERT_TRUE(nn::SaveParameters(model->Parameters(), *checkpoint_path_).ok());
+
+    // The oracle: a fresh model restored from the same checkpoint, queried
+    // directly (no daemon) for the parity half of the test.
+    oracle_ = RestoreModel().release();
+    ASSERT_NE(oracle_, nullptr);
+  }
+
+  static void TearDownTestSuite() {
+    delete oracle_;
+    delete checkpoint_path_;
+    delete fixture_;
+    delete config_;
+    parallel::SetGlobalThreads(1);
+  }
+
+  // The daemon's factory path: construct at a fixed seed, load the
+  // checkpoint (strict), exactly what groupsa_serve does per generation.
+  static std::unique_ptr<core::GroupSaModel> RestoreModel() {
+    auto model = fixture_->MakeModel(*config_, /*seed=*/99);
+    if (!nn::LoadParameters(model->Parameters(), *checkpoint_path_).ok())
+      return nullptr;
+    return model;
+  }
+
+  static Server MakeServer(int workers) {
+    ServeConfig sc;
+    sc.workers = workers;
+    sc.queue_depth = 64;
+    Server::ModelFactory factory =
+        [](const std::string&,
+           std::unique_ptr<core::GroupSaModel>* out) -> Status {
+      *out = RestoreModel();
+      if (*out == nullptr) return Status::Error("checkpoint load failed");
+      return Status::Ok();
+    };
+    return Server(sc, std::move(factory), *checkpoint_path_,
+                  fixture_->ui.train, fixture_->world.dataset.num_items,
+                  &fixture_->ui_train, &fixture_->gi_train);
+  }
+
+  static std::vector<Request> GoldenSchedule() {
+    ScheduleConfig sc;
+    sc.num_requests = 60;
+    sc.seed = 7;
+    sc.num_users = fixture_->world.dataset.num_users;
+    sc.num_groups = fixture_->world.dataset.groups.num_groups();
+    return BuildSchedule(sc);
+  }
+
+  static core::GroupSaConfig* config_;
+  static TinyFixture* fixture_;
+  static std::string* checkpoint_path_;
+  static core::GroupSaModel* oracle_;
+};
+
+core::GroupSaConfig* ServeGoldenTest::config_ = nullptr;
+TinyFixture* ServeGoldenTest::fixture_ = nullptr;
+std::string* ServeGoldenTest::checkpoint_path_ = nullptr;
+core::GroupSaModel* ServeGoldenTest::oracle_ = nullptr;
+
+TEST_F(ServeGoldenTest, TranscriptIsByteIdenticalAcrossWorkersAndThreads) {
+  const std::vector<Request> schedule = GoldenSchedule();
+  std::string golden;
+  for (int threads : {1, 4}) {
+    parallel::SetGlobalThreads(threads);
+    for (int workers : {1, 4}) {
+      Server server = MakeServer(workers);
+      ASSERT_TRUE(server.Start().ok());
+      DriveOptions options;
+      options.client_lanes = workers;
+      const DriveReport report = DriveSchedule(&server, schedule, options);
+      server.Stop();
+      ASSERT_EQ(CheckConservation(report, server.stats(), /*stopped=*/true),
+                "");
+      const std::string transcript = FormatDrive(schedule, report);
+      if (golden.empty()) {
+        golden = transcript;
+        ASSERT_FALSE(golden.empty());
+      } else {
+        EXPECT_EQ(transcript, golden)
+            << "threads=" << threads << " workers=" << workers;
+      }
+    }
+  }
+  parallel::SetGlobalThreads(1);
+  // Healthy end to end: the trained checkpoint serves the model path, not
+  // the popularity fallback.
+  EXPECT_EQ(golden.find("deg=1"), std::string::npos);
+}
+
+TEST_F(ServeGoldenTest, ServedScoresBitMatchARestoredEngine) {
+  parallel::SetGlobalThreads(1);
+  Server server = MakeServer(/*workers=*/2);
+  ASSERT_TRUE(server.Start().ok());
+  core::InferenceEngine& engine = oracle_->inference();
+  for (const Request& request : GoldenSchedule()) {
+    const Response response = server.Call(request);
+    ASSERT_FALSE(response.degraded) << FormatRequest(request);
+    std::vector<std::pair<data::ItemId, double>> want;
+    const data::InteractionMatrix* user_ex =
+        request.exclude_seen ? &fixture_->ui_train : nullptr;
+    const data::InteractionMatrix* group_ex =
+        request.exclude_seen ? &fixture_->gi_train : nullptr;
+    switch (request.kind) {
+      case Request::Kind::kUser:
+        want = engine.RecommendForUser(request.user, request.k, user_ex);
+        break;
+      case Request::Kind::kGroup:
+        want = engine.RecommendForGroup(request.group, request.k, group_ex);
+        break;
+      case Request::Kind::kMembers:
+        want = engine.RecommendForMembers(request.members, request.k,
+                                          user_ex);
+        break;
+    }
+    EXPECT_EQ(response.items, want) << FormatRequest(request);
+  }
+  server.Stop();
+}
+
+TEST_F(ServeGoldenTest, ReloadFromTheSameCheckpointKeepsTheTranscript) {
+  parallel::SetGlobalThreads(1);
+  const std::vector<Request> schedule = GoldenSchedule();
+  Server server = MakeServer(/*workers=*/2);
+  ASSERT_TRUE(server.Start().ok());
+  DriveOptions options;
+  options.client_lanes = 2;
+  const DriveReport before = DriveSchedule(&server, schedule, options);
+  ASSERT_TRUE(server.Reload(*checkpoint_path_).ok());
+  const DriveReport after = DriveSchedule(&server, schedule, options);
+  server.Stop();
+  // Scores are a pure function of the checkpoint: generation 2 must render
+  // the same items and scores (only the generation number differs, which
+  // FormatDrive includes — so compare the item payloads directly).
+  ASSERT_EQ(before.responses.size(), after.responses.size());
+  for (size_t i = 0; i < before.responses.size(); ++i) {
+    EXPECT_EQ(before.responses[i].items, after.responses[i].items)
+        << FormatRequest(schedule[i]);
+    EXPECT_EQ(before.responses[i].generation, 1u);
+    EXPECT_EQ(after.responses[i].generation, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace groupsa::serve

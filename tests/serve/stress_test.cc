@@ -1,0 +1,210 @@
+// Stress/soak suite for the serving daemon: N client lanes x M requests
+// with hot reloads and serve.* failpoints firing mid-flight. The invariants
+// under fire:
+//
+//   * no lost or duplicated responses — every schedule slot resolves
+//     exactly once, with a unique ticket id (CheckConservation);
+//   * the monotone counters only ever grow, sampled concurrently from a
+//     separate thread while the pipeline is under load;
+//   * non-degraded responses stay bit-identical to direct InferenceEngine
+//     calls even while generations swap underneath them;
+//   * the whole thing is TSan-clean (this file is race-labelled and runs
+//     in the ThreadSanitizer CI lane).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "serve/harness.h"
+#include "serve/server.h"
+#include "serve_test_util.h"
+
+namespace groupsa::serve {
+namespace {
+
+using serve::testing::ServeRig;
+
+bool CountersMonotone(const ServerStats& before, const ServerStats& after) {
+  return after.submitted >= before.submitted &&
+         after.admitted >= before.admitted && after.shed >= before.shed &&
+         after.rejected >= before.rejected &&
+         after.completed >= before.completed &&
+         after.degraded >= before.degraded &&
+         after.reloads >= before.reloads &&
+         after.failed_reloads >= before.failed_reloads &&
+         after.peak_queue_depth >= before.peak_queue_depth;
+}
+
+class StressTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+// The core soak: lanes x workers sweep with reloads and faults mid-flight.
+void RunSoak(int lanes, int workers, bool with_failpoints) {
+  ServeConfig sc;
+  sc.workers = workers;
+  sc.queue_depth = 4;  // small on purpose: overload paths must fire
+  ServeRig rig(sc);
+  ASSERT_TRUE(rig.server->Start().ok());
+
+  if (with_failpoints) {
+    // One transient worker fault, a persistent submit fault from hit 90 on,
+    // and a failing second reload — the daemon must degrade, not crash.
+    ASSERT_TRUE(failpoint::Arm("serve.worker=error@17"));
+    ASSERT_TRUE(failpoint::Arm("serve.submit=error@90+"));
+    ASSERT_TRUE(failpoint::Arm("serve.reload.build=error@2"));
+  }
+
+  const std::vector<Request> schedule =
+      BuildSchedule(rig.Schedule(/*num_requests=*/120, /*seed=*/21));
+
+  // Concurrent monotonicity sampler: hammers stats() while the pipeline and
+  // the reload path run, asserting every counter only grows.
+  std::atomic<bool> done{false};
+  std::atomic<bool> monotone{true};
+  std::thread sampler([&] {
+    ServerStats last = rig.server->stats();
+    while (!done.load(std::memory_order_relaxed)) {
+      const ServerStats now = rig.server->stats();
+      if (!CountersMonotone(last, now))
+        monotone.store(false, std::memory_order_relaxed);
+      last = now;
+      std::this_thread::yield();
+    }
+  });
+
+  DriveOptions options;
+  options.client_lanes = lanes;
+  options.reload_every = 10;  // hot reloads land mid-flight
+  options.reload_path = "<in-memory>";
+  const DriveReport report = DriveSchedule(rig.server.get(), schedule, options);
+  done.store(true, std::memory_order_relaxed);
+  sampler.join();
+  EXPECT_TRUE(monotone.load(std::memory_order_relaxed));
+  EXPECT_GT(report.reload_attempts, 0);
+  if (with_failpoints) {
+    EXPECT_EQ(report.reload_failures, 1);
+  }
+
+  rig.server->Stop();
+  const ServerStats stats = rig.server->stats();
+  const std::string violation =
+      CheckConservation(report, stats, /*stopped=*/true);
+  EXPECT_EQ(violation, "");
+
+  // Every response accounted for, and the healthy ones bit-match the
+  // direct engine path (generation swaps must be invisible in the scores —
+  // the factory rebuilds identical parameters).
+  int degraded = 0;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const Response& r = report.responses[i];
+    if (r.degraded || r.shed || r.rejected) {
+      ++degraded;
+      continue;
+    }
+    const auto want = rig.Direct(schedule[i]);
+    ASSERT_EQ(r.items.size(), want.size());
+    for (size_t j = 0; j < want.size(); ++j) {
+      EXPECT_EQ(r.items[j].first, want[j].first);
+      EXPECT_EQ(std::memcmp(&r.items[j].second, &want[j].second,
+                            sizeof(double)),
+                0);
+    }
+  }
+  if (with_failpoints) {
+    // The persistent serve.submit fault alone guarantees degraded traffic.
+    EXPECT_GT(degraded, 0);
+    EXPECT_GT(stats.rejected, 0);
+  }
+}
+
+TEST_F(StressTest, SoakSingleLaneSingleWorker) { RunSoak(1, 1, false); }
+
+TEST_F(StressTest, SoakFourLanesSingleWorker) { RunSoak(4, 1, false); }
+
+TEST_F(StressTest, SoakFourLanesFourWorkersUnderFailpoints) {
+  RunSoak(4, 4, true);
+}
+
+TEST_F(StressTest, SoakTwoLanesFourWorkersUnderFailpoints) {
+  RunSoak(2, 4, true);
+}
+
+// Reload storm: a dedicated thread swaps generations as fast as it can
+// while four lanes drive traffic; zero requests may be lost and every
+// healthy response must come from *some* complete generation.
+TEST_F(StressTest, ReloadStormNeverDropsARequest) {
+  ServeConfig sc;
+  sc.workers = 4;
+  sc.queue_depth = 16;
+  ServeRig rig(sc);
+  ASSERT_TRUE(rig.server->Start().ok());
+
+  std::atomic<bool> stop_reloads{false};
+  std::thread reloader([&] {
+    while (!stop_reloads.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(rig.server->Reload("<in-memory>").ok());
+    }
+  });
+
+  const std::vector<Request> schedule =
+      BuildSchedule(rig.Schedule(/*num_requests=*/160, /*seed=*/33));
+  DriveOptions options;
+  options.client_lanes = 4;
+  const DriveReport report = DriveSchedule(rig.server.get(), schedule, options);
+  stop_reloads.store(true, std::memory_order_relaxed);
+  reloader.join();
+
+  rig.server->Stop();
+  EXPECT_EQ(CheckConservation(report, rig.server->stats(), /*stopped=*/true),
+            "");
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const Response& r = report.responses[i];
+    ASSERT_FALSE(r.shed || r.rejected || r.degraded)
+        << FormatRequest(schedule[i]);
+    EXPECT_GE(r.generation, 1u);
+    const auto want = rig.Direct(schedule[i]);
+    ASSERT_EQ(r.items.size(), want.size());
+    for (size_t j = 0; j < want.size(); ++j)
+      EXPECT_EQ(std::memcmp(&r.items[j].second, &want[j].second,
+                            sizeof(double)),
+                0);
+  }
+  EXPECT_GT(rig.server->stats().reloads, 0);
+}
+
+// Byte-level reproducibility under concurrency: the same seeded schedule
+// driven at (1 lane, 1 worker) and (4 lanes, 4 workers) renders the exact
+// same drive transcript — responses are a pure function of the request.
+TEST_F(StressTest, DriveTranscriptIsByteIdenticalAcrossConcurrency) {
+  std::string transcripts[2];
+  const int lanes[2] = {1, 4};
+  const int workers[2] = {1, 4};
+  for (int v = 0; v < 2; ++v) {
+    ServeConfig sc;
+    sc.workers = workers[v];
+    sc.queue_depth = 256;  // no shedding: transcripts must be fault-free
+    ServeRig rig(sc);
+    ASSERT_TRUE(rig.server->Start().ok());
+    const std::vector<Request> schedule =
+        BuildSchedule(rig.Schedule(/*num_requests=*/80, /*seed=*/55));
+    DriveOptions options;
+    options.client_lanes = lanes[v];
+    const DriveReport report =
+        DriveSchedule(rig.server.get(), schedule, options);
+    rig.server->Stop();
+    EXPECT_EQ(CheckConservation(report, rig.server->stats(), true), "");
+    transcripts[v] = FormatDrive(schedule, report);
+  }
+  EXPECT_EQ(transcripts[0], transcripts[1]);
+  EXPECT_FALSE(transcripts[0].empty());
+}
+
+}  // namespace
+}  // namespace groupsa::serve

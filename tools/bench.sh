@@ -1,17 +1,21 @@
 #!/usr/bin/env bash
-# Performance benchmark entry point: builds and runs the two timing drivers
-# and records their machine-readable results at the repo root.
+# Performance benchmark entry point: builds and runs the timing drivers and
+# records their machine-readable results at the repo root.
 #
 #   bench_inference -> BENCH_inference.json  (full-catalog scoring: per-item
 #                      reference path vs the batched InferenceEngine)
 #   bench_training  -> BENCH_training.json   (two-stage Fit with the tensor
 #                      pool on vs off, at one and four threads)
+#   bench_serving   -> BENCH_serving.json    (daemon pipeline under steady
+#                      and burst open-loop load: QPS, p50/p99 latency,
+#                      shed/degraded counts)
 #
-# Both drivers re-verify their bit-identity contracts on every run and exit
-# non-zero on any divergence, so a recorded speedup always describes
-# bit-identical results.
+# Every driver re-verifies its bit-identity contract on every run and exits
+# non-zero on any divergence, so a recorded number always describes
+# bit-identical results (the serving driver parity-checks the pipeline
+# against direct InferenceEngine calls before timing anything).
 #
-# Usage: tools/bench.sh [inference|training|all] [extra flags...]
+# Usage: tools/bench.sh [inference|training|serving|all] [extra flags...]
 #        (extra flags are forwarded to the selected driver; the inference
 #         defaults below match the acceptance setup: 2000-item catalog,
 #         single thread)
@@ -22,8 +26,13 @@ cd "$(dirname "$0")/.."
 TARGET="${1:-all}"
 if [ $# -gt 0 ]; then shift; fi
 
-cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build -j "$(nproc)" --target bench_inference bench_training
+# Configure only when the build tree does not exist yet (standalone lanes
+# reuse a developer's existing configuration).
+if [ ! -f build/CMakeCache.txt ]; then
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+cmake --build build -j "$(nproc)" \
+  --target bench_inference bench_training bench_serving
 
 if [ "${TARGET}" = "inference" ] || [ "${TARGET}" = "all" ]; then
   ./build/bench/bench_inference \
@@ -35,4 +44,9 @@ fi
 if [ "${TARGET}" = "training" ] || [ "${TARGET}" = "all" ]; then
   ./build/bench/bench_training --json=BENCH_training.json "$@"
   echo "wrote BENCH_training.json"
+fi
+
+if [ "${TARGET}" = "serving" ] || [ "${TARGET}" = "all" ]; then
+  ./build/bench/bench_serving --json=BENCH_serving.json "$@"
+  echo "wrote BENCH_serving.json"
 fi

@@ -1,119 +1,306 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 suite under the plain build, the determinism linter
-# and clang-tidy lanes over src/, a crash-resume determinism gate (real
-# SIGKILL mid-training via failpoints, resume, byte compare), the
-# fault-labelled tests again under AddressSanitizer, the race-labelled tests
-# under ThreadSanitizer (GROUPSA_SANITIZE=thread) to shake out data races in
-# the thread pool, the sharded trainer and the parallel kernels, and the
-# full suite once more under UBSan (GROUPSA_SANITIZE=undefined) with
-# recovery disabled, so any undefined behaviour on a tested path fails CI.
+# CI entry point, organised as standalone lanes. Each lane configures its own
+# build tree if (and only if) it is missing, so any lane can run in isolation
+# on a fresh checkout:
 #
-# Usage: tools/ci.sh [jobs]       (default: nproc)
+#   plain         Release build + the full tier-1 ctest suite
+#   lint          determinism linter over src/ (zero findings required)
+#   tidy          clang-tidy over src/ (visible skip when not installed)
+#   bench         inference + training bench smokes (bit-parity gates)
+#   serving       serving bench smoke (pipeline-vs-engine 0-ULP parity gate)
+#   crash         crash-resume determinism gate (SIGKILL mid-training, resume,
+#                 byte-compare) at pool widths 1 and 4
+#   serve-golden  serve-mode golden gate (train -> checkpoint -> scripted
+#                 daemon run, byte-compared at 1x1 vs 4x4 workers/threads)
+#                 plus the crash-during-reload gate (SIGKILL mid-swap, restart
+#                 from the last good checkpoint)
+#   asan          fault-labelled tests + tensor-pool suite under ASan
+#   tsan          race-labelled tests (thread pool, trainer shards, serving
+#                 stress/soak) under TSan
+#   ubsan         full suite under UBSan with recovery disabled
+#
+# Usage: tools/ci.sh [jobs] [lane ...]     (default: nproc jobs, all lanes)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-JOBS="${1:-$(nproc)}"
-
-echo "=== plain build ==="
-cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j "${JOBS}"
-echo "=== plain ctest (full tier-1 suite) ==="
-ctest --test-dir build --output-on-failure -j "${JOBS}"
-
-echo "=== lint lane (determinism linter over src/) ==="
-# Zero findings required; reviewed exceptions live in tools/lint_allow.txt
-# and stale allowlist entries are findings themselves.
-./build/tools/groupsa_lint --allowlist tools/lint_allow.txt src/
-
-echo "=== clang-tidy lane ==="
-# The image ships gcc only; when clang-tidy is absent the lane degrades to a
-# visible skip rather than silently passing.
-if command -v clang-tidy > /dev/null 2>&1; then
-  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
-  git ls-files 'src/*.cc' | xargs clang-tidy -p build --quiet
-else
-  echo "clang-tidy not installed; skipping tidy lane"
+JOBS="$(nproc)"
+if [ $# -gt 0 ] && [[ "$1" =~ ^[0-9]+$ ]]; then
+  JOBS="$1"
+  shift
+fi
+LANES=("$@")
+if [ ${#LANES[@]} -eq 0 ]; then
+  LANES=(plain lint tidy bench serving crash serve-golden asan tsan ubsan)
 fi
 
-echo "=== inference bench smoke (0-ULP parity gate) ==="
-# --quick caps the catalog; the run still exits non-zero if the batched
-# engine's scores are not bit-identical to the per-item reference.
-./build/bench/bench_inference --quick
+# Configure a build tree only when its cache does not exist yet, so a lane
+# reuses whatever an earlier lane (or the developer) already configured.
+ensure_build() {
+  local dir="$1"
+  shift
+  if [ ! -f "${dir}/CMakeCache.txt" ]; then
+    cmake -B "${dir}" -S . "$@"
+  fi
+}
 
-echo "=== training bench smoke (pooled/unpooled parity gate) ==="
-# --quick caps the world and schedule; the run still exits non-zero if
-# pooled training's parameters are not byte-identical to unpooled's, at one
-# and four threads.
-./build/bench/bench_training --quick
+TMP_DIRS=()
+cleanup() {
+  for dir in "${TMP_DIRS[@]:-}"; do
+    [ -n "${dir}" ] && rm -rf "${dir}"
+  done
+}
+trap cleanup EXIT
 
-echo "=== crash-resume determinism gate ==="
-# Train the tiny world to completion, then repeat the run with a failpoint
-# that SIGKILLs the process mid-schedule, resume from the surviving snapshot
-# and require the final model checkpoint AND the final training snapshot
-# (parameters + Adam moments + RNG stream) to be byte-identical to the
-# uninterrupted run's — at pool widths 1 and 4.
-CRASH_DIR="$(mktemp -d)"
-trap 'rm -rf "${CRASH_DIR}"' EXIT
-./build/tools/groupsa_cli generate --out "${CRASH_DIR}" --preset tiny \
-  > /dev/null
-for THREADS in 1 4; do
-  echo "--- crash-resume @ ${THREADS} thread(s) ---"
-  REF="${CRASH_DIR}/ref_t${THREADS}"
-  CRASH="${CRASH_DIR}/crash_t${THREADS}"
-  ./build/tools/groupsa_cli train --data "${CRASH_DIR}" --epochs 2 \
-    --threads "${THREADS}" --model "${REF}.ckpt" \
-    --snapshot "${REF}.snap" --snapshot_every 1 > /dev/null
-  # The killed run must actually die by SIGKILL (shell exit code 137).
+lane_plain() {
+  echo "=== plain build ==="
+  ensure_build build -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "${JOBS}"
+  echo "=== plain ctest (full tier-1 suite) ==="
+  ctest --test-dir build --output-on-failure -j "${JOBS}"
+}
+
+lane_lint() {
+  echo "=== lint lane (determinism linter over src/) ==="
+  # Zero findings required; reviewed exceptions live in tools/lint_allow.txt
+  # and stale allowlist entries are findings themselves.
+  ensure_build build -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "${JOBS}" --target groupsa_lint
+  ./build/tools/groupsa_lint --allowlist tools/lint_allow.txt src/
+}
+
+lane_tidy() {
+  echo "=== clang-tidy lane ==="
+  # The image ships gcc only; when clang-tidy is absent the lane degrades to
+  # a visible skip rather than silently passing.
+  if command -v clang-tidy > /dev/null 2>&1; then
+    ensure_build build -DCMAKE_BUILD_TYPE=Release
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+    git ls-files 'src/*.cc' | xargs clang-tidy -p build --quiet
+  else
+    echo "clang-tidy not installed; skipping tidy lane"
+  fi
+}
+
+lane_bench() {
+  ensure_build build -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "${JOBS}" --target bench_inference bench_training
+  echo "=== inference bench smoke (0-ULP parity gate) ==="
+  # --quick caps the catalog; the run still exits non-zero if the batched
+  # engine's scores are not bit-identical to the per-item reference.
+  ./build/bench/bench_inference --quick
+  echo "=== training bench smoke (pooled/unpooled parity gate) ==="
+  # --quick caps the world and schedule; the run still exits non-zero if
+  # pooled training's parameters are not byte-identical to unpooled's, at
+  # one and four threads.
+  ./build/bench/bench_training --quick
+}
+
+lane_serving() {
+  echo "=== serving bench smoke (pipeline parity + overload paths) ==="
+  # --quick trims the request counts; the run still exits non-zero if the
+  # concurrent pipeline's responses are not bit-identical to direct
+  # InferenceEngine calls.
+  ensure_build build -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "${JOBS}" --target bench_serving
+  ./build/bench/bench_serving --quick
+}
+
+lane_crash() {
+  echo "=== crash-resume determinism gate ==="
+  # Train the tiny world to completion, then repeat the run with a failpoint
+  # that SIGKILLs the process mid-schedule, resume from the surviving
+  # snapshot and require the final model checkpoint AND the final training
+  # snapshot (parameters + Adam moments + RNG stream) to be byte-identical
+  # to the uninterrupted run's — at pool widths 1 and 4.
+  ensure_build build -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "${JOBS}" --target groupsa_cli
+  local crash_dir
+  crash_dir="$(mktemp -d)"
+  TMP_DIRS+=("${crash_dir}")
+  ./build/tools/groupsa_cli generate --out "${crash_dir}" --preset tiny \
+    > /dev/null
+  for threads in 1 4; do
+    echo "--- crash-resume @ ${threads} thread(s) ---"
+    local ref="${crash_dir}/ref_t${threads}"
+    local crash="${crash_dir}/crash_t${threads}"
+    ./build/tools/groupsa_cli train --data "${crash_dir}" --epochs 2 \
+      --threads "${threads}" --model "${ref}.ckpt" \
+      --snapshot "${ref}.snap" --snapshot_every 1 > /dev/null
+    # The killed run must actually die by SIGKILL (shell exit code 137).
+    set +e
+    GROUPSA_FAILPOINTS="trainer.batch=kill@7" \
+      ./build/tools/groupsa_cli train --data "${crash_dir}" --epochs 2 \
+        --threads "${threads}" --model "${crash}.ckpt" \
+        --snapshot "${crash}.snap" --snapshot_every 1 > /dev/null 2>&1
+    local kill_rc=$?
+    set -e
+    if [ "${kill_rc}" -ne 137 ]; then
+      echo "FAIL: killed run exited with ${kill_rc}, expected SIGKILL (137)" >&2
+      exit 1
+    fi
+    ./build/tools/groupsa_cli train --data "${crash_dir}" --epochs 2 \
+      --threads "${threads}" --model "${crash}.ckpt" \
+      --snapshot "${crash}.snap" --snapshot_every 1 --resume > /dev/null
+    cmp "${ref}.ckpt" "${crash}.ckpt"
+    cmp "${ref}.snap" "${crash}.snap"
+  done
+  echo "crash-resume gate OK"
+}
+
+lane_serve_golden() {
+  ensure_build build -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "${JOBS}" --target groupsa_cli groupsa_serve
+  local serve_dir
+  serve_dir="$(mktemp -d)"
+  TMP_DIRS+=("${serve_dir}")
+  ./build/tools/groupsa_cli generate --out "${serve_dir}" --preset tiny \
+    > /dev/null
+  ./build/tools/groupsa_cli train --data "${serve_dir}" --epochs 1 \
+    --model "${serve_dir}/model.ckpt" > /dev/null
+
+  echo "=== serve-mode golden gate (1x1 vs 4x4 workers/threads) ==="
+  # The same scripted session must render byte-identical responses at any
+  # worker or thread width; only the "<request> -> <response>" lines are
+  # compared (the banner prints the width).
+  cat > "${serve_dir}/session.txt" <<'EOF'
+user 3 5 x
+user 17 8
+group 7 5
+group 21 3 x
+members 1,2,3 4 x
+members 40,41 6
+reload
+user 3 5 x
+group 7 5
+stats
+quit
+EOF
+  for mode in "1 1" "4 4"; do
+    read -r workers threads <<< "${mode}"
+    ./build/tools/groupsa_serve --data "${serve_dir}" \
+      --model "${serve_dir}/model.ckpt" --workers "${workers}" \
+      --threads "${threads}" --strict --script "${serve_dir}/session.txt" \
+      | grep ' -> ' > "${serve_dir}/golden_w${workers}_t${threads}.txt"
+  done
+  cmp "${serve_dir}/golden_w1_t1.txt" "${serve_dir}/golden_w4_t4.txt"
+  echo "serve-mode golden gate OK"
+
+  echo "=== crash-during-reload gate ==="
+  # A SIGKILL in the middle of the generation swap must not corrupt
+  # anything: the staged generation is process-local and the checkpoint on
+  # disk is still the last good state, so a restarted daemon serves the
+  # exact same responses as an undisturbed run.
+  cat > "${serve_dir}/reload_session.txt" <<'EOF'
+user 3 5 x
+reload
+user 3 5 x
+quit
+EOF
   set +e
-  GROUPSA_FAILPOINTS="trainer.batch=kill@7" \
-    ./build/tools/groupsa_cli train --data "${CRASH_DIR}" --epochs 2 \
-      --threads "${THREADS}" --model "${CRASH}.ckpt" \
-      --snapshot "${CRASH}.snap" --snapshot_every 1 > /dev/null 2>&1
-  KILL_RC=$?
+  # stdbuf keeps stdout line-buffered so the pre-reload response survives
+  # the SIGKILL (a block-buffered daemon would lose it with the process).
+  GROUPSA_FAILPOINTS="serve.reload.swap=kill@1" \
+    stdbuf -oL ./build/tools/groupsa_serve --data "${serve_dir}" \
+      --model "${serve_dir}/model.ckpt" --workers 2 --strict \
+      --script "${serve_dir}/reload_session.txt" \
+      > "${serve_dir}/killed_run.txt" 2>&1
+  local kill_rc=$?
   set -e
-  if [ "${KILL_RC}" -ne 137 ]; then
-    echo "FAIL: killed run exited with ${KILL_RC}, expected SIGKILL (137)" >&2
+  if [ "${kill_rc}" -ne 137 ]; then
+    echo "FAIL: reload-kill run exited with ${kill_rc}, expected 137" >&2
     exit 1
   fi
-  ./build/tools/groupsa_cli train --data "${CRASH_DIR}" --epochs 2 \
-    --threads "${THREADS}" --model "${CRASH}.ckpt" \
-    --snapshot "${CRASH}.snap" --snapshot_every 1 --resume > /dev/null
-  cmp "${REF}.ckpt" "${CRASH}.ckpt"
-  cmp "${REF}.snap" "${CRASH}.snap"
+  # The daemon died mid-swap after answering the first request.
+  if ! grep -q ' -> ' "${serve_dir}/killed_run.txt"; then
+    echo "FAIL: killed daemon never answered the pre-reload request" >&2
+    exit 1
+  fi
+  # Restart against the same on-disk checkpoint: the full session (including
+  # the reload that killed the previous process) must now complete and its
+  # responses must match the undisturbed golden run's for the same requests.
+  ./build/tools/groupsa_serve --data "${serve_dir}" \
+    --model "${serve_dir}/model.ckpt" --workers 2 --strict \
+    --script "${serve_dir}/reload_session.txt" \
+    | grep ' -> ' > "${serve_dir}/restarted_run.txt"
+  grep '^user 3 k=5 x=1' "${serve_dir}/golden_w1_t1.txt" | head -1 \
+    > "${serve_dir}/want_line.txt"
+  # Both the pre-reload and post-reload answers of the restarted run must
+  # carry the same items/scores as the golden run (generation differs).
+  local want got
+  want="$(sed 's/.*items=//' "${serve_dir}/want_line.txt")"
+  while IFS= read -r line; do
+    got="$(printf '%s\n' "${line}" | sed 's/.*items=//')"
+    if [ "${got}" != "${want}" ]; then
+      echo "FAIL: restarted daemon diverged: ${got} != ${want}" >&2
+      exit 1
+    fi
+  done < <(grep '^user 3 k=5 x=1' "${serve_dir}/restarted_run.txt")
+  echo "crash-during-reload gate OK"
+}
+
+lane_asan() {
+  echo "=== asan build ==="
+  ensure_build build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGROUPSA_SANITIZE=address
+  cmake --build build-asan -j "${JOBS}"
+  echo "=== asan ctest (fault-labelled tests) ==="
+  # The fault suite injects I/O errors, poisons batches and SIGKILLs
+  # children mid-write; ASan guards the recovery paths against leaks and UB.
+  ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L fault
+  echo "=== asan ctest (tensor-pool allocation suite) ==="
+  # The pool hands recycled storage back to the ops; ASan verifies nothing
+  # in the steady-state loop reads stale bytes or leaks escaped tensors.
+  ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
+    -R 'TrainerPoolTest|TensorPoolTest'
+  echo "=== asan ctest (serving suite) ==="
+  # The serving daemon's queue, degrade and reload paths under ASan: no
+  # leaked promises, no use-after-free across generation swaps.
+  ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
+    -R 'ServerTest|StressTest|ServeGoldenTest'
+}
+
+lane_tsan() {
+  echo "=== tsan build ==="
+  ensure_build build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGROUPSA_SANITIZE=thread
+  cmake --build build-tsan -j "${JOBS}"
+  echo "=== tsan ctest (race-labelled tests) ==="
+  # TSan slows execution ~5-15x, so the sanitizer lane runs only the tests
+  # that exercise the parallel paths (thread pool, sharded trainer, parallel
+  # kernels, and the serving daemon's stress/soak suite); the full suite
+  # already ran in the plain lane.
+  ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L race
+}
+
+lane_ubsan() {
+  echo "=== ubsan build ==="
+  ensure_build build-ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGROUPSA_SANITIZE=undefined
+  cmake --build build-ubsan -j "${JOBS}"
+  echo "=== ubsan ctest (full suite, -fno-sanitize-recover=all) ==="
+  # UBSan's overhead is small enough to run everything; recovery is disabled
+  # at compile time, so one UB report anywhere aborts the test that hit it.
+  ctest --test-dir build-ubsan --output-on-failure -j "${JOBS}"
+}
+
+for lane in "${LANES[@]}"; do
+  case "${lane}" in
+    plain) lane_plain ;;
+    lint) lane_lint ;;
+    tidy) lane_tidy ;;
+    bench) lane_bench ;;
+    serving) lane_serving ;;
+    crash) lane_crash ;;
+    serve-golden) lane_serve_golden ;;
+    asan) lane_asan ;;
+    tsan) lane_tsan ;;
+    ubsan) lane_ubsan ;;
+    *)
+      echo "unknown lane: ${lane}" >&2
+      exit 2
+      ;;
+  esac
 done
-echo "crash-resume gate OK"
-
-echo "=== asan build ==="
-cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DGROUPSA_SANITIZE=address
-cmake --build build-asan -j "${JOBS}"
-echo "=== asan ctest (fault-labelled tests) ==="
-# The fault suite injects I/O errors, poisons batches and SIGKILLs children
-# mid-write; ASan guards the recovery paths against leaks and UB.
-ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L fault
-echo "=== asan ctest (tensor-pool allocation suite) ==="
-# The pool hands recycled storage back to the ops; ASan verifies nothing in
-# the steady-state loop reads stale bytes or leaks escaped tensors.
-ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
-  -R 'TrainerPoolTest|TensorPoolTest'
-
-echo "=== tsan build ==="
-cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DGROUPSA_SANITIZE=thread
-cmake --build build-tsan -j "${JOBS}"
-echo "=== tsan ctest (race-labelled tests) ==="
-# TSan slows execution ~5-15x, so the sanitizer lane runs only the tests
-# that exercise the parallel paths; the full suite already ran above.
-ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L race
-
-echo "=== ubsan build ==="
-cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DGROUPSA_SANITIZE=undefined
-cmake --build build-ubsan -j "${JOBS}"
-echo "=== ubsan ctest (full suite, -fno-sanitize-recover=all) ==="
-# UBSan's overhead is small enough to run everything; recovery is disabled
-# at compile time, so one UB report anywhere aborts the test that hit it.
-ctest --test-dir build-ubsan --output-on-failure -j "${JOBS}"
 
 echo "CI OK"

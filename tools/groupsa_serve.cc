@@ -1,0 +1,257 @@
+// groupsa_serve — the serving daemon front end.
+//
+//   groupsa_serve --data DIR --model FILE [--workers N] [--queue N]
+//                 [--overload shed|reject] [--threads N] [--seed N]
+//                 [--script FILE] [--strict]
+//
+// Starts the queue-driven request pipeline (src/serve/server.h) over the
+// dataset at DIR and the checkpoint at FILE, then executes commands from
+// --script (or stdin), one per line:
+//
+//   user <id> <k> [x]          recommend for a user ("x" excludes seen items)
+//   group <id> <k> [x]         recommend for a known group
+//   members <a,b,c> <k> [x]    recommend for an ad-hoc (occasional) group
+//   reload [path]              hot-swap to the checkpoint (default: --model)
+//   stats                      print the monotone serving counters
+//   quit                       stop the daemon and exit
+//
+// Responses print in request order with %.17g scores, so two runs of the
+// same script byte-compare equal at any --workers / --threads width — the
+// serve-mode golden gate in tools/ci.sh does exactly that. A missing or
+// corrupt checkpoint degrades the daemon to the popularity fallback
+// (--strict turns that into a startup failure); GROUPSA_FAILPOINTS arms
+// the serve.* fault-injection sites (e.g. serve.reload.swap=kill for the
+// crash-during-reload gate).
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/failpoint.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "data/io.h"
+#include "data/split.h"
+#include "data/tfidf.h"
+#include "nn/checkpoint.h"
+#include "serve/harness.h"
+#include "serve/server.h"
+
+using namespace groupsa;
+
+namespace {
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      flags[arg] = argv[++i];
+    } else {
+      flags[arg] = "1";
+    }
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+// The dataset-derived state every model generation is rebuilt from (same
+// derivation as groupsa_cli train/evaluate, so a served model scores
+// exactly what its training process saved).
+struct Workspace {
+  data::Dataset dataset;
+  data::Split ui;
+  data::Split gi;
+  data::InteractionMatrix ui_train;
+  data::InteractionMatrix gi_train;
+  core::ModelData model_data;
+  core::GroupSaConfig config;
+  uint64_t seed = 1;
+};
+
+bool LoadWorkspace(const std::string& dir, uint64_t seed, Workspace* ws) {
+  if (Status s = data::LoadDataset(dir, &ws->dataset); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.message().c_str());
+    return false;
+  }
+  ws->seed = seed;
+  Rng rng(seed);
+  ws->ui = data::SplitEdges(ws->dataset.user_item, 0.2, 0.1, &rng);
+  ws->gi = data::GlobalSplitEdges(ws->dataset.group_item, 0.2, 0.1, &rng);
+  ws->ui_train = data::InteractionMatrix(ws->dataset.num_users,
+                                         ws->dataset.num_items, ws->ui.train);
+  ws->gi_train = data::InteractionMatrix(ws->dataset.groups.num_groups(),
+                                         ws->dataset.num_items, ws->gi.train);
+  ws->config = core::GroupSaConfig::Default();
+  ws->model_data.groups = &ws->dataset.groups;
+  ws->model_data.social = &ws->dataset.social;
+  ws->model_data.top_items =
+      data::TopItemsPerUser(ws->ui_train, ws->config.top_h);
+  ws->model_data.top_friends =
+      data::TopFriendsPerUser(ws->dataset.social, ws->config.top_h);
+  return true;
+}
+
+bool ParseRequestLine(const std::vector<std::string>& tokens,
+                      serve::Request* request) {
+  if (tokens.size() < 3) return false;
+  if (tokens[0] == "user") {
+    request->kind = serve::Request::Kind::kUser;
+    request->user = std::atoi(tokens[1].c_str());
+  } else if (tokens[0] == "group") {
+    request->kind = serve::Request::Kind::kGroup;
+    request->group = std::atoi(tokens[1].c_str());
+  } else if (tokens[0] == "members") {
+    request->kind = serve::Request::Kind::kMembers;
+    for (const std::string& token : StrSplit(tokens[1], ',')) {
+      if (!token.empty()) request->members.push_back(std::atoi(token.c_str()));
+    }
+    if (request->members.empty()) return false;
+  } else {
+    return false;
+  }
+  request->k = std::atoi(tokens[2].c_str());
+  request->exclude_seen = tokens.size() > 3 && tokens[3] == "x";
+  return true;
+}
+
+void PrintStats(const serve::ServerStats& s) {
+  std::printf(
+      "stats submitted=%lld admitted=%lld completed=%lld shed=%lld "
+      "rejected=%lld degraded=%lld reloads=%lld failed_reloads=%lld "
+      "peak_queue=%lld\n",
+      static_cast<long long>(s.submitted), static_cast<long long>(s.admitted),
+      static_cast<long long>(s.completed), static_cast<long long>(s.shed),
+      static_cast<long long>(s.rejected), static_cast<long long>(s.degraded),
+      static_cast<long long>(s.reloads),
+      static_cast<long long>(s.failed_reloads),
+      static_cast<long long>(s.peak_queue_depth));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = ParseFlags(argc, argv, 1);
+  failpoint::ArmFromEnv();
+  const std::string dir = FlagOr(flags, "data", "");
+  const std::string model_path = FlagOr(flags, "model", "");
+  if (dir.empty() || model_path.empty())
+    return Fail("groupsa_serve requires --data DIR and --model FILE");
+  if (const int threads = std::atoi(FlagOr(flags, "threads", "0").c_str());
+      threads > 0) {
+    parallel::SetGlobalThreads(threads);
+  }
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "1").c_str(), nullptr, 10);
+  const bool strict = flags.count("strict") != 0;
+
+  Workspace ws;
+  if (!LoadWorkspace(dir, seed, &ws)) return 1;
+
+  serve::ServeConfig config;
+  config.workers = std::atoi(FlagOr(flags, "workers", "2").c_str());
+  config.queue_depth = std::atoi(FlagOr(flags, "queue", "64").c_str());
+  const std::string overload = FlagOr(flags, "overload", "shed");
+  if (overload == "reject") {
+    config.overload = serve::ServeConfig::OverloadPolicy::kReject;
+  } else if (overload != "shed") {
+    return Fail("unknown --overload policy: " + overload);
+  }
+
+  // Each generation is a fresh model with the checkpoint's parameters. A
+  // load failure degrades to popularity-only serving unless --strict.
+  serve::Server::ModelFactory factory =
+      [&ws, strict](const std::string& path,
+                    std::unique_ptr<core::GroupSaModel>* out) -> Status {
+    Rng rng(ws.seed + 1);
+    auto model = std::make_unique<core::GroupSaModel>(
+        ws.config, ws.dataset.num_users, ws.dataset.num_items, ws.model_data,
+        &rng);
+    if (Status s = nn::LoadParameters(model->Parameters(), path); !s.ok()) {
+      if (strict) return s;
+      std::fprintf(stderr, "warning: %s; serving popularity fallback\n",
+                   s.message().c_str());
+      out->reset();
+      return Status::Ok();
+    }
+    *out = std::move(model);
+    return Status::Ok();
+  };
+
+  serve::Server server(config, std::move(factory), model_path, ws.ui.train,
+                       ws.dataset.num_items, &ws.ui_train, &ws.gi_train);
+  if (Status s = server.Start(); !s.ok()) return Fail(s.message());
+  std::printf("serving %s (%d workers, queue %d, %s overload, gen %llu)\n",
+              dir.c_str(), config.workers, config.queue_depth,
+              overload.c_str(),
+              static_cast<unsigned long long>(server.generation()));
+
+  std::FILE* script = stdin;
+  const std::string script_path = FlagOr(flags, "script", "");
+  if (!script_path.empty() && script_path != "-") {
+    script = std::fopen(script_path.c_str(), "r");
+    if (script == nullptr) return Fail("cannot open script " + script_path);
+  }
+
+  char line[4096];
+  uint64_t line_no = 0;
+  while (std::fgets(line, sizeof(line), script) != nullptr) {
+    ++line_no;
+    std::string text(line);
+    while (!text.empty() && (text.back() == '\n' || text.back() == '\r'))
+      text.pop_back();
+    if (text.empty() || text[0] == '#') continue;
+    std::vector<std::string> tokens;
+    for (const std::string& token : StrSplit(text, ' '))
+      if (!token.empty()) tokens.push_back(token);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "quit") break;
+    if (tokens[0] == "stats") {
+      PrintStats(server.stats());
+      continue;
+    }
+    if (tokens[0] == "reload") {
+      const std::string path = tokens.size() > 1 ? tokens[1] : model_path;
+      if (Status s = server.Reload(path); !s.ok()) {
+        std::printf("reload failed: %s\n", s.message().c_str());
+      } else {
+        std::printf("reloaded gen=%llu\n",
+                    static_cast<unsigned long long>(server.generation()));
+      }
+      continue;
+    }
+    serve::Request request;
+    if (!ParseRequestLine(tokens, &request)) {
+      std::printf("line %llu: bad command: %s\n",
+                  static_cast<unsigned long long>(line_no), text.c_str());
+      continue;
+    }
+    const serve::Response response = server.Call(request);
+    std::printf("%s -> %s\n", serve::FormatRequest(request).c_str(),
+                serve::FormatResponse(response).c_str());
+  }
+  if (script != stdin) std::fclose(script);
+
+  server.Stop();
+  PrintStats(server.stats());
+  return 0;
+}
