@@ -1,7 +1,10 @@
 #include "core/fast_recommender.h"
 
+#include <memory>
+
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "core/inference_engine.h"
 #include "core/topk.h"
 
 namespace groupsa::core {
@@ -25,14 +28,36 @@ std::vector<std::pair<data::ItemId, double>>
 FastGroupRecommender::RecommendForMembers(
     const std::vector<data::UserId>& members, int k,
     const data::InteractionMatrix* exclude) const {
-  const std::vector<double> scores =
-      ScoreItemsForMembers(members, AllItems(model_->num_items()));
-  return TopKItems(scores, k, [&](data::ItemId item) {
+  const auto skip = [&](data::ItemId item) {
     if (exclude == nullptr) return false;
     for (data::UserId member : members)
       if (exclude->Has(member, item)) return true;
     return false;
-  });
+  };
+  if (mode_ == TopKMode::kIvf) {
+    GROUPSA_CHECK(!members.empty(), "fast recommender needs members");
+    InferenceEngine& engine = model_->inference();
+    const std::shared_ptr<const ItemIndex> index = engine.GetOrBuildIndex();
+    if (index->nlist() == 0) return {};
+    // Coarse stage under the same averaging contract as the fine stage: a
+    // list's score is the members' mean exact score of its pseudo-item.
+    std::vector<double> coarse(static_cast<size_t>(index->nlist()), 0.0);
+    for (data::UserId member : members) {
+      const std::vector<double> member_scores =
+          engine.ScoreCentroidsForUser(member);
+      for (size_t j = 0; j < coarse.size(); ++j)
+        coarse[j] += member_scores[j];
+    }
+    for (double& s : coarse) s /= static_cast<double>(members.size());
+    const std::vector<data::ItemId> candidates =
+        index->Candidates(index->SelectProbes(coarse, /*nprobe=*/0));
+    const std::vector<double> scores =
+        ScoreItemsForMembers(members, candidates);
+    return TopKItems(candidates, scores, k, skip);
+  }
+  const std::vector<double> scores =
+      ScoreItemsForMembers(members, AllItems(model_->num_items()));
+  return TopKItems(scores, k, skip);
 }
 
 Status FastGroupRecommender::ValidateMembers(

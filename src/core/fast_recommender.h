@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "core/groupsa_model.h"
+#include "core/item_index.h"
 #include "data/interaction_matrix.h"
 
 namespace groupsa::core {
@@ -19,6 +20,15 @@ class FastGroupRecommender {
  public:
   // `model` must outlive the recommender.
   explicit FastGroupRecommender(GroupSaModel* model) : model_(model) {}
+
+  // Retrieval mode for RecommendForMembers. Under kIvf the coarse stage
+  // averages the members' exact centroid pseudo-item scores (the same
+  // averaging the fine stage applies to real items), probes the engine's
+  // item index, and re-ranks the candidate union exactly — so nprobe >=
+  // nlist is bit-identical to kExact here too. Setup-time call: must not
+  // race with in-flight recommendations.
+  void set_topk_mode(TopKMode mode) { mode_ = mode; }
+  TopKMode topk_mode() const { return mode_; }
 
   // Average-of-member-scores for an ad-hoc member list.
   std::vector<double> ScoreItemsForMembers(
@@ -46,6 +56,7 @@ class FastGroupRecommender {
   Status ValidateMembers(const std::vector<data::UserId>& members) const;
 
   GroupSaModel* model_;
+  TopKMode mode_ = TopKMode::kExact;
 };
 
 }  // namespace groupsa::core

@@ -267,6 +267,7 @@ uint64_t InferenceEngine::Revalidate() {
     user_cache_.clear();
     group_cache_.clear();
     split_.reset();
+    ivf_.reset();
     cache_version_ = version;
   }
   return version;
@@ -277,6 +278,28 @@ void InferenceEngine::InvalidateAll() {
   user_cache_.clear();
   group_cache_.clear();
   split_.reset();
+  ivf_.reset();
+}
+
+void InferenceEngine::set_topk_mode(TopKMode mode) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  topk_mode_ = mode;
+}
+
+TopKMode InferenceEngine::topk_mode() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return topk_mode_;
+}
+
+void InferenceEngine::set_index_config(const ItemIndexConfig& config) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  index_config_ = config;
+  ivf_.reset();
+}
+
+ItemIndexConfig InferenceEngine::index_config() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return index_config_;
 }
 
 size_t InferenceEngine::cached_users() const {
@@ -343,6 +366,110 @@ InferenceEngine::GetSplitWeights() {
   return split_;
 }
 
+InferenceEngine::IvfState InferenceEngine::BuildIvfState(
+    const ItemIndexConfig& config, const SplitWeights& sw) const {
+  IvfState state;
+  const Matrix& item_table = model_->item_embedding().table()->value();
+  state.index = ItemIndex::Build(item_table, config);
+  if (state.index.nlist() == 0) return state;
+  // Scoring representatives: the empirical mean of each list's rows in the
+  // LIVE tables (not the trained quantizer centroids — those only define the
+  // assignment). The coarse stage then scores these pseudo-items through the
+  // exact towers, so probe selection follows the model's own scoring
+  // surface, attention and all, rather than raw embedding distance.
+  state.centroid_table = state.index.ListMeans(item_table);
+  tensor::Gemm(state.centroid_table, /*transpose_a=*/false, sw.attn_w_top,
+               /*transpose_b=*/false, 1.0f, &state.centroid_prefix);
+  const Matrix* latent_table = ModelLatentTable();
+  if (latent_table != nullptr)
+    state.centroid_latents = state.index.ListMeans(*latent_table);
+  return state;
+}
+
+std::shared_ptr<const InferenceEngine::IvfState>
+InferenceEngine::GetIvfState() {
+  Revalidate();
+  ItemIndexConfig config;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (ivf_ != nullptr) return ivf_;
+    config = index_config_;
+  }
+  auto sw = GetSplitWeights();
+  auto state =
+      std::make_shared<const IvfState>(BuildIvfState(config, *sw));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Concurrent misses build identical states; the first insert wins.
+  if (ivf_ == nullptr) ivf_ = std::move(state);
+  return ivf_;
+}
+
+std::shared_ptr<const ItemIndex> InferenceEngine::GetOrBuildIndex() {
+  std::shared_ptr<const IvfState> state = GetIvfState();
+  return std::shared_ptr<const ItemIndex>(state, &state->index);
+}
+
+std::vector<double> InferenceEngine::ScoreCentroidsForUser(
+    data::UserId user) {
+  const UserRep rep = GetUserRep(user);
+  const auto sw = GetSplitWeights();
+  const auto ivf = GetIvfState();
+  return ScoreBatchUser(
+      rep, AllItems(ivf->index.nlist()), *sw, ivf->centroid_table,
+      ivf->centroid_latents.empty() ? nullptr : &ivf->centroid_latents);
+}
+
+std::vector<double> InferenceEngine::ScoreCentroidsForGroup(
+    data::GroupId group) {
+  const GroupRep rep = GetGroupRep(group);
+  const auto sw = GetSplitWeights();
+  const auto ivf = GetIvfState();
+  return ScoreBatchGroup(rep, AllItems(ivf->index.nlist()), *sw,
+                         ivf->centroid_table, ivf->centroid_prefix);
+}
+
+std::vector<double> InferenceEngine::ScoreCentroidsForMembers(
+    const std::vector<data::UserId>& members) {
+  Revalidate();
+  const GroupRep rep = BuildMembersRep(members);
+  const auto sw = GetSplitWeights();
+  const auto ivf = GetIvfState();
+  return ScoreBatchGroup(rep, AllItems(ivf->index.nlist()), *sw,
+                         ivf->centroid_table, ivf->centroid_prefix);
+}
+
+std::vector<std::pair<data::ItemId, double>> InferenceEngine::IvfTopKUser(
+    const UserRep& rep, int k,
+    const std::function<bool(data::ItemId)>& skip) {
+  const auto sw = GetSplitWeights();
+  const auto ivf = GetIvfState();
+  const ItemIndex& index = ivf->index;
+  if (index.nlist() == 0) return {};
+  const std::vector<double> coarse = ScoreBatchUser(
+      rep, AllItems(index.nlist()), *sw, ivf->centroid_table,
+      ivf->centroid_latents.empty() ? nullptr : &ivf->centroid_latents);
+  const std::vector<data::ItemId> candidates =
+      index.Candidates(index.SelectProbes(coarse, /*nprobe=*/0));
+  const std::vector<double> scores = ScoreBatchUser(rep, candidates, *sw);
+  return TopKItems(candidates, scores, k, skip);
+}
+
+std::vector<std::pair<data::ItemId, double>> InferenceEngine::IvfTopKGroup(
+    const GroupRep& rep, int k,
+    const std::function<bool(data::ItemId)>& skip) {
+  const auto sw = GetSplitWeights();
+  const auto ivf = GetIvfState();
+  const ItemIndex& index = ivf->index;
+  if (index.nlist() == 0) return {};
+  const std::vector<double> coarse =
+      ScoreBatchGroup(rep, AllItems(index.nlist()), *sw, ivf->centroid_table,
+                      ivf->centroid_prefix);
+  const std::vector<data::ItemId> candidates =
+      index.Candidates(index.SelectProbes(coarse, /*nprobe=*/0));
+  const std::vector<double> scores = ScoreBatchGroup(rep, candidates, *sw);
+  return TopKItems(candidates, scores, k, skip);
+}
+
 InferenceEngine::UserRep InferenceEngine::GetUserRep(data::UserId user) {
   Revalidate();
   {
@@ -376,22 +503,33 @@ InferenceEngine::GroupRep InferenceEngine::GetGroupRep(data::GroupId group) {
   return rep;
 }
 
+const tensor::Matrix* InferenceEngine::ModelLatentTable() const {
+  const UserModeling* um = model_->user_modeling();
+  if (um == nullptr || !um->has_item_space()) return nullptr;
+  return &um->item_space()->table()->value();
+}
+
 std::vector<double> InferenceEngine::ScoreBatchUser(
     const UserRep& rep, const std::vector<data::ItemId>& items,
     const SplitWeights& sw) const {
+  return ScoreBatchUser(rep, items, sw,
+                        model_->item_embedding().table()->value(),
+                        ModelLatentTable());
+}
+
+std::vector<double> InferenceEngine::ScoreBatchUser(
+    const UserRep& rep, const std::vector<data::ItemId>& items,
+    const SplitWeights& sw, const tensor::Matrix& table,
+    const tensor::Matrix* latent_table) const {
   std::vector<double> scores;
   scores.reserve(items.size());
   if (items.empty()) return scores;
   Workspace& ws = GetWorkspace();
 
-  const Matrix& item_table = model_->item_embedding().table()->value();
+  const Matrix& item_table = table;
   const float blend = model_->config().effective_user_blend();
   // Mirrors the r1-only early-out of GroupSaModel::ScoreUserItem.
   const bool blended = !rep.latent.empty() && blend > 0.0f;
-  const nn::Embedding* item_space =
-      blended && model_->user_modeling()->has_item_space()
-          ? model_->user_modeling()->item_space()
-          : nullptr;
 
   // Layer-0 user-side partial sums: the left half of the concat row
   // [emb_j^U (+) emb_t^V] is the same for every candidate, so its partial
@@ -426,8 +564,8 @@ std::vector<double> InferenceEngine::ScoreBatchUser(
     if (blended) {
       // r^R2 over [h_j (+) x_t^V] (x^V falls back to emb^V for Group-I).
       const Matrix* latents = &ws.embs;
-      if (item_space != nullptr) {
-        GatherRowsInto(item_space->table()->value(), ids, c, &ws.latents);
+      if (latent_table != nullptr) {
+        GatherRowsInto(*latent_table, ids, c, &ws.latents);
         latents = &ws.latents;
       }
       EnsureShape(&ws.r2a, c, h);
@@ -451,16 +589,25 @@ std::vector<double> InferenceEngine::ScoreBatchUser(
 std::vector<double> InferenceEngine::ScoreBatchGroup(
     const GroupRep& rep, const std::vector<data::ItemId>& items,
     const SplitWeights& sw) const {
+  return ScoreBatchGroup(rep, items, sw,
+                         model_->item_embedding().table()->value(),
+                         sw.attn_item_prefix);
+}
+
+std::vector<double> InferenceEngine::ScoreBatchGroup(
+    const GroupRep& rep, const std::vector<data::ItemId>& items,
+    const SplitWeights& sw, const tensor::Matrix& table,
+    const tensor::Matrix& attn_prefix) const {
   std::vector<double> scores;
   scores.reserve(items.size());
   if (items.empty()) return scores;
   Workspace& ws = GetWorkspace();
 
-  const Matrix& item_table = model_->item_embedding().table()->value();
+  const Matrix& item_table = table;
   const Matrix& reps = rep.member_reps;  // l x d
   const int l = reps.rows();
   const int d = reps.cols();
-  const int h = sw.attn_item_prefix.cols();
+  const int h = attn_prefix.cols();
   const nn::AttentionPool& pool = model_->voting().group_pool();
   const nn::Linear& proj = model_->voting().group_proj();
   const bool fused = h <= kMaxFusedHidden;
@@ -516,17 +663,17 @@ std::vector<double> InferenceEngine::ScoreBatchGroup(
     if (fused) {
       switch (h) {
         case 32:
-          FusedAttentionLogits<32>(sw.attn_item_prefix, ids, c, l, ws.addends,
+          FusedAttentionLogits<32>(attn_prefix, ids, c, l, ws.addends,
                                    ws.nz, ws.nz_begin, hb, wout, has_ob,
                                    out_b, &ws.weights);
           break;
         case 64:
-          FusedAttentionLogits<64>(sw.attn_item_prefix, ids, c, l, ws.addends,
+          FusedAttentionLogits<64>(attn_prefix, ids, c, l, ws.addends,
                                    ws.nz, ws.nz_begin, hb, wout, has_ob,
                                    out_b, &ws.weights);
           break;
         default:
-          FusedAttentionLogitsRuntime(sw.attn_item_prefix, ids, c, l, h,
+          FusedAttentionLogitsRuntime(attn_prefix, ids, c, l, h,
                                       ws.addends, ws.nz, ws.nz_begin, hb,
                                       wout, has_ob, out_b, &ws.weights);
       }
@@ -535,7 +682,7 @@ std::vector<double> InferenceEngine::ScoreBatchGroup(
       // prefix, continue via Gemm(accumulate) over the tiled member reps.
       EnsureShape(&ws.hidden, c * l, h);
       for (int t = 0; t < c; ++t) {
-        const float* p = sw.attn_item_prefix.RowPtr(ids[t]);
+        const float* p = attn_prefix.RowPtr(ids[t]);
         for (int i = 0; i < l; ++i)
           std::memcpy(ws.hidden.RowPtr(t * l + i), p, sizeof(float) * h);
       }
@@ -624,35 +771,46 @@ std::vector<std::vector<double>> InferenceEngine::MemberItemScores(
 
 std::vector<std::pair<data::ItemId, double>> InferenceEngine::RecommendForUser(
     data::UserId user, int k, const data::InteractionMatrix* exclude) {
+  const auto skip = [&](data::ItemId item) {
+    return exclude != nullptr && exclude->Has(user, item);
+  };
+  if (topk_mode() == TopKMode::kIvf)
+    return IvfTopKUser(GetUserRep(user), k, skip);
   const std::vector<double> scores =
       ScoreItemsForUser(user, AllItems(model_->num_items()));
-  return TopKItems(scores, k, [&](data::ItemId item) {
-    return exclude != nullptr && exclude->Has(user, item);
-  });
+  return TopKItems(scores, k, skip);
 }
 
 std::vector<std::pair<data::ItemId, double>>
 InferenceEngine::RecommendForGroup(data::GroupId group, int k,
                                    const data::InteractionMatrix* exclude) {
+  const auto skip = [&](data::ItemId item) {
+    return exclude != nullptr && exclude->Has(group, item);
+  };
+  if (topk_mode() == TopKMode::kIvf)
+    return IvfTopKGroup(GetGroupRep(group), k, skip);
   const std::vector<double> scores =
       ScoreItemsForGroup(group, AllItems(model_->num_items()));
-  return TopKItems(scores, k, [&](data::ItemId item) {
-    return exclude != nullptr && exclude->Has(group, item);
-  });
+  return TopKItems(scores, k, skip);
 }
 
 std::vector<std::pair<data::ItemId, double>>
 InferenceEngine::RecommendForMembers(const std::vector<data::UserId>& members,
                                      int k,
                                      const data::InteractionMatrix* exclude) {
-  const std::vector<double> scores =
-      ScoreItemsForMembers(members, AllItems(model_->num_items()));
-  return TopKItems(scores, k, [&](data::ItemId item) {
+  const auto skip = [&](data::ItemId item) {
     if (exclude == nullptr) return false;
     for (data::UserId member : members)
       if (exclude->Has(member, item)) return true;
     return false;
-  });
+  };
+  if (topk_mode() == TopKMode::kIvf) {
+    Revalidate();
+    return IvfTopKGroup(BuildMembersRep(members), k, skip);
+  }
+  const std::vector<double> scores =
+      ScoreItemsForMembers(members, AllItems(model_->num_items()));
+  return TopKItems(scores, k, skip);
 }
 
 // ---------------- Validated (Status) serving entry points ----------------

@@ -2,6 +2,7 @@
 #define GROUPSA_CORE_INFERENCE_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <shared_mutex>
 #include <unordered_map>
@@ -10,6 +11,7 @@
 
 #include "common/status.h"
 #include "core/groupsa_model.h"
+#include "core/item_index.h"
 
 namespace groupsa::core {
 
@@ -114,6 +116,45 @@ class InferenceEngine {
       const data::InteractionMatrix* exclude,
       std::vector<std::pair<data::ItemId, double>>* out);
 
+  // ---------------- Sublinear retrieval (TopKMode::kIvf) -----------------
+  // Opt-in IVF candidate generation for the Recommend* entry points: probe
+  // the item index's best-scoring inverted lists and re-rank the candidate
+  // union EXACTLY through the batched scorer. Scorers (ScoreItemsFor*) are
+  // unaffected — the mode only changes which items the top-K considers.
+  //
+  // Probe selection is model-agnostic: the engine scores each list's
+  // pseudo-item — the per-list mean rows of the live item tables — through
+  // the very towers that score real items, and probes the lists whose
+  // pseudo-items score highest. With nprobe >= nlist every list is probed,
+  // the candidate set is the whole catalog, and (because per-row score bits
+  // are independent of batch composition and TopKItems is a strict total
+  // order) the result is bit-identical to kExact.
+  //
+  // The index and its centroid tables are cached like every other derived
+  // representation: keyed on the parameter version, dropped by Revalidate on
+  // any parameter update and lazily rebuilt on the next IVF query. Call
+  // GetOrBuildIndex() eagerly (the serve daemon does, while constructing a
+  // generation off the serving path) to keep the build cost off requests.
+  // Setters are setup-time calls: they must not race with in-flight scoring.
+  void set_topk_mode(TopKMode mode);
+  TopKMode topk_mode() const;
+  // Replaces the index build/query knobs and drops any built index.
+  void set_index_config(const ItemIndexConfig& config);
+  ItemIndexConfig index_config() const;
+  // The current-parameter-version index, built on first use. The pointer
+  // stays valid across invalidation (shared ownership); it just stops being
+  // the engine's current index.
+  std::shared_ptr<const ItemIndex> GetOrBuildIndex();
+
+  // Exact tower scores of the index's per-list pseudo-items (one score per
+  // centroid, nlist() entries) — the coarse stage of the IVF search, public
+  // so external re-rankers (FastGroupRecommender) can drive their own
+  // candidate generation through ItemIndex::SelectProbes/Candidates.
+  std::vector<double> ScoreCentroidsForUser(data::UserId user);
+  std::vector<double> ScoreCentroidsForGroup(data::GroupId group);
+  std::vector<double> ScoreCentroidsForMembers(
+      const std::vector<data::UserId>& members);
+
   // Drops every cached representation immediately. Never required for
   // correctness (version stamping already fences parameter updates); useful
   // to reclaim memory at epoch boundaries.
@@ -168,13 +209,55 @@ class InferenceEngine {
   // after an invalidation (shared across threads; first build wins).
   std::shared_ptr<const SplitWeights> GetSplitWeights();
 
-  // Batched scoring given a prebuilt representation.
+  // Batched scoring given a prebuilt representation. The table-parameterized
+  // variants score rows of an arbitrary item-side table (ids index `table`):
+  // the catalog entry points pass the model's live tables, the IVF coarse
+  // stage passes the index's centroid tables — same code, same bits.
+  // `latent_table` may be null (latent concat rows fall back to `table`, the
+  // Group-I behaviour); `attn_prefix` must hold Gemm(table, attn_w_top).
   std::vector<double> ScoreBatchUser(const UserRep& rep,
                                      const std::vector<data::ItemId>& items,
                                      const SplitWeights& sw) const;
   std::vector<double> ScoreBatchGroup(const GroupRep& rep,
                                       const std::vector<data::ItemId>& items,
                                       const SplitWeights& sw) const;
+  std::vector<double> ScoreBatchUser(const UserRep& rep,
+                                     const std::vector<data::ItemId>& items,
+                                     const SplitWeights& sw,
+                                     const tensor::Matrix& table,
+                                     const tensor::Matrix* latent_table) const;
+  std::vector<double> ScoreBatchGroup(const GroupRep& rep,
+                                      const std::vector<data::ItemId>& items,
+                                      const SplitWeights& sw,
+                                      const tensor::Matrix& table,
+                                      const tensor::Matrix& attn_prefix) const;
+
+  // The item-space latent table when user modeling carries one, else null
+  // (shared by the catalog scoring paths and the IVF state build).
+  const tensor::Matrix* ModelLatentTable() const;
+
+  // Index plus the derived centroid scoring tables, cached per parameter
+  // version exactly like SplitWeights.
+  struct IvfState {
+    ItemIndex index;
+    tensor::Matrix centroid_table;    // ListMeans over the item embeddings
+    tensor::Matrix centroid_prefix;   // Gemm(centroid_table, attn_w_top)
+    tensor::Matrix centroid_latents;  // ListMeans over item_space, or empty
+  };
+  IvfState BuildIvfState(const ItemIndexConfig& config,
+                         const SplitWeights& sw) const;
+  // Returns the current-version state, building on first use after an
+  // invalidation (shared across threads; first build wins).
+  std::shared_ptr<const IvfState> GetIvfState();
+
+  // IVF top-K given a prebuilt representation: coarse-score the centroid
+  // pseudo-items, probe, re-rank the candidate union exactly.
+  std::vector<std::pair<data::ItemId, double>> IvfTopKUser(
+      const UserRep& rep, int k,
+      const std::function<bool(data::ItemId)>& skip);
+  std::vector<std::pair<data::ItemId, double>> IvfTopKGroup(
+      const GroupRep& rep, int k,
+      const std::function<bool(data::ItemId)>& skip);
 
   // Drops all caches when the parameter version moved; returns the current
   // version.
@@ -197,6 +280,9 @@ class InferenceEngine {
   std::unordered_map<data::UserId, UserRep> user_cache_;
   std::unordered_map<data::GroupId, GroupRep> group_cache_;
   std::shared_ptr<const SplitWeights> split_;  // reset on version change
+  TopKMode topk_mode_ = TopKMode::kExact;     // guarded by mu_
+  ItemIndexConfig index_config_;              // guarded by mu_
+  std::shared_ptr<const IvfState> ivf_;       // reset on version change
 };
 
 }  // namespace groupsa::core

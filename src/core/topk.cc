@@ -2,7 +2,30 @@
 
 #include <algorithm>
 
+#include "common/macros.h"
+
 namespace groupsa::core {
+namespace {
+
+// Cuts `ranked` to its top k under BetterRanked and sorts the survivors.
+// The nth_element cut and the final sort share the comparator, so the two
+// code paths (k < size vs k >= size) produce identical orderings on ties.
+void CutAndSort(std::vector<std::pair<data::ItemId, double>>* ranked, int k) {
+  if (static_cast<int>(ranked->size()) > k) {
+    std::nth_element(ranked->begin(), ranked->begin() + k, ranked->end(),
+                     BetterRanked);
+    ranked->resize(static_cast<size_t>(k));
+  }
+  std::sort(ranked->begin(), ranked->end(), BetterRanked);
+}
+
+}  // namespace
+
+bool BetterRanked(const std::pair<data::ItemId, double>& a,
+                  const std::pair<data::ItemId, double>& b) {
+  if (a.second != b.second) return a.second > b.second;
+  return a.first < b.first;
+}
 
 std::vector<std::pair<data::ItemId, double>> TopKItems(
     const std::vector<double>& scores, int k,
@@ -15,16 +38,23 @@ std::vector<std::pair<data::ItemId, double>> TopKItems(
     if (skip != nullptr && skip(item)) continue;
     ranked.emplace_back(item, scores[v]);
   }
-  const auto better = [](const std::pair<data::ItemId, double>& a,
-                         const std::pair<data::ItemId, double>& b) {
-    if (a.second != b.second) return a.second > b.second;
-    return a.first < b.first;
-  };
-  if (static_cast<int>(ranked.size()) > k) {
-    std::nth_element(ranked.begin(), ranked.begin() + k, ranked.end(), better);
-    ranked.resize(k);
+  CutAndSort(&ranked, k);
+  return ranked;
+}
+
+std::vector<std::pair<data::ItemId, double>> TopKItems(
+    const std::vector<data::ItemId>& items, const std::vector<double>& scores,
+    int k, const std::function<bool(data::ItemId)>& skip) {
+  GROUPSA_CHECK(items.size() == scores.size(),
+                "TopKItems subset: items/scores size mismatch");
+  std::vector<std::pair<data::ItemId, double>> ranked;
+  if (k <= 0) return ranked;
+  ranked.reserve(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (skip != nullptr && skip(items[i])) continue;
+    ranked.emplace_back(items[i], scores[i]);
   }
-  std::sort(ranked.begin(), ranked.end(), better);
+  CutAndSort(&ranked, k);
   return ranked;
 }
 

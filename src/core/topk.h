@@ -9,10 +9,18 @@
 
 namespace groupsa::core {
 
+// The single strict-total-order comparator behind every ranking path in the
+// library: higher score first, equal scores broken by ascending item id.
+// Exact scoring, IVF re-rank and probe selection all rank through this one
+// function, which is what lets tied scores come out byte-identical across
+// paths (and across the nth_element cut vs full-sort code paths below).
+bool BetterRanked(const std::pair<data::ItemId, double>& a,
+                  const std::pair<data::ItemId, double>& b);
+
 // Top-K selection over a full-catalog score vector (scores[v] is the score
 // of item v). Items for which `skip` returns true are dropped before
 // ranking; pass nullptr to keep everything. Returns (item, score) sorted by
-// descending score, ties broken by ascending item id.
+// BetterRanked: descending score, ties broken by ascending item id.
 //
 // Selection uses std::nth_element to cut the candidate set to K before the
 // final sort, so full-catalog ranking costs O(n + k log k) instead of
@@ -21,6 +29,14 @@ namespace groupsa::core {
 std::vector<std::pair<data::ItemId, double>> TopKItems(
     const std::vector<double>& scores, int k,
     const std::function<bool(data::ItemId)>& skip = nullptr);
+
+// Subset variant for candidate re-ranking: scores[i] is the score of
+// items[i] (any order, no duplicates expected). Same comparator, same
+// nth_element-then-sort selection, so ranking a subset that happens to cover
+// the whole catalog returns exactly what the full-catalog overload would.
+std::vector<std::pair<data::ItemId, double>> TopKItems(
+    const std::vector<data::ItemId>& items, const std::vector<double>& scores,
+    int k, const std::function<bool(data::ItemId)>& skip = nullptr);
 
 // The 0..num_items-1 identity catalog used by every full-catalog ranking
 // entry point.

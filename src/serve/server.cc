@@ -54,6 +54,13 @@ Status Server::BuildGeneration(const std::string& checkpoint_path,
   auto gen = std::make_shared<Generation>();
   core::InferenceEngine* engine =
       model != nullptr ? &model->inference() : nullptr;
+  if (engine != nullptr && config_.topk == core::TopKMode::kIvf) {
+    engine->set_index_config(config_.index);
+    engine->set_topk_mode(core::TopKMode::kIvf);
+    // Pay the k-means build here, while the previous generation (if any) is
+    // still serving; the swap publishes a generation whose index is warm.
+    engine->GetOrBuildIndex();
+  }
   gen->model = std::move(model);
   gen->fallback = std::make_unique<core::FallbackRecommender>(
       engine, popularity_, num_items_);

@@ -17,6 +17,7 @@
 #include "common/thread_pool.h"
 #include "core/fallback_recommender.h"
 #include "core/groupsa_model.h"
+#include "core/item_index.h"
 #include "data/interaction_matrix.h"
 #include "data/types.h"
 
@@ -112,6 +113,13 @@ struct ServeConfig {
     kReject,          // full queue: resolve as rejected, no ranking
   };
   OverloadPolicy overload = OverloadPolicy::kShedToFallback;
+  // Retrieval mode for every generation's engine. Under kIvf each
+  // generation's item index is built EAGERLY inside BuildGeneration — off
+  // the serving path, before the generation swap — so neither Start() nor a
+  // hot Reload() ever runs a k-means build on a request thread, and reloads
+  // keep their zero-dropped-requests guarantee.
+  core::TopKMode topk = core::TopKMode::kExact;
+  core::ItemIndexConfig index;  // build/query knobs when topk == kIvf
 };
 
 class Server {

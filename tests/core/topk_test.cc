@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 namespace groupsa::core {
@@ -78,6 +80,88 @@ TEST(TopKItemsTest, SelectionMatchesFullSortTruncation) {
   for (size_t i = 0; i < selected.size(); ++i) {
     EXPECT_EQ(selected[i].first, full[i].first);
     EXPECT_DOUBLE_EQ(selected[i].second, full[i].second);
+  }
+}
+
+TEST(BetterRankedTest, IsAStrictTotalOrder) {
+  using P = std::pair<data::ItemId, double>;
+  EXPECT_TRUE(BetterRanked(P{0, 2.0}, P{1, 1.0}));   // score wins
+  EXPECT_FALSE(BetterRanked(P{0, 1.0}, P{1, 2.0}));
+  EXPECT_TRUE(BetterRanked(P{3, 1.0}, P{7, 1.0}));   // tie: ascending id
+  EXPECT_FALSE(BetterRanked(P{7, 1.0}, P{3, 1.0}));
+  EXPECT_FALSE(BetterRanked(P{5, 1.0}, P{5, 1.0}));  // irreflexive
+}
+
+// --------------------------------------------------------------------------
+// Subset overload (candidate re-ranking)
+// --------------------------------------------------------------------------
+
+TEST(TopKSubsetTest, MatchesFullCatalogWhenSubsetCoversEverything) {
+  const std::vector<double> catalog_scores = {0.5, 2.0, 1.0, 2.0, -1.0};
+  // Candidate ids arrive in arbitrary (probe) order with their own score
+  // layout; covering the whole catalog must reproduce the full overload
+  // exactly.
+  const std::vector<data::ItemId> items = {3, 0, 4, 1, 2};
+  std::vector<double> scores;
+  for (data::ItemId item : items)
+    scores.push_back(catalog_scores[static_cast<size_t>(item)]);
+  const auto subset = TopKItems(items, scores, 3);
+  const auto full = TopKItems(catalog_scores, 3);
+  ASSERT_EQ(subset.size(), full.size());
+  for (size_t i = 0; i < subset.size(); ++i) {
+    EXPECT_EQ(subset[i].first, full[i].first);
+    EXPECT_DOUBLE_EQ(subset[i].second, full[i].second);
+  }
+}
+
+TEST(TopKSubsetTest, TieHeavySubsetBreaksTiesByAscendingId) {
+  // Equal scores everywhere, shuffled candidate order: ids must come back
+  // ascending regardless of input order — on both the nth_element path
+  // (k < size) and the full-sort path (k >= size).
+  const std::vector<data::ItemId> items = {9, 2, 7, 0, 5, 3};
+  const std::vector<double> scores(items.size(), 4.0);
+  for (int k : {3, 6, 100}) {
+    SCOPED_TRACE(::testing::Message() << "k=" << k);
+    const auto ranked = TopKItems(items, scores, k);
+    std::vector<data::ItemId> sorted = items;
+    std::sort(sorted.begin(), sorted.end());
+    const size_t want = std::min<size_t>(items.size(), static_cast<size_t>(k));
+    ASSERT_EQ(ranked.size(), want);
+    for (size_t i = 0; i < want; ++i) EXPECT_EQ(ranked[i].first, sorted[i]);
+  }
+}
+
+TEST(TopKSubsetTest, SkipAndBoundaries) {
+  const std::vector<data::ItemId> items = {4, 1, 8};
+  const std::vector<double> scores = {3.0, 2.0, 1.0};
+  const auto ranked =
+      TopKItems(items, scores, 5, [](data::ItemId item) { return item == 4; });
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].first, 1);
+  EXPECT_EQ(ranked[1].first, 8);
+  EXPECT_TRUE(TopKItems(items, scores, 0).empty());
+  EXPECT_TRUE(TopKItems(std::vector<data::ItemId>{}, std::vector<double>{}, 3)
+                  .empty());
+}
+
+TEST(TopKItemsTest, TieHeavyNthElementCutMatchesFullSort) {
+  // Only two distinct scores across a big catalog: the nth_element boundary
+  // lands inside a tie run, where an unstable cut without the id tie-break
+  // would reorder. Regression for the deterministic-tie contract.
+  std::vector<double> scores(301);
+  for (size_t i = 0; i < scores.size(); ++i) scores[i] = (i % 3 == 0) ? 2 : 1;
+  const auto selected = TopKItems(scores, 150);
+  const auto full = TopKItems(scores, static_cast<int>(scores.size()));
+  ASSERT_EQ(selected.size(), 150u);
+  for (size_t i = 0; i < selected.size(); ++i) {
+    EXPECT_EQ(selected[i].first, full[i].first);
+    EXPECT_DOUBLE_EQ(selected[i].second, full[i].second);
+  }
+  // Inside each score band, ids ascend.
+  for (size_t i = 1; i < selected.size(); ++i) {
+    if (selected[i].second == selected[i - 1].second) {
+      EXPECT_LT(selected[i - 1].first, selected[i].first);
+    }
   }
 }
 

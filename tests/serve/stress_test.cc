@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "core/inference_engine.h"
 #include "serve/harness.h"
 #include "serve/server.h"
 #include "serve_test_util.h"
@@ -175,6 +176,60 @@ TEST_F(StressTest, ReloadStormNeverDropsARequest) {
       EXPECT_EQ(std::memcmp(&r.items[j].second, &want[j].second,
                             sizeof(double)),
                 0);
+  }
+  EXPECT_GT(rig.server->stats().reloads, 0);
+}
+
+// The same storm with IVF retrieval switched on: every generation rebuilds
+// its k-means index eagerly inside BuildGeneration — off the serving path,
+// before the swap — so hot reloads must keep the zero-dropped-requests
+// guarantee, and every response must still bit-match a direct same-config
+// IVF engine call even while index-bearing generations swap underneath it.
+TEST_F(StressTest, IvfReloadStormNeverDropsARequest) {
+  ServeConfig sc;
+  sc.workers = 4;
+  sc.queue_depth = 16;
+  sc.topk = core::TopKMode::kIvf;
+  sc.index.nlist = 8;
+  sc.index.nprobe = 2;  // genuinely approximate: probe 2 of 8 lists
+  ServeRig rig(sc);
+  // Mirror the daemon's retrieval setup on the oracle so Direct() is the
+  // same-bits IVF answer.
+  rig.oracle->inference().set_index_config(sc.index);
+  rig.oracle->inference().set_topk_mode(core::TopKMode::kIvf);
+  ASSERT_TRUE(rig.server->Start().ok());
+
+  std::atomic<bool> stop_reloads{false};
+  std::thread reloader([&] {
+    while (!stop_reloads.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(rig.server->Reload("<in-memory>").ok());
+    }
+  });
+
+  const std::vector<Request> schedule =
+      BuildSchedule(rig.Schedule(/*num_requests=*/160, /*seed=*/77));
+  DriveOptions options;
+  options.client_lanes = 4;
+  const DriveReport report = DriveSchedule(rig.server.get(), schedule, options);
+  stop_reloads.store(true, std::memory_order_relaxed);
+  reloader.join();
+
+  rig.server->Stop();
+  EXPECT_EQ(CheckConservation(report, rig.server->stats(), /*stopped=*/true),
+            "");
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const Response& r = report.responses[i];
+    ASSERT_FALSE(r.shed || r.rejected || r.degraded)
+        << FormatRequest(schedule[i]);
+    EXPECT_GE(r.generation, 1u);
+    const auto want = rig.Direct(schedule[i]);
+    ASSERT_EQ(r.items.size(), want.size()) << FormatRequest(schedule[i]);
+    for (size_t j = 0; j < want.size(); ++j) {
+      EXPECT_EQ(r.items[j].first, want[j].first);
+      EXPECT_EQ(std::memcmp(&r.items[j].second, &want[j].second,
+                            sizeof(double)),
+                0);
+    }
   }
   EXPECT_GT(rig.server->stats().reloads, 0);
 }

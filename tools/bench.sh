@@ -36,7 +36,7 @@ cmake --build build -j "$(nproc)" \
 
 if [ "${TARGET}" = "inference" ] || [ "${TARGET}" = "all" ]; then
   ./build/bench/bench_inference \
-    --items=2000 --groups=20 --users=40 --threads=1 \
+    --items=2000 --groups=20 --users=40 --threads=1 --sweep \
     --json=BENCH_inference.json "$@"
   echo "wrote BENCH_inference.json"
 fi

@@ -14,6 +14,9 @@
 #                 daemon run, byte-compared at 1x1 vs 4x4 workers/threads)
 #                 plus the crash-during-reload gate (SIGKILL mid-swap, restart
 #                 from the last good checkpoint)
+#   index         IVF retrieval gates: nprobe=nlist exact-parity (0-ULP vs
+#                 kExact), recall@10 on the seeded world, and the full
+#                 ItemIndex suite under ASan
 #   asan          fault-labelled tests + tensor-pool suite under ASan
 #   tsan          race-labelled tests (thread pool, trainer shards, serving
 #                 stress/soak) under TSan
@@ -31,7 +34,7 @@ if [ $# -gt 0 ] && [[ "$1" =~ ^[0-9]+$ ]]; then
 fi
 LANES=("$@")
 if [ ${#LANES[@]} -eq 0 ]; then
-  LANES=(plain lint tidy bench serving crash serve-golden asan tsan ubsan)
+  LANES=(plain lint tidy bench serving crash serve-golden index asan tsan ubsan)
 fi
 
 # Configure a build tree only when its cache does not exist yet, so a lane
@@ -239,6 +242,30 @@ EOF
   echo "crash-during-reload gate OK"
 }
 
+lane_index() {
+  echo "=== index lane (IVF retrieval gates) ==="
+  ensure_build build -DCMAKE_BUILD_TYPE=Release
+  # Full build, not --target: with a pre-existing tree the make-level cmake
+  # regen rule does not fire for a target the stale cache has never seen.
+  cmake --build build -j "${JOBS}"
+  # Exact-parity gate: with nprobe = nlist the candidate set is the whole
+  # catalog and every IVF answer must be 0-ULP identical to TopKMode::kExact
+  # — through the engine, the fast recommender, and across thread counts.
+  ctest --test-dir build --output-on-failure -j "${JOBS}" \
+    -R 'FullProbeBitIdenticalToExact'
+  # Recall gate: at a genuinely approximate nprobe the IVF top-10 must keep
+  # recall@10 above the floor on the seeded synthetic world (deterministic,
+  # so a drop is a regression, not noise).
+  ctest --test-dir build --output-on-failure -j "${JOBS}" \
+    -R 'RecallAtTenOnSeededWorld'
+  echo "=== index lane (ItemIndex suite under ASan) ==="
+  ensure_build build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGROUPSA_SANITIZE=address
+  cmake --build build-asan -j "${JOBS}"
+  ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
+    -R 'ItemIndex'
+}
+
 lane_asan() {
   echo "=== asan build ==="
   ensure_build build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -293,6 +320,7 @@ for lane in "${LANES[@]}"; do
     serving) lane_serving ;;
     crash) lane_crash ;;
     serve-golden) lane_serve_golden ;;
+    index) lane_index ;;
     asan) lane_asan ;;
     tsan) lane_tsan ;;
     ubsan) lane_ubsan ;;

@@ -2,6 +2,7 @@
 //
 //   groupsa_serve --data DIR --model FILE [--workers N] [--queue N]
 //                 [--overload shed|reject] [--threads N] [--seed N]
+//                 [--topk exact|ivf] [--nlist N] [--nprobe N]
 //                 [--script FILE] [--strict]
 //
 // Starts the queue-driven request pipeline (src/serve/server.h) over the
@@ -174,6 +175,14 @@ int main(int argc, char** argv) {
     config.overload = serve::ServeConfig::OverloadPolicy::kReject;
   } else if (overload != "shed") {
     return Fail("unknown --overload policy: " + overload);
+  }
+  const std::string topk = FlagOr(flags, "topk", "exact");
+  if (topk == "ivf") {
+    config.topk = core::TopKMode::kIvf;
+    config.index.nlist = std::atoi(FlagOr(flags, "nlist", "0").c_str());
+    config.index.nprobe = std::atoi(FlagOr(flags, "nprobe", "0").c_str());
+  } else if (topk != "exact") {
+    return Fail("unknown --topk mode: " + topk);
   }
 
   // Each generation is a fresh model with the checkpoint's parameters. A
