@@ -15,6 +15,12 @@
 // submission (FIFO) order, so a tail estimate is conservative by at most
 // one in-flight service time.
 //
+// A final "chaos" scenario re-runs a burst against a separate server with
+// the resilience layer armed (deadlines, retries, circuit breaker) and a
+// seeded chaos overlay, recording deadline-miss rate, retry volume and the
+// wall latency to the first breaker trip (schema 2 of the JSON report).
+// The parity gate always runs with resilience off.
+//
 // Flags: --items=N --users=N --groups=N --workers=N --queue=N --threads=N
 //        --requests=N --seconds=S --quick --json=PATH
 
@@ -112,6 +118,12 @@ struct ScenarioResult {
   long long shed = 0;
   long long rejected = 0;
   long long degraded = 0;
+  // Resilience fields (schema 2); zero for the plain scenarios.
+  long long expired = 0;
+  long long retries = 0;
+  long long breaker_trips = 0;
+  double deadline_miss_rate = 0.0;
+  double breaker_trip_ms = -1.0;  // wall ms from burst start to first trip
 };
 
 // Open-loop run: submit schedule[i] at arrival_s[i] (relative to start), a
@@ -224,6 +236,8 @@ int main(int argc, char** argv) {
   sc.workers = std::max(1, flags.workers);
   sc.queue_depth = std::max(1, flags.queue);
   serve::Server server(sc, factory, "<in-memory>", world.dataset.user_item,
+                       world.dataset.num_users,
+                       world.dataset.groups.num_groups(),
                        world.dataset.num_items, &ui_all, &gi_all);
   if (Status s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "start failed: %s\n", s.message().c_str());
@@ -340,13 +354,111 @@ int main(int argc, char** argv) {
   server.Stop();
   const serve::ServerStats stats = server.stats();
   if (stats.submitted !=
-      stats.admitted + stats.shed + stats.rejected) {
-    std::fprintf(stderr, "conservation violated: %lld != %lld + %lld + %lld\n",
+      stats.admitted + stats.shed + stats.rejected + stats.expired) {
+    std::fprintf(stderr,
+                 "conservation violated: %lld != %lld + %lld + %lld + %lld\n",
                  static_cast<long long>(stats.submitted),
                  static_cast<long long>(stats.admitted),
                  static_cast<long long>(stats.shed),
-                 static_cast<long long>(stats.rejected));
+                 static_cast<long long>(stats.rejected),
+                 static_cast<long long>(stats.expired));
     return 1;
+  }
+
+  // ---- resilience: chaos burst against a breaker-armed server ----
+  // A separate server so the parity-gated scenarios above always run with
+  // resilience off. Deadlines, retries and the breaker are all active; the
+  // seeded chaos overlay injects transient faults (some absorbed by retry,
+  // some deep enough to register as failures and trip the breaker) and
+  // deadline budgets tight enough that a burst's queue tail expires.
+  {
+    serve::ServeConfig rcfg = sc;
+    rcfg.deadline_ticks = 4 * static_cast<uint64_t>(sc.queue_depth);
+    rcfg.backoff.max_retries = 2;
+    rcfg.breaker.enabled = true;
+    // Sized so the chaos burst actually trips under --quick loads: the
+    // point of the scenario is to measure trip latency, not to avoid it.
+    rcfg.breaker.window = 8;
+    rcfg.breaker.threshold = 3;
+    serve::Server rserver(rcfg, factory, "<in-memory>",
+                          world.dataset.user_item, world.dataset.num_users,
+                          world.dataset.groups.num_groups(),
+                          world.dataset.num_items, &ui_all, &gi_all);
+    if (Status s = rserver.Start(); !s.ok()) {
+      std::fprintf(stderr, "resilience start failed: %s\n",
+                   s.message().c_str());
+      return 1;
+    }
+    serve::ScheduleConfig rsc = parity_sc;
+    rsc.seed = 75;
+    rsc.num_requests =
+        std::max(2 * sc.queue_depth, std::min(flags.requests, 200));
+    std::vector<serve::Request> schedule = serve::BuildSchedule(rsc);
+    serve::ChaosConfig chaos;
+    chaos.seed = 75;
+    chaos.fault_fraction = 0.5;
+    chaos.max_fault_attempts = 4;  // 1-2 absorbed by retry, 3-4 hard-fail
+    chaos.deadline_fraction = 0.5;
+    chaos.min_deadline_ticks = 4;
+    chaos.max_deadline_ticks = rcfg.deadline_ticks;
+    serve::ApplyChaos(chaos, &schedule);
+
+    using Clock = std::chrono::steady_clock;
+    const size_t n = schedule.size();
+    std::vector<std::future<serve::Response>> futures(n);
+    const Clock::time_point start = Clock::now();
+    double trip_ms = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      futures[i] = rserver.Submit(schedule[i]);
+      if (trip_ms < 0 && rserver.stats().breaker_trips > 0) {
+        trip_ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                            start)
+                      .count();
+      }
+    }
+    long long expired = 0, retries = 0;
+    std::vector<double> latencies_ms(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const serve::Response r = futures[i].get();
+      latencies_ms[i] =
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count();
+      if (r.expired) ++expired;
+      retries += r.retries;
+      if (trip_ms < 0 && rserver.stats().breaker_trips > 0) {
+        trip_ms = latencies_ms[i];
+      }
+    }
+    const Clock::time_point end = Clock::now();
+    rserver.Stop();
+    const serve::ServerStats rs = rserver.stats();
+    if (rs.submitted != rs.admitted + rs.shed + rs.rejected + rs.expired) {
+      std::fprintf(
+          stderr, "resilience conservation violated: %lld != %lld+%lld+%lld+%lld\n",
+          static_cast<long long>(rs.submitted),
+          static_cast<long long>(rs.admitted),
+          static_cast<long long>(rs.shed),
+          static_cast<long long>(rs.rejected),
+          static_cast<long long>(rs.expired));
+      return 1;
+    }
+    ScenarioResult r;
+    r.name = "chaos";
+    r.requests = static_cast<int>(n);
+    const double elapsed = std::chrono::duration<double>(end - start).count();
+    r.qps = elapsed > 0 ? static_cast<double>(n) / elapsed : 0.0;
+    r.p50_ms = Percentile(latencies_ms, 0.50);
+    r.p99_ms = Percentile(latencies_ms, 0.99);
+    r.shed = rs.shed;
+    r.rejected = rs.rejected;
+    r.degraded = rs.degraded;
+    r.expired = rs.expired + rs.expired_queue;
+    r.retries = rs.retries;
+    r.breaker_trips = rs.breaker_trips;
+    r.deadline_miss_rate =
+        static_cast<double>(r.expired) / static_cast<double>(n);
+    r.breaker_trip_ms = trip_ms;
+    results.push_back(r);
   }
 
   for (const ScenarioResult& r : results) {
@@ -355,6 +467,13 @@ int main(int argc, char** argv) {
         "degraded %lld\n",
         r.name.c_str(), r.requests, r.qps, r.p50_ms, r.p99_ms, r.shed,
         r.degraded);
+    if (r.name == "chaos") {
+      std::printf(
+          "        expired %lld (miss rate %.3f)  retries %lld  "
+          "breaker trips %lld  first trip %.3f ms\n",
+          r.expired, r.deadline_miss_rate, r.retries, r.breaker_trips,
+          r.breaker_trip_ms);
+    }
   }
 
   if (!flags.json.empty()) {
@@ -364,7 +483,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(f,
-                 "{\n  \"bench\": \"serving\",\n  \"items\": %d,\n"
+                 "{\n  \"bench\": \"serving\",\n  \"schema\": 2,\n"
+                 "  \"items\": %d,\n"
                  "  \"users\": %d,\n  \"groups\": %d,\n  \"workers\": %d,\n"
                  "  \"queue_depth\": %d,\n  \"threads\": %d,\n"
                  "  \"service_ms_warm\": %.6f,\n  \"parity\": \"ok\",\n"
@@ -377,10 +497,14 @@ int main(int argc, char** argv) {
       std::fprintf(f,
                    "    {\"name\": \"%s\", \"requests\": %d, \"qps\": %.2f, "
                    "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"shed\": %lld, "
-                   "\"rejected\": %lld, \"degraded\": %lld}%s\n",
+                   "\"rejected\": %lld, \"degraded\": %lld, "
+                   "\"expired\": %lld, \"deadline_miss_rate\": %.4f, "
+                   "\"retries\": %lld, \"breaker_trips\": %lld, "
+                   "\"breaker_trip_ms\": %.4f}%s\n",
                    r.name.c_str(), r.requests, r.qps, r.p50_ms, r.p99_ms,
-                   r.shed, r.rejected, r.degraded,
-                   i + 1 < results.size() ? "," : "");
+                   r.shed, r.rejected, r.degraded, r.expired,
+                   r.deadline_miss_rate, r.retries, r.breaker_trips,
+                   r.breaker_trip_ms, i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

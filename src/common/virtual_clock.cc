@@ -1,0 +1,11 @@
+#include "common/virtual_clock.h"
+
+#include <string>
+
+namespace groupsa {
+
+std::string DescribeExpiry(uint64_t deadline_tick) {
+  return "deadline tick " + std::to_string(deadline_tick) + " expired";
+}
+
+}  // namespace groupsa

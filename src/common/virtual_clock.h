@@ -1,0 +1,64 @@
+#ifndef GROUPSA_COMMON_VIRTUAL_CLOCK_H_
+#define GROUPSA_COMMON_VIRTUAL_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace groupsa {
+
+// Deterministic logical clock. The serving daemon needs a notion of "time
+// passing" for request deadlines, breaker cool-downs and backoff delays,
+// but a wall clock would make every one of those decisions a function of
+// machine load — the determinism linter bans wall-clock reads in src/ for
+// exactly that reason. A VirtualClock instead counts *events*: its owner
+// advances it at well-defined points (the serve daemon ticks once per
+// submission and once per completion), so a tick value is a pure function
+// of the request schedule, never of scheduling luck.
+//
+// Ticks are monotone and shared: many threads may Advance() and Now()
+// concurrently. Readers see a value at least as large as every advance
+// that happened-before their read; decisions made against a tick (deadline
+// expiry, breaker half-open) must therefore be written so that a *larger*
+// now never flips them back (expiry is `now > deadline`, which only ever
+// becomes more true).
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+  VirtualClock(const VirtualClock&) = delete;
+  VirtualClock& operator=(const VirtualClock&) = delete;
+
+  // Current tick. Starts at 0.
+  uint64_t Now() const { return now_.load(std::memory_order_relaxed); }
+
+  // Advances the clock by `ticks` and returns the new value.
+  uint64_t Advance(uint64_t ticks = 1) {
+    return now_.fetch_add(ticks, std::memory_order_relaxed) + ticks;
+  }
+
+ private:
+  std::atomic<uint64_t> now_{0};
+};
+
+// Deadline convention shared by everything tick-based: 0 means "no
+// deadline", any other value is an absolute tick past which the work has
+// outlived its usefulness. A deadline exactly equal to `now` has not
+// expired yet — budgets of N ticks grant N full ticks.
+inline bool DeadlineExpired(uint64_t deadline_tick, uint64_t now) {
+  return deadline_tick != 0 && now > deadline_tick;
+}
+
+// Absolute deadline for a relative budget; a zero budget means none.
+inline uint64_t DeadlineFromBudget(uint64_t now, uint64_t budget_ticks) {
+  return budget_ticks == 0 ? 0 : now + budget_ticks;
+}
+
+// Byte-stable rendering of an expiry decision, for response error strings.
+// Deliberately names only the deadline: the tick at which expiry was
+// *observed* depends on worker interleaving, and these strings end up in
+// transcripts that must compare byte-equal across worker counts.
+std::string DescribeExpiry(uint64_t deadline_tick);
+
+}  // namespace groupsa
+
+#endif  // GROUPSA_COMMON_VIRTUAL_CLOCK_H_

@@ -30,11 +30,12 @@ FallbackRecommender::FallbackRecommender(InferenceEngine* engine,
 
 FallbackRecommender::Response FallbackRecommender::Degrade(
     std::string error, int k, const data::InteractionMatrix* exclude,
-    const std::vector<int32_t>& rows) {
+    const std::vector<int32_t>& rows, Response::Source source) {
   degraded_.fetch_add(1, std::memory_order_relaxed);
   Response response;
   response.degraded = true;
   response.error = std::move(error);
+  response.source = source;
   response.items = PopularityTopK(k, [&](data::ItemId item) {
     return AnyRowHas(exclude, rows, item);
   });
@@ -45,17 +46,21 @@ FallbackRecommender::Response FallbackRecommender::ServeDegraded(
     std::string reason, int k, const data::InteractionMatrix* exclude,
     const std::vector<int32_t>& rows) {
   requests_.fetch_add(1, std::memory_order_relaxed);
-  return Degrade(std::move(reason), k, exclude, rows);
+  return Degrade(std::move(reason), k, exclude, rows,
+                 Response::Source::kBypassed);
 }
 
 FallbackRecommender::Response FallbackRecommender::RecommendForUser(
     data::UserId user, int k, const data::InteractionMatrix* exclude) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   if (engine_ == nullptr)
-    return Degrade("model unavailable", k, exclude, {user});
+    return Degrade("model unavailable", k, exclude, {user},
+                   Response::Source::kNoEngine);
   Response response;
   Status s = engine_->RecommendForUser(user, k, exclude, &response.items);
-  if (!s.ok()) return Degrade(s.message(), k, exclude, {user});
+  if (!s.ok())
+    return Degrade(s.message(), k, exclude, {user},
+                   Response::Source::kEngineError);
   return response;
 }
 
@@ -63,10 +68,13 @@ FallbackRecommender::Response FallbackRecommender::RecommendForGroup(
     data::GroupId group, int k, const data::InteractionMatrix* exclude) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   if (engine_ == nullptr)
-    return Degrade("model unavailable", k, exclude, {group});
+    return Degrade("model unavailable", k, exclude, {group},
+                   Response::Source::kNoEngine);
   Response response;
   Status s = engine_->RecommendForGroup(group, k, exclude, &response.items);
-  if (!s.ok()) return Degrade(s.message(), k, exclude, {group});
+  if (!s.ok())
+    return Degrade(s.message(), k, exclude, {group},
+                   Response::Source::kEngineError);
   return response;
 }
 
@@ -75,11 +83,14 @@ FallbackRecommender::Response FallbackRecommender::RecommendForMembers(
     const data::InteractionMatrix* exclude) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   if (engine_ == nullptr)
-    return Degrade("model unavailable", k, exclude, members);
+    return Degrade("model unavailable", k, exclude, members,
+                   Response::Source::kNoEngine);
   Response response;
   Status s =
       engine_->RecommendForMembers(members, k, exclude, &response.items);
-  if (!s.ok()) return Degrade(s.message(), k, exclude, members);
+  if (!s.ok())
+    return Degrade(s.message(), k, exclude, members,
+                   Response::Source::kEngineError);
   return response;
 }
 

@@ -40,6 +40,18 @@ class FallbackRecommender {
     std::vector<std::pair<data::ItemId, double>> items;
     bool degraded = false;  // served by the popularity baseline
     std::string error;      // why the model path was bypassed, when degraded
+    // What produced (or pre-empted) this answer. Callers that react to
+    // model *health* — the serving daemon's circuit breaker — need to tell
+    // an engine that errored (kEngineError: evidence against the model)
+    // from an engine that is absent by design (kNoEngine) or was never
+    // consulted (kBypassed: shed / injected-fault / breaker-open paths).
+    enum class Source {
+      kModel = 0,        // healthy engine answer
+      kNoEngine = 1,     // permanently degraded: no engine at all
+      kEngineError = 2,  // engine returned an error Status
+      kBypassed = 3,     // caller chose the popularity path outright
+    };
+    Source source = Source::kModel;
   };
 
   // Top-K serving entry points, mirroring the engine's recommenders.
@@ -98,7 +110,8 @@ class FallbackRecommender {
   // that made the model path fail).
   Response Degrade(std::string error, int k,
                    const data::InteractionMatrix* exclude,
-                   const std::vector<int32_t>& rows);
+                   const std::vector<int32_t>& rows,
+                   Response::Source source);
 
   InferenceEngine* engine_;  // null = permanently degraded
   std::vector<double> counts_;

@@ -1,0 +1,131 @@
+#include "serve/circuit_breaker.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace groupsa::serve {
+
+std::string BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(const BreakerConfig& config) : config_(config) {
+  if (config_.enabled) {
+    GROUPSA_CHECK(config_.window >= 1, "BreakerConfig::window must be >= 1");
+    GROUPSA_CHECK(config_.threshold >= 1 &&
+                      config_.threshold <= config_.window,
+                  "BreakerConfig::threshold must be in [1, window]");
+    GROUPSA_CHECK(config_.probes >= 1, "BreakerConfig::probes must be >= 1");
+  }
+}
+
+CircuitBreaker::Route CircuitBreaker::Admit(uint64_t now) {
+  if (!config_.enabled) return Route::kModel;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kOpen && now >= half_open_at_) {
+    state_ = BreakerState::kHalfOpen;
+    probes_in_flight_ = 0;
+    probe_successes_ = 0;
+  }
+  switch (state_) {
+    case BreakerState::kClosed:
+      return Route::kModel;
+    case BreakerState::kOpen:
+      return Route::kFallback;
+    case BreakerState::kHalfOpen:
+      if (probes_in_flight_ < config_.probes) {
+        ++probes_in_flight_;
+        ++counters_.probes;
+        return Route::kProbe;
+      }
+      return Route::kFallback;
+  }
+  return Route::kModel;
+}
+
+void CircuitBreaker::TripLocked(uint64_t now, bool reopen) {
+  state_ = BreakerState::kOpen;
+  half_open_at_ = now + config_.open_ticks;
+  window_.clear();
+  window_failures_ = 0;
+  if (reopen) {
+    ++counters_.reopens;
+  } else {
+    ++counters_.trips;
+  }
+}
+
+void CircuitBreaker::RecordWindowed(bool failure, uint64_t now) {
+  window_.push_back(failure);
+  if (failure) ++window_failures_;
+  while (static_cast<int>(window_.size()) > config_.window) {
+    if (window_.front()) --window_failures_;
+    window_.pop_front();
+  }
+  if (window_failures_ >= config_.threshold)
+    TripLocked(now, /*reopen=*/false);
+}
+
+void CircuitBreaker::RecordSuccess(Route route) {
+  if (!config_.enabled || route == Route::kFallback) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (route == Route::kProbe) {
+    // A probe admitted under a previous half-open episode may report after
+    // the breaker moved on (reopened by a sibling probe, or reset by a
+    // generation swap); its outcome no longer applies.
+    if (state_ != BreakerState::kHalfOpen) return;
+    probes_in_flight_ = std::max(0, probes_in_flight_ - 1);
+    if (++probe_successes_ >= config_.probes) {
+      state_ = BreakerState::kClosed;
+      window_.clear();
+      window_failures_ = 0;
+      ++counters_.closes;
+    }
+    return;
+  }
+  if (state_ == BreakerState::kClosed)
+    RecordWindowed(/*failure=*/false, /*now=*/0);
+}
+
+void CircuitBreaker::RecordFailure(Route route, uint64_t now) {
+  if (!config_.enabled || route == Route::kFallback) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (route == Route::kProbe) {
+    if (state_ != BreakerState::kHalfOpen) return;
+    TripLocked(now, /*reopen=*/true);
+    return;
+  }
+  if (state_ == BreakerState::kClosed)
+    RecordWindowed(/*failure=*/true, now);
+}
+
+void CircuitBreaker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = BreakerState::kClosed;
+  window_.clear();
+  window_failures_ = 0;
+  half_open_at_ = 0;
+  probes_in_flight_ = 0;
+  probe_successes_ = 0;
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+CircuitBreaker::Counters CircuitBreaker::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace groupsa::serve

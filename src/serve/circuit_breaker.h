@@ -1,0 +1,111 @@
+#ifndef GROUPSA_SERVE_CIRCUIT_BREAKER_H_
+#define GROUPSA_SERVE_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace groupsa::serve {
+
+// Circuit breaker over the serving model path.
+//
+// A persistently failing model (torn reload, poisoned parameters, an index
+// whose catalog no longer matches the world) makes every request pay the
+// full scoring cost *and* the retry budget before degrading. The breaker
+// watches a rolling window of model-path outcomes and, once failures cross
+// the threshold, short-circuits the whole path to the popularity fallback
+// — requests stop burning retries on a model that is known-bad. After a
+// cool-down measured on the serve daemon's VirtualClock (never a wall
+// clock) the breaker lets a bounded number of probe requests through; if
+// enough probes succeed the engine is re-admitted, one probe failure snaps
+// it back open.
+//
+//          failures in window >= threshold
+//   kClosed ───────────────────────────────► kOpen
+//      ▲                                       │ now >= trip + open_ticks
+//      │ probe successes >= probes             ▼
+//      └────────────────────────────────── kHalfOpen
+//                 (one probe failure reopens: kHalfOpen ► kOpen)
+//
+// Outcomes are *request-final*: a transient fault that a retry absorbed is
+// a success (the request was served by the model), only a request that
+// exhausted its retries counts as a failure. That keeps recoverable blips
+// from tripping the breaker while retries are doing their job.
+//
+// Determinism: state transitions depend only on the sequence of recorded
+// outcomes and the virtual ticks passed to Admit/RecordFailure — both pure
+// functions of the request schedule — so a seeded chaos run trips and
+// recovers identically at any worker count.
+struct BreakerConfig {
+  bool enabled = false;
+  // Rolling outcome window and the failure count within it that trips the
+  // breaker open.
+  int window = 16;
+  int threshold = 8;
+  // Virtual ticks from a trip (or a reopen) until probes are admitted.
+  uint64_t open_ticks = 32;
+  // Half-open: at most this many probes in flight at once, and this many
+  // probe successes close the breaker.
+  int probes = 2;
+};
+
+enum class BreakerState { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+// Stable one-word names for stats output and error strings.
+std::string BreakerStateName(BreakerState state);
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(const BreakerConfig& config);
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  // How one model-path request should be routed at virtual time `now`:
+  //   kModel     breaker closed — serve through the engine.
+  //   kProbe     half-open probe slot — serve through the engine and report
+  //              the outcome with the kProbe route.
+  //   kFallback  breaker open (or probe slots taken) — serve popularity.
+  // A disabled breaker always routes kModel.
+  enum class Route { kModel, kProbe, kFallback };
+  Route Admit(uint64_t now);
+
+  // Request-final outcome of a kModel / kProbe route. kFallback routes
+  // record nothing (the model was never consulted).
+  void RecordSuccess(Route route);
+  void RecordFailure(Route route, uint64_t now);
+
+  // Forgets everything, back to kClosed. Called on generation swap: a
+  // fresh model deserves a fresh window.
+  void Reset();
+
+  BreakerState state() const;
+
+  struct Counters {
+    int64_t trips = 0;    // kClosed -> kOpen transitions
+    int64_t reopens = 0;  // kHalfOpen -> kOpen (a probe failed)
+    int64_t closes = 0;   // kHalfOpen -> kClosed (probes succeeded)
+    int64_t probes = 0;   // probe requests admitted
+  };
+  Counters counters() const;
+
+ private:
+  // Pushes one outcome into the rolling window; trips if the failure count
+  // crosses the threshold. Caller holds mu_.
+  void RecordWindowed(bool failure, uint64_t now);
+  void TripLocked(uint64_t now, bool reopen);
+
+  const BreakerConfig config_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::deque<bool> window_;  // true = failure
+  int window_failures_ = 0;
+  uint64_t half_open_at_ = 0;  // valid while kOpen
+  int probes_in_flight_ = 0;   // valid while kHalfOpen
+  int probe_successes_ = 0;    // valid while kHalfOpen
+  Counters counters_;
+};
+
+}  // namespace groupsa::serve
+
+#endif  // GROUPSA_SERVE_CIRCUIT_BREAKER_H_

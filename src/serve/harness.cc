@@ -57,6 +57,36 @@ std::vector<Request> BuildSchedule(const ScheduleConfig& config) {
   return schedule;
 }
 
+void ApplyChaos(const ChaosConfig& config, std::vector<Request>* schedule) {
+  GROUPSA_CHECK(schedule != nullptr, "ApplyChaos needs a schedule");
+  GROUPSA_CHECK(config.max_fault_attempts >= 1 &&
+                    config.max_fault_attempts <= 255,
+                "ChaosConfig::max_fault_attempts must be in [1, 255]");
+  GROUPSA_CHECK(config.min_deadline_ticks >= 1 &&
+                    config.min_deadline_ticks <= config.max_deadline_ticks,
+                "ChaosConfig deadline range must satisfy 1 <= min <= max");
+  // One decorrelated stream per slot: the bits a request draws depend only
+  // on (seed, slot index), never on what earlier slots drew, so trimming
+  // or reordering phases of a schedule does not reshuffle the chaos.
+  for (size_t i = 0; i < schedule->size(); ++i) {
+    Rng rng(Rng::StreamSeed(config.seed, static_cast<uint64_t>(i)));
+    Request& request = (*schedule)[i];
+    if (rng.NextBernoulli(config.fault_fraction)) {
+      request.chaos.fault_attempts = static_cast<uint8_t>(
+          1 + rng.NextInt(config.max_fault_attempts));
+    }
+    if (rng.NextBernoulli(config.hang_fraction)) request.chaos.hang = true;
+    if (rng.NextBernoulli(config.deadline_fraction)) {
+      const int span = static_cast<int>(config.max_deadline_ticks -
+                                        config.min_deadline_ticks) +
+                       1;
+      request.deadline_ticks =
+          config.min_deadline_ticks +
+          static_cast<uint64_t>(rng.NextInt(span));
+    }
+  }
+}
+
 DriveReport DriveSchedule(Server* server, const std::vector<Request>& schedule,
                           const DriveOptions& options) {
   DriveReport report;
@@ -105,6 +135,15 @@ std::string FormatRequest(const Request& request) {
   }
   out += " k=" + std::to_string(request.k);
   out += " x=" + std::to_string(request.exclude_seen ? 1 : 0);
+  // Resilience fields print only when non-default, so pre-resilience
+  // transcripts (and the serve-mode goldens) render unchanged.
+  if (request.deadline_tick != 0)
+    out += " dlt=" + std::to_string(request.deadline_tick);
+  if (request.deadline_ticks != 0)
+    out += " dl=" + std::to_string(request.deadline_ticks);
+  if (request.chaos.fault_attempts != 0)
+    out += " fa=" + std::to_string(request.chaos.fault_attempts);
+  if (request.chaos.hang) out += " hang=1";
   return out;
 }
 
@@ -113,6 +152,8 @@ std::string FormatResponse(const Response& response) {
   out += " deg=" + std::to_string(response.degraded ? 1 : 0);
   out += " shed=" + std::to_string(response.shed ? 1 : 0);
   out += " rej=" + std::to_string(response.rejected ? 1 : 0);
+  if (response.expired) out += " exp=1";
+  if (response.retries > 0) out += " try=" + std::to_string(response.retries);
   if (!response.error.empty()) out += " err=[" + response.error + "]";
   out += " items=";
   for (size_t i = 0; i < response.items.size(); ++i) {
@@ -151,11 +192,13 @@ std::string CheckConservation(const DriveReport& report,
       return "response id " + std::to_string(ids[i]) +
              " delivered to two schedule slots";
   }
-  if (stats.submitted != stats.admitted + stats.shed + stats.rejected)
+  if (stats.submitted !=
+      stats.admitted + stats.shed + stats.rejected + stats.expired)
     return "submitted " + std::to_string(stats.submitted) +
            " != admitted " + std::to_string(stats.admitted) + " + shed " +
            std::to_string(stats.shed) + " + rejected " +
-           std::to_string(stats.rejected);
+           std::to_string(stats.rejected) + " + expired " +
+           std::to_string(stats.expired);
   if (stopped && stats.admitted != stats.completed)
     return "stopped server left " +
            std::to_string(stats.admitted - stats.completed) +

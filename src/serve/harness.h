@@ -35,6 +35,29 @@ struct ScheduleConfig {
 // config; same seed, same schedule).
 std::vector<Request> BuildSchedule(const ScheduleConfig& config);
 
+// Seeded chaos overlay: stamps deterministic fault/hang/deadline bits onto
+// an existing schedule. This is how the chaos suite drives the resilience
+// layer — per-request chaos bits are a pure function of (schedule, seed),
+// unlike hit-counted failpoints whose victims depend on which worker
+// reaches the site first. Overlaying instead of generating keeps the
+// underlying request mix identical with chaos on or off.
+struct ChaosConfig {
+  uint64_t seed = 7;
+  // Fraction of requests whose first 1..max_fault_attempts model attempts
+  // fault transiently (retry fodder / breaker fodder).
+  double fault_fraction = 0.0;
+  int max_fault_attempts = 2;
+  // Fraction of requests that hang the worker serving them (supervisor
+  // fodder).
+  double hang_fraction = 0.0;
+  // Fraction of requests that carry a deadline budget, drawn uniformly in
+  // [min_deadline_ticks, max_deadline_ticks].
+  double deadline_fraction = 0.0;
+  uint64_t min_deadline_ticks = 8;
+  uint64_t max_deadline_ticks = 64;
+};
+void ApplyChaos(const ChaosConfig& config, std::vector<Request>* schedule);
+
 struct DriveOptions {
   // Client lanes submitting concurrently. Lane L owns the contiguous slice
   // of the schedule ParallelFor assigns it; each lane is closed-loop
@@ -74,9 +97,10 @@ std::string FormatDrive(const std::vector<Request>& schedule,
 
 // Checks the no-lost/no-duplicated-response invariant over a drive: one
 // response per slot, ids unique, and the server's conservation identity
-// (submitted == admitted + shed + rejected; admitted == completed once
-// stopped). Returns an empty string when everything holds, else a
-// description of the first violation.
+// (submitted == admitted + shed + rejected + expired; admitted ==
+// completed once stopped — queued requests whose deadline passed still
+// complete, as expired responses). Returns an empty string when everything
+// holds, else a description of the first violation.
 std::string CheckConservation(const DriveReport& report,
                               const ServerStats& stats, bool stopped);
 

@@ -1,0 +1,46 @@
+#include "common/virtual_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace groupsa {
+namespace {
+
+TEST(VirtualClockTest, StartsAtZeroAndAdvances) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.Now(), 0u);
+  EXPECT_EQ(clock.Advance(), 1u);
+  EXPECT_EQ(clock.Now(), 1u);
+  EXPECT_EQ(clock.Advance(5), 6u);
+  EXPECT_EQ(clock.Now(), 6u);
+}
+
+TEST(VirtualClockTest, ExpiryIsStrictAndZeroMeansNoDeadline) {
+  // A deadline of 0 never expires, whatever `now` says.
+  EXPECT_FALSE(DeadlineExpired(0, 0));
+  EXPECT_FALSE(DeadlineExpired(0, 1'000'000));
+  // A budget of N ticks grants N full ticks: at now == deadline the request
+  // is still alive; one tick later it is not.
+  EXPECT_FALSE(DeadlineExpired(10, 9));
+  EXPECT_FALSE(DeadlineExpired(10, 10));
+  EXPECT_TRUE(DeadlineExpired(10, 11));
+}
+
+TEST(VirtualClockTest, DeadlineFromBudget) {
+  EXPECT_EQ(DeadlineFromBudget(/*now=*/7, /*budget_ticks=*/0), 0u);
+  EXPECT_EQ(DeadlineFromBudget(/*now=*/7, /*budget_ticks=*/3), 10u);
+  // The resolved deadline honors the strict-expiry convention end to end.
+  const uint64_t deadline = DeadlineFromBudget(5, 2);
+  EXPECT_FALSE(DeadlineExpired(deadline, 7));
+  EXPECT_TRUE(DeadlineExpired(deadline, 8));
+}
+
+TEST(VirtualClockTest, DescribeExpiryNamesOnlyTheDeadline) {
+  // The string must not mention when expiry was *observed*: that tick
+  // depends on worker interleaving and these strings land in transcripts
+  // compared byte-for-byte across worker counts.
+  EXPECT_EQ(DescribeExpiry(42), "deadline tick 42 expired");
+  EXPECT_EQ(DescribeExpiry(42), DescribeExpiry(42));
+}
+
+}  // namespace
+}  // namespace groupsa

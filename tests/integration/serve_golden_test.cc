@@ -98,8 +98,10 @@ class ServeGoldenTest : public ::testing::Test {
       return Status::Ok();
     };
     return Server(sc, std::move(factory), *checkpoint_path_,
-                  fixture_->ui.train, fixture_->world.dataset.num_items,
-                  &fixture_->ui_train, &fixture_->gi_train);
+                  fixture_->ui.train, fixture_->world.dataset.num_users,
+                  fixture_->world.dataset.groups.num_groups(),
+                  fixture_->world.dataset.num_items, &fixture_->ui_train,
+                  &fixture_->gi_train);
   }
 
   static std::vector<Request> GoldenSchedule() {

@@ -54,6 +54,8 @@ struct ServeRig {
     };
     server = std::make_unique<Server>(
         sc, std::move(factory), "<in-memory>", fixture.ui.train,
+        fixture.world.dataset.num_users,
+        fixture.world.dataset.groups.num_groups(),
         fixture.world.dataset.num_items, &fixture.ui_train,
         &fixture.gi_train);
   }

@@ -275,7 +275,7 @@ TEST_F(ServerTest, StopDrainsQueuedRequestsAndLaterSubmitsReject) {
   EXPECT_EQ(stats.rejected, 1);
 }
 
-TEST_F(ServerTest, InvalidRequestDegradesInsteadOfCrashing) {
+TEST_F(ServerTest, InvalidRequestIsRejectedAtTheDoorWithAReason) {
   ServeConfig sc;
   ServeRig rig(sc);
   ASSERT_TRUE(rig.server->Start().ok());
@@ -285,8 +285,13 @@ TEST_F(ServerTest, InvalidRequestDegradesInsteadOfCrashing) {
   request.user = 999999;  // far out of range
   request.k = 4;
   const Response r = rig.server->Call(request);
-  EXPECT_TRUE(r.degraded);
-  EXPECT_EQ(r.items.size(), 4u);  // popularity ranking still served
+  EXPECT_TRUE(r.rejected);
+  EXPECT_FALSE(r.degraded);
+  EXPECT_TRUE(r.items.empty());
+  EXPECT_NE(r.error.find("out of range"), std::string::npos) << r.error;
+  const ServerStats stats = rig.server->stats();
+  EXPECT_EQ(stats.invalid, 1);
+  EXPECT_EQ(stats.rejected, 1);
   rig.server->Stop();
 }
 

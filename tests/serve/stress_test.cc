@@ -38,7 +38,20 @@ bool CountersMonotone(const ServerStats& before, const ServerStats& after) {
          after.degraded >= before.degraded &&
          after.reloads >= before.reloads &&
          after.failed_reloads >= before.failed_reloads &&
-         after.peak_queue_depth >= before.peak_queue_depth;
+         after.peak_queue_depth >= before.peak_queue_depth &&
+         after.expired >= before.expired &&
+         after.expired_queue >= before.expired_queue &&
+         after.invalid >= before.invalid && after.retries >= before.retries &&
+         after.worker_faults >= before.worker_faults &&
+         after.hangs_rescued >= before.hangs_rescued &&
+         after.worker_restarts >= before.worker_restarts &&
+         after.reload_retry_attempts >= before.reload_retry_attempts &&
+         after.breaker_trips >= before.breaker_trips &&
+         after.breaker_reopens >= before.breaker_reopens &&
+         after.breaker_closes >= before.breaker_closes &&
+         after.breaker_probes >= before.breaker_probes &&
+         after.now_tick >= before.now_tick;
+  // breaker_state is a gauge, not a counter — deliberately not checked.
 }
 
 class StressTest : public ::testing::Test {

@@ -17,6 +17,10 @@
 #   index         IVF retrieval gates: nprobe=nlist exact-parity (0-ULP vs
 #                 kExact), recall@10 on the seeded world, and the full
 #                 ItemIndex suite under ASan
+#   chaos         resilience gates: the seeded chaos soak (byte-identical
+#                 transcripts at 1x1 vs 4x4 workers/threads, extended
+#                 conservation, breaker trip + recovery) and the resilience
+#                 suite, each under both TSan and ASan
 #   asan          fault-labelled tests + tensor-pool suite under ASan
 #   tsan          race-labelled tests (thread pool, trainer shards, serving
 #                 stress/soak) under TSan
@@ -34,7 +38,8 @@ if [ $# -gt 0 ] && [[ "$1" =~ ^[0-9]+$ ]]; then
 fi
 LANES=("$@")
 if [ ${#LANES[@]} -eq 0 ]; then
-  LANES=(plain lint tidy bench serving crash serve-golden index asan tsan ubsan)
+  LANES=(plain lint tidy bench serving crash serve-golden index chaos asan tsan
+         ubsan)
 fi
 
 # Configure a build tree only when its cache does not exist yet, so a lane
@@ -49,8 +54,10 @@ ensure_build() {
 
 TMP_DIRS=()
 cleanup() {
+  # `[ -n ... ] && rm` would leave the trap (and so the script) with exit
+  # status 1 when a lane created no temp dirs; an explicit if does not.
   for dir in "${TMP_DIRS[@]:-}"; do
-    [ -n "${dir}" ] && rm -rf "${dir}"
+    if [ -n "${dir}" ]; then rm -rf "${dir}"; fi
   done
 }
 trap cleanup EXIT
@@ -266,6 +273,26 @@ lane_index() {
     -R 'ItemIndex'
 }
 
+lane_chaos() {
+  # The chaos soak's assertions (transcript byte-identity across widths,
+  # submitted == admitted + shed + rejected + expired, zero dead workers,
+  # breaker trips then recovers) live in the tests; this lane's job is to
+  # run them under both sanitizers so a rescue-path race or a leaked
+  # promise cannot hide behind a green plain run.
+  echo "=== chaos lane (TSan) ==="
+  ensure_build build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGROUPSA_SANITIZE=thread
+  cmake --build build-tsan -j "${JOBS}"
+  ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+    -R 'ChaosTest|ResilienceTest'
+  echo "=== chaos lane (ASan) ==="
+  ensure_build build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGROUPSA_SANITIZE=address
+  cmake --build build-asan -j "${JOBS}"
+  ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
+    -R 'ChaosTest|ResilienceTest'
+}
+
 lane_asan() {
   echo "=== asan build ==="
   ensure_build build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -321,6 +348,7 @@ for lane in "${LANES[@]}"; do
     crash) lane_crash ;;
     serve-golden) lane_serve_golden ;;
     index) lane_index ;;
+    chaos) lane_chaos ;;
     asan) lane_asan ;;
     tsan) lane_tsan ;;
     ubsan) lane_ubsan ;;

@@ -3,7 +3,10 @@
 //   groupsa_serve --data DIR --model FILE [--workers N] [--queue N]
 //                 [--overload shed|reject] [--threads N] [--seed N]
 //                 [--topk exact|ivf] [--nlist N] [--nprobe N]
-//                 [--script FILE] [--strict]
+//                 [--deadline TICKS] [--retries N] [--reload-retries N]
+//                 [--breaker] [--breaker-window N] [--breaker-threshold N]
+//                 [--breaker-open TICKS] [--breaker-probes N]
+//                 [--no-supervise] [--script FILE] [--strict]
 //
 // Starts the queue-driven request pipeline (src/serve/server.h) over the
 // dataset at DIR and the checkpoint at FILE, then executes commands from
@@ -14,7 +17,17 @@
 //   members <a,b,c> <k> [x]    recommend for an ad-hoc (occasional) group
 //   reload [path]              hot-swap to the checkpoint (default: --model)
 //   stats                      print the monotone serving counters
+//   health                     print the liveness snapshot (queue, breaker,
+//                              per-worker state)
 //   quit                       stop the daemon and exit
+//
+// Resilience flags (all measured on the daemon's virtual clock, which
+// ticks once per submission and once per completion — never wall time):
+// --deadline gives every request a tick budget, --retries retries
+// transient worker faults with backoff charged against that budget,
+// --breaker arms the model-path circuit breaker (window/threshold/open/
+// probes tune it), --reload-retries re-attempts failed hot reloads in the
+// background, --no-supervise disables hung-worker detection and restart.
 //
 // Responses print in request order with %.17g scores, so two runs of the
 // same script byte-compare equal at any --workers / --threads width — the
@@ -145,6 +158,45 @@ void PrintStats(const serve::ServerStats& s) {
       static_cast<long long>(s.reloads),
       static_cast<long long>(s.failed_reloads),
       static_cast<long long>(s.peak_queue_depth));
+  std::printf(
+      "stats.resilience expired=%lld expired_queue=%lld invalid=%lld "
+      "retries=%lld worker_faults=%lld hangs_rescued=%lld "
+      "worker_restarts=%lld reload_retries=%lld breaker_trips=%lld "
+      "breaker_reopens=%lld breaker_closes=%lld breaker_probes=%lld "
+      "breaker_state=%s now_tick=%llu\n",
+      static_cast<long long>(s.expired),
+      static_cast<long long>(s.expired_queue),
+      static_cast<long long>(s.invalid), static_cast<long long>(s.retries),
+      static_cast<long long>(s.worker_faults),
+      static_cast<long long>(s.hangs_rescued),
+      static_cast<long long>(s.worker_restarts),
+      static_cast<long long>(s.reload_retry_attempts),
+      static_cast<long long>(s.breaker_trips),
+      static_cast<long long>(s.breaker_reopens),
+      static_cast<long long>(s.breaker_closes),
+      static_cast<long long>(s.breaker_probes),
+      serve::BreakerStateName(static_cast<serve::BreakerState>(s.breaker_state))
+          .c_str(),
+      static_cast<unsigned long long>(s.now_tick));
+}
+
+void PrintHealth(const serve::ServerHealth& h) {
+  std::printf(
+      "health running=%d accepting=%d paused=%d queue_depth=%d "
+      "now_tick=%llu gen=%llu breaker=%s reload_retry_pending=%d\n",
+      h.running ? 1 : 0, h.accepting ? 1 : 0, h.paused ? 1 : 0, h.queue_depth,
+      static_cast<unsigned long long>(h.now_tick),
+      static_cast<unsigned long long>(h.generation),
+      serve::BreakerStateName(h.breaker).c_str(),
+      h.reload_retry_pending ? 1 : 0);
+  for (const serve::ServerHealth::Worker& w : h.workers) {
+    std::printf(
+        "health.worker slot=%d alive=%d busy=%d hanging=%d job=%llu "
+        "restarts=%lld\n",
+        w.slot, w.alive ? 1 : 0, w.busy ? 1 : 0, w.hanging ? 1 : 0,
+        static_cast<unsigned long long>(w.job_id),
+        static_cast<long long>(w.restarts));
+  }
 }
 
 }  // namespace
@@ -184,6 +236,24 @@ int main(int argc, char** argv) {
   } else if (topk != "exact") {
     return Fail("unknown --topk mode: " + topk);
   }
+  config.deadline_ticks =
+      std::strtoull(FlagOr(flags, "deadline", "0").c_str(), nullptr, 10);
+  config.backoff.max_retries =
+      std::atoi(FlagOr(flags, "retries", "0").c_str());
+  config.reload_retries =
+      std::atoi(FlagOr(flags, "reload-retries", "0").c_str());
+  if (flags.count("breaker") != 0) {
+    config.breaker.enabled = true;
+    config.breaker.window =
+        std::atoi(FlagOr(flags, "breaker-window", "16").c_str());
+    config.breaker.threshold =
+        std::atoi(FlagOr(flags, "breaker-threshold", "8").c_str());
+    config.breaker.open_ticks = std::strtoull(
+        FlagOr(flags, "breaker-open", "32").c_str(), nullptr, 10);
+    config.breaker.probes =
+        std::atoi(FlagOr(flags, "breaker-probes", "2").c_str());
+  }
+  config.supervise = flags.count("no-supervise") == 0;
 
   // Each generation is a fresh model with the checkpoint's parameters. A
   // load failure degrades to popularity-only serving unless --strict.
@@ -206,6 +276,7 @@ int main(int argc, char** argv) {
   };
 
   serve::Server server(config, std::move(factory), model_path, ws.ui.train,
+                       ws.dataset.num_users, ws.dataset.groups.num_groups(),
                        ws.dataset.num_items, &ws.ui_train, &ws.gi_train);
   if (Status s = server.Start(); !s.ok()) return Fail(s.message());
   std::printf("serving %s (%d workers, queue %d, %s overload, gen %llu)\n",
@@ -236,6 +307,10 @@ int main(int argc, char** argv) {
     if (tokens[0] == "quit") break;
     if (tokens[0] == "stats") {
       PrintStats(server.stats());
+      continue;
+    }
+    if (tokens[0] == "health") {
+      PrintHealth(server.Health());
       continue;
     }
     if (tokens[0] == "reload") {
