@@ -1,0 +1,700 @@
+#include "analysis/lock_lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <regex>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace groupsa::analysis {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+int LineAt(const std::string& text, size_t offset) {
+  return 1 + static_cast<int>(std::count(text.begin(),
+                                         text.begin() + static_cast<long>(
+                                                            std::min(
+                                                                offset,
+                                                                text.size())),
+                                         '\n'));
+}
+
+std::string LastIdent(const std::string& expr) {
+  size_t end = expr.size();
+  while (end > 0 && !IsIdentChar(expr[end - 1])) --end;
+  size_t begin = end;
+  while (begin > 0 && IsIdentChar(expr[begin - 1])) --begin;
+  return expr.substr(begin, end - begin);
+}
+
+// True when `path` equals `suffix` or ends with "/<suffix>".
+bool PathSuffix(const std::string& path, const std::string& suffix) {
+  if (path == suffix) return true;
+  if (path.size() <= suffix.size()) return false;
+  return path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+             0 &&
+         path[path.size() - suffix.size() - 1] == '/';
+}
+
+bool IsExemptFile(const std::string& path) {
+  return PathSuffix(path, "common/debug_mutex.h") ||
+         PathSuffix(path, "common/debug_mutex.cc") ||
+         PathSuffix(path, "common/macros.h");
+}
+
+// match[i] = offset of the '}' closing the '{' at offset i (or npos).
+std::vector<size_t> MatchBraces(const std::string& text) {
+  std::vector<size_t> match(text.size(), std::string::npos);
+  std::vector<size_t> stack;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '{') {
+      stack.push_back(i);
+    } else if (text[i] == '}' && !stack.empty()) {
+      match[stack.back()] = i;
+      stack.pop_back();
+    }
+  }
+  return match;
+}
+
+// ---- Annotation facts gathered from class bodies ----
+
+struct MemberInfo {
+  std::string name;
+  int line = 0;
+  std::string guarded_by;    // last identifier of the GUARDED_BY argument
+  bool not_guarded = false;  // GROUPSA_NOT_GUARDED present
+  bool is_mutex = false;
+  bool exempt_kind = false;  // atomic / const / cond-var / nested-mutex type
+  std::vector<std::string> acquired_before;  // edges, when is_mutex
+};
+
+struct ClassInfo {
+  std::string name;
+  std::string file;
+  int line = 0;
+  size_t body_begin = 0;  // offset of the '{'
+  size_t body_end = 0;    // offset of the matching '}'
+  bool owns_mutex = false;
+  std::vector<MemberInfo> members;
+  // method name -> mutexes from a GROUPSA_REQUIRES on its declaration
+  std::map<std::string, std::vector<std::string>> requires_mutexes;
+};
+
+const std::regex& AnnotationPattern() {
+  static const std::regex kAnnotation(
+      R"(GROUPSA_(GUARDED_BY|NOT_GUARDED|REQUIRES|EXCLUDES|ACQUIRED_BEFORE|)"
+      R"(CAPABILITY|ACQUIRE_SHARED|RELEASE_SHARED|TRY_ACQUIRE|ACQUIRE|)"
+      R"(RELEASE)\s*\(([^()]*)\))");
+  return kAnnotation;
+}
+
+// Splits a class body into top-level statements. A '}' returning to depth 0
+// also terminates a statement, so inline method bodies and nested type
+// definitions come out as single (skippable) statements.
+std::vector<std::pair<size_t, std::string>> TopLevelStatements(
+    const std::string& stripped, size_t body_begin, size_t body_end) {
+  std::vector<std::pair<size_t, std::string>> statements;  // (offset, text)
+  int depth = 0;
+  size_t start = body_begin + 1;
+  for (size_t i = body_begin + 1; i < body_end; ++i) {
+    const char c = stripped[i];
+    if (c == '{' || c == '(') ++depth;
+    if (c == '}' || c == ')') {
+      --depth;
+      if (c == '}' && depth == 0) {
+        statements.emplace_back(start, stripped.substr(start, i + 1 - start));
+        start = i + 1;
+      }
+      continue;
+    }
+    if (c == ';' && depth == 0) {
+      statements.emplace_back(start, stripped.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return statements;
+}
+
+// Access labels glue onto the following statement; drop them.
+std::string DropAccessLabels(std::string text) {
+  static const std::regex kLabel(R"(\b(public|private|protected)\s*:)");
+  return std::regex_replace(text, kLabel, " ");
+}
+
+bool StartsWithAny(const std::string& text,
+                   const std::vector<std::string>& keywords) {
+  size_t i = 0;
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+    ++i;
+  }
+  for (const std::string& kw : keywords) {
+    if (text.compare(i, kw.size(), kw) == 0 &&
+        (i + kw.size() >= text.size() || !IsIdentChar(text[i + kw.size()]))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Parses one top-level class-body statement into `info`'s member list or
+// requires index. `class_name` detects constructors.
+void ParseStatement(const std::string& stripped, size_t offset,
+                    const std::string& raw_statement,
+                    const std::string& class_name, ClassInfo* info) {
+  std::string text = DropAccessLabels(raw_statement);
+  if (StrTrim(text).empty()) return;
+  if (StartsWithAny(text, {"using", "typedef", "friend", "static", "template",
+                           "enum", "class", "struct", "explicit", "virtual",
+                           "operator", "~", class_name})) {
+    return;  // not a data member (the class-name case is a constructor)
+  }
+
+  // Collect and erase the annotation macros before shape classification.
+  std::string guarded_by;
+  bool not_guarded = false;
+  std::vector<std::string> acquired_before;
+  std::vector<std::string> requires_args;
+  std::smatch m;
+  std::string scan = text;
+  while (std::regex_search(scan, m, AnnotationPattern())) {
+    const std::string kind = m[1].str();
+    const std::string args = m[2].str();
+    if (kind == "GUARDED_BY") {
+      guarded_by = LastIdent(args);
+    } else if (kind == "NOT_GUARDED") {
+      not_guarded = true;
+    } else if (kind == "ACQUIRED_BEFORE") {
+      for (const std::string& arg : StrSplit(args, ','))
+        if (!LastIdent(arg).empty()) acquired_before.push_back(LastIdent(arg));
+    } else if (kind == "REQUIRES") {
+      for (const std::string& arg : StrSplit(args, ','))
+        if (!LastIdent(arg).empty()) requires_args.push_back(LastIdent(arg));
+    }
+    scan = m.prefix().str() + " " + m.suffix().str();
+  }
+  text = scan;
+
+  // Truncate initializers: the first '=' or '{' at paren depth 0. ('=' can
+  // only be an initializer here — operator declarations were skipped.)
+  int depth = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '(' || c == '<') ++depth;
+    if (c == ')' || c == '>') --depth;
+    if (depth == 0 && (c == '=' || c == '{')) {
+      text = text.substr(0, i);
+      break;
+    }
+  }
+
+  if (text.find('(') != std::string::npos) {
+    // Function declaration. Record GROUPSA_REQUIRES under the method name
+    // (the identifier directly before the first paren).
+    if (!requires_args.empty()) {
+      const std::string method =
+          LastIdent(text.substr(0, text.find('(')));
+      if (!method.empty()) info->requires_mutexes[method] = requires_args;
+    }
+    return;
+  }
+
+  MemberInfo member;
+  member.name = LastIdent(text);
+  if (member.name.empty()) return;
+  // Report at the member name itself: the statement's text starts right
+  // after the previous terminator, often on an earlier line.
+  size_t name_at = 0;
+  for (size_t p = raw_statement.find(member.name); p != std::string::npos;
+       p = raw_statement.find(member.name, p + 1)) {
+    const size_t end = p + member.name.size();
+    if ((p == 0 || !IsIdentChar(raw_statement[p - 1])) &&
+        (end >= raw_statement.size() || !IsIdentChar(raw_statement[end]))) {
+      name_at = p;
+      break;
+    }
+  }
+  member.line = LineAt(stripped, offset + name_at);
+  member.guarded_by = guarded_by;
+  member.not_guarded = not_guarded;
+  member.acquired_before = std::move(acquired_before);
+  const std::string type = text.substr(0, text.size() - member.name.size());
+  member.is_mutex = type.find("DebugMutex") != std::string::npos ||
+                    type.find("DebugSharedMutex") != std::string::npos ||
+                    type.find("std::mutex") != std::string::npos ||
+                    type.find("std::shared_mutex") != std::string::npos;
+  member.exempt_kind = type.find("atomic") != std::string::npos ||
+                       type.find("DebugCondVar") != std::string::npos ||
+                       type.find("condition_variable") != std::string::npos ||
+                       std::regex_search(type, std::regex(R"(\bconst\b)"));
+  info->members.push_back(std::move(member));
+}
+
+// Finds class/struct definitions in stripped source (including nested ones
+// — each gets its own ClassInfo, and nested bodies are skipped by the
+// top-level statement splitter of the enclosing class).
+std::vector<ClassInfo> FindClasses(const std::string& path,
+                                   const std::string& stripped,
+                                   const std::vector<size_t>& braces) {
+  std::vector<ClassInfo> classes;
+  static const std::regex kClass(
+      R"(\b(class|struct)\s+(GROUPSA_\w+\s*\([^()]*\)\s*)?([A-Za-z_]\w*))");
+  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(),
+                                      kClass);
+       it != std::sregex_iterator(); ++it) {
+    const size_t at = static_cast<size_t>(it->position());
+    // `enum class` / `enum struct` are not classes.
+    if (at >= 5 && stripped.compare(at - 5, 4, "enum") == 0) continue;
+    // Find the body '{' — a ';' first means a forward declaration, an '('
+    // first means we matched inside an expression.
+    size_t i = at + static_cast<size_t>(it->length());
+    while (i < stripped.size() && stripped[i] != '{' && stripped[i] != ';' &&
+           stripped[i] != '(' && stripped[i] != '}') {
+      ++i;
+    }
+    if (i >= stripped.size() || stripped[i] != '{') continue;
+    if (braces[i] == std::string::npos) continue;
+    ClassInfo info;
+    info.name = (*it)[3].str();
+    info.file = path;
+    info.line = LineAt(stripped, at);
+    info.body_begin = i;
+    info.body_end = braces[i];
+    for (const auto& [offset, text] :
+         TopLevelStatements(stripped, info.body_begin, info.body_end)) {
+      ParseStatement(stripped, offset, text, info.name, &info);
+    }
+    for (const MemberInfo& member : info.members) {
+      if (member.is_mutex) info.owns_mutex = true;
+    }
+    classes.push_back(std::move(info));
+  }
+  return classes;
+}
+
+// ---- lock-unguarded-write machinery ----
+
+struct LockDecl {
+  size_t offset = 0;
+  size_t scope_open = 0;   // innermost enclosing '{'
+  size_t scope_close = 0;  // its '}'
+  std::vector<std::string> mutexes;  // last identifiers of the arguments
+  bool shared = false;               // shared_lock: never licenses a write
+};
+
+// Innermost '{' whose extent contains `offset` (npos when at file scope).
+size_t InnermostScope(const std::string& stripped,
+                      const std::vector<size_t>& braces, size_t offset) {
+  size_t best = std::string::npos;
+  for (size_t i = 0; i < offset && i < stripped.size(); ++i) {
+    if (stripped[i] == '{' && braces[i] != std::string::npos &&
+        braces[i] > offset) {
+      best = i;  // later opens that still contain offset are more inner
+    }
+  }
+  return best;
+}
+
+// Splits `args` on top-level commas and returns the last identifier of each
+// piece ("slot->mu" -> "mu", "GlobalPoolMutex()" -> "GlobalPoolMutex").
+std::vector<std::string> LockArgNames(const std::string& args) {
+  std::vector<std::string> names;
+  int depth = 0;
+  std::string piece;
+  for (const char c : args) {
+    if (c == '(' || c == '<' || c == '[') ++depth;
+    if (c == ')' || c == '>' || c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      if (!LastIdent(piece).empty()) names.push_back(LastIdent(piece));
+      piece.clear();
+      continue;
+    }
+    piece += c;
+  }
+  if (!LastIdent(piece).empty()) names.push_back(LastIdent(piece));
+  return names;
+}
+
+std::vector<LockDecl> FindLockDecls(const std::string& stripped,
+                                    const std::vector<size_t>& braces) {
+  std::vector<LockDecl> decls;
+  static const std::regex kLock(
+      R"(\b(?:std\s*::\s*)?(lock_guard|unique_lock|shared_lock|scoped_lock))"
+      R"(\s*(?:<[^;{}]*>)?\s+[A-Za-z_]\w*\s*\(([^;{}]*)\)\s*;)");
+  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(),
+                                      kLock);
+       it != std::sregex_iterator(); ++it) {
+    LockDecl decl;
+    decl.offset = static_cast<size_t>(it->position());
+    decl.scope_open = InnermostScope(stripped, braces, decl.offset);
+    decl.scope_close = decl.scope_open == std::string::npos
+                           ? stripped.size()
+                           : braces[decl.scope_open];
+    decl.mutexes = LockArgNames((*it)[2].str());
+    decl.shared = (*it)[1].str() == "shared_lock";
+    decls.push_back(std::move(decl));
+  }
+  return decls;
+}
+
+// A function body in the .cc, found from the text between the previous
+// statement terminator and its '{': "Type Class::Method(...)".
+struct FunctionBody {
+  size_t open = 0;
+  size_t close = 0;
+  std::string class_name;
+  std::string method;
+  bool ctor_or_dtor = false;
+  std::vector<std::string> requires_mutexes;
+};
+
+std::vector<FunctionBody> FindFunctionBodies(
+    const std::string& stripped, const std::vector<size_t>& braces,
+    const std::vector<const ClassInfo*>& classes) {
+  std::vector<FunctionBody> bodies;
+  static const std::regex kQualified(R"(([A-Za-z_]\w*)::(~?[A-Za-z_]\w*)\s*\()");
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    if (stripped[i] != '{' || braces[i] == std::string::npos) continue;
+    // Header: back to the previous ';', '{' or '}' at this nesting level.
+    size_t start = i;
+    while (start > 0 && stripped[start - 1] != ';' &&
+           stripped[start - 1] != '{' && stripped[start - 1] != '}') {
+      --start;
+    }
+    const std::string header = stripped.substr(start, i - start);
+    std::string cls;
+    std::string method;
+    for (auto it = std::sregex_iterator(header.begin(), header.end(),
+                                        kQualified);
+         it != std::sregex_iterator(); ++it) {
+      cls = (*it)[1].str();
+      method = (*it)[2].str();
+    }
+    if (cls.empty()) continue;
+    FunctionBody body;
+    body.open = i;
+    body.close = braces[i];
+    body.class_name = cls;
+    body.method = method;
+    body.ctor_or_dtor = method == cls || method == "~" + cls;
+    for (const ClassInfo* info : classes) {
+      if (info->name != cls) continue;
+      const auto it = info->requires_mutexes.find(method);
+      if (it != info->requires_mutexes.end())
+        body.requires_mutexes = it->second;
+    }
+    bodies.push_back(std::move(body));
+  }
+  return bodies;
+}
+
+const std::set<std::string>& MutatingMethods() {
+  static const std::set<std::string> kMutators{
+      "clear",       "push_back", "pop_back", "push_front", "pop_front",
+      "insert",      "erase",     "emplace",  "emplace_back", "resize",
+      "reset",       "assign",    "store",    "swap",       "push",
+      "pop",         "fetch_add", "fetch_sub"};
+  return kMutators;
+}
+
+// Decides whether the member occurrence [start, end) is written to:
+// followed (possibly through a .field/->field/[idx] chain) by an assignment
+// or ++/--, preceded by ++/--, or calling a known mutating method.
+bool IsWriteAt(const std::string& s, size_t start, size_t end) {
+  // Preceding ++/--, allowing an access chain in between (++slot.epoch).
+  {
+    size_t b = start;
+    while (b > 0 && (IsIdentChar(s[b - 1]) || s[b - 1] == '.' ||
+                     s[b - 1] == '>' ||
+                     (s[b - 1] == '-' && b >= 2 && s[b - 2] == '-' + 0))) {
+      // Walk back over ident chars and '.'/'->' chain pieces only.
+      if (s[b - 1] == '-' && !(b >= 2 && s[b - 2] == '-')) break;
+      if (s[b - 1] == '>' && !(b >= 2 && s[b - 2] == '-')) break;
+      if (s[b - 1] == '-') {
+        b -= 2;
+        continue;
+      }
+      --b;
+    }
+    if (b >= 2 && ((s[b - 1] == '+' && s[b - 2] == '+') ||
+                   (s[b - 1] == '-' && s[b - 2] == '-'))) {
+      return true;
+    }
+  }
+  // Forward: consume the access chain, then test for a write operator.
+  size_t i = end;
+  const auto skip_ws = [&] {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])) != 0)
+      ++i;
+  };
+  for (;;) {
+    skip_ws();
+    if (i >= s.size()) return false;
+    if (s[i] == '[') {
+      int depth = 0;
+      while (i < s.size()) {
+        if (s[i] == '[') ++depth;
+        if (s[i] == ']' && --depth == 0) {
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    const bool dot = s[i] == '.';
+    const bool arrow = s[i] == '-' && i + 1 < s.size() && s[i + 1] == '>';
+    if (dot || arrow) {
+      i += dot ? 1 : 2;
+      skip_ws();
+      size_t name_begin = i;
+      while (i < s.size() && IsIdentChar(s[i])) ++i;
+      const std::string field = s.substr(name_begin, i - name_begin);
+      size_t j = i;
+      while (j < s.size() &&
+             std::isspace(static_cast<unsigned char>(s[j])) != 0) {
+        ++j;
+      }
+      if (j < s.size() && s[j] == '(' &&
+          MutatingMethods().count(field) != 0) {
+        return true;
+      }
+      continue;  // keep walking: a.b.c = x writes through a
+    }
+    break;
+  }
+  if (i + 1 < s.size() &&
+      ((s[i] == '+' && s[i + 1] == '+') || (s[i] == '-' && s[i + 1] == '-'))) {
+    return true;
+  }
+  // Compound assignment or plain '=' (but not '==').
+  static const std::string kCompound = "+-*/%&|^";
+  if (i + 1 < s.size() && kCompound.find(s[i]) != std::string::npos &&
+      s[i + 1] == '=') {
+    return true;
+  }
+  if (i + 2 < s.size() && (s.compare(i, 3, "<<=") == 0 ||
+                           s.compare(i, 3, ">>=") == 0)) {
+    return true;
+  }
+  if (s[i] == '=' && (i + 1 >= s.size() || s[i + 1] != '=')) return true;
+  return false;
+}
+
+struct Edge {
+  std::string from;  // "Class::mutex"
+  std::string to;
+  std::string file;
+  int line = 0;
+};
+
+}  // namespace
+
+std::vector<LintFinding> LintLocks(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  std::vector<LintFinding> findings;
+
+  // Pass 1: class/annotation index over every file.
+  struct FileFacts {
+    std::string stripped;
+    std::vector<size_t> braces;
+    std::vector<ClassInfo> classes;
+  };
+  std::map<std::string, FileFacts> facts;
+  std::vector<Edge> edges;
+  for (const auto& [path, content] : files) {
+    if (IsExemptFile(path)) continue;
+    FileFacts f;
+    f.stripped = StripCommentsAndStrings(content);
+    f.braces = MatchBraces(f.stripped);
+    f.classes = FindClasses(path, f.stripped, f.braces);
+    for (const ClassInfo& info : f.classes) {
+      for (const MemberInfo& member : info.members) {
+        for (const std::string& after : member.acquired_before) {
+          edges.push_back({info.name + "::" + member.name,
+                           info.name + "::" + after, path, member.line});
+        }
+      }
+    }
+    facts.emplace(path, std::move(f));
+  }
+
+  // Rule: lock-unannotated.
+  for (const auto& [path, f] : facts) {
+    for (const ClassInfo& info : f.classes) {
+      if (!info.owns_mutex) continue;
+      for (const MemberInfo& member : info.members) {
+        if (member.is_mutex || member.exempt_kind || member.not_guarded ||
+            !member.guarded_by.empty()) {
+          continue;
+        }
+        findings.push_back(
+            {path, member.line, "lock-unannotated",
+             StrFormat("member '%s' of mutex-owning class '%s' has no "
+                       "GROUPSA_GUARDED_BY / GROUPSA_NOT_GUARDED annotation; "
+                       "state adjacent to a mutex needs a stated contract",
+                       member.name.c_str(), info.name.c_str())});
+      }
+    }
+  }
+
+  // Rule: lock-order-cycle (DFS 3-color over the ACQUIRED_BEFORE edges).
+  {
+    std::map<std::string, std::vector<const Edge*>> adj;
+    std::set<std::string> nodes;
+    for (const Edge& e : edges) {
+      adj[e.from].push_back(&e);
+      nodes.insert(e.from);
+      nodes.insert(e.to);
+    }
+    std::map<std::string, int> color;  // 0 unvisited, 1 on stack, 2 done
+    std::set<const Edge*> reported;
+    // Iterative DFS carrying the path, so the closing edge can be reported.
+    const std::function<void(const std::string&)> dfs =
+        [&](const std::string& node) {
+          color[node] = 1;
+          for (const Edge* e : adj[node]) {
+            if (color[e->to] == 1) {
+              if (reported.insert(e).second) {
+                findings.push_back(
+                    {e->file, e->line, "lock-order-cycle",
+                     StrFormat("GROUPSA_ACQUIRED_BEFORE edge %s -> %s closes "
+                               "a cycle; the documented acquisition order "
+                               "must be a DAG",
+                               e->from.c_str(), e->to.c_str())});
+              }
+            } else if (color[e->to] == 0) {
+              dfs(e->to);
+            }
+          }
+          color[node] = 2;
+        };
+    for (const std::string& node : nodes) {
+      if (color[node] == 0) dfs(node);
+    }
+  }
+
+  // Rule: lock-unguarded-write, per .cc against its own classes plus the
+  // same-basename header's.
+  for (const auto& [path, f] : facts) {
+    if (path.size() < 3 || path.compare(path.size() - 3, 3, ".cc") != 0)
+      continue;
+    std::vector<const ClassInfo*> applicable;
+    for (const ClassInfo& info : f.classes) applicable.push_back(&info);
+    const std::string header_path = path.substr(0, path.size() - 3) + ".h";
+    const auto hit = facts.find(header_path);
+    if (hit != facts.end()) {
+      for (const ClassInfo& info : hit->second.classes)
+        applicable.push_back(&info);
+    }
+
+    std::vector<LockDecl> locks = FindLockDecls(f.stripped, f.braces);
+    std::vector<FunctionBody> bodies =
+        FindFunctionBodies(f.stripped, f.braces, applicable);
+
+    for (const ClassInfo* info : applicable) {
+      for (const MemberInfo& member : info->members) {
+        if (member.guarded_by.empty()) continue;
+        const std::string& m = member.name;
+        const std::string& mu = member.guarded_by;
+        for (size_t at = f.stripped.find(m); at != std::string::npos;
+             at = f.stripped.find(m, at + 1)) {
+          // Whole-identifier match only.
+          if (at > 0 && IsIdentChar(f.stripped[at - 1])) continue;
+          const size_t after = at + m.size();
+          if (after < f.stripped.size() && IsIdentChar(f.stripped[after]))
+            continue;
+          // Member declarations (in-class default initializers) are not
+          // writes: skip occurrences whose innermost scope is a class body.
+          const size_t scope = InnermostScope(f.stripped, f.braces, at);
+          bool in_class_body = false;
+          for (const ClassInfo& cls : f.classes) {
+            if (cls.body_begin == scope) in_class_body = true;
+          }
+          if (in_class_body) continue;
+          const bool qualified =
+              at > 0 && (f.stripped[at - 1] == '.' ||
+                         (f.stripped[at - 1] == '>' && at > 1 &&
+                          f.stripped[at - 2] == '-'));
+          if (at > 1 && f.stripped[at - 1] == ':' &&
+              f.stripped[at - 2] == ':') {
+            continue;  // scope-qualified name, not an object access
+          }
+          if (!IsWriteAt(f.stripped, at, after)) continue;
+
+          // Find the enclosing function body (if any).
+          const FunctionBody* enclosing = nullptr;
+          for (const FunctionBody& body : bodies) {
+            if (body.open < at && at < body.close) enclosing = &body;
+          }
+          // Bare member names are only meaningful inside the owning
+          // class's own code; elsewhere they are unrelated locals.
+          if (!qualified) {
+            const bool in_own_method =
+                enclosing != nullptr && enclosing->class_name == info->name;
+            const bool in_own_body =
+                info->file == path && info->body_begin < at &&
+                at < info->body_end;
+            if (!in_own_method && !in_own_body) continue;
+          }
+          // Constructors/destructors of the owning class are exempt: no
+          // concurrent access exists before/after the object's lifetime.
+          if (enclosing != nullptr && enclosing->ctor_or_dtor &&
+              enclosing->class_name == info->name) {
+            continue;
+          }
+          // Held mutexes at this offset: lexical lock declarations whose
+          // scope contains the write, plus the enclosing function's
+          // GROUPSA_REQUIRES set.
+          bool held = false;
+          for (const LockDecl& decl : locks) {
+            if (decl.shared || decl.offset >= at) continue;
+            if (decl.scope_open != std::string::npos &&
+                !(decl.scope_open < at && at < decl.scope_close)) {
+              continue;
+            }
+            for (const std::string& name : decl.mutexes) {
+              if (name == mu) held = true;
+            }
+          }
+          if (enclosing != nullptr) {
+            for (const std::string& name : enclosing->requires_mutexes) {
+              if (name == mu) held = true;
+            }
+          }
+          if (held) continue;
+          findings.push_back(
+              {path, LineAt(f.stripped, at), "lock-unguarded-write",
+               StrFormat("write to '%s' (GROUPSA_GUARDED_BY(%s), class '%s') "
+                         "outside a lexical lock scope naming '%s'",
+                         m.c_str(), mu.c_str(), info->name.c_str(),
+                         mu.c_str())});
+        }
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const LintFinding& a, const LintFinding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const LintFinding& a, const LintFinding& b) {
+                               return a.file == b.file && a.line == b.line &&
+                                      a.rule == b.rule &&
+                                      a.message == b.message;
+                             }),
+                 findings.end());
+  return findings;
+}
+
+}  // namespace groupsa::analysis

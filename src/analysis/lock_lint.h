@@ -1,0 +1,62 @@
+#ifndef GROUPSA_ANALYSIS_LOCK_LINT_H_
+#define GROUPSA_ANALYSIS_LOCK_LINT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/source_lint.h"
+
+namespace groupsa::analysis {
+
+// Lock-discipline linter over the concurrency-contract annotations declared
+// in common/macros.h (DESIGN.md §14). Like source_lint, the analysis is
+// textual — comments and strings are stripped first — which is what lets it
+// run on this gcc-only container; `clang++ -Wthread-safety` checks the same
+// annotations semantically when clang is available (tools/ci.sh locks).
+//
+// Rules:
+//
+//   lock-unannotated      every non-const, non-atomic data member of a class
+//                         that owns a mutex (DebugMutex / DebugSharedMutex /
+//                         std::mutex / std::shared_mutex member) must carry
+//                         GROUPSA_GUARDED_BY(mu) or GROUPSA_NOT_GUARDED(why)
+//                         — "mutex-adjacent state with no stated contract"
+//                         is exactly how guard drift starts.
+//
+//   lock-unguarded-write  every write to a GROUPSA_GUARDED_BY(mu) member in
+//                         a .cc must sit inside a lexical lock_guard /
+//                         unique_lock / scoped_lock scope whose argument
+//                         names `mu`, or inside a function the owning class
+//                         declares GROUPSA_REQUIRES(mu), or inside a
+//                         constructor/destructor of the owning class (no
+//                         concurrent access can exist there — the same
+//                         exemption Clang's analysis applies). shared_lock
+//                         does NOT satisfy a write: a read lock never
+//                         licenses mutation.
+//
+//   lock-order-cycle      the GROUPSA_ACQUIRED_BEFORE edges, taken over all
+//                         scanned files, must form a DAG. A cycle in the
+//                         documented order is a deadlock contract violation
+//                         even before any runtime interleaving exhibits it
+//                         (the runtime counterpart is common/debug_mutex.h).
+//
+// Heuristic limits (deliberate, documented): reads of guarded members are
+// not checked (too many false positives without type information); guard
+// matching is by the mutex's final identifier (`slot->mu` and `mu` match a
+// member annotated GROUPSA_GUARDED_BY(mu)); a bare (unqualified) member
+// write is only checked inside the owning class's own methods, while
+// qualified writes (`x.member`, `p->member`) are checked everywhere.
+// common/debug_mutex.{h,cc} and common/macros.h are exempt — they are the
+// annotation vocabulary and the one sanctioned bare-mutex home.
+
+// Lints the whole file set at once (the ACQUIRED_BEFORE DAG and the
+// header-to-.cc annotation index are cross-file). `files` are
+// (path, raw content) pairs; findings use the rule names above and are
+// silenced through the same Allowlist as source_lint's rules.
+std::vector<LintFinding> LintLocks(
+    const std::vector<std::pair<std::string, std::string>>& files);
+
+}  // namespace groupsa::analysis
+
+#endif  // GROUPSA_ANALYSIS_LOCK_LINT_H_

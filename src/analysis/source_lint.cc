@@ -63,6 +63,14 @@ const std::vector<LineRule>& LineRules() {
        "raw new/delete; hold memory in containers or smart pointers",
        {},
        std::regex(R"(\bnew\b|\bdelete\b)")},
+      {"naked-mutex",
+       "raw mutex/cond-var primitive; use the common/debug_mutex.h wrappers "
+       "(DebugMutex, DebugSharedMutex, DebugCondVar) so debug builds catch "
+       "lock-order inversions and lock-lint can check the annotations",
+       {"common/debug_mutex.h", "common/debug_mutex.cc"},
+       std::regex(R"(\bstd::(mutex|shared_mutex|timed_mutex|)"
+                  R"(recursive_mutex|recursive_timed_mutex|)"
+                  R"(condition_variable(_any)?)\b)")},
   };
   return rules;
 }
@@ -204,6 +212,46 @@ std::string StripCommentsAndStrings(const std::string& source) {
           state = State::kBlockComment;
           out[i] = ' ';
         } else if (c == '"') {
+          // Raw string literal (u8|u|U|L)?R"delim(...)delim"? The escape
+          // rules of the kString machine do not apply inside one — a lone
+          // backslash or an embedded '"' is literal — so handle it here:
+          // find the matching )delim" and blank everything through it,
+          // preserving newlines. Malformed raw strings (no '(' within the
+          // 16-char delimiter limit, or no terminator) fall back to the
+          // ordinary string state.
+          bool raw = false;
+          if (i >= 1 && out[i - 1] == 'R') {
+            size_t p = i - 1;  // first char of the literal prefix
+            if (p >= 2 && out[p - 2] == 'u' && out[p - 1] == '8') {
+              p -= 2;
+            } else if (p >= 1 && (out[p - 1] == 'u' || out[p - 1] == 'U' ||
+                                  out[p - 1] == 'L')) {
+              p -= 1;
+            }
+            raw = p == 0 || !IsIdentChar(out[p - 1]);
+          }
+          if (raw) {
+            size_t open = std::string::npos;
+            for (size_t j = i + 1; j < out.size() && j <= i + 17; ++j) {
+              if (out[j] == '(') {
+                open = j;
+                break;
+              }
+            }
+            if (open != std::string::npos) {
+              const std::string closer =
+                  ")" + out.substr(i + 1, open - i - 1) + "\"";
+              const size_t end = out.find(closer, open + 1);
+              if (end != std::string::npos) {
+                const size_t last = end + closer.size() - 1;
+                for (size_t j = i; j <= last; ++j) {
+                  if (out[j] != '\n') out[j] = ' ';
+                }
+                i = last;  // still kCode; loop increment steps past
+                break;
+              }
+            }
+          }
           state = State::kString;
         } else if (c == '\'') {
           state = State::kChar;
@@ -455,6 +503,29 @@ std::vector<LintFinding> ApplyAllowlist(std::vector<LintFinding> findings,
                    e.path.c_str(), e.rule.c_str())});
   }
   return kept;
+}
+
+std::string PruneAllowlist(const std::string& content, const Allowlist& allow,
+                           const std::vector<LintFinding>& findings) {
+  std::set<int> drop;
+  for (const Allowlist::Entry& e : allow.entries()) {
+    bool used = false;
+    for (const LintFinding& f : findings) {
+      if (e.rule == f.rule && PathMatches(f.file, e.path)) used = true;
+    }
+    if (!used) drop.insert(e.line);
+  }
+  const std::vector<std::string> lines = SplitLines(content);
+  std::string out;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    // SplitLines yields a final empty element for a trailing newline; do
+    // not turn it into an extra blank line.
+    if (i + 1 == lines.size() && lines[i].empty()) break;
+    if (drop.count(static_cast<int>(i) + 1) != 0) continue;
+    out += lines[i];
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace groupsa::analysis

@@ -33,6 +33,15 @@ namespace groupsa::analysis {
 //                   the GROUPSA_SIMD_SOURCES guard list in src/CMakeLists.txt
 //                   (which forces -ffp-contract=off -mno-fma), and the guard
 //                   list itself must carry those flags
+//   naked-mutex     std::mutex / std::shared_mutex / std::condition_variable
+//                   & friends outside common/debug_mutex.{h,cc} — every lock
+//                   goes through the DebugMutex wrappers so lock-order
+//                   inversions are caught at runtime in debug builds and the
+//                   lock-lint annotations stay checkable
+//
+// The lock-discipline rules (lock-unannotated, lock-unguarded-write,
+// lock-order-cycle) live in analysis/lock_lint.h and share this file's
+// LintFinding/Allowlist plumbing.
 //
 // Matching is heuristic and purely textual (comments and string literals are
 // stripped first); justified violations are silenced via an allowlist file
@@ -97,6 +106,13 @@ class Allowlist {
 std::vector<LintFinding> ApplyAllowlist(std::vector<LintFinding> findings,
                                         const Allowlist& allow,
                                         const std::string& allow_path);
+
+// Rewrites allowlist file `content`, dropping every entry line that matches
+// none of `findings` (which must be the PRE-ApplyAllowlist finding set).
+// Comment and blank lines are preserved verbatim; an entry's trailing
+// comment goes with it. Backs tools/groupsa_lint --prune-stale.
+std::string PruneAllowlist(const std::string& content, const Allowlist& allow,
+                           const std::vector<LintFinding>& findings);
 
 }  // namespace groupsa::analysis
 

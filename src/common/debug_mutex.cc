@@ -1,0 +1,246 @@
+#include "common/debug_mutex.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+namespace groupsa::lockdep {
+
+#if GROUPSA_DEBUG_MUTEX_ENABLED
+
+namespace {
+
+// One entry of a thread's held-lock stack.
+struct Held {
+  const void* instance = nullptr;
+  int cls = 0;
+  const char* name = "";
+};
+
+// The per-thread held-lock stack. Deliberately a trivially-destructible
+// fixed-size POD rather than a std::vector: a vector's TLS destructor runs
+// (via __call_tls_dtors) *before* atexit handlers, and static singletons
+// such as the global thread pool still lock DebugMutexes from atexit — a
+// vector here is a heap-use-after-free at shutdown. A POD thread_local
+// registers no destructor, so it stays valid for the thread's whole life.
+struct HeldStack {
+  static constexpr size_t kCapacity = 64;
+  Held items[kCapacity];
+  size_t size;
+};
+
+// Acquisition-order graph over lock classes, plus the evidence needed for a
+// two-sided report: each edge keeps a rendering of the held stack that first
+// recorded it. Everything below g_mu; the per-thread stack needs none.
+struct Graph {
+  // Guards every member. A plain std::mutex on purpose: the detector must
+  // not recurse into itself, and this file is the naked-mutex rule's one
+  // sanctioned home.
+  std::mutex mu;
+  std::map<std::string, int> class_ids;
+  std::vector<std::string> class_names;                // id -> name
+  std::map<int, std::map<int, std::string>> edges;     // from -> to -> stack
+  std::function<void(const std::string&)> handler;     // test override
+};
+
+Graph& G() {
+  // Leaked: threads may still release locks while static destructors run.
+  static auto* graph = new Graph();
+  return *graph;
+}
+
+thread_local HeldStack t_held;
+
+std::string RenderStack(const HeldStack& held, const char* acquiring) {
+  std::ostringstream out;
+  out << "[thread " << std::this_thread::get_id() << "] holds {";
+  for (size_t i = 0; i < held.size; ++i) {
+    if (i > 0) out << " -> ";
+    out << held.items[i].name;
+  }
+  out << "}";
+  if (acquiring != nullptr) out << " acquiring " << acquiring;
+  return out.str();
+}
+
+// Caller holds G().mu (or is mid-report, where racing reads are moot).
+void Fail(const std::string& report) {
+  std::function<void(const std::string&)> handler = G().handler;
+  if (handler) {
+    handler(report);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", report.c_str());
+  std::abort();
+}
+
+int ClassIdLocked(const char* name) {
+  Graph& g = G();
+  auto [it, inserted] =
+      g.class_ids.try_emplace(name, static_cast<int>(g.class_names.size()));
+  if (inserted) g.class_names.push_back(name);
+  return it->second;
+}
+
+// Path from `from` to `to` in the edge graph, as a class-id sequence
+// (inclusive of both ends); empty when unreachable. Plain DFS — the graph
+// has one node per lock *class*, a handful in this codebase.
+std::vector<int> FindPathLocked(int from, int to) {
+  Graph& g = G();
+  std::vector<int> stack{from};
+  std::map<int, int> parent;  // node -> predecessor
+  std::set<int> visited{from};
+  while (!stack.empty()) {
+    const int node = stack.back();
+    stack.pop_back();
+    if (node == to) {
+      std::vector<int> path{to};
+      for (int at = to; at != from;) {
+        at = parent.at(at);
+        path.push_back(at);
+      }
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    const auto it = g.edges.find(node);
+    if (it == g.edges.end()) continue;
+    for (const auto& [next, unused] : it->second) {
+      if (visited.insert(next).second) {
+        parent[next] = node;
+        stack.push_back(next);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+void OnAcquire(const void* instance, const char* name, AcquireKind kind) {
+  // Recursion: the same instance twice on one thread is UB on std::mutex
+  // and a guaranteed self-deadlock semantically — report it for every kind,
+  // including try_lock (whose std::mutex try would also be UB).
+  for (size_t i = 0; i < t_held.size; ++i) {
+    if (t_held.items[i].instance == instance) {
+      Fail("DebugMutex: recursive acquisition of \"" + std::string(name) +
+           "\"\n  " + RenderStack(t_held, name));
+      break;
+    }
+  }
+
+  Graph& g = G();
+  std::lock_guard<std::mutex> lock(g.mu);
+  const int cls = ClassIdLocked(name);
+  // Order rules apply only when something else is already held, and not to
+  // try-locks (the deadlock-avoidance idiom backs off instead of blocking).
+  if (t_held.size > 0 && kind != AcquireKind::kTry) {
+    const Held& top = t_held.items[t_held.size - 1];
+    if (top.cls == cls) {
+      Fail("DebugMutex: nested acquisition of two \"" + std::string(name) +
+           "\" locks — same-class order is undefined, so some interleaving "
+           "deadlocks\n  " +
+           RenderStack(t_held, name));
+    } else if (g.edges[top.cls].find(cls) == g.edges[top.cls].end()) {
+      // New edge top.cls -> cls. If cls already reaches top.cls, this
+      // acquisition closes a cycle: report both sides — this thread's stack
+      // and the recorded stack of each edge on the reverse path.
+      const std::vector<int> path = FindPathLocked(cls, top.cls);
+      if (!path.empty()) {
+        std::ostringstream out;
+        out << "DebugMutex: lock-order inversion — acquiring \"" << name
+            << "\" while holding \"" << top.name
+            << "\", but the acquisition-order graph already requires \""
+            << name << "\" before \"" << top.name << "\"\n"
+            << "  this thread:  " << RenderStack(t_held, name) << "\n";
+        for (size_t i = 0; i + 1 < path.size(); ++i) {
+          out << "  recorded " << g.class_names[static_cast<size_t>(path[i])]
+              << " -> " << g.class_names[static_cast<size_t>(path[i + 1])]
+              << " by: " << g.edges[path[i]][path[i + 1]] << "\n";
+        }
+        Fail(out.str());
+      } else {
+        g.edges[top.cls][cls] = RenderStack(t_held, name);
+      }
+    }
+  }
+  if (t_held.size == HeldStack::kCapacity) {
+    Fail("DebugMutex: more than " + std::to_string(HeldStack::kCapacity) +
+         " locks held by one thread\n  " + RenderStack(t_held, name));
+    return;  // test handler resumed past the report; drop rather than smash
+  }
+  t_held.items[t_held.size++] = {instance, cls, name};
+}
+
+void OnRelease(const void* instance) {
+  // Releases may be non-LIFO (unique_lock::unlock mid-scope), so search
+  // from the most recent acquisition down.
+  for (size_t i = t_held.size; i > 0; --i) {
+    if (t_held.items[i - 1].instance == instance) {
+      for (size_t j = i - 1; j + 1 < t_held.size; ++j)
+        t_held.items[j] = t_held.items[j + 1];
+      --t_held.size;
+      return;
+    }
+  }
+  // Unlocking something never locked: std::mutex UB. Report it.
+  Fail("DebugMutex: release of a lock this thread does not hold\n  " +
+       RenderStack(t_held, nullptr));
+}
+
+std::vector<std::string> HeldLockNames() {
+  std::vector<std::string> names;
+  names.reserve(t_held.size);
+  for (size_t i = 0; i < t_held.size; ++i)
+    names.emplace_back(t_held.items[i].name);
+  return names;
+}
+
+GraphStats Stats() {
+  Graph& g = G();
+  std::lock_guard<std::mutex> lock(g.mu);
+  GraphStats stats;
+  stats.classes = static_cast<int>(g.class_names.size());
+  for (const auto& [from, tos] : g.edges)
+    stats.edges += static_cast<int>(tos.size());
+  return stats;
+}
+
+void SetFailureHandlerForTest(
+    std::function<void(const std::string&)> handler) {
+  Graph& g = G();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.handler = std::move(handler);
+}
+
+void ResetGraphForTest() {
+  Graph& g = G();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.class_ids.clear();
+  g.class_names.clear();
+  g.edges.clear();
+}
+
+#else  // !GROUPSA_DEBUG_MUTEX_ENABLED
+
+// Release build: DebugMutex must be layout-identical to a bare std::mutex —
+// the zero-overhead claim the `locks` CI lane bench-gates.
+static_assert(sizeof(groupsa::DebugMutex) == sizeof(std::mutex),
+              "release DebugMutex must add nothing to std::mutex");
+static_assert(sizeof(groupsa::DebugSharedMutex) == sizeof(std::shared_mutex),
+              "release DebugSharedMutex must add nothing to std::shared_mutex");
+
+void OnAcquire(const void*, const char*, AcquireKind) {}
+void OnRelease(const void*) {}
+std::vector<std::string> HeldLockNames() { return {}; }
+GraphStats Stats() { return {}; }
+void SetFailureHandlerForTest(std::function<void(const std::string&)>) {}
+void ResetGraphForTest() {}
+
+#endif  // GROUPSA_DEBUG_MUTEX_ENABLED
+
+}  // namespace groupsa::lockdep

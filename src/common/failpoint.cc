@@ -3,8 +3,8 @@
 #include <csignal>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 
+#include "common/debug_mutex.h"
 #include "common/string_util.h"
 
 namespace groupsa::failpoint {
@@ -21,7 +21,7 @@ struct Point {
 // Registry keyed by site name. The map itself only changes under Arm/Disarm
 // (which must not race with hits); per-point counters are atomic so pool
 // threads can hit a site concurrently.
-std::mutex g_mu;
+DebugMutex g_mu{"failpoint.registry"};
 std::map<std::string, Point>& Registry() {
   static auto* registry = new std::map<std::string, Point>();
   return *registry;
@@ -69,7 +69,7 @@ bool Arm(const std::string& spec) {
   Action action = Action::kNone;
   if (!ParseAction(action_text, &action)) return false;
 
-  std::lock_guard<std::mutex> lock(g_mu);
+  std::lock_guard<DebugMutex> lock(g_mu);
   auto [it, inserted] = Registry().try_emplace(name);
   it->second.action = action;
   it->second.fire_at = fire_at;
@@ -97,12 +97,12 @@ bool ArmFromEnv() {
 }
 
 void Disarm(const std::string& name) {
-  std::lock_guard<std::mutex> lock(g_mu);
+  std::lock_guard<DebugMutex> lock(g_mu);
   if (Registry().erase(name) > 0) g_armed_count.fetch_sub(1);
 }
 
 void DisarmAll() {
-  std::lock_guard<std::mutex> lock(g_mu);
+  std::lock_guard<DebugMutex> lock(g_mu);
   g_armed_count.fetch_sub(static_cast<int>(Registry().size()));
   Registry().clear();
 }
@@ -110,7 +110,7 @@ void DisarmAll() {
 Action HitSlow(const char* name) {
   Point* point = nullptr;
   {
-    std::lock_guard<std::mutex> lock(g_mu);
+    std::lock_guard<DebugMutex> lock(g_mu);
     auto it = Registry().find(name);
     if (it == Registry().end()) return Action::kNone;
     point = &it->second;
@@ -131,7 +131,7 @@ Action HitSlow(const char* name) {
 }
 
 int64_t FireCount(const std::string& name) {
-  std::lock_guard<std::mutex> lock(g_mu);
+  std::lock_guard<DebugMutex> lock(g_mu);
   auto it = Registry().find(name);
   return it == Registry().end() ? 0 : it->second.fires.load();
 }

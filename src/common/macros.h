@@ -26,4 +26,71 @@
 #define GROUPSA_DCHECK(condition, message) GROUPSA_CHECK(condition, message)
 #endif
 
+// ---------------------------------------------------------------------------
+// Concurrency-contract annotations (DESIGN.md §14).
+//
+// These document which mutex protects which state, as declarations the
+// toolchain can check rather than comments that rot. They are enforced twice:
+//
+//   * textually, on any compiler, by tools/groupsa_lint's lock-discipline
+//     rules (analysis/lock_lint.h), which is what gates CI on this gcc-only
+//     container;
+//   * by `clang++ -Wthread-safety` when clang is available — under __clang__
+//     the macros expand to the Clang thread-safety attributes.
+//
+// Vocabulary:
+//   GROUPSA_CAPABILITY(name)       on a mutex class: it is a lockable
+//                                  capability (DebugMutex carries this).
+//   GROUPSA_GUARDED_BY(mu)         on a data member: reads/writes require
+//                                  holding `mu`. The lint checks every write
+//                                  in a .cc sits in a lexical lock scope (or
+//                                  a GROUPSA_REQUIRES function) naming `mu`.
+//   GROUPSA_REQUIRES(mu, ...)      on a function: callers already hold the
+//                                  listed mutexes (the *Locked helper idiom).
+//   GROUPSA_EXCLUDES(mu, ...)      on a function: callers must NOT hold the
+//                                  listed mutexes (it acquires them itself).
+//   GROUPSA_ACQUIRED_BEFORE(...)   on a mutex member: when held together
+//                                  with the listed mutexes, this one is
+//                                  acquired first. The edges must form a DAG
+//                                  (lock-order-cycle lint rule) and are the
+//                                  documented counterpart of the runtime
+//                                  order graph in common/debug_mutex.h.
+//   GROUPSA_NOT_GUARDED(why)       on a data member of a mutex-owning class:
+//                                  deliberately unguarded, with the reason
+//                                  (immutable after publication, Start/Stop
+//                                  protocol, internally synchronized). The
+//                                  lint requires every non-atomic, non-const
+//                                  member of a mutex-owning class to carry
+//                                  either this or GROUPSA_GUARDED_BY.
+//
+// Lock-acquisition annotations for wrapper types (used by DebugMutex):
+//   GROUPSA_ACQUIRE / GROUPSA_RELEASE / GROUPSA_TRY_ACQUIRE
+//   GROUPSA_ACQUIRE_SHARED / GROUPSA_RELEASE_SHARED
+#if defined(__clang__)
+#define GROUPSA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GROUPSA_THREAD_ANNOTATION(x)
+#endif
+
+#define GROUPSA_CAPABILITY(name) GROUPSA_THREAD_ANNOTATION(capability(name))
+#define GROUPSA_GUARDED_BY(mu) GROUPSA_THREAD_ANNOTATION(guarded_by(mu))
+#define GROUPSA_REQUIRES(...) \
+  GROUPSA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define GROUPSA_EXCLUDES(...) \
+  GROUPSA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define GROUPSA_ACQUIRED_BEFORE(...) \
+  GROUPSA_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define GROUPSA_ACQUIRE(...) \
+  GROUPSA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define GROUPSA_RELEASE(...) \
+  GROUPSA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define GROUPSA_TRY_ACQUIRE(...) \
+  GROUPSA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define GROUPSA_ACQUIRE_SHARED(...) \
+  GROUPSA_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define GROUPSA_RELEASE_SHARED(...) \
+  GROUPSA_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+// Documentation-only (textual lint); expands to nothing on every compiler.
+#define GROUPSA_NOT_GUARDED(why)
+
 #endif  // GROUPSA_COMMON_MACROS_H_

@@ -17,14 +17,15 @@ thread_local bool tls_on_worker_thread = false;
 // has drained the counter and decremented `pending`.
 struct ForState {
   std::atomic<int64_t> next{0};
-  int64_t end = 0;
-  int64_t grain = 1;
-  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  int64_t end GROUPSA_NOT_GUARDED("set before helpers start") = 0;
+  int64_t grain GROUPSA_NOT_GUARDED("set before helpers start") = 1;
+  const std::function<void(int64_t, int64_t)>* fn
+      GROUPSA_NOT_GUARDED("set before helpers start") = nullptr;
 
-  std::mutex mu;
-  std::condition_variable done_cv;
-  int pending = 0;              // helper tasks not yet finished
-  std::exception_ptr error;     // first exception thrown by fn
+  DebugMutex mu{"parallel.for_state"};
+  DebugCondVar done_cv;
+  int pending GROUPSA_GUARDED_BY(mu) = 0;   // helper tasks not yet finished
+  std::exception_ptr error GROUPSA_GUARDED_BY(mu);  // first thrown by fn
 
   void RunChunks() {
     for (;;) {
@@ -34,7 +35,7 @@ struct ForState {
       try {
         (*fn)(chunk_begin, chunk_end);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
+        std::lock_guard<DebugMutex> lock(mu);
         if (!error) error = std::current_exception();
       }
     }
@@ -52,7 +53,7 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<DebugMutex> lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -66,7 +67,7 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<DebugMutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
@@ -78,7 +79,7 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<DebugMutex> lock(mu_);
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
@@ -113,17 +114,21 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   // The caller takes one lane; helpers cover the rest, capped by chunks.
   const int helpers = static_cast<int>(
       std::min<int64_t>(workers_.size(), num_chunks - 1));
-  state->pending = helpers;
+  {
+    // Uncontended (no helper is queued yet), but pending is guarded state.
+    std::lock_guard<DebugMutex> lock(state->mu);
+    state->pending = helpers;
+  }
   for (int i = 0; i < helpers; ++i) {
     Enqueue([state] {
       state->RunChunks();
-      std::lock_guard<std::mutex> lock(state->mu);
+      std::lock_guard<DebugMutex> lock(state->mu);
       if (--state->pending == 0) state->done_cv.notify_all();
     });
   }
 
   state->RunChunks();
-  std::unique_lock<std::mutex> lock(state->mu);
+  std::unique_lock<DebugMutex> lock(state->mu);
   state->done_cv.wait(lock, [&state] { return state->pending == 0; });
   if (state->error) std::rethrow_exception(state->error);
 }
@@ -137,8 +142,8 @@ std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
   return pool;
 }
 
-std::mutex& GlobalPoolMutex() {
-  static std::mutex mu;
+DebugMutex& GlobalPoolMutex() {
+  static DebugMutex mu{"parallel.global_pool"};
   return mu;
 }
 
@@ -154,7 +159,7 @@ int DefaultThreads() {
 }  // namespace
 
 ThreadPool* GlobalPool() {
-  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  std::lock_guard<DebugMutex> lock(GlobalPoolMutex());
   std::unique_ptr<ThreadPool>& pool = GlobalPoolSlot();
   if (!pool) pool = std::make_unique<ThreadPool>(DefaultThreads());
   return pool.get();
@@ -163,7 +168,7 @@ ThreadPool* GlobalPool() {
 void SetGlobalThreads(int num_threads) {
   GROUPSA_CHECK(!ThreadPool::OnWorkerThread(),
                 "SetGlobalThreads called from inside a parallel region");
-  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  std::lock_guard<DebugMutex> lock(GlobalPoolMutex());
   std::unique_ptr<ThreadPool>& pool = GlobalPoolSlot();
   if (pool && pool->size() == std::max(1, num_threads)) return;
   pool = std::make_unique<ThreadPool>(num_threads);

@@ -1,13 +1,13 @@
 #ifndef GROUPSA_COMMON_THREAD_POOL_H_
 #define GROUPSA_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/debug_mutex.h"
 
 namespace groupsa::parallel {
 
@@ -63,12 +63,14 @@ class ThreadPool {
   void WorkerLoop();
   void Enqueue(std::function<void()> task);
 
-  int num_threads_;
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  const int num_threads_;
+  // Spawned in the constructor, joined in the destructor; never touched in
+  // between, so no guard is needed.
+  std::vector<std::thread> workers_ GROUPSA_NOT_GUARDED("ctor/dtor only");
+  DebugMutex mu_{"parallel.pool"};
+  std::deque<std::function<void()>> queue_ GROUPSA_GUARDED_BY(mu_);
+  DebugCondVar cv_;
+  bool stop_ GROUPSA_GUARDED_BY(mu_) = false;
 };
 
 // ---------------- Global pool ----------------

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/macros.h"
+
 namespace groupsa {
 
 // Deterministic logical clock. The serving daemon needs a notion of "time
@@ -37,6 +39,8 @@ class VirtualClock {
   }
 
  private:
+  // Concurrency contract (DESIGN.md §14): lock-free by design — the clock
+  // sits on every request's hot path, so its entire state is one atomic.
   std::atomic<uint64_t> now_{0};
 };
 

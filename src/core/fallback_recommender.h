@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/status.h"
 #include "core/inference_engine.h"
 #include "data/interaction_matrix.h"
@@ -113,8 +114,11 @@ class FallbackRecommender {
                    const std::vector<int32_t>& rows,
                    Response::Source source);
 
-  InferenceEngine* engine_;  // null = permanently degraded
-  std::vector<double> counts_;
+  // Concurrency contract (DESIGN.md §14): this class owns no mutex. The
+  // engine pointer and popularity counts are immutable after construction;
+  // the ops counters are atomics.
+  InferenceEngine* const engine_;  // null = permanently degraded
+  std::vector<double> counts_ GROUPSA_NOT_GUARDED("immutable after ctor");
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> degraded_{0};
 };

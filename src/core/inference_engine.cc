@@ -259,10 +259,10 @@ uint64_t InferenceEngine::params_version() const {
 uint64_t InferenceEngine::Revalidate() {
   const uint64_t version = params_version();
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::shared_lock<DebugSharedMutex> lock(mu_);
     if (cache_version_ == version) return version;
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<DebugSharedMutex> lock(mu_);
   if (cache_version_ != version) {
     user_cache_.clear();
     group_cache_.clear();
@@ -274,7 +274,7 @@ uint64_t InferenceEngine::Revalidate() {
 }
 
 void InferenceEngine::InvalidateAll() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<DebugSharedMutex> lock(mu_);
   user_cache_.clear();
   group_cache_.clear();
   split_.reset();
@@ -282,33 +282,33 @@ void InferenceEngine::InvalidateAll() {
 }
 
 void InferenceEngine::set_topk_mode(TopKMode mode) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<DebugSharedMutex> lock(mu_);
   topk_mode_ = mode;
 }
 
 TopKMode InferenceEngine::topk_mode() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<DebugSharedMutex> lock(mu_);
   return topk_mode_;
 }
 
 void InferenceEngine::set_index_config(const ItemIndexConfig& config) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<DebugSharedMutex> lock(mu_);
   index_config_ = config;
   ivf_.reset();
 }
 
 ItemIndexConfig InferenceEngine::index_config() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<DebugSharedMutex> lock(mu_);
   return index_config_;
 }
 
 size_t InferenceEngine::cached_users() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<DebugSharedMutex> lock(mu_);
   return user_cache_.size();
 }
 
 size_t InferenceEngine::cached_groups() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<DebugSharedMutex> lock(mu_);
   return group_cache_.size();
 }
 
@@ -356,11 +356,11 @@ InferenceEngine::SplitWeights InferenceEngine::BuildSplitWeights() const {
 std::shared_ptr<const InferenceEngine::SplitWeights>
 InferenceEngine::GetSplitWeights() {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::shared_lock<DebugSharedMutex> lock(mu_);
     if (split_ != nullptr) return split_;
   }
   auto sw = std::make_shared<const SplitWeights>(BuildSplitWeights());
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<DebugSharedMutex> lock(mu_);
   // Concurrent misses build identical splits; the first insert wins.
   if (split_ == nullptr) split_ = std::move(sw);
   return split_;
@@ -391,14 +391,14 @@ InferenceEngine::GetIvfState() {
   Revalidate();
   ItemIndexConfig config;
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::shared_lock<DebugSharedMutex> lock(mu_);
     if (ivf_ != nullptr) return ivf_;
     config = index_config_;
   }
   auto sw = GetSplitWeights();
   auto state =
       std::make_shared<const IvfState>(BuildIvfState(config, *sw));
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<DebugSharedMutex> lock(mu_);
   // Concurrent misses build identical states; the first insert wins.
   if (ivf_ == nullptr) ivf_ = std::move(state);
   return ivf_;
@@ -473,13 +473,13 @@ std::vector<std::pair<data::ItemId, double>> InferenceEngine::IvfTopKGroup(
 InferenceEngine::UserRep InferenceEngine::GetUserRep(data::UserId user) {
   Revalidate();
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::shared_lock<DebugSharedMutex> lock(mu_);
     auto it = user_cache_.find(user);
     if (it != user_cache_.end()) return it->second;
   }
   UserRep rep = BuildUserRep(user);
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    std::unique_lock<DebugSharedMutex> lock(mu_);
     // Concurrent misses build identical reps (the forward is deterministic
     // and pure); the first insert wins and the rest are dropped.
     user_cache_.emplace(user, rep);
@@ -490,14 +490,14 @@ InferenceEngine::UserRep InferenceEngine::GetUserRep(data::UserId user) {
 InferenceEngine::GroupRep InferenceEngine::GetGroupRep(data::GroupId group) {
   Revalidate();
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::shared_lock<DebugSharedMutex> lock(mu_);
     auto it = group_cache_.find(group);
     if (it != group_cache_.end()) return it->second;
   }
   GroupRep rep =
       BuildMembersRep(model_->model_data().groups->Members(group));
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    std::unique_lock<DebugSharedMutex> lock(mu_);
     group_cache_.emplace(group, rep);
   }
   return rep;

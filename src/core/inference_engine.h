@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/debug_mutex.h"
 #include "common/status.h"
 #include "core/groupsa_model.h"
 #include "core/item_index.h"
@@ -270,19 +270,24 @@ class InferenceEngine {
   Status ValidateItems(const std::vector<data::ItemId>& items) const;
   Status ValidateK(int k) const;
 
-  GroupSaModel* model_;
+  GroupSaModel* const model_;
   // Flattened parameter tensors, captured once (parameter identity is fixed
   // after model construction; only values change).
-  std::vector<ag::TensorPtr> params_;
+  std::vector<ag::TensorPtr> params_ GROUPSA_NOT_GUARDED(
+      "immutable after ctor");
 
-  mutable std::shared_mutex mu_;
-  uint64_t cache_version_ = 0;
-  std::unordered_map<data::UserId, UserRep> user_cache_;
-  std::unordered_map<data::GroupId, GroupRep> group_cache_;
-  std::shared_ptr<const SplitWeights> split_;  // reset on version change
-  TopKMode topk_mode_ = TopKMode::kExact;     // guarded by mu_
-  ItemIndexConfig index_config_;              // guarded by mu_
-  std::shared_ptr<const IvfState> ivf_;       // reset on version change
+  mutable DebugSharedMutex mu_{"core.engine_cache"};
+  uint64_t cache_version_ GROUPSA_GUARDED_BY(mu_) = 0;
+  std::unordered_map<data::UserId, UserRep> user_cache_
+      GROUPSA_GUARDED_BY(mu_);
+  std::unordered_map<data::GroupId, GroupRep> group_cache_
+      GROUPSA_GUARDED_BY(mu_);
+  // reset on version change
+  std::shared_ptr<const SplitWeights> split_ GROUPSA_GUARDED_BY(mu_);
+  TopKMode topk_mode_ GROUPSA_GUARDED_BY(mu_) = TopKMode::kExact;
+  ItemIndexConfig index_config_ GROUPSA_GUARDED_BY(mu_);
+  // reset on version change
+  std::shared_ptr<const IvfState> ivf_ GROUPSA_GUARDED_BY(mu_);
 };
 
 }  // namespace groupsa::core

@@ -30,7 +30,7 @@ CircuitBreaker::CircuitBreaker(const BreakerConfig& config) : config_(config) {
 
 CircuitBreaker::Route CircuitBreaker::Admit(uint64_t now) {
   if (!config_.enabled) return Route::kModel;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<DebugMutex> lock(mu_);
   if (state_ == BreakerState::kOpen && now >= half_open_at_) {
     state_ = BreakerState::kHalfOpen;
     probes_in_flight_ = 0;
@@ -77,7 +77,7 @@ void CircuitBreaker::RecordWindowed(bool failure, uint64_t now) {
 
 void CircuitBreaker::RecordSuccess(Route route) {
   if (!config_.enabled || route == Route::kFallback) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<DebugMutex> lock(mu_);
   if (route == Route::kProbe) {
     // A probe admitted under a previous half-open episode may report after
     // the breaker moved on (reopened by a sibling probe, or reset by a
@@ -98,7 +98,7 @@ void CircuitBreaker::RecordSuccess(Route route) {
 
 void CircuitBreaker::RecordFailure(Route route, uint64_t now) {
   if (!config_.enabled || route == Route::kFallback) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<DebugMutex> lock(mu_);
   if (route == Route::kProbe) {
     if (state_ != BreakerState::kHalfOpen) return;
     TripLocked(now, /*reopen=*/true);
@@ -109,7 +109,7 @@ void CircuitBreaker::RecordFailure(Route route, uint64_t now) {
 }
 
 void CircuitBreaker::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<DebugMutex> lock(mu_);
   state_ = BreakerState::kClosed;
   window_.clear();
   window_failures_ = 0;
@@ -119,12 +119,12 @@ void CircuitBreaker::Reset() {
 }
 
 BreakerState CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<DebugMutex> lock(mu_);
   return state_;
 }
 
 CircuitBreaker::Counters CircuitBreaker::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<DebugMutex> lock(mu_);
   return counters_;
 }
 

@@ -3,8 +3,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
+
+#include "common/debug_mutex.h"
 
 namespace groupsa::serve {
 
@@ -91,19 +92,19 @@ class CircuitBreaker {
 
  private:
   // Pushes one outcome into the rolling window; trips if the failure count
-  // crosses the threshold. Caller holds mu_.
-  void RecordWindowed(bool failure, uint64_t now);
-  void TripLocked(uint64_t now, bool reopen);
+  // crosses the threshold.
+  void RecordWindowed(bool failure, uint64_t now) GROUPSA_REQUIRES(mu_);
+  void TripLocked(uint64_t now, bool reopen) GROUPSA_REQUIRES(mu_);
 
   const BreakerConfig config_;
-  mutable std::mutex mu_;
-  BreakerState state_ = BreakerState::kClosed;
-  std::deque<bool> window_;  // true = failure
-  int window_failures_ = 0;
-  uint64_t half_open_at_ = 0;  // valid while kOpen
-  int probes_in_flight_ = 0;   // valid while kHalfOpen
-  int probe_successes_ = 0;    // valid while kHalfOpen
-  Counters counters_;
+  mutable DebugMutex mu_{"serve.breaker"};
+  BreakerState state_ GROUPSA_GUARDED_BY(mu_) = BreakerState::kClosed;
+  std::deque<bool> window_ GROUPSA_GUARDED_BY(mu_);  // true = failure
+  int window_failures_ GROUPSA_GUARDED_BY(mu_) = 0;
+  uint64_t half_open_at_ GROUPSA_GUARDED_BY(mu_) = 0;  // valid while kOpen
+  int probes_in_flight_ GROUPSA_GUARDED_BY(mu_) = 0;   // while kHalfOpen
+  int probe_successes_ GROUPSA_GUARDED_BY(mu_) = 0;    // while kHalfOpen
+  Counters counters_ GROUPSA_GUARDED_BY(mu_);
 };
 
 }  // namespace groupsa::serve

@@ -81,25 +81,29 @@ Status Server::Start() {
   GROUPSA_RETURN_IF_ERROR_CTX(BuildGeneration(checkpoint_path_, &gen),
                               "serve start");
   {
-    std::lock_guard<std::mutex> lock(gen_mu_);
+    std::lock_guard<DebugMutex> lock(gen_mu_);
     stopping_ = false;
     gen->number = ++next_generation_;
     generation_ = std::move(gen);
   }
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    std::lock_guard<DebugMutex> lock(queue_mu_);
     queue_closed_ = false;
   }
   {
-    std::lock_guard<std::mutex> lock(supervisor_mu_);
+    std::lock_guard<DebugMutex> lock(supervisor_mu_);
     supervisor_stop_ = false;
     pending_reload_.active = false;
   }
   slots_.clear();
   for (int i = 0; i < config_.workers; ++i) {
     auto slot = std::make_unique<Slot>();
-    slot->alive = true;
-    slot->epoch = 1;
+    {
+      // Uncontended (no worker loop exists yet), but guarded state.
+      std::lock_guard<DebugMutex> lock(slot->mu);
+      slot->alive = true;
+      slot->epoch = 1;
+    }
     slots_.push_back(std::move(slot));
   }
   // Pool width: W worker loops + the supervisor + one spare, so that a
@@ -120,11 +124,11 @@ void Server::Stop() {
     // Bars any in-flight Reload from swapping a generation in after the
     // drain: once this flag is up, "the generation that served last" is
     // final.
-    std::lock_guard<std::mutex> lock(gen_mu_);
+    std::lock_guard<DebugMutex> lock(gen_mu_);
     stopping_ = true;
   }
   {
-    std::lock_guard<std::mutex> lock(supervisor_mu_);
+    std::lock_guard<DebugMutex> lock(supervisor_mu_);
     supervisor_stop_ = true;
     pending_reload_.active = false;
   }
@@ -140,7 +144,7 @@ void Server::Stop() {
 bool Server::running() const { return running_; }
 
 std::shared_ptr<Server::Generation> Server::CurrentGeneration() const {
-  std::lock_guard<std::mutex> lock(gen_mu_);
+  std::lock_guard<DebugMutex> lock(gen_mu_);
   return generation_;
 }
 
@@ -156,7 +160,7 @@ uint64_t Server::generation() const {
 Server::PushResult Server::TryPush(Job* job) {
   int64_t depth = 0;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    std::lock_guard<DebugMutex> lock(queue_mu_);
     if (queue_closed_) return PushResult::kClosed;
     if (static_cast<int>(queue_.size()) >= config_.queue_depth)
       return PushResult::kFull;
@@ -174,7 +178,7 @@ Server::PushResult Server::TryPush(Job* job) {
 }
 
 bool Server::PopBlocking(Job* out) {
-  std::unique_lock<std::mutex> lock(queue_mu_);
+  std::unique_lock<DebugMutex> lock(queue_mu_);
   // A paused worker parks here even with work queued; closing the queue
   // overrides the pause so shutdown always drains.
   queue_cv_.wait(lock, [this] {
@@ -187,13 +191,13 @@ bool Server::PopBlocking(Job* out) {
 }
 
 void Server::Pause() {
-  std::lock_guard<std::mutex> lock(queue_mu_);
+  std::lock_guard<DebugMutex> lock(queue_mu_);
   paused_ = true;
 }
 
 void Server::Resume() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    std::lock_guard<DebugMutex> lock(queue_mu_);
     paused_ = false;
   }
   queue_cv_.notify_all();
@@ -201,7 +205,7 @@ void Server::Resume() {
 
 void Server::CloseQueue() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    std::lock_guard<DebugMutex> lock(queue_mu_);
     queue_closed_ = true;
   }
   queue_cv_.notify_all();
@@ -210,7 +214,7 @@ void Server::CloseQueue() {
   // strands a request inside a slot.
   for (const std::unique_ptr<Slot>& slot : slots_) {
     {
-      std::lock_guard<std::mutex> lock(slot->mu);
+      std::lock_guard<DebugMutex> lock(slot->mu);
       slot->release = true;
     }
     slot->cv.notify_all();
@@ -219,7 +223,7 @@ void Server::CloseQueue() {
 
 void Server::RequeueFront(Job job) {
   {
-    std::unique_lock<std::mutex> lock(queue_mu_);
+    std::unique_lock<DebugMutex> lock(queue_mu_);
     if (!queue_closed_) {
       queue_.push_front(std::move(job));
       lock.unlock();
@@ -384,14 +388,14 @@ void Server::WorkerLoop(int slot_index, uint64_t epoch) {
     const uint64_t id = job.id;
     const uint64_t deadline_tick = job.deadline_tick;
     {
-      std::lock_guard<std::mutex> lock(slot.mu);
+      std::lock_guard<DebugMutex> lock(slot.mu);
       slot.job = std::move(job);
       slot.has_job = true;
     }
     if (hang) {
       // Simulated stuck worker: park on the slot until the supervisor
       // steals the job (and abandons this owner) or shutdown releases us.
-      std::unique_lock<std::mutex> lock(slot.mu);
+      std::unique_lock<DebugMutex> lock(slot.mu);
       slot.hanging = true;
       slot.cv.wait(lock, [&] {
         return slot.release || !slot.has_job || slot.epoch != epoch;
@@ -404,7 +408,7 @@ void Server::WorkerLoop(int slot_index, uint64_t epoch) {
     Response r = AnswerJob(request, id, deadline_tick);
     Job reclaimed;
     {
-      std::lock_guard<std::mutex> lock(slot.mu);
+      std::lock_guard<DebugMutex> lock(slot.mu);
       if (slot.epoch != epoch) return;  // abandoned mid-flight
       if (!slot.has_job) continue;      // stolen mid-flight; discard ours
       reclaimed = std::move(slot.job);
@@ -415,7 +419,7 @@ void Server::WorkerLoop(int slot_index, uint64_t epoch) {
     clock_.Advance();  // every completion is the other tick of virtual time
     reclaimed.promise.set_value(std::move(r));
   }
-  std::lock_guard<std::mutex> lock(slot.mu);
+  std::lock_guard<DebugMutex> lock(slot.mu);
   if (slot.epoch == epoch) slot.alive = false;
 }
 
@@ -560,7 +564,7 @@ void Server::SupervisorLoop() {
       std::chrono::milliseconds(std::max(1, config_.supervisor_poll_ms));
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(supervisor_mu_);
+      std::unique_lock<DebugMutex> lock(supervisor_mu_);
       supervisor_cv_.wait_for(lock, poll);
       if (supervisor_stop_) return;
     }
@@ -580,7 +584,7 @@ void Server::SuperviseOnce() {
     Job job;
     uint64_t new_epoch = 0;
     {
-      std::lock_guard<std::mutex> lock(slot.mu);
+      std::lock_guard<DebugMutex> lock(slot.mu);
       if (!slot.alive || !slot.hanging || slot.release || !slot.has_job)
         continue;
       job = std::move(slot.job);
@@ -606,7 +610,7 @@ void Server::SuperviseOnce() {
   std::string path;
   int attempt = 0;
   {
-    std::lock_guard<std::mutex> lock(supervisor_mu_);
+    std::lock_guard<DebugMutex> lock(supervisor_mu_);
     if (!pending_reload_.active || clock_.Now() < pending_reload_.due_tick)
       return;
     path = pending_reload_.path;
@@ -616,11 +620,11 @@ void Server::SuperviseOnce() {
   reload_retry_attempts_.fetch_add(1, std::memory_order_relaxed);
   Status s;
   {
-    std::lock_guard<std::mutex> reload_lock(reload_mu_);
+    std::lock_guard<DebugMutex> reload_lock(reload_mu_);
     s = ReloadOnce(path);
   }
   if (!s.ok() && attempt < config_.reload_retries) {
-    std::lock_guard<std::mutex> lock(supervisor_mu_);
+    std::lock_guard<DebugMutex> lock(supervisor_mu_);
     // A newer explicit Reload may have re-armed the slot in the meantime;
     // its schedule wins.
     if (!pending_reload_.active) {
@@ -659,7 +663,7 @@ Status Server::ReloadOnce(const std::string& checkpoint_path) {
     return Status::Error("injected fault at serve.reload.swap");
   }
   {
-    std::lock_guard<std::mutex> lock(gen_mu_);
+    std::lock_guard<DebugMutex> lock(gen_mu_);
     // Reload vs Stop: once Stop() has begun the drain, no new generation
     // may swap in — workers may already be gone, and a generation that
     // never serves a request must not become "current".
@@ -682,10 +686,10 @@ void Server::ArmReloadRetry(const std::string& checkpoint_path) {
   // Retries fire from the supervisor loop, so they need one to be running.
   if (config_.reload_retries < 1 || !config_.supervise) return;
   {
-    std::lock_guard<std::mutex> lock(gen_mu_);
+    std::lock_guard<DebugMutex> lock(gen_mu_);
     if (stopping_) return;
   }
-  std::lock_guard<std::mutex> lock(supervisor_mu_);
+  std::lock_guard<DebugMutex> lock(supervisor_mu_);
   pending_reload_.active = true;
   pending_reload_.path = checkpoint_path;
   pending_reload_.attempt = 1;
@@ -694,10 +698,10 @@ void Server::ArmReloadRetry(const std::string& checkpoint_path) {
 }
 
 Status Server::Reload(const std::string& checkpoint_path) {
-  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  std::lock_guard<DebugMutex> reload_lock(reload_mu_);
   {
     // A fresh explicit reload supersedes any pending background retry.
-    std::lock_guard<std::mutex> lock(supervisor_mu_);
+    std::lock_guard<DebugMutex> lock(supervisor_mu_);
     pending_reload_.active = false;
   }
   Status s = ReloadOnce(checkpoint_path);
@@ -743,7 +747,7 @@ ServerHealth Server::Health() const {
   ServerHealth h;
   h.running = running_;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    std::lock_guard<DebugMutex> lock(queue_mu_);
     h.accepting = !queue_closed_;
     h.paused = paused_;
     h.queue_depth = static_cast<int>(queue_.size());
@@ -752,13 +756,13 @@ ServerHealth Server::Health() const {
   h.generation = generation();
   h.breaker = breaker_.state();
   {
-    std::lock_guard<std::mutex> lock(supervisor_mu_);
+    std::lock_guard<DebugMutex> lock(supervisor_mu_);
     h.reload_retry_pending = pending_reload_.active;
   }
   h.workers.reserve(slots_.size());
   for (size_t i = 0; i < slots_.size(); ++i) {
     const std::unique_ptr<Slot>& slot = slots_[i];
-    std::lock_guard<std::mutex> lock(slot->mu);
+    std::lock_guard<DebugMutex> lock(slot->mu);
     ServerHealth::Worker w;
     w.slot = static_cast<int>(i);
     w.alive = slot->alive;

@@ -2,18 +2,17 @@
 #define GROUPSA_SERVE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/backoff.h"
+#include "common/debug_mutex.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/virtual_clock.h"
@@ -331,15 +330,15 @@ class Server {
   // bump `epoch` to abandon that owner). Whoever holds the Job resolves
   // it — exactly once, whatever the race.
   struct Slot {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool alive = false;    // a worker loop currently owns this slot
-    bool hanging = false;  // owner parked in a simulated hang
-    bool has_job = false;  // `job` is installed (owned by the slot)
-    Job job;
-    bool release = false;   // shutdown: unstick the owner to self-serve
-    uint64_t epoch = 0;     // bumped per restart; a stale owner must exit
-    int64_t restarts = 0;
+    DebugMutex mu{"serve.slot"};
+    DebugCondVar cv;
+    bool alive GROUPSA_GUARDED_BY(mu) = false;    // a loop owns this slot
+    bool hanging GROUPSA_GUARDED_BY(mu) = false;  // parked in simulated hang
+    bool has_job GROUPSA_GUARDED_BY(mu) = false;  // `job` is installed
+    Job job GROUPSA_GUARDED_BY(mu);
+    bool release GROUPSA_GUARDED_BY(mu) = false;  // shutdown: unstick owner
+    uint64_t epoch GROUPSA_GUARDED_BY(mu) = 0;    // bumped per restart
+    int64_t restarts GROUPSA_GUARDED_BY(mu) = 0;
   };
 
   enum class PushResult { kOk, kFull, kClosed };
@@ -396,38 +395,51 @@ class Server {
   const data::InteractionMatrix* const user_exclude_;
   const data::InteractionMatrix* const group_exclude_;
 
-  VirtualClock clock_;
-  CircuitBreaker breaker_;
+  // Internally synchronized (their own atomics / DebugMutex).
+  VirtualClock clock_ GROUPSA_NOT_GUARDED("internally synchronized");
+  CircuitBreaker breaker_ GROUPSA_NOT_GUARDED("internally synchronized");
 
-  mutable std::mutex gen_mu_;
-  std::shared_ptr<Generation> generation_;  // null until Start()
-  uint64_t next_generation_ = 0;
-  bool stopping_ = false;  // set by Stop() before the drain; bars late swaps
-  std::mutex reload_mu_;   // serializes Reload() bodies
+  mutable DebugMutex gen_mu_{"serve.generation"};
+  // null until Start()
+  std::shared_ptr<Generation> generation_ GROUPSA_GUARDED_BY(gen_mu_);
+  uint64_t next_generation_ GROUPSA_GUARDED_BY(gen_mu_) = 0;
+  // set by Stop() before the drain; bars late swaps
+  bool stopping_ GROUPSA_GUARDED_BY(gen_mu_) = false;
+  // Serializes Reload() bodies; a reload holds it across its generation
+  // swap (gen_mu_) and its retry re-arm (supervisor_mu_).
+  DebugMutex reload_mu_ GROUPSA_ACQUIRED_BEFORE(gen_mu_, supervisor_mu_){
+      "serve.reload"};
 
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Job> queue_;
-  bool queue_closed_ = true;  // opened by Start()
-  bool paused_ = false;
+  mutable DebugMutex queue_mu_{"serve.queue"};
+  DebugCondVar queue_cv_;
+  std::deque<Job> queue_ GROUPSA_GUARDED_BY(queue_mu_);
+  bool queue_closed_ GROUPSA_GUARDED_BY(queue_mu_) = true;  // opened by Start
+  bool paused_ GROUPSA_GUARDED_BY(queue_mu_) = false;
 
-  std::vector<std::unique_ptr<Slot>> slots_;  // one per worker, fixed at Start
+  // One per worker, fixed at Start: the vector is written only before the
+  // worker loops exist (Start) and after they joined (Stop); each Slot
+  // guards its own fields.
+  std::vector<std::unique_ptr<Slot>> slots_ GROUPSA_NOT_GUARDED(
+      "resized only before workers start / after they join");
 
   // Supervisor state: sweep wake-ups plus the pending background reload
   // retry (armed by a failed Reload, fired once its due tick passes).
-  mutable std::mutex supervisor_mu_;
-  std::condition_variable supervisor_cv_;
-  bool supervisor_stop_ = false;
+  mutable DebugMutex supervisor_mu_{"serve.supervisor"};
+  DebugCondVar supervisor_cv_;
+  bool supervisor_stop_ GROUPSA_GUARDED_BY(supervisor_mu_) = false;
   struct PendingReload {
     bool active = false;
     std::string path;
     int attempt = 0;        // next attempt number (1-based)
     uint64_t due_tick = 0;  // fire once clock_.Now() >= due_tick
   };
-  PendingReload pending_reload_;
+  PendingReload pending_reload_ GROUPSA_GUARDED_BY(supervisor_mu_);
 
-  std::unique_ptr<parallel::ThreadPool> pool_;  // workers + supervisor + spare
-  bool running_ = false;
+  // Created by Start() before any loop runs, destroyed by Stop() after
+  // every loop joined; the pool synchronizes its own queue.
+  std::unique_ptr<parallel::ThreadPool> pool_ GROUPSA_NOT_GUARDED(
+      "Start/Stop protocol");
+  std::atomic<bool> running_{false};
 
   std::atomic<uint64_t> next_id_{0};
   std::atomic<int64_t> submitted_{0};

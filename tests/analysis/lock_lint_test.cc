@@ -1,0 +1,110 @@
+#include "analysis/lock_lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace groupsa::analysis {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(GROUPSA_TESTDATA_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<int> LinesForRule(const std::vector<LintFinding>& findings,
+                              const std::string& rule) {
+  std::vector<int> lines;
+  for (const LintFinding& f : findings)
+    if (f.rule == rule) lines.push_back(f.line);
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+TEST(LockLintTest, UnannotatedMembersOfMutexOwnerAreFlagged) {
+  const std::vector<LintFinding> findings = LintLocks(
+      {{"src/serve/lock_unannotated.h", ReadFixture("lock_unannotated.h")}});
+  // label_ and weight_ carry no contract; the guarded, NOT_GUARDED, atomic,
+  // const and cond-var members are exempt, as is the mutex-free Plain.
+  EXPECT_EQ(LinesForRule(findings, "lock-unannotated"),
+            (std::vector<int>{16, 17}));
+  EXPECT_EQ(findings.size(), 2u);
+  EXPECT_NE(findings[0].message.find("label_"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("Guarded"), std::string::npos);
+}
+
+TEST(LockLintTest, DebugMutexAndMacroHeadersAreExempt) {
+  // The same content under the annotation-vocabulary paths lints clean:
+  // those files are the sanctioned home of the bare primitives.
+  const std::string content = ReadFixture("lock_unannotated.h");
+  EXPECT_TRUE(LintLocks({{"src/common/debug_mutex.h", content}}).empty());
+  EXPECT_TRUE(LintLocks({{"src/common/debug_mutex.cc", content}}).empty());
+  EXPECT_TRUE(LintLocks({{"src/common/macros.h", content}}).empty());
+}
+
+TEST(LockLintTest, GuardedWritesOutsideLockScopeAreFlagged) {
+  // The .cc's contract comes from its same-basename header, so both files
+  // go in together, exactly as tools/groupsa_lint feeds the whole tree.
+  const std::vector<LintFinding> findings =
+      LintLocks({{"src/serve/lock_write.h", ReadFixture("lock_write.h")},
+                 {"src/serve/lock_write.cc", ReadFixture("lock_write.cc")}});
+  // Line 21: plain write with no lock held. Line 24: container mutation
+  // under only a shared_lock. The ctor write, the lock_guard scope, the
+  // GROUPSA_REQUIRES method, the unique_lock decrement and the free
+  // function's same-named local must all pass.
+  EXPECT_EQ(LinesForRule(findings, "lock-unguarded-write"),
+            (std::vector<int>{21, 24}));
+  EXPECT_EQ(findings.size(), 2u);
+  for (const LintFinding& f : findings)
+    EXPECT_EQ(f.file, "src/serve/lock_write.cc");
+}
+
+TEST(LockLintTest, AcquiredBeforeCycleIsFlaggedOnce) {
+  const std::vector<LintFinding> findings = LintLocks(
+      {{"src/serve/lock_order_cycle.h", ReadFixture("lock_order_cycle.h")}});
+  // Ring's three edges close one cycle — reported once, at the edge that
+  // closes it — while Chain's DAG passes.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lock-order-cycle");
+  EXPECT_EQ(findings[0].line, 8);
+  EXPECT_NE(findings[0].message.find("Ring::"), std::string::npos);
+}
+
+TEST(LockLintTest, FindingsFlowThroughTheSharedAllowlist) {
+  std::vector<LintFinding> findings = LintLocks(
+      {{"src/serve/lock_unannotated.h", ReadFixture("lock_unannotated.h")}});
+  ASSERT_EQ(findings.size(), 2u);
+
+  // Hit: an entry for the file + rule silences both findings.
+  Allowlist allow;
+  ASSERT_TRUE(Allowlist::Parse(
+                  "src/serve/lock_unannotated.h lock-unannotated\n", &allow)
+                  .ok());
+  EXPECT_TRUE(
+      ApplyAllowlist(findings, allow, "tools/lint_allow.txt").empty());
+
+  // Miss: a different rule leaves the findings AND goes stale itself.
+  Allowlist wrong;
+  ASSERT_TRUE(Allowlist::Parse(
+                  "src/serve/lock_unannotated.h lock-order-cycle\n", &wrong)
+                  .ok());
+  const std::vector<LintFinding> kept =
+      ApplyAllowlist(findings, wrong, "tools/lint_allow.txt");
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(LinesForRule(kept, "lock-unannotated"),
+            (std::vector<int>{16, 17}));
+  EXPECT_EQ(LinesForRule(kept, "stale-allowlist"), (std::vector<int>{1}));
+  EXPECT_EQ(kept[2].file, "tools/lint_allow.txt");
+}
+
+}  // namespace
+}  // namespace groupsa::analysis

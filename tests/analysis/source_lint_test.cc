@@ -258,5 +258,92 @@ TEST(AllowlistTest, ApplyDropsAllowedAndFlagsStaleEntries) {
             std::string::npos);
 }
 
+TEST(AllowlistTest, PruneDropsStaleEntriesAndKeepsComments) {
+  const std::string content =
+      "# header comment\n"
+      "\n"
+      "src/a.cc banned-rand  # live\n"
+      "src/gone.cc banned-time\n"
+      "src/b.cc raw-new-delete\n";
+  Allowlist allow;
+  ASSERT_TRUE(Allowlist::Parse(content, &allow).ok());
+  // Pre-allowlist findings: a.cc and b.cc entries are live, gone.cc is not.
+  const std::vector<LintFinding> findings = {
+      {"src/a.cc", 3, "banned-rand", "ad-hoc randomness"},
+      {"src/b.cc", 9, "raw-new-delete", "raw new/delete"},
+  };
+  EXPECT_EQ(PruneAllowlist(content, allow, findings),
+            "# header comment\n"
+            "\n"
+            "src/a.cc banned-rand  # live\n"
+            "src/b.cc raw-new-delete\n");
+  // Nothing stale: the rewrite is the identity.
+  const std::string pruned = PruneAllowlist(content, allow, findings);
+  Allowlist repruned;
+  ASSERT_TRUE(Allowlist::Parse(pruned, &repruned).ok());
+  EXPECT_EQ(PruneAllowlist(pruned, repruned, findings), pruned);
+  // No findings at all: every entry goes.
+  EXPECT_EQ(PruneAllowlist(content, allow, {}),
+            "# header comment\n"
+            "\n");
+}
+
+// ---------------- raw string literals ----------------
+
+TEST(StripCommentsAndStringsTest, RawStringLiteralsAreBlanked) {
+  const std::string stripped = StripCommentsAndStrings(
+      "auto a = R\"(unbalanced \" quote and rand())\";\n"
+      "auto b = R\"x(time() and a ) paren)x\";\n"
+      "auto c = u8R\"(more \" quotes)\";\n"
+      "int d = rand();\n");
+  // Literal contents — including the unescaped quotes that would desync the
+  // escape-based string machine — are gone; the code after them is intact.
+  EXPECT_EQ(stripped.find("quote"), std::string::npos);
+  EXPECT_EQ(stripped.find("time"), std::string::npos);
+  EXPECT_EQ(stripped.find("paren"), std::string::npos);
+  EXPECT_NE(stripped.find("int d = rand();"), std::string::npos);
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 4);
+}
+
+TEST(StripCommentsAndStringsTest, IdentifierEndingInRIsNotARawPrefix) {
+  // `myR"x"` cannot be a raw literal (R glued to an identifier): the quote
+  // must open an ordinary string.
+  const std::string stripped =
+      StripCommentsAndStrings("auto s = myR\"abc\";\n");
+  EXPECT_NE(stripped.find("myR"), std::string::npos);
+  EXPECT_EQ(stripped.find("abc"), std::string::npos);
+}
+
+TEST(SourceLintTest, RawStringFixtureYieldsExactFindings) {
+  const std::vector<LintFinding> findings =
+      LintFixture("raw_string.cc", "src/data/raw_string.cc");
+  // Only the two real rand() calls; the rand/time tokens inside the raw
+  // strings and the escaped-quote ordinary string must not leak out.
+  EXPECT_EQ(LinesForRule(findings, "banned-rand"),
+            (std::vector<int>{11, 15}));
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+// ---------------- naked-mutex ----------------
+
+TEST(SourceLintTest, NakedMutexFixtureYieldsExactFindings) {
+  const std::vector<LintFinding> findings =
+      LintFixture("naked_mutex.cc", "src/serve/naked_mutex.cc");
+  // The four raw primitives; the Debug* wrappers and the lock_guard
+  // adapter over one must not match.
+  EXPECT_EQ(LinesForRule(findings, "naked-mutex"),
+            (std::vector<int>{8, 9, 10, 11}));
+  EXPECT_EQ(findings.size(), 4u);
+}
+
+TEST(SourceLintTest, NakedMutexAllowedInDebugMutex) {
+  const std::vector<LintFinding> h =
+      LintFixture("naked_mutex.cc", "src/common/debug_mutex.h");
+  EXPECT_TRUE(LinesForRule(h, "naked-mutex").empty());
+  const std::vector<LintFinding> cc =
+      LintFixture("naked_mutex.cc", "src/common/debug_mutex.cc");
+  EXPECT_TRUE(LinesForRule(cc, "naked-mutex").empty());
+}
+
 }  // namespace
 }  // namespace groupsa::analysis

@@ -1,0 +1,17 @@
+// Fixture: rule lock-order-cycle. Ring's GROUPSA_ACQUIRED_BEFORE edges
+// close a cycle (a_ -> b_ -> c_ -> a_); Chain's form a DAG and must pass.
+namespace fixture {
+
+class Ring {
+  DebugMutex a_ GROUPSA_ACQUIRED_BEFORE(b_){"fixture.a"};
+  DebugMutex b_ GROUPSA_ACQUIRED_BEFORE(c_){"fixture.b"};
+  DebugMutex c_ GROUPSA_ACQUIRED_BEFORE(a_){"fixture.c"};
+};
+
+class Chain {
+  DebugMutex first_ GROUPSA_ACQUIRED_BEFORE(second_){"fixture.first"};
+  DebugMutex second_ GROUPSA_ACQUIRED_BEFORE(third_){"fixture.second"};
+  DebugMutex third_{"fixture.third"};
+};
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: rule lock-unannotated. A mutex-owning class must state a
+// contract (GROUPSA_GUARDED_BY / GROUPSA_NOT_GUARDED) for every mutable,
+// non-exempt data member; mutex-free types need nothing.
+#include <atomic>
+#include <string>
+
+namespace fixture {
+
+class Guarded {
+ public:
+  void Tick();
+
+ private:
+  DebugMutex mu_{"fixture.guarded"};
+  int hits_ GROUPSA_GUARDED_BY(mu_) = 0;
+  std::string label_;
+  double weight_ = 1.0;
+  std::atomic<int> calls_{0};
+  const int limit_ = 8;
+  DebugCondVar cv_;
+  std::vector<int> backlog_ GROUPSA_NOT_GUARDED("touched in ctor only");
+};
+
+struct Plain {
+  int unannotated = 0;
+  std::string also_fine;
+};
+
+}  // namespace fixture

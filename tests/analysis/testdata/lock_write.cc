@@ -1,0 +1,38 @@
+// Fixture: rule lock-unguarded-write, .cc half — the writes.
+#include "lock_write.h"
+
+namespace fixture {
+
+Counter::Counter() {
+  value_ = -1;  // constructor of the owning class: exempt
+}
+
+void Counter::Bump() {
+  std::lock_guard<DebugMutex> lock(mu_);
+  value_ += 1;                 // inside the lock scope: fine
+  history_.push_back(value_);  // container mutator under the lock: fine
+}
+
+void Counter::BumpLocked() {
+  ++value_;  // declared GROUPSA_REQUIRES(mu_): fine
+}
+
+void Counter::Misuse() {
+  value_ = 42;  // no lock held: finding
+  {
+    std::shared_lock<DebugSharedMutex> rlock(mu_);
+    history_.clear();  // a read lock never licenses a write: finding
+  }
+  std::unique_lock<DebugMutex> lock(mu_);
+  value_--;  // fine again
+}
+
+// A free function's local that happens to share the member's name is not
+// Counter state: bare names only bind inside the owning class's own code.
+void Scratch() {
+  int value_ = 7;
+  value_ = 8;
+  (void)value_;
+}
+
+}  // namespace fixture

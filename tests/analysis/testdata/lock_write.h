@@ -1,0 +1,20 @@
+// Fixture: rule lock-unguarded-write, header half — the contract the .cc
+// is checked against (the linter indexes a .cc's same-basename header).
+#include <vector>
+
+namespace fixture {
+
+class Counter {
+ public:
+  Counter();
+  void Bump();
+  void BumpLocked() GROUPSA_REQUIRES(mu_);
+  void Misuse();
+
+ private:
+  DebugMutex mu_{"fixture.counter"};
+  int value_ GROUPSA_GUARDED_BY(mu_) = 0;
+  std::vector<int> history_ GROUPSA_GUARDED_BY(mu_);
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: rule naked-mutex. Raw standard mutex/cond-var primitives are
+// flagged everywhere except common/debug_mutex.{h,cc}; the Debug* wrappers
+// and the std lock adapters over them stay clean.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_mu;
+std::shared_mutex g_rw;
+std::condition_variable g_cv;
+std::recursive_mutex g_rec;
+
+struct Wrapped {
+  DebugMutex mu{"fixture.wrapped"};
+  DebugCondVar cv;
+  int n GROUPSA_GUARDED_BY(mu) = 0;
+};
+
+void Use() {
+  std::lock_guard<DebugMutex> lock(g_mu);  // the adapter itself is fine
+  (void)lock;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: raw string literals. The embedded unescaped quotes and banned
+// tokens must all be blanked by StripCommentsAndStrings — the escape-based
+// string machine would resynchronize mid-literal and corrupt everything
+// after — and the real banned calls below must still be reported.
+#include <string>
+
+const char* kQuery = R"sql(SELECT "rand" FROM t WHERE x = ")sql";
+const char* kPattern = R"(no time() or rand() here, and a lone " quote)";
+
+int Later() {
+  return rand();  // banned-rand: found despite the raw strings above
+}
+
+const char* kPlain = "escaped \" quote";
+int Tail() { return rand(); }

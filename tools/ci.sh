@@ -4,7 +4,12 @@
 # on a fresh checkout:
 #
 #   plain         Release build + the full tier-1 ctest suite
-#   lint          determinism linter over src/ (zero findings required)
+#   lint          determinism + lock-discipline linter over src/ (zero
+#                 findings required)
+#   locks         concurrency-contract gates: lock lint, the DebugMutex
+#                 lockdep suite under TSan, clang -Wthread-safety when clang
+#                 is installed (visible skip otherwise), and the release
+#                 zero-overhead bench gate
 #   tidy          clang-tidy over src/ (visible skip when not installed)
 #   bench         inference + training bench smokes (bit-parity gates)
 #   serving       serving bench smoke (pipeline-vs-engine 0-ULP parity gate)
@@ -38,8 +43,8 @@ if [ $# -gt 0 ] && [[ "$1" =~ ^[0-9]+$ ]]; then
 fi
 LANES=("$@")
 if [ ${#LANES[@]} -eq 0 ]; then
-  LANES=(plain lint tidy bench serving crash serve-golden index chaos asan tsan
-         ubsan)
+  LANES=(plain lint locks tidy bench serving crash serve-golden index chaos
+         asan tsan ubsan)
 fi
 
 # Configure a build tree only when its cache does not exist yet, so a lane
@@ -71,12 +76,58 @@ lane_plain() {
 }
 
 lane_lint() {
-  echo "=== lint lane (determinism linter over src/) ==="
+  echo "=== lint lane (determinism + lock-discipline linter over src/) ==="
   # Zero findings required; reviewed exceptions live in tools/lint_allow.txt
-  # and stale allowlist entries are findings themselves.
+  # and stale allowlist entries are findings themselves (--prune-stale
+  # rewrites the list instead of failing).
   ensure_build build -DCMAKE_BUILD_TYPE=Release
   cmake --build build -j "${JOBS}" --target groupsa_lint
   ./build/tools/groupsa_lint --allowlist tools/lint_allow.txt src/
+}
+
+lane_locks() {
+  echo "=== locks lane (lock-discipline lint over src/) ==="
+  # The lint lane already runs these rules too (groupsa_lint is one pass);
+  # repeating them here keeps the locks lane self-contained when run alone.
+  ensure_build build -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "${JOBS}" --target groupsa_lint
+  ./build/tools/groupsa_lint --allowlist tools/lint_allow.txt src/
+
+  echo "=== locks lane (DebugMutex lockdep suite under TSan) ==="
+  # The sanitizer tree forces GROUPSA_DEBUG_MUTEX_FORCE on, so the detector
+  # is live even though the tree builds with NDEBUG; the suite would
+  # visibly self-skip in a tree where it is not.
+  ensure_build build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGROUPSA_SANITIZE=thread
+  cmake --build build-tsan -j "${JOBS}"
+  ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+    -R 'DebugMutex'
+
+  echo "=== locks lane (clang -Wthread-safety static check) ==="
+  # The textual lock lint approximates what clang's thread-safety analysis
+  # proves semantically from the same GROUPSA_* annotations; when a clang is
+  # available, run the real thing over every annotated translation unit.
+  # The image ships gcc only, so this degrades to a visible skip.
+  if command -v clang++ > /dev/null 2>&1; then
+    local tu
+    for tu in src/common/debug_mutex.cc src/common/thread_pool.cc \
+              src/common/failpoint.cc src/serve/circuit_breaker.cc \
+              src/serve/server.cc src/core/inference_engine.cc; do
+      echo "--- clang++ -Wthread-safety ${tu} ---"
+      clang++ -std=c++20 -fsyntax-only -Isrc -mavx2 -mno-fma \
+        -Wthread-safety -Werror=thread-safety "${tu}"
+    done
+  else
+    echo "clang++ not installed; skipping -Wthread-safety check"
+  fi
+
+  echo "=== locks lane (release zero-overhead gate: bench_serving --quick) ==="
+  # Release DebugMutex must be a bare std::mutex (static_assert'd for
+  # layout); this bench run gates the behavioral half — steady QPS/p50 and
+  # the 0-ULP parity checks on the serving hot path, where every request
+  # crosses the queue, slot and breaker locks.
+  cmake --build build -j "${JOBS}" --target bench_serving
+  ./build/bench/bench_serving --quick
 }
 
 lane_tidy() {
@@ -342,6 +393,7 @@ for lane in "${LANES[@]}"; do
   case "${lane}" in
     plain) lane_plain ;;
     lint) lane_lint ;;
+    locks) lane_locks ;;
     tidy) lane_tidy ;;
     bench) lane_bench ;;
     serving) lane_serving ;;

@@ -1,18 +1,23 @@
-// Determinism linter for the GroupSA source tree.
+// Determinism + concurrency linter for the GroupSA source tree.
 //
-//   groupsa_lint [--allowlist <file>|none] [--cmake <file>] <dir|file>...
+//   groupsa_lint [--allowlist <file>|none] [--cmake <file>] [--prune-stale]
+//                <dir|file>...
 //
 // Scans every .h/.cc under the given paths with the rules in
 // analysis/source_lint.h (banned wall-clock reads, ad-hoc randomness, naked
-// threads, raw new/delete, order-sensitive unordered iteration, unguarded
-// SIMD translation units) and prints findings as "file:line: [rule]
-// message". Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+// threads, naked mutexes, raw new/delete, order-sensitive unordered
+// iteration, unguarded SIMD translation units) and analysis/lock_lint.h
+// (unannotated mutex-adjacent members, guarded writes outside a lock scope,
+// cycles in the declared lock-acquisition order) and prints findings as
+// "file:line: [rule] message". Exit status: 0 clean, 1 findings, 2 usage or
+// I/O error.
 //
 // The allowlist (default tools/lint_allow.txt when present) silences
 // reviewed exceptions; stale entries are themselves findings, so the list
-// can only shrink when the code it excuses goes away. The fp-contract rule
-// reads the GROUPSA_SIMD_SOURCES guard list from --cmake (default
-// <dir>/CMakeLists.txt of the first scanned directory).
+// can only shrink when the code it excuses goes away. --prune-stale rewrites
+// the allowlist in place, dropping the stale entries instead of reporting
+// them. The fp-contract rule reads the GROUPSA_SIMD_SOURCES guard list from
+// --cmake (default <dir>/CMakeLists.txt of the first scanned directory).
 
 #include <algorithm>
 #include <cstdio>
@@ -22,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lock_lint.h"
 #include "analysis/source_lint.h"
 
 namespace fs = std::filesystem;
@@ -47,7 +53,7 @@ bool IsSourceFile(const fs::path& path) {
 int Usage() {
   std::fprintf(stderr,
                "usage: groupsa_lint [--allowlist <file>|none] "
-               "[--cmake <file>] <dir|file>...\n");
+               "[--cmake <file>] [--prune-stale] <dir|file>...\n");
   return 2;
 }
 
@@ -56,6 +62,7 @@ int Usage() {
 int main(int argc, char** argv) {
   std::string allow_path;
   bool allow_disabled = false;
+  bool prune_stale = false;
   std::string cmake_path;
   std::vector<std::string> roots;
   for (int i = 1; i < argc; ++i) {
@@ -67,6 +74,8 @@ int main(int argc, char** argv) {
       } else {
         allow_path = argv[i];
       }
+    } else if (arg == "--prune-stale") {
+      prune_stale = true;
     } else if (arg == "--cmake") {
       if (++i >= argc) return Usage();
       cmake_path = argv[i];
@@ -139,6 +148,12 @@ int main(int argc, char** argv) {
     findings.insert(findings.end(), simd.begin(), simd.end());
   }
 
+  // Cross-file lock-discipline rules (analysis/lock_lint.h).
+  {
+    std::vector<LintFinding> locks = groupsa::analysis::LintLocks(files);
+    findings.insert(findings.end(), locks.begin(), locks.end());
+  }
+
   if (allow_path.empty() && !allow_disabled) {
     std::error_code ec;
     if (fs::exists("tools/lint_allow.txt", ec))
@@ -157,6 +172,30 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "groupsa_lint: %s: %s\n", allow_path.c_str(),
                    s.message().c_str());
       return 2;
+    }
+    if (prune_stale) {
+      // Rewrite the allowlist against the PRE-allowlist findings, so every
+      // surviving entry provably excuses something; then re-parse so the
+      // normal stale-allowlist check runs (and passes) on the pruned list.
+      const std::string pruned = groupsa::analysis::PruneAllowlist(
+          allow_content, allow, findings);
+      if (pruned != allow_content) {
+        std::ofstream rewrite(allow_path, std::ios::binary | std::ios::trunc);
+        if (!rewrite || !(rewrite << pruned)) {
+          std::fprintf(stderr, "groupsa_lint: cannot rewrite allowlist %s\n",
+                       allow_path.c_str());
+          return 2;
+        }
+        rewrite.close();
+        std::fprintf(stderr, "groupsa_lint: pruned stale entries from %s\n",
+                     allow_path.c_str());
+        allow = Allowlist();
+        if (groupsa::Status s = Allowlist::Parse(pruned, &allow); !s.ok()) {
+          std::fprintf(stderr, "groupsa_lint: %s: %s\n", allow_path.c_str(),
+                       s.message().c_str());
+          return 2;
+        }
+      }
     }
     findings = groupsa::analysis::ApplyAllowlist(std::move(findings), allow,
                                                  allow_path);
