@@ -14,9 +14,15 @@
 // --sweep additionally runs the sublinear-retrieval sweep: for each catalog
 // size in {2k, 100k, 1M} it builds a fresh world + model, times the
 // auto-configured IVF index build (cold), then times warm top-10 requests
-// through TopKMode::kExact vs TopKMode::kIvf and measures recall@10 of the
-// IVF answers against the exact ones — all single-thread. Results land in
-// the "sweep" array of the JSON record ("schema": 2).
+// through TopKMode::kExact vs TopKMode::kIvf — and, since schema 3, through
+// ScoreMode::kInt8 (quantized scan + exact re-rank) both as a full-catalog
+// scan and composed with IVF — and measures recall@10 of every approximate
+// answer against the exact ones, all single-thread. Results land in the
+// "sweep" array of the JSON record.
+//
+// Schema 3 also records the selected kernel backend and the int8 memory
+// story: bytes per cached user rep in the quantized cache vs the FP32 cost
+// of the same reps (the >= 3.5x gate from tests/core/int8_mode_test.cc).
 
 #include <algorithm>
 #include <cstdio>
@@ -33,6 +39,7 @@
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "data/tfidf.h"
+#include "tensor/backend.h"
 
 using namespace groupsa;
 
@@ -101,6 +108,14 @@ struct SweepPoint {
   double ivf_ms_per_query = 0.0;    // warm top-10, TopKMode::kIvf
   double speedup = 0.0;
   double recall_at_10 = 0.0;      // IVF top-10 vs exact top-10
+  // int8 scan (ScoreMode::kInt8): full-catalog quantized scan + exact
+  // re-rank, and the same composed with IVF candidate retrieval.
+  double int8_ms_per_query = 0.0;
+  double int8_speedup = 0.0;  // vs exact_ms_per_query
+  double int8_recall_at_10 = 0.0;
+  double ivf_int8_ms_per_query = 0.0;
+  double ivf_int8_speedup = 0.0;  // vs exact_ms_per_query
+  double ivf_int8_recall_at_10 = 0.0;
 };
 
 double Overlap(const std::vector<std::pair<data::ItemId, double>>& exact,
@@ -212,6 +227,41 @@ SweepPoint RunSweepPoint(int items, int k) {
   for (size_t i = 0; i < exact_top.size(); ++i)
     recall += Overlap(exact_top[i], ivf_top[i]);
   point.recall_at_10 = recall / static_cast<double>(exact_top.size());
+
+  const auto mean_overlap =
+      [&](const std::vector<std::vector<std::pair<data::ItemId, double>>>&
+              approx) {
+        double sum = 0.0;
+        for (size_t i = 0; i < exact_top.size(); ++i)
+          sum += Overlap(exact_top[i], approx[i]);
+        return sum / static_cast<double>(exact_top.size());
+      };
+
+  // int8 full-catalog scan: quantized reps + integer dots over the whole
+  // catalog, exact FP32 re-rank of the surviving rerank_k.
+  engine.set_topk_mode(core::TopKMode::kExact);
+  engine.set_score_mode(core::ScoreMode::kInt8);
+  const auto int8_top = run_all();  // warm the quantized caches
+  sw.Reset();
+  run_all();
+  point.int8_ms_per_query = sw.ElapsedSeconds() * 1000.0 / num_queries;
+  point.int8_speedup = point.int8_ms_per_query > 0.0
+                           ? point.exact_ms_per_query / point.int8_ms_per_query
+                           : 0.0;
+  point.int8_recall_at_10 = mean_overlap(int8_top);
+
+  // int8 composed with IVF: candidate retrieval prunes the catalog, the
+  // quantized scan ranks the candidates, exact re-rank on top.
+  engine.set_topk_mode(core::TopKMode::kIvf);
+  const auto ivf_int8_top = run_all();  // warm the candidate path
+  sw.Reset();
+  run_all();
+  point.ivf_int8_ms_per_query = sw.ElapsedSeconds() * 1000.0 / num_queries;
+  point.ivf_int8_speedup =
+      point.ivf_int8_ms_per_query > 0.0
+          ? point.exact_ms_per_query / point.ivf_int8_ms_per_query
+          : 0.0;
+  point.ivf_int8_recall_at_10 = mean_overlap(ivf_int8_top);
   return point;
 }
 
@@ -227,6 +277,12 @@ std::vector<SweepPoint> RunSweep(int k) {
         "%8.3f ms/q  ivf %8.3f ms/q  speedup %5.2fx  recall@%d %.3f\n",
         p.nlist, p.nprobe, p.build_seconds, k, p.exact_ms_per_query,
         p.ivf_ms_per_query, p.speedup, k, p.recall_at_10);
+    std::printf(
+        "    int8 scan %8.3f ms/q (%5.2fx, recall@%d %.3f)  ivf+int8 "
+        "%8.3f ms/q (%5.2fx, recall@%d %.3f)\n",
+        p.int8_ms_per_query, p.int8_speedup, k, p.int8_recall_at_10,
+        p.ivf_int8_ms_per_query, p.ivf_int8_speedup, k,
+        p.ivf_int8_recall_at_10);
     std::fflush(stdout);
   }
   return points;
@@ -267,9 +323,11 @@ int main(int argc, char** argv) {
   for (int i = 0; i < flags.users; ++i)
     users[i] = (i * 7) % world.dataset.num_users;
 
-  std::printf("bench_inference: %d items, %d groups, %d users, %d thread(s)\n",
-              flags.items, flags.groups, flags.users,
-              parallel::GlobalThreads());
+  std::printf(
+      "bench_inference: %d items, %d groups, %d users, %d thread(s), "
+      "kernel backend %s\n",
+      flags.items, flags.groups, flags.users, parallel::GlobalThreads(),
+      tensor::ActiveBackendName());
 
   // ---- group tower ----
   Stopwatch sw;
@@ -314,6 +372,35 @@ int main(int argc, char** argv) {
   }
   const double topk_warm_s = sw.ElapsedSeconds();
 
+  // ---- int8 rep-cache memory (quantized vs FP32-equivalent bytes) ----
+  // Serve the same user workload in int8 mode: the engine then caches
+  // quantized reps only, and Fp32UserCacheBytes reports what the same reps
+  // would cost in FP32 — the ratio is the bytes-per-user gate.
+  core::InferenceEngine& engine = model.inference();
+  engine.InvalidateAll();
+  engine.set_score_mode(core::ScoreMode::kInt8);
+  for (data::UserId u : users) {
+    const auto top = engine.RecommendForUser(u, flags.k, nullptr);
+    if (top.empty()) std::abort();
+  }
+  const size_t int8_cached_users = engine.cached_quant_users();
+  const size_t quant_bytes = engine.QuantUserCacheBytes();
+  const size_t fp32_bytes = engine.Fp32UserCacheBytes();
+  const double int8_memory_ratio =
+      quant_bytes > 0 ? static_cast<double>(fp32_bytes) /
+                            static_cast<double>(quant_bytes)
+                      : 0.0;
+  const double int8_bytes_per_user =
+      int8_cached_users > 0 ? static_cast<double>(quant_bytes) /
+                                  static_cast<double>(int8_cached_users)
+                            : 0.0;
+  const double fp32_bytes_per_user =
+      int8_cached_users > 0 ? static_cast<double>(fp32_bytes) /
+                                  static_cast<double>(int8_cached_users)
+                            : 0.0;
+  engine.set_score_mode(core::ScoreMode::kExact);
+  engine.InvalidateAll();
+
   const double group_speedup = group_per_item_s / group_batched_s;
   const double user_speedup = user_per_item_s / user_batched_s;
   std::printf("  group full-catalog: per-item %8.3fs  batched %8.3fs  "
@@ -326,6 +413,11 @@ int main(int argc, char** argv) {
               flags.k, groups.size(), topk_warm_s,
               topk_warm_s * 1000.0 / groups.size());
   std::printf("  bit-identical: %s\n", identical ? "yes" : "NO");
+  std::printf(
+      "  int8 rep cache: %zu users, %.1f bytes/user vs %.1f FP32 "
+      "(%.2fx smaller)\n",
+      int8_cached_users, int8_bytes_per_user, fp32_bytes_per_user,
+      int8_memory_ratio);
 
   std::vector<SweepPoint> sweep;
   if (flags.sweep) {
@@ -343,7 +435,8 @@ int main(int argc, char** argv) {
         out,
         "{\n"
         "  \"bench\": \"inference\",\n"
-        "  \"schema\": 2,\n"
+        "  \"schema\": 3,\n"
+        "  \"backend\": \"%s\",\n"
         "  \"items\": %d,\n"
         "  \"groups\": %d,\n"
         "  \"users\": %d,\n"
@@ -355,10 +448,16 @@ int main(int argc, char** argv) {
         "  \"user_batched_seconds\": %.6f,\n"
         "  \"user_speedup\": %.3f,\n"
         "  \"warm_topk_ms_per_group\": %.4f,\n"
+        "  \"int8_cached_users\": %zu,\n"
+        "  \"int8_bytes_per_user\": %.2f,\n"
+        "  \"fp32_bytes_per_user\": %.2f,\n"
+        "  \"int8_memory_ratio\": %.3f,\n"
         "  \"bit_identical\": %s",
-        flags.items, flags.groups, flags.users, parallel::GlobalThreads(),
-        group_per_item_s, group_batched_s, group_speedup, user_per_item_s,
-        user_batched_s, user_speedup, topk_warm_s * 1000.0 / groups.size(),
+        tensor::ActiveBackendName(), flags.items, flags.groups, flags.users,
+        parallel::GlobalThreads(), group_per_item_s, group_batched_s,
+        group_speedup, user_per_item_s, user_batched_s, user_speedup,
+        topk_warm_s * 1000.0 / groups.size(), int8_cached_users,
+        int8_bytes_per_user, fp32_bytes_per_user, int8_memory_ratio,
         identical ? "true" : "false");
     if (!sweep.empty()) {
       std::fprintf(out, ",\n  \"sweep\": [\n");
@@ -369,10 +468,17 @@ int main(int argc, char** argv) {
             "    {\"items\": %d, \"nlist\": %d, \"nprobe\": %d, "
             "\"build_seconds\": %.4f, \"exact_ms_per_query\": %.4f, "
             "\"ivf_ms_per_query\": %.4f, \"speedup\": %.3f, "
-            "\"recall_at_10\": %.4f}%s\n",
+            "\"recall_at_10\": %.4f,\n"
+            "     \"int8_ms_per_query\": %.4f, \"int8_speedup\": %.3f, "
+            "\"int8_recall_at_10\": %.4f,\n"
+            "     \"ivf_int8_ms_per_query\": %.4f, "
+            "\"ivf_int8_speedup\": %.3f, "
+            "\"ivf_int8_recall_at_10\": %.4f}%s\n",
             p.items, p.nlist, p.nprobe, p.build_seconds, p.exact_ms_per_query,
             p.ivf_ms_per_query, p.speedup, p.recall_at_10,
-            i + 1 < sweep.size() ? "," : "");
+            p.int8_ms_per_query, p.int8_speedup, p.int8_recall_at_10,
+            p.ivf_int8_ms_per_query, p.ivf_int8_speedup,
+            p.ivf_int8_recall_at_10, i + 1 < sweep.size() ? "," : "");
       }
       std::fprintf(out, "  ]\n}\n");
     } else {

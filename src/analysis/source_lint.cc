@@ -10,8 +10,24 @@
 namespace groupsa::analysis {
 namespace {
 
-// True when `path` equals `suffix` or ends with "/<suffix>".
+// True when `path` equals `suffix` or ends with "/<suffix>". A suffix with
+// a trailing '/' is a directory entry: it matches every path that contains
+// that directory sequence at a component boundary with something after it
+// ("tensor/backends/" matches "src/tensor/backends/backend_avx2.cc" but not
+// "src/tensor/backends_util.cc").
 bool PathMatches(const std::string& path, const std::string& suffix) {
+  if (suffix.empty()) return false;
+  if (suffix.back() == '/') {
+    std::string::size_type pos = path.find(suffix);
+    while (pos != std::string::npos) {
+      if ((pos == 0 || path[pos - 1] == '/') &&
+          pos + suffix.size() < path.size()) {
+        return true;
+      }
+      pos = path.find(suffix, pos + 1);
+    }
+    return false;
+  }
   if (path == suffix) return true;
   if (path.size() <= suffix.size()) return false;
   return path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
@@ -373,69 +389,102 @@ std::vector<LintFinding> LintSimdGuardList(
     const std::string& cmake_path, const std::string& cmake_content,
     const std::vector<std::pair<std::string, std::string>>& files) {
   std::vector<LintFinding> findings;
-  const std::string stripped_cmake = cmake_content;
+  const auto line_of = [](const std::string& text, size_t pos) {
+    return 1 + static_cast<int>(std::count(
+                   text.begin(), text.begin() + static_cast<long>(pos),
+                   '\n'));
+  };
 
-  // Parse the GROUPSA_SIMD_SOURCES guard list out of src/CMakeLists.txt;
-  // entries may share the set() line or span several.
-  std::vector<std::string> guarded;
-  int guard_line = 0;
-  {
-    static const std::regex kGuardSet(
-        R"(set\s*\(\s*GROUPSA_SIMD_SOURCES([^)]*)\))");
-    std::smatch m;
-    if (std::regex_search(stripped_cmake, m, kGuardSet)) {
-      guard_line =
-          1 + static_cast<int>(std::count(
-                  stripped_cmake.begin(),
-                  stripped_cmake.begin() + static_cast<long>(m.position()),
-                  '\n'));
-      for (const std::string& token : StrSplit(m[1].str(), ' ')) {
-        for (const std::string& entry : StrSplit(token, '\n')) {
-          const std::string trimmed = StrTrim(entry);
-          if (!trimmed.empty() && trimmed[0] != '#' && trimmed[0] != '$')
-            guarded.push_back(trimmed);
-        }
-      }
-    }
-  }
-  const bool guard_has_fp_contract_off =
-      stripped_cmake.find("-ffp-contract=off") != std::string::npos;
-
-  if (guard_line == 0) {
+  // The guard-flag variable every kernel backend TU compiles with. The
+  // per-ISA translation units (tensor/backends/backend_*.cc) are the only
+  // place SIMD codegen differs between builds, so they — not a per-file
+  // source list — carry the no-contraction contract.
+  static const std::regex kGuardSet(
+      R"(set\s*\(\s*GROUPSA_KERNEL_GUARD_FLAGS\s+"([^")]*)\")");
+  std::smatch guard;
+  if (!std::regex_search(cmake_content, guard, kGuardSet)) {
     findings.push_back(
         {cmake_path, 1, "fp-contract",
-         "GROUPSA_SIMD_SOURCES guard list not found; SIMD translation units "
-         "must receive -ffp-contract=off -mno-fma via this list"});
+         "GROUPSA_KERNEL_GUARD_FLAGS guard list not found; every kernel "
+         "backend translation unit must receive -ffp-contract=off -mno-fma "
+         "through this variable"});
     return findings;
   }
-  if (!guard_has_fp_contract_off) {
+  const int guard_line =
+      line_of(cmake_content, static_cast<size_t>(guard.position()));
+  const std::string guard_value = guard[1].str();
+  if (guard_value.find("-ffp-contract=off") == std::string::npos ||
+      guard_value.find("-mno-fma") == std::string::npos) {
     findings.push_back(
         {cmake_path, guard_line, "fp-contract",
-         "GROUPSA_SIMD_SOURCES entries are not compiled with "
-         "-ffp-contract=off; contraction would fuse a*b+c differently "
-         "across compilers and break bit-exact reproducibility"});
+         "GROUPSA_KERNEL_GUARD_FLAGS is missing -ffp-contract=off or "
+         "-mno-fma; a fused multiply-add rounds once instead of twice, so "
+         "contraction would break cross-backend bit-identity"});
   }
 
-  // Any scanned file using intrinsics or target pragmas must be guarded.
+  // Every backend TU named anywhere in the file must receive the guard
+  // flags via a set_source_files_properties(... COMPILE_OPTIONS ...) call
+  // that references GROUPSA_KERNEL_GUARD_FLAGS.
+  std::vector<std::string> prop_blocks;
+  {
+    static const std::regex kProps(
+        R"(set_source_files_properties\s*\(([^)]*)\))");
+    for (auto it = std::sregex_iterator(cmake_content.begin(),
+                                        cmake_content.end(), kProps);
+         it != std::sregex_iterator(); ++it) {
+      prop_blocks.push_back((*it)[1].str());
+    }
+  }
+  static const std::regex kBackendTu(R"(tensor/backends/backend_\w+\.cc)");
+  std::set<std::string> seen_tus;
+  for (auto it = std::sregex_iterator(cmake_content.begin(),
+                                      cmake_content.end(), kBackendTu);
+       it != std::sregex_iterator(); ++it) {
+    const std::string tu = it->str();
+    if (!seen_tus.insert(tu).second) continue;
+    bool guarded = false;
+    for (const std::string& block : prop_blocks) {
+      if (block.find(tu) != std::string::npos &&
+          block.find("GROUPSA_KERNEL_GUARD_FLAGS") != std::string::npos) {
+        guarded = true;
+        break;
+      }
+    }
+    if (!guarded) {
+      findings.push_back(
+          {cmake_path,
+           line_of(cmake_content, static_cast<size_t>(it->position())),
+           "fp-contract",
+           StrFormat("%s is not given ${GROUPSA_KERNEL_GUARD_FLAGS} via "
+                     "set_source_files_properties, so it compiles without "
+                     "-ffp-contract=off -mno-fma and its float results can "
+                     "diverge from the other backends",
+                     tu.c_str())});
+    }
+  }
+
+  // simd-confined: intrinsics, ISA macro tests and target pragmas belong in
+  // the per-ISA backend TUs, where runtime dispatch guarantees the host can
+  // execute them and the guard flags keep them bit-identical.
+  static const std::vector<std::string> kBackendDirs{"tensor/backends/"};
   static const std::regex kSimdMarker(
       R"(#\s*include\s*<(immintrin|x86intrin|emmintrin|avxintrin)\.h>)"
       R"(|\b_mm\d{0,3}_\w+\s*\()"
-      R"(|#\s*pragma\s+(GCC|clang)\s+(target|push_options))");
+      R"(|#\s*pragma\s+(GCC|clang)\s+(target|push_options))"
+      R"(|\b__AVX\w*__\b|\b__SSE\w*__\b|\b__FMA__\b)");
   for (const auto& [path, content] : files) {
+    if (PathMatchesAny(path, kBackendDirs)) continue;
     const std::string stripped = StripCommentsAndStrings(content);
     std::smatch m;
     if (!std::regex_search(stripped, m, kSimdMarker)) continue;
-    if (PathMatchesAny(path, guarded)) continue;
-    const int line =
-        1 + static_cast<int>(std::count(
-                stripped.begin(),
-                stripped.begin() + static_cast<long>(m.position()), '\n'));
     findings.push_back(
-        {path, line, "fp-contract",
-         "uses SIMD intrinsics but is not listed in GROUPSA_SIMD_SOURCES "
-         "(src/CMakeLists.txt), so it compiles without -ffp-contract=off "
-         "-mno-fma and its float results depend on the compiler's "
-         "contraction choices"});
+        {path, line_of(stripped, static_cast<size_t>(m.position())),
+         "simd-confined",
+         "SIMD intrinsics and ISA #ifdefs are confined to "
+         "src/tensor/backends/; add the kernel to "
+         "tensor/backends/kernels.inc (or a backend translation unit) so "
+         "runtime dispatch picks an ISA the host can execute and the guard "
+         "flags keep every variant bit-identical"});
   }
   return findings;
 }

@@ -29,10 +29,18 @@ namespace groupsa::analysis {
 //                   accumulates (`+=`/`-=`) — iteration order is
 //                   unspecified, so order-sensitive reductions are
 //                   nondeterministic across libstdc++ versions
-//   fp-contract     files using SIMD intrinsics / target pragmas must be on
-//                   the GROUPSA_SIMD_SOURCES guard list in src/CMakeLists.txt
-//                   (which forces -ffp-contract=off -mno-fma), and the guard
-//                   list itself must carry those flags
+//   fp-contract     src/CMakeLists.txt must define the
+//                   GROUPSA_KERNEL_GUARD_FLAGS variable with
+//                   -ffp-contract=off -mno-fma, and every kernel backend
+//                   translation unit (tensor/backends/backend_*.cc) it
+//                   names must receive those flags via
+//                   set_source_files_properties — contraction in any one
+//                   backend would break cross-backend bit-identity
+//   simd-confined   SIMD intrinsics, <immintrin.h>-family includes, ISA
+//                   macro tests (__AVX2__, ...) and target pragmas outside
+//                   src/tensor/backends/ — hand-written ISA code anywhere
+//                   else bypasses runtime dispatch (crashing narrower
+//                   hosts) and the backend guard flags
 //   naked-mutex     std::mutex / std::shared_mutex / std::condition_variable
 //                   & friends outside common/debug_mutex.{h,cc} — every lock
 //                   goes through the DebugMutex wrappers so lock-order
@@ -73,16 +81,20 @@ std::vector<LintFinding> LintSource(const std::string& path,
                                     const std::string& content,
                                     const std::set<std::string>& global_unordered);
 
-// The fp-contract rule. `cmake_content` is src/CMakeLists.txt; `files` maps
-// scanned path -> raw content. Paths inside GROUPSA_SIMD_SOURCES are
-// relative to src/, so scanned paths are matched by suffix.
+// The fp-contract and simd-confined rules. `cmake_content` is
+// src/CMakeLists.txt (checked for the GROUPSA_KERNEL_GUARD_FLAGS contract);
+// `files` maps scanned path -> raw content (checked for SIMD constructs
+// outside the tensor/backends/ directory, matched at a path-component
+// boundary).
 std::vector<LintFinding> LintSimdGuardList(
     const std::string& cmake_path, const std::string& cmake_content,
     const std::vector<std::pair<std::string, std::string>>& files);
 
 // Allowlist: one entry per line, "<path> <rule>", '#' starts a comment.
 // Paths match a finding when equal to or a '/'-suffix of the finding's
-// path, so entries stay stable across checkout locations.
+// path, so entries stay stable across checkout locations; a path with a
+// trailing '/' is a directory entry and matches every file under that
+// directory component sequence.
 class Allowlist {
  public:
   static Status Parse(const std::string& content, Allowlist* out);

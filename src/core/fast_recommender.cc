@@ -1,5 +1,6 @@
 #include "core/fast_recommender.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "common/macros.h"
@@ -34,6 +35,52 @@ FastGroupRecommender::RecommendForMembers(
       if (exclude->Has(member, item)) return true;
     return false;
   };
+  if (score_ == ScoreMode::kInt8) {
+    GROUPSA_CHECK(!members.empty(), "fast recommender needs members");
+    InferenceEngine& engine = model_->inference();
+    const double inv_members = 1.0 / static_cast<double>(members.size());
+    std::vector<data::ItemId> candidates;
+    if (mode_ == TopKMode::kIvf) {
+      // Coarse stage over the quantized member reps, averaged exactly like
+      // the fine stage.
+      const std::shared_ptr<const ItemIndex> index = engine.GetOrBuildIndex();
+      if (index->nlist() == 0) return {};
+      std::vector<double> coarse(static_cast<size_t>(index->nlist()), 0.0);
+      for (data::UserId member : members) {
+        const std::vector<double> member_scores =
+            engine.QuantScoreCentroidsForUser(member);
+        for (size_t j = 0; j < coarse.size(); ++j)
+          coarse[j] += member_scores[j];
+      }
+      for (double& s : coarse) s *= inv_members;
+      candidates = index->Candidates(index->SelectProbes(coarse, /*nprobe=*/0));
+    } else {
+      candidates = AllItems(model_->num_items());
+    }
+    // int8 scan: mean of the members' approximate scores.
+    std::vector<double> approx(candidates.size(), 0.0);
+    for (data::UserId member : members) {
+      const std::vector<double> member_scores =
+          engine.ApproxScoreItemsForUser(member, candidates);
+      for (size_t j = 0; j < approx.size(); ++j) approx[j] += member_scores[j];
+    }
+    for (double& s : approx) s *= inv_members;
+    const int rerank = std::max(k, engine.int8_config().rerank_k);
+    const std::vector<std::pair<data::ItemId, double>> shortlist =
+        TopKItems(candidates, approx, rerank, skip);
+    std::vector<data::ItemId> ids;
+    ids.reserve(shortlist.size());
+    for (const auto& entry : shortlist) ids.push_back(entry.first);
+    // Exact FP32 re-rank over the dequantized cached member reps.
+    std::vector<double> exact(ids.size(), 0.0);
+    for (data::UserId member : members) {
+      const std::vector<double> member_scores =
+          engine.QuantScoreItemsForUser(member, ids);
+      for (size_t j = 0; j < exact.size(); ++j) exact[j] += member_scores[j];
+    }
+    for (double& s : exact) s *= inv_members;
+    return TopKItems(ids, exact, k, nullptr);  // shortlist already filtered
+  }
   if (mode_ == TopKMode::kIvf) {
     GROUPSA_CHECK(!members.empty(), "fast recommender needs members");
     InferenceEngine& engine = model_->inference();

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "core/groupsa_model.h"
 #include "core/item_index.h"
+#include "core/quantized.h"
 #include "data/interaction_matrix.h"
 
 namespace groupsa::core {
@@ -29,6 +30,16 @@ class FastGroupRecommender {
   // race with in-flight recommendations.
   void set_topk_mode(TopKMode mode) { mode_ = mode; }
   TopKMode topk_mode() const { return mode_; }
+
+  // Candidate-scan precision for RecommendForMembers. Under kInt8 the
+  // per-member candidate scan runs through the engine's int8 path (quantized
+  // member representations, int8 item dots, averaged like the exact scores),
+  // the shortlist of the engine's Int8Config::rerank_k best averaged scans
+  // is re-ranked through the exact FP32 member scores, and both modes
+  // compose: with kIvf the scan covers the IVF candidate union instead of
+  // the catalog. Setup-time call, like set_topk_mode.
+  void set_score_mode(ScoreMode mode) { score_ = mode; }
+  ScoreMode score_mode() const { return score_; }
 
   // Average-of-member-scores for an ad-hoc member list.
   std::vector<double> ScoreItemsForMembers(
@@ -57,6 +68,7 @@ class FastGroupRecommender {
 
   GroupSaModel* model_;
   TopKMode mode_ = TopKMode::kExact;
+  ScoreMode score_ = ScoreMode::kExact;
 };
 
 }  // namespace groupsa::core

@@ -7,6 +7,7 @@
 
 #include "common/string_util.h"
 #include "core/topk.h"
+#include "tensor/backend.h"
 #include "tensor/ops.h"
 
 namespace groupsa::core {
@@ -53,6 +54,36 @@ void ActivateInPlace(Matrix* x, nn::Activation act) {
       return;
   }
   GROUPSA_CHECK(false, "unknown activation");
+}
+
+// Derivative of nn::Activation at a pre-activation value — the frozen-mask
+// linearization factor used by TowerInputGradient.
+float ActDeriv(nn::Activation act, float pre) {
+  switch (act) {
+    case nn::Activation::kNone:
+      return 1.0f;
+    case nn::Activation::kRelu:
+      return pre > 0.0f ? 1.0f : 0.0f;
+    case nn::Activation::kSigmoid: {
+      const float s = StableSigmoid(pre);
+      return s * (1.0f - s);
+    }
+    case nn::Activation::kTanh: {
+      const float t = std::tanh(pre);
+      return 1.0f - t * t;
+    }
+  }
+  GROUPSA_CHECK(false, "unknown activation");
+  return 0.0f;
+}
+
+// Column means as a 1 x cols row — the reference pseudo-item the int8 scan
+// linearizes the towers at.
+Matrix ColMeans(const Matrix& m) {
+  Matrix out;
+  tensor::SumRowsInto(m, &out);
+  if (m.rows() > 0) out.ScaleInPlace(1.0f / static_cast<float>(m.rows()));
+  return out;
 }
 
 // Resizes without the zero-fill Matrix::Resize performs when the shape
@@ -110,113 +141,10 @@ void GatherRowsInto(const Matrix& table, const int* ids, int count,
   }
 }
 
-// Hidden widths up to this use the fused attention-logit loop (stack
-// accumulator); wider configs take the buffered Gemm path below.
-constexpr int kMaxFusedHidden = 128;
-
-// Computes one chunk of attention logits without materializing the
-// (c*l x hidden) buffer: for each (item, member) pair, seed a local
-// accumulator with the cached item-side partial sum, add the member's
-// precomputed addend rows (k ascending, exact zeros skipped upstream), then
-// run bias / ReLU / the logit dot in place. Each per-element float chain is
-// the one the buffered path (and therefore the per-item path) executes, so
-// the logits are bit-identical.
-//
-// Two throughput notes, neither of which changes any chain:
-//
-//  * Four items run interleaved per member. One item at a time leaves each
-//    accumulator lane as a single dependent add chain stalling on add
-//    latency; four items give four independent chains and share each addend
-//    row (and wout) load. H is the compile-time hidden width so all four
-//    accumulator tiles stay in vector registers. The runtime-width overload
-//    below runs the same chains one item at a time for other widths.
-//
-//  * The logit dot adds v*wout[j] unconditionally where the reference kernel
-//    (tensor::Gemm's zero-skip) would skip v == 0.0f terms. The two are
-//    bit-identical here: v >= 0 after the ReLU, so a skipped term's product
-//    is +/-0.0f, and the accumulator can never itself be -0.0f (it starts at
-//    +0.0f, and under round-to-nearest a sum is -0.0f only when both
-//    operands are), so adding the signed zero leaves every bit unchanged.
-//    Dropping the branch removes an unpredictable per-element branch from
-//    the innermost loop.
-template <int H>
-void FusedAttentionLogits(const Matrix& prefix, const int* ids, int c, int l,
-                          const Matrix& addends, const std::vector<int>& nz,
-                          const std::vector<int>& nz_begin, const float* hb,
-                          const float* wout, bool has_ob, float out_b,
-                          Matrix* out) {
-  constexpr int kItemTile = 4;
-  for (int i = 0; i < l; ++i) {
-    int t = 0;
-    for (; t + kItemTile <= c; t += kItemTile) {
-      float acc[kItemTile][H];
-      for (int r = 0; r < kItemTile; ++r) {
-        const float* p = prefix.RowPtr(ids[t + r]);
-        for (int j = 0; j < H; ++j) acc[r][j] = p[j];
-      }
-      for (int idx = nz_begin[i]; idx < nz_begin[i + 1]; ++idx) {
-        const float* row = addends.RowPtr(nz[idx]);
-        for (int r = 0; r < kItemTile; ++r)
-          for (int j = 0; j < H; ++j) acc[r][j] += row[j];
-      }
-      float logit[kItemTile] = {0.0f, 0.0f, 0.0f, 0.0f};
-      for (int j = 0; j < H; ++j) {
-        const float w = wout[j];
-        const float bias = hb != nullptr ? hb[j] : 0.0f;
-        for (int r = 0; r < kItemTile; ++r) {
-          float v = hb != nullptr ? acc[r][j] + bias : acc[r][j];
-          v = std::max(0.0f, v);
-          logit[r] += v * w;
-        }
-      }
-      for (int r = 0; r < kItemTile; ++r)
-        out->RowPtr(t + r)[i] = has_ob ? logit[r] + out_b : logit[r];
-    }
-    for (; t < c; ++t) {
-      const float* p = prefix.RowPtr(ids[t]);
-      float acc[H];
-      for (int j = 0; j < H; ++j) acc[j] = p[j];
-      for (int idx = nz_begin[i]; idx < nz_begin[i + 1]; ++idx) {
-        const float* row = addends.RowPtr(nz[idx]);
-        for (int j = 0; j < H; ++j) acc[j] += row[j];
-      }
-      float logit = 0.0f;
-      for (int j = 0; j < H; ++j) {
-        float v = hb != nullptr ? acc[j] + hb[j] : acc[j];
-        v = std::max(0.0f, v);
-        logit += v * wout[j];
-      }
-      out->RowPtr(t)[i] = has_ob ? logit + out_b : logit;
-    }
-  }
-}
-
-void FusedAttentionLogitsRuntime(const Matrix& prefix, const int* ids, int c,
-                                 int l, int h, const Matrix& addends,
-                                 const std::vector<int>& nz,
-                                 const std::vector<int>& nz_begin,
-                                 const float* hb, const float* wout,
-                                 bool has_ob, float out_b, Matrix* out) {
-  float acc[kMaxFusedHidden];
-  for (int t = 0; t < c; ++t) {
-    const float* p = prefix.RowPtr(ids[t]);
-    float* out_row = out->RowPtr(t);
-    for (int i = 0; i < l; ++i) {
-      for (int j = 0; j < h; ++j) acc[j] = p[j];
-      for (int idx = nz_begin[i]; idx < nz_begin[i + 1]; ++idx) {
-        const float* row = addends.RowPtr(nz[idx]);
-        for (int j = 0; j < h; ++j) acc[j] += row[j];
-      }
-      float logit = 0.0f;
-      for (int j = 0; j < h; ++j) {
-        float v = hb != nullptr ? acc[j] + hb[j] : acc[j];
-        v = std::max(0.0f, v);
-        logit += v * wout[j];  // branchless zero-skip; see note above
-      }
-      out_row[i] = has_ob ? logit + out_b : logit;
-    }
-  }
-}
+// The fused attention-logit kernels live in tensor/backends/kernels.inc and
+// are compiled once per ISA; tensor::ActiveBackend().attention_logits picks
+// the variant for this machine. Hidden widths up to tensor::kMaxFusedHidden
+// take that fused path; wider configs take the buffered Gemm path below.
 
 // Per-chunk row caps keeping intermediate buffers modest at catalog scale;
 // chunking is row-wise and therefore invisible to the scores.
@@ -235,6 +163,9 @@ struct Workspace {
   Matrix weights, pooled, group_rep;
   Matrix t1, t2;                  // group tower ping-pong
   Matrix r1a, r1b, r2a, r2b;      // user tower ping-pong pairs
+  Matrix x0;                      // int8 path: linearization point
+  std::vector<int8_t> q1, q2;     // int8 path: quantized scan directions
+  std::vector<int32_t> i8dots;    // int8 path: raw scan accumulators
 };
 Workspace& GetWorkspace() {
   static thread_local Workspace ws;
@@ -266,8 +197,11 @@ uint64_t InferenceEngine::Revalidate() {
   if (cache_version_ != version) {
     user_cache_.clear();
     group_cache_.clear();
+    user_q_cache_.clear();
+    group_q_cache_.clear();
     split_.reset();
     ivf_.reset();
+    quant_.reset();
     cache_version_ = version;
   }
   return version;
@@ -277,8 +211,11 @@ void InferenceEngine::InvalidateAll() {
   std::unique_lock<DebugSharedMutex> lock(mu_);
   user_cache_.clear();
   group_cache_.clear();
+  user_q_cache_.clear();
+  group_q_cache_.clear();
   split_.reset();
   ivf_.reset();
+  quant_.reset();
 }
 
 void InferenceEngine::set_topk_mode(TopKMode mode) {
@@ -310,6 +247,65 @@ size_t InferenceEngine::cached_users() const {
 size_t InferenceEngine::cached_groups() const {
   std::shared_lock<DebugSharedMutex> lock(mu_);
   return group_cache_.size();
+}
+
+size_t InferenceEngine::cached_quant_users() const {
+  std::shared_lock<DebugSharedMutex> lock(mu_);
+  return user_q_cache_.size();
+}
+
+size_t InferenceEngine::cached_quant_groups() const {
+  std::shared_lock<DebugSharedMutex> lock(mu_);
+  return group_q_cache_.size();
+}
+
+size_t InferenceEngine::QuantUserCacheBytes() const {
+  std::shared_lock<DebugSharedMutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& entry : user_q_cache_) {
+    total += entry.second.embedding.MemoryBytes() +
+             entry.second.latent.MemoryBytes();
+  }
+  return total;
+}
+
+size_t InferenceEngine::Fp32UserCacheBytes() const {
+  std::shared_lock<DebugSharedMutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& entry : user_cache_) {
+    total += sizeof(float) *
+             (static_cast<size_t>(entry.second.embedding.size()) +
+              static_cast<size_t>(entry.second.latent.size()));
+  }
+  // The quantized cache's reps at 4 bytes per element: what the same users
+  // would cost had they been cached in FP32 (int8 mode leaves user_cache_
+  // cold, so this term is the denominator-free half of the memory ratio).
+  for (const auto& entry : user_q_cache_) {
+    total += sizeof(float) * (entry.second.embedding.values.size() +
+                              entry.second.latent.values.size());
+  }
+  return total;
+}
+
+void InferenceEngine::set_score_mode(ScoreMode mode) {
+  std::unique_lock<DebugSharedMutex> lock(mu_);
+  score_mode_ = mode;
+}
+
+ScoreMode InferenceEngine::score_mode() const {
+  std::shared_lock<DebugSharedMutex> lock(mu_);
+  return score_mode_;
+}
+
+void InferenceEngine::set_int8_config(const Int8Config& config) {
+  GROUPSA_CHECK(config.rerank_k >= 1, "int8 rerank_k must be positive");
+  std::unique_lock<DebugSharedMutex> lock(mu_);
+  int8_config_ = config;
+}
+
+Int8Config InferenceEngine::int8_config() const {
+  std::shared_lock<DebugSharedMutex> lock(mu_);
+  return int8_config_;
 }
 
 InferenceEngine::UserRep InferenceEngine::BuildUserRep(
@@ -470,6 +466,324 @@ std::vector<std::pair<data::ItemId, double>> InferenceEngine::IvfTopKGroup(
   return TopKItems(candidates, scores, k, skip);
 }
 
+// ---------------- int8 internals (ScoreMode::kInt8) ----------------------
+
+InferenceEngine::QuantState InferenceEngine::BuildQuantState() const {
+  QuantState qs;
+  const Matrix& item_table = model_->item_embedding().table()->value();
+  qs.items = QuantizeRows(item_table);
+  qs.ref_item = ColMeans(item_table);
+  const Matrix* latent_table = ModelLatentTable();
+  if (latent_table != nullptr) {
+    qs.latents = QuantizeRows(*latent_table);
+    qs.ref_latent = ColMeans(*latent_table);
+  } else {
+    // Latent concat rows fall back to the item embedding (the Group-I
+    // behaviour in ScoreBatchUser), so the linearization point does too.
+    qs.ref_latent = qs.ref_item;
+  }
+  return qs;
+}
+
+std::shared_ptr<const InferenceEngine::QuantState>
+InferenceEngine::GetQuantState() {
+  Revalidate();
+  {
+    std::shared_lock<DebugSharedMutex> lock(mu_);
+    if (quant_ != nullptr) return quant_;
+  }
+  auto state = std::make_shared<const QuantState>(BuildQuantState());
+  std::unique_lock<DebugSharedMutex> lock(mu_);
+  // Concurrent misses build identical states; the first insert wins.
+  if (quant_ == nullptr) quant_ = std::move(state);
+  return quant_;
+}
+
+InferenceEngine::QuantUserRep InferenceEngine::GetQuantUserRep(
+    data::UserId user) {
+  Revalidate();
+  {
+    std::shared_lock<DebugSharedMutex> lock(mu_);
+    auto it = user_q_cache_.find(user);
+    if (it != user_q_cache_.end()) return it->second;
+  }
+  const UserRep fp = BuildUserRep(user);
+  QuantUserRep rep;
+  rep.embedding = QuantizeRows(fp.embedding);
+  if (!fp.latent.empty()) rep.latent = QuantizeRows(fp.latent);
+  {
+    std::unique_lock<DebugSharedMutex> lock(mu_);
+    // Concurrent misses build identical reps; the first insert wins.
+    user_q_cache_.emplace(user, rep);
+  }
+  return rep;
+}
+
+InferenceEngine::QuantGroupRep InferenceEngine::GetQuantGroupRep(
+    data::GroupId group) {
+  Revalidate();
+  {
+    std::shared_lock<DebugSharedMutex> lock(mu_);
+    auto it = group_q_cache_.find(group);
+    if (it != group_q_cache_.end()) return it->second;
+  }
+  const GroupRep fp =
+      BuildMembersRep(model_->model_data().groups->Members(group));
+  QuantGroupRep rep;
+  rep.member_reps = QuantizeRows(fp.member_reps);
+  {
+    std::unique_lock<DebugSharedMutex> lock(mu_);
+    group_q_cache_.emplace(group, rep);
+  }
+  return rep;
+}
+
+InferenceEngine::UserRep InferenceEngine::DequantizeUserRep(
+    const QuantUserRep& q) {
+  UserRep rep;
+  rep.embedding = q.embedding.Dequantize();
+  if (!q.latent.empty()) rep.latent = q.latent.Dequantize();
+  return rep;
+}
+
+InferenceEngine::GroupRep InferenceEngine::DequantizeGroupRep(
+    const QuantGroupRep& q) {
+  GroupRep rep;
+  rep.member_reps = q.member_reps.Dequantize();
+  return rep;
+}
+
+tensor::Matrix InferenceEngine::TowerInputGradient(const nn::Mlp& mlp,
+                                                   const tensor::Matrix& x0) {
+  const int num_layers = mlp.num_layers();
+  // Forward, recording each layer's pre-activation: the backward pass below
+  // evaluates every activation derivative there (the frozen-mask
+  // linearization — for ReLU towers this is exactly "gradient with the ReLU
+  // masks frozen at x0").
+  std::vector<Matrix> pre(static_cast<size_t>(num_layers));
+  Matrix x = x0;
+  for (int i = 0; i < num_layers; ++i) {
+    Matrix y;
+    tensor::Gemm(x, /*transpose_a=*/false, mlp.layer(i).weight()->value(),
+                 /*transpose_b=*/false, 1.0f, &y);
+    if (mlp.layer(i).bias() != nullptr)
+      tensor::AddRowBroadcastInPlace(&y, mlp.layer(i).bias()->value());
+    pre[static_cast<size_t>(i)] = y;
+    ActivateInPlace(&y, i + 1 == num_layers ? mlp.output_activation()
+                                            : mlp.hidden_activation());
+    x = y;
+  }
+  // Backward: v <- (v . act'(pre_i)) * W_i^T, starting from d(out)/d(out)=1.
+  Matrix v(1, 1);
+  v.At(0, 0) = 1.0f;
+  for (int i = num_layers - 1; i >= 0; --i) {
+    const nn::Activation act = i + 1 == num_layers ? mlp.output_activation()
+                                                   : mlp.hidden_activation();
+    const Matrix& p = pre[static_cast<size_t>(i)];
+    for (int j = 0; j < v.cols(); ++j) v.At(0, j) *= ActDeriv(act, p.At(0, j));
+    Matrix prev;
+    tensor::Gemm(v, /*transpose_a=*/false, mlp.layer(i).weight()->value(),
+                 /*transpose_b=*/true, 1.0f, &prev);
+    v = prev;
+  }
+  return v;  // 1 x in_dim
+}
+
+void InferenceEngine::ApproxScoresUser(const UserRep& rep,
+                                       const QuantState& qs,
+                                       const std::vector<data::ItemId>& items,
+                                       std::vector<double>* out) const {
+  out->assign(items.size(), 0.0);
+  const int n = static_cast<int>(items.size());
+  if (n == 0 || qs.items.empty()) return;
+  const int d = qs.items.cols;
+  Workspace& ws = GetWorkspace();
+  const tensor::KernelBackend& kb = tensor::ActiveBackend();
+  const float blend = model_->config().effective_user_blend();
+  const bool blended = !rep.latent.empty() && blend > 0.0f;
+
+  // r^R1 direction: d(tower)/d(emb_t) at [emb_j (+) ref_item]; the item half
+  // is cols [d, 2d) of the input gradient.
+  tensor::ConcatColsInto({&rep.embedding, &qs.ref_item}, &ws.x0);
+  const Matrix g1 = TowerInputGradient(model_->user_tower().tower(), ws.x0);
+  ws.q1.resize(static_cast<size_t>(d));
+  const float s1 = QuantizeRow(g1.RowPtr(0) + d, d, ws.q1.data());
+  ws.i8dots.resize(items.size());
+  kb.dot_i8_rows(ws.q1.data(), qs.items.values.data(), items.data(), n, d,
+                 ws.i8dots.data());
+  const double w1 = blended ? 1.0 - static_cast<double>(blend) : 1.0;
+  for (int i = 0; i < n; ++i) {
+    (*out)[static_cast<size_t>(i)] =
+        w1 * static_cast<double>(s1) *
+        static_cast<double>(qs.items.scale(items[static_cast<size_t>(i)])) *
+        static_cast<double>(ws.i8dots[static_cast<size_t>(i)]);
+  }
+  if (!blended) return;
+
+  // r^R2 direction over the latent table (items fall back when absent).
+  const QuantizedRows& lat = qs.latents.empty() ? qs.items : qs.latents;
+  tensor::ConcatColsInto({&rep.latent, &qs.ref_latent}, &ws.x0);
+  const Matrix g2 = TowerInputGradient(model_->latent_tower().tower(), ws.x0);
+  ws.q2.resize(static_cast<size_t>(d));
+  const float s2 = QuantizeRow(g2.RowPtr(0) + d, d, ws.q2.data());
+  kb.dot_i8_rows(ws.q2.data(), lat.values.data(), items.data(), n, d,
+                 ws.i8dots.data());
+  const double w2 = static_cast<double>(blend);
+  for (int i = 0; i < n; ++i) {
+    (*out)[static_cast<size_t>(i)] +=
+        w2 * static_cast<double>(s2) *
+        static_cast<double>(lat.scale(items[static_cast<size_t>(i)])) *
+        static_cast<double>(ws.i8dots[static_cast<size_t>(i)]);
+  }
+}
+
+void InferenceEngine::ApproxScoresGroup(const GroupRep& rep,
+                                        const QuantState& qs,
+                                        const std::vector<data::ItemId>& items,
+                                        std::vector<double>* out) const {
+  out->assign(items.size(), 0.0);
+  const int n = static_cast<int>(items.size());
+  if (n == 0 || qs.items.empty()) return;
+  const int d = qs.items.cols;
+  Workspace& ws = GetWorkspace();
+  const Matrix& reps = rep.member_reps;  // l x d
+  const int l = reps.rows();
+  const nn::AttentionPool& pool = model_->voting().group_pool();
+  const nn::Linear& proj = model_->voting().group_proj();
+
+  // Group representation at the reference item, attention softmax frozen
+  // there: one [ref_item (+) rep_i] row per member through score_hidden /
+  // ReLU / score_out, softmax over members, pool, project.
+  EnsureShape(&ws.cont, l, 2 * d);
+  for (int i = 0; i < l; ++i) {
+    std::memcpy(ws.cont.RowPtr(i), qs.ref_item.RowPtr(0),
+                sizeof(float) * static_cast<size_t>(d));
+    std::memcpy(ws.cont.RowPtr(i) + d, reps.RowPtr(i),
+                sizeof(float) * static_cast<size_t>(d));
+  }
+  tensor::Gemm(ws.cont, /*transpose_a=*/false,
+               pool.score_hidden().weight()->value(), /*transpose_b=*/false,
+               1.0f, &ws.hidden);
+  if (pool.score_hidden().bias() != nullptr)
+    tensor::AddRowBroadcastInPlace(&ws.hidden,
+                                   pool.score_hidden().bias()->value());
+  ActivateInPlace(&ws.hidden, nn::Activation::kRelu);
+  tensor::Gemm(ws.hidden, /*transpose_a=*/false,
+               pool.score_out().weight()->value(), /*transpose_b=*/false, 1.0f,
+               &ws.logits);  // l x 1
+  if (pool.score_out().bias() != nullptr)
+    tensor::AddRowBroadcastInPlace(&ws.logits, pool.score_out().bias()->value());
+  EnsureShape(&ws.weights, 1, l);  // the l x 1 column, relaid out as a row
+  std::memcpy(ws.weights.data(), ws.logits.data(),
+              sizeof(float) * static_cast<size_t>(l));
+  tensor::SoftmaxRowsInPlace(&ws.weights);
+  tensor::Gemm(ws.weights, /*transpose_a=*/false, reps, /*transpose_b=*/false,
+               1.0f, &ws.pooled);  // 1 x d
+  tensor::Gemm(ws.pooled, /*transpose_a=*/false, proj.weight()->value(),
+               /*transpose_b=*/false, 1.0f, &ws.group_rep);
+  if (proj.bias() != nullptr)
+    tensor::AddRowBroadcastInPlace(&ws.group_rep, proj.bias()->value());
+  ActivateInPlace(&ws.group_rep, nn::Activation::kRelu);
+
+  // r^G direction: d(tower)/d(emb_t) at [x^G(ref) (+) ref_item].
+  tensor::ConcatColsInto({&ws.group_rep, &qs.ref_item}, &ws.x0);
+  const Matrix g = TowerInputGradient(model_->group_tower().tower(), ws.x0);
+  ws.q1.resize(static_cast<size_t>(d));
+  const float s = QuantizeRow(g.RowPtr(0) + d, d, ws.q1.data());
+  ws.i8dots.resize(items.size());
+  tensor::ActiveBackend().dot_i8_rows(ws.q1.data(), qs.items.values.data(),
+                                      items.data(), n, d, ws.i8dots.data());
+  for (int i = 0; i < n; ++i) {
+    (*out)[static_cast<size_t>(i)] =
+        static_cast<double>(s) *
+        static_cast<double>(qs.items.scale(items[static_cast<size_t>(i)])) *
+        static_cast<double>(ws.i8dots[static_cast<size_t>(i)]);
+  }
+}
+
+std::vector<std::pair<data::ItemId, double>> InferenceEngine::Int8TopKUser(
+    const UserRep& rep, int k,
+    const std::function<bool(data::ItemId)>& skip) {
+  const auto sw = GetSplitWeights();
+  const auto qs = GetQuantState();
+  std::vector<data::ItemId> candidates;
+  if (topk_mode() == TopKMode::kIvf) {
+    const auto ivf = GetIvfState();
+    if (ivf->index.nlist() == 0) return {};
+    const std::vector<double> coarse = ScoreBatchUser(
+        rep, AllItems(ivf->index.nlist()), *sw, ivf->centroid_table,
+        ivf->centroid_latents.empty() ? nullptr : &ivf->centroid_latents);
+    candidates =
+        ivf->index.Candidates(ivf->index.SelectProbes(coarse, /*nprobe=*/0));
+  } else {
+    candidates = AllItems(model_->num_items());
+  }
+  std::vector<double> approx;
+  ApproxScoresUser(rep, *qs, candidates, &approx);
+  const int rerank = std::max(k, int8_config().rerank_k);
+  const std::vector<std::pair<data::ItemId, double>> shortlist =
+      TopKItems(candidates, approx, rerank, skip);
+  std::vector<data::ItemId> ids;
+  ids.reserve(shortlist.size());
+  for (const auto& entry : shortlist) ids.push_back(entry.first);
+  const std::vector<double> exact = ScoreBatchUser(rep, ids, *sw);
+  return TopKItems(ids, exact, k, nullptr);  // shortlist already skip-filtered
+}
+
+std::vector<std::pair<data::ItemId, double>> InferenceEngine::Int8TopKGroup(
+    const GroupRep& rep, int k,
+    const std::function<bool(data::ItemId)>& skip) {
+  const auto sw = GetSplitWeights();
+  const auto qs = GetQuantState();
+  std::vector<data::ItemId> candidates;
+  if (topk_mode() == TopKMode::kIvf) {
+    const auto ivf = GetIvfState();
+    if (ivf->index.nlist() == 0) return {};
+    const std::vector<double> coarse =
+        ScoreBatchGroup(rep, AllItems(ivf->index.nlist()), *sw,
+                        ivf->centroid_table, ivf->centroid_prefix);
+    candidates =
+        ivf->index.Candidates(ivf->index.SelectProbes(coarse, /*nprobe=*/0));
+  } else {
+    candidates = AllItems(model_->num_items());
+  }
+  std::vector<double> approx;
+  ApproxScoresGroup(rep, *qs, candidates, &approx);
+  const int rerank = std::max(k, int8_config().rerank_k);
+  const std::vector<std::pair<data::ItemId, double>> shortlist =
+      TopKItems(candidates, approx, rerank, skip);
+  std::vector<data::ItemId> ids;
+  ids.reserve(shortlist.size());
+  for (const auto& entry : shortlist) ids.push_back(entry.first);
+  const std::vector<double> exact = ScoreBatchGroup(rep, ids, *sw);
+  return TopKItems(ids, exact, k, nullptr);  // shortlist already skip-filtered
+}
+
+std::vector<double> InferenceEngine::ApproxScoreItemsForUser(
+    data::UserId user, const std::vector<data::ItemId>& items) {
+  const UserRep rep = DequantizeUserRep(GetQuantUserRep(user));
+  const auto qs = GetQuantState();
+  std::vector<double> out;
+  ApproxScoresUser(rep, *qs, items, &out);
+  return out;
+}
+
+std::vector<double> InferenceEngine::QuantScoreItemsForUser(
+    data::UserId user, const std::vector<data::ItemId>& items) {
+  const UserRep rep = DequantizeUserRep(GetQuantUserRep(user));
+  return ScoreBatchUser(rep, items, *GetSplitWeights());
+}
+
+std::vector<double> InferenceEngine::QuantScoreCentroidsForUser(
+    data::UserId user) {
+  const UserRep rep = DequantizeUserRep(GetQuantUserRep(user));
+  const auto sw = GetSplitWeights();
+  const auto ivf = GetIvfState();
+  return ScoreBatchUser(
+      rep, AllItems(ivf->index.nlist()), *sw, ivf->centroid_table,
+      ivf->centroid_latents.empty() ? nullptr : &ivf->centroid_latents);
+}
+
 InferenceEngine::UserRep InferenceEngine::GetUserRep(data::UserId user) {
   Revalidate();
   {
@@ -610,7 +924,7 @@ std::vector<double> InferenceEngine::ScoreBatchGroup(
   const int h = attn_prefix.cols();
   const nn::AttentionPool& pool = model_->voting().group_pool();
   const nn::Linear& proj = model_->voting().group_proj();
-  const bool fused = h <= kMaxFusedHidden;
+  const bool fused = h <= tensor::kMaxFusedHidden;
 
   if (fused) {
     // Precompute, per member, the addend rows rep_i[k] * W_bot[k][:] for the
@@ -661,22 +975,10 @@ std::vector<double> InferenceEngine::ScoreBatchGroup(
     // after each full accumulation as in nn::Linear.
     EnsureShape(&ws.weights, c, l);
     if (fused) {
-      switch (h) {
-        case 32:
-          FusedAttentionLogits<32>(attn_prefix, ids, c, l, ws.addends,
-                                   ws.nz, ws.nz_begin, hb, wout, has_ob,
-                                   out_b, &ws.weights);
-          break;
-        case 64:
-          FusedAttentionLogits<64>(attn_prefix, ids, c, l, ws.addends,
-                                   ws.nz, ws.nz_begin, hb, wout, has_ob,
-                                   out_b, &ws.weights);
-          break;
-        default:
-          FusedAttentionLogitsRuntime(attn_prefix, ids, c, l, h,
-                                      ws.addends, ws.nz, ws.nz_begin, hb,
-                                      wout, has_ob, out_b, &ws.weights);
-      }
+      tensor::ActiveBackend().attention_logits(attn_prefix, ids, c, l, h,
+                                               ws.addends, ws.nz, ws.nz_begin,
+                                               hb, wout, has_ob, out_b,
+                                               &ws.weights);
     } else {
       // Buffered fallback for wide attention layers: seed rows with the item
       // prefix, continue via Gemm(accumulate) over the tiled member reps.
@@ -774,6 +1076,8 @@ std::vector<std::pair<data::ItemId, double>> InferenceEngine::RecommendForUser(
   const auto skip = [&](data::ItemId item) {
     return exclude != nullptr && exclude->Has(user, item);
   };
+  if (score_mode() == ScoreMode::kInt8)
+    return Int8TopKUser(DequantizeUserRep(GetQuantUserRep(user)), k, skip);
   if (topk_mode() == TopKMode::kIvf)
     return IvfTopKUser(GetUserRep(user), k, skip);
   const std::vector<double> scores =
@@ -787,6 +1091,8 @@ InferenceEngine::RecommendForGroup(data::GroupId group, int k,
   const auto skip = [&](data::ItemId item) {
     return exclude != nullptr && exclude->Has(group, item);
   };
+  if (score_mode() == ScoreMode::kInt8)
+    return Int8TopKGroup(DequantizeGroupRep(GetQuantGroupRep(group)), k, skip);
   if (topk_mode() == TopKMode::kIvf)
     return IvfTopKGroup(GetGroupRep(group), k, skip);
   const std::vector<double> scores =
@@ -804,6 +1110,13 @@ InferenceEngine::RecommendForMembers(const std::vector<data::UserId>& members,
       if (exclude->Has(member, item)) return true;
     return false;
   };
+  if (score_mode() == ScoreMode::kInt8) {
+    // Ad-hoc member lists have no cache key: the voting-stack rep is built
+    // in FP32 per request (as in exact mode); the int8 scan still replaces
+    // the full-catalog FP32 pass.
+    Revalidate();
+    return Int8TopKGroup(BuildMembersRep(members), k, skip);
+  }
   if (topk_mode() == TopKMode::kIvf) {
     Revalidate();
     return IvfTopKGroup(BuildMembersRep(members), k, skip);

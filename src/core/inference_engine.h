@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "core/groupsa_model.h"
 #include "core/item_index.h"
+#include "core/quantized.h"
 
 namespace groupsa::core {
 
@@ -155,6 +156,62 @@ class InferenceEngine {
   std::vector<double> ScoreCentroidsForMembers(
       const std::vector<data::UserId>& members);
 
+  // ---------------- Quantized serving (ScoreMode::kInt8) -----------------
+  // Opt-in int8 candidate scan for the Recommend* entry points. Under kInt8
+  // the engine caches per-entity representations ROW-QUANTIZED (d + 4 bytes
+  // per d-column row instead of 4d — the serving-memory win), scans the
+  // catalog (or, composing with TopKMode::kIvf, the IVF candidate union)
+  // with an int8 x int8 -> int32 dot against the quantized item tables, and
+  // re-ranks the best Int8Config::rerank_k survivors through the exact FP32
+  // towers. Returned scores therefore always carry exact-path bits for the
+  // dequantized cached representation; only WHICH items reach the final
+  // re-rank is approximate.
+  //
+  // The scan direction is a first-order linearization of the predictor
+  // tower: the gradient of the tower output with respect to its item-side
+  // input, taken at the catalog-mean reference item with the activation
+  // (ReLU) masks frozen there. That gradient is a per-request 1 x d vector;
+  // quantizing it per request is O(d) while the big item-side tables are
+  // quantized once per parameter version in GetQuantState().
+  //
+  // Ad-hoc member lists (RecommendForMembers) have no cache key, so their
+  // voting-stack representation is built in FP32 per request as in exact
+  // mode; the int8 scan still replaces the full-catalog FP32 pass.
+  // Setters are setup-time calls: they must not race with in-flight scoring.
+  void set_score_mode(ScoreMode mode);
+  ScoreMode score_mode() const;
+  void set_int8_config(const Int8Config& config);
+  Int8Config int8_config() const;
+
+  // Quantized item-side tables plus the reference rows the linearization is
+  // taken at; cached per parameter version exactly like the IVF state. Call
+  // eagerly (the serve daemon does, while constructing a generation) to keep
+  // the table quantization off the request path.
+  struct QuantState {
+    QuantizedRows items;       // item-embedding table, row-quantized
+    QuantizedRows latents;     // user-modeling item-space table, or empty
+    tensor::Matrix ref_item;   // 1 x d catalog mean of the item table
+    tensor::Matrix ref_latent;  // 1 x d mean of the latent table (or ref_item)
+    size_t MemoryBytes() const {
+      return items.MemoryBytes() + latents.MemoryBytes();
+    }
+  };
+  std::shared_ptr<const QuantState> GetQuantState();
+
+  // Raw int8-scan scores (approximate, for ranking only: constant offsets
+  // are dropped). Public for the quality tests and for external re-rankers
+  // (FastGroupRecommender) that shortlist with the same scan.
+  std::vector<double> ApproxScoreItemsForUser(
+      data::UserId user, const std::vector<data::ItemId>& items);
+  // Exact FP32 tower scores over the DEQUANTIZED quantized-cached user
+  // representation — the int8 re-rank path; bit-identical to
+  // ScoreItemsForUser whenever quantization round-trips the rep exactly.
+  std::vector<double> QuantScoreItemsForUser(
+      data::UserId user, const std::vector<data::ItemId>& items);
+  // IVF coarse stage over the quantized-cached rep (exact centroid scoring,
+  // like ScoreCentroidsForUser, without touching the FP32 rep cache).
+  std::vector<double> QuantScoreCentroidsForUser(data::UserId user);
+
   // Drops every cached representation immediately. Never required for
   // correctness (version stamping already fences parameter updates); useful
   // to reclaim memory at epoch boundaries.
@@ -166,6 +223,15 @@ class InferenceEngine {
   // Cache introspection (tests, ops counters).
   size_t cached_users() const;
   size_t cached_groups() const;
+  size_t cached_quant_users() const;
+  size_t cached_quant_groups() const;
+  // Payload bytes behind the int8 memory gate: QuantUserCacheBytes is the
+  // quantized user-rep cache as stored; Fp32UserCacheBytes is the FP32 cost
+  // of the same cached users — the live FP32 cache plus 4 bytes per element
+  // for every quantized-cached rep (which int8 mode keeps out of the FP32
+  // cache; that avoidance is the memory win the ratio measures).
+  size_t QuantUserCacheBytes() const;
+  size_t Fp32UserCacheBytes() const;
 
  private:
   // Item-independent per-user state: emb_j^U and (when user modeling is on)
@@ -259,6 +325,48 @@ class InferenceEngine {
       const GroupRep& rep, int k,
       const std::function<bool(data::ItemId)>& skip);
 
+  // ---------------- int8 internals (ScoreMode::kInt8) --------------------
+  // Row-quantized twins of UserRep/GroupRep; what the int8-mode caches hold.
+  struct QuantUserRep {
+    QuantizedRows embedding;  // 1 x d
+    QuantizedRows latent;     // 1 x d, or empty
+  };
+  struct QuantGroupRep {
+    QuantizedRows member_reps;  // l x d
+  };
+  // Cached lookup, building (FP32, transient) and quantizing on miss. The
+  // FP32 caches are NOT populated on this path — that is the memory win.
+  QuantUserRep GetQuantUserRep(data::UserId user);
+  QuantGroupRep GetQuantGroupRep(data::GroupId group);
+  static UserRep DequantizeUserRep(const QuantUserRep& q);
+  static GroupRep DequantizeGroupRep(const QuantGroupRep& q);
+
+  QuantState BuildQuantState() const;
+
+  // Gradient of the MLP output (1 x 1) with respect to its input row, taken
+  // at x0 with every activation derivative evaluated there (the frozen-mask
+  // linearization). Returns 1 x in_dim.
+  static tensor::Matrix TowerInputGradient(const nn::Mlp& mlp,
+                                           const tensor::Matrix& x0);
+
+  // int8 scan scores of `items` (ids into the quantized tables) for a
+  // prebuilt FP32 representation; ranking-only values (offsets dropped).
+  void ApproxScoresUser(const UserRep& rep, const QuantState& qs,
+                        const std::vector<data::ItemId>& items,
+                        std::vector<double>* out) const;
+  void ApproxScoresGroup(const GroupRep& rep, const QuantState& qs,
+                         const std::vector<data::ItemId>& items,
+                         std::vector<double>* out) const;
+
+  // int8 top-K: candidates (catalog, or IVF union when topk_mode() is kIvf)
+  // -> int8 scan -> top rerank_k shortlist -> exact FP32 re-rank -> top k.
+  std::vector<std::pair<data::ItemId, double>> Int8TopKUser(
+      const UserRep& rep, int k,
+      const std::function<bool(data::ItemId)>& skip);
+  std::vector<std::pair<data::ItemId, double>> Int8TopKGroup(
+      const GroupRep& rep, int k,
+      const std::function<bool(data::ItemId)>& skip);
+
   // Drops all caches when the parameter version moved; returns the current
   // version.
   uint64_t Revalidate();
@@ -288,6 +396,14 @@ class InferenceEngine {
   ItemIndexConfig index_config_ GROUPSA_GUARDED_BY(mu_);
   // reset on version change
   std::shared_ptr<const IvfState> ivf_ GROUPSA_GUARDED_BY(mu_);
+  ScoreMode score_mode_ GROUPSA_GUARDED_BY(mu_) = ScoreMode::kExact;
+  Int8Config int8_config_ GROUPSA_GUARDED_BY(mu_);
+  // reset on version change
+  std::shared_ptr<const QuantState> quant_ GROUPSA_GUARDED_BY(mu_);
+  std::unordered_map<data::UserId, QuantUserRep> user_q_cache_
+      GROUPSA_GUARDED_BY(mu_);
+  std::unordered_map<data::GroupId, QuantGroupRep> group_q_cache_
+      GROUPSA_GUARDED_BY(mu_);
 };
 
 }  // namespace groupsa::core

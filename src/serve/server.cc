@@ -68,6 +68,13 @@ Status Server::BuildGeneration(const std::string& checkpoint_path,
     // still serving; the swap publishes a generation whose index is warm.
     engine->GetOrBuildIndex();
   }
+  if (engine != nullptr && config_.score == core::ScoreMode::kInt8) {
+    engine->set_int8_config(config_.int8);
+    engine->set_score_mode(core::ScoreMode::kInt8);
+    // Same eager-build contract as the IVF index: quantize the item tables
+    // before the swap so no request thread ever pays for it.
+    engine->GetQuantState();
+  }
   gen->model = std::move(model);
   gen->fallback = std::make_unique<core::FallbackRecommender>(
       engine, popularity_, num_items_);

@@ -19,6 +19,7 @@
 #include "core/fallback_recommender.h"
 #include "core/groupsa_model.h"
 #include "core/item_index.h"
+#include "core/quantized.h"
 #include "data/interaction_matrix.h"
 #include "data/types.h"
 #include "serve/circuit_breaker.h"
@@ -193,6 +194,12 @@ struct ServeConfig {
   // keep their zero-dropped-requests guarantee.
   core::TopKMode topk = core::TopKMode::kExact;
   core::ItemIndexConfig index;  // build/query knobs when topk == kIvf
+  // Candidate-scan precision for every generation's engine. Under kInt8 the
+  // quantized item tables are built EAGERLY inside BuildGeneration — same
+  // contract as the IVF index above: never on a request thread, and hot
+  // reloads keep the zero-dropped-requests guarantee. Composes with kIvf.
+  core::ScoreMode score = core::ScoreMode::kExact;
+  core::Int8Config int8;  // scan/re-rank knobs when score == kInt8
 
   // ---- Resilience knobs (all off by default: with none of them set the
   // server behaves exactly like the pre-resilience pipeline). ----

@@ -1,0 +1,121 @@
+#include "tensor/backend.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "tensor/backends/backends.h"
+
+namespace groupsa::tensor {
+namespace {
+
+std::string JoinNames(const std::vector<const KernelBackend*>& backends) {
+  std::string out;
+  for (const KernelBackend* b : backends) {
+    if (!out.empty()) out += " ";
+    out += b->name;
+  }
+  return out;
+}
+
+std::string RunnableNames() {
+  std::vector<const KernelBackend*> runnable;
+  for (const KernelBackend* b : CompiledBackends())
+    if (b->runnable()) runnable.push_back(b);
+  return JoinNames(runnable);
+}
+
+// The forced backend (env override, SelectBackendByName, or the test hook);
+// nullptr means "use the automatic choice". Atomic so concurrent kernel
+// entry points read it without a lock; writes are setup-time only.
+std::atomic<const KernelBackend*> g_forced{nullptr};
+
+const KernelBackend* FindByName(const std::string& name) {
+  for (const KernelBackend* b : CompiledBackends())
+    if (name == b->name) return b;
+  return nullptr;
+}
+
+// Selects once, honoring GROUPSA_KERNEL_BACKEND, and logs the choice. The
+// magic static makes the selection (and its log line) happen exactly once
+// even under concurrent first use.
+const KernelBackend* AutomaticBackend() {
+  static const KernelBackend* const selected = [] {
+    const char* env = std::getenv("GROUPSA_KERNEL_BACKEND");
+    const KernelBackend* chosen = nullptr;
+    if (env != nullptr && env[0] != '\0') {
+      const KernelBackend* named = FindByName(env);
+      const std::string err =
+          StrFormat("GROUPSA_KERNEL_BACKEND=%s is not a runnable backend on "
+                    "this machine (compiled: %s; runnable: %s)",
+                    env, JoinNames(CompiledBackends()).c_str(),
+                    RunnableNames().c_str());
+      GROUPSA_CHECK(named != nullptr && named->runnable(), err.c_str());
+      chosen = named;
+    } else {
+      // Widest runnable wins: CompiledBackends() is ordered scalar -> avx2
+      // -> avx512, and scalar always runs.
+      for (const KernelBackend* b : CompiledBackends())
+        if (b->runnable()) chosen = b;
+    }
+    LogInfo(StrFormat("kernel dispatch: cpu [%s], compiled [%s], selected "
+                      "%s%s",
+                      DetectedCpuFeatures().c_str(),
+                      JoinNames(CompiledBackends()).c_str(), chosen->name,
+                      env != nullptr && env[0] != '\0'
+                          ? " (GROUPSA_KERNEL_BACKEND override)"
+                          : ""));
+    return chosen;
+  }();
+  return selected;
+}
+
+}  // namespace
+
+const std::vector<const KernelBackend*>& CompiledBackends() {
+  static const std::vector<const KernelBackend*> all = [] {
+    std::vector<const KernelBackend*> list;
+    list.push_back(&backends::ScalarBackend());
+#if defined(GROUPSA_HAVE_AVX2_BACKEND)
+    list.push_back(&backends::Avx2Backend());
+#endif
+#if defined(GROUPSA_HAVE_AVX512_BACKEND)
+    list.push_back(&backends::Avx512Backend());
+#endif
+    return list;
+  }();
+  return all;
+}
+
+const KernelBackend& ActiveBackend() {
+  const KernelBackend* forced = g_forced.load(std::memory_order_acquire);
+  if (forced != nullptr) return *forced;
+  return *AutomaticBackend();
+}
+
+const char* ActiveBackendName() { return ActiveBackend().name; }
+
+std::string DetectedCpuFeatures() {
+  __builtin_cpu_init();
+  std::string features = "sse2";
+  if (__builtin_cpu_supports("avx") != 0) features += " avx";
+  if (__builtin_cpu_supports("avx2") != 0) features += " avx2";
+  if (__builtin_cpu_supports("avx512f") != 0) features += " avx512f";
+  return features;
+}
+
+bool SelectBackendByName(const std::string& name) {
+  const KernelBackend* b = FindByName(name);
+  if (b == nullptr || !b->runnable()) return false;
+  g_forced.store(b, std::memory_order_release);
+  return true;
+}
+
+void SetBackendForTest(const KernelBackend* backend) {
+  g_forced.store(backend, std::memory_order_release);
+}
+
+}  // namespace groupsa::tensor

@@ -1,0 +1,22 @@
+#ifndef GROUPSA_TENSOR_BACKENDS_BACKENDS_H_
+#define GROUPSA_TENSOR_BACKENDS_BACKENDS_H_
+
+#include "tensor/backend.h"
+
+// Accessors for the per-ISA kernel variants. Internal to groupsa_tensor:
+// the GROUPSA_HAVE_*_BACKEND macros are defined by src/CMakeLists.txt for
+// exactly the TUs that were compiled in, so this header and
+// tensor/backend.cc always agree on what exists.
+namespace groupsa::tensor::backends {
+
+const KernelBackend& ScalarBackend();
+#if defined(GROUPSA_HAVE_AVX2_BACKEND)
+const KernelBackend& Avx2Backend();
+#endif
+#if defined(GROUPSA_HAVE_AVX512_BACKEND)
+const KernelBackend& Avx512Backend();
+#endif
+
+}  // namespace groupsa::tensor::backends
+
+#endif  // GROUPSA_TENSOR_BACKENDS_BACKENDS_H_

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/thread_pool.h"
+#include "tensor/backend.h"
 
 namespace groupsa::tensor {
 namespace {
@@ -14,161 +15,11 @@ namespace {
 constexpr int64_t kGemmParallelWork = 1 << 18;       // m * n * k
 constexpr int64_t kElementwiseParallelWork = 1 << 20;
 
-// Width of the output-column tile the no-transpose-b kernel accumulates in
-// locals. 32 floats fit the register file after vectorization and cover the
-// model's layer widths (d = attention_hidden = 32) in one tile.
-constexpr int kGemmColTile = 32;
-// Rows processed together in the full-tile path. One row in flight leaves
-// the k-loop as a single dependent add chain per vector lane, stalling on
-// add latency; four rows give four independent chains and share each b-row
-// load. 4 x 32 accumulators still fit the vector register file.
-constexpr int kGemmRowTile = 4;
-
-// One column tile of the no-transpose-b kernel: rows [row_begin, row_end) of
-// out columns [j0, j0 + JT). JT is a compile-time width so the accumulator
-// tiles vectorize into registers; kGemmRowTile rows run together so their
-// independent add chains pipeline instead of stalling on add latency. Every
-// out[i][j] is still seeded from its current value and accumulates
-// alpha*a[i][k]*b[k][j] for k ascending — bit-identical to a one-row,
-// runtime-width loop.
-template <int JT>
-void GemmColTileRows(const Matrix& a, bool transpose_a, const Matrix& b,
-                     float alpha, Matrix* out, int k, int j0, int row_begin,
-                     int row_end) {
-  int i = row_begin;
-  for (; i + kGemmRowTile <= row_end; i += kGemmRowTile) {
-    float acc[kGemmRowTile][JT];
-    for (int r = 0; r < kGemmRowTile; ++r) {
-      const float* out_row = out->RowPtr(i + r) + j0;
-      for (int j = 0; j < JT; ++j) acc[r][j] = out_row[j];
-    }
-    for (int kk = 0; kk < k; ++kk) {
-      const float* b_row = b.RowPtr(kk) + j0;
-      for (int r = 0; r < kGemmRowTile; ++r) {
-        const float a_ik =
-            alpha * (transpose_a ? a.At(kk, i + r) : a.At(i + r, kk));
-        for (int j = 0; j < JT; ++j) acc[r][j] += a_ik * b_row[j];
-      }
-    }
-    for (int r = 0; r < kGemmRowTile; ++r) {
-      float* out_row = out->RowPtr(i + r) + j0;
-      for (int j = 0; j < JT; ++j) out_row[j] = acc[r][j];
-    }
-  }
-  for (; i < row_end; ++i) {
-    float* out_row = out->RowPtr(i) + j0;
-    float acc[JT];
-    for (int j = 0; j < JT; ++j) acc[j] = out_row[j];
-    for (int kk = 0; kk < k; ++kk) {
-      const float a_ik = alpha * (transpose_a ? a.At(kk, i) : a.At(i, kk));
-      const float* b_row = b.RowPtr(kk) + j0;
-      for (int j = 0; j < JT; ++j) acc[j] += a_ik * b_row[j];
-    }
-    for (int j = 0; j < JT; ++j) out_row[j] = acc[j];
-  }
-}
-
-// Computes output rows [row_begin, row_end) of out = alpha * op(a) * op(b).
-// i-k-j loop order keeps the inner loop contiguous for the common
-// no-transpose case; the transposed cases swap index roles. This is the one
-// kernel both the serial and the tiled parallel paths run, so a given output
-// row is always produced by the same instruction sequence.
-//
-// The no-transpose-b case tiles the output columns into a local accumulator
-// so the k-loop runs register-to-register instead of loading and storing
-// out_row once per term (~3x on the model's layer shapes). Tiling over j
-// does not touch the order of the k-accumulation each element sees, so the
-// results stay bit-identical to the straight i-k-j loop: every out[i][j] is
-// still seeded from its current value and accumulates alpha*a[i][k]*b[k][j]
-// for k ascending.
-//
-// The no-transpose-b paths accumulate zero a-elements' terms instead of
-// branching around them. The term is then +/-0.0f, and adding a signed zero
-// to the accumulator changes no bits: the accumulator is seeded from +0.0f
-// (or from a previous kernel output) and under round-to-nearest a sum is
-// -0.0f only when both operands are, so it can never itself be -0.0f. The
-// data-dependent skip branch, by contrast, is unpredictable on post-ReLU
-// inputs (~half the elements are exact zeros in no pattern) and its
-// mispredictions dominated these shapes. The transpose-b path keeps the
-// skip: its inner loop is long enough that a taken skip pays for the
-// branch.
-void GemmRows(const Matrix& a, bool transpose_a, const Matrix& b,
-              bool transpose_b, float alpha, Matrix* out, int k, int n,
-              int row_begin, int row_end) {
-  if (transpose_b) {
-    for (int i = row_begin; i < row_end; ++i) {
-      float* out_row = out->RowPtr(i);
-      for (int kk = 0; kk < k; ++kk) {
-        const float a_ik =
-            alpha * (transpose_a ? a.At(kk, i) : a.At(i, kk));
-        if (a_ik == 0.0f) continue;
-        for (int j = 0; j < n; ++j) out_row[j] += a_ik * b.At(j, kk);
-      }
-    }
-    return;
-  }
-  if (n == 1) {
-    // Single-column outputs (matrix-vector products, e.g. attention logits)
-    // are latency-bound: each output element is one sequential add chain, so
-    // one-at-a-time execution stalls on add latency. Keep eight independent
-    // chains in flight; each chain still accumulates its own terms with k
-    // ascending, so every element's result matches the generic path bit for
-    // bit.
-    const float* bcol = b.data();  // k x 1, contiguous
-    int i = row_begin;
-    for (; i + 8 <= row_end; i += 8) {
-      float acc[8];
-      for (int r = 0; r < 8; ++r) acc[r] = out->At(i + r, 0);
-      for (int kk = 0; kk < k; ++kk) {
-        const float bk = bcol[kk];
-        for (int r = 0; r < 8; ++r) {
-          const float a_ik =
-              alpha * (transpose_a ? a.At(kk, i + r) : a.At(i + r, kk));
-          acc[r] += a_ik * bk;
-        }
-      }
-      for (int r = 0; r < 8; ++r) out->At(i + r, 0) = acc[r];
-    }
-    for (; i < row_end; ++i) {
-      float acc = out->At(i, 0);
-      for (int kk = 0; kk < k; ++kk) {
-        const float a_ik =
-            alpha * (transpose_a ? a.At(kk, i) : a.At(i, kk));
-        acc += a_ik * bcol[kk];
-      }
-      out->At(i, 0) = acc;
-    }
-    return;
-  }
-  for (int j0 = 0; j0 < n; j0 += kGemmColTile) {
-    const int jt = std::min(kGemmColTile, n - j0);
-    // Fixed-width instantiations for the model's layer widths (32, 16, 8);
-    // other tail widths take the runtime-width single-row loop.
-    if (jt == 32) {
-      GemmColTileRows<32>(a, transpose_a, b, alpha, out, k, j0, row_begin,
-                          row_end);
-    } else if (jt == 16) {
-      GemmColTileRows<16>(a, transpose_a, b, alpha, out, k, j0, row_begin,
-                          row_end);
-    } else if (jt == 8) {
-      GemmColTileRows<8>(a, transpose_a, b, alpha, out, k, j0, row_begin,
-                         row_end);
-    } else {
-      for (int i = row_begin; i < row_end; ++i) {
-        float* out_row = out->RowPtr(i) + j0;
-        float acc[kGemmColTile];
-        for (int j = 0; j < jt; ++j) acc[j] = out_row[j];
-        for (int kk = 0; kk < k; ++kk) {
-          const float a_ik =
-              alpha * (transpose_a ? a.At(kk, i) : a.At(i, kk));
-          const float* b_row = b.RowPtr(kk) + j0;
-          for (int j = 0; j < jt; ++j) acc[j] += a_ik * b_row[j];
-        }
-        for (int j = 0; j < jt; ++j) out_row[j] = acc[j];
-      }
-    }
-  }
-}
+// The GEMM row kernel itself lives in tensor/backends/kernels.inc and is
+// compiled once per ISA; ActiveBackend() picks the variant for this machine.
+// All variants are bit-identical (see tensor/backend.h), so routing through
+// the dispatch table preserves every reproducibility contract the direct
+// call used to carry.
 
 // Shape-checks and prepares the destination; returns {m, k, n}.
 struct GemmShape {
@@ -195,17 +46,20 @@ void GemmSerial(const Matrix& a, bool transpose_a, const Matrix& b,
                 bool transpose_b, float alpha, Matrix* out, bool accumulate) {
   const GemmShape s = PrepareGemm(a, transpose_a, b, transpose_b, out,
                                   accumulate);
-  GemmRows(a, transpose_a, b, transpose_b, alpha, out, s.k, s.n, 0, s.m);
+  ActiveBackend().gemm_rows(a, transpose_a, b, transpose_b, alpha, out, s.k,
+                            s.n, 0, s.m);
 }
 
 void Gemm(const Matrix& a, bool transpose_a, const Matrix& b, bool transpose_b,
           float alpha, Matrix* out, bool accumulate) {
   const GemmShape s = PrepareGemm(a, transpose_a, b, transpose_b, out,
                                   accumulate);
+  const KernelBackend& kb = ActiveBackend();
   const int64_t work = int64_t{s.m} * s.k * s.n;
   const int threads = parallel::GlobalThreads();
   if (threads <= 1 || work < kGemmParallelWork || s.m < 2 * threads) {
-    GemmRows(a, transpose_a, b, transpose_b, alpha, out, s.k, s.n, 0, s.m);
+    kb.gemm_rows(a, transpose_a, b, transpose_b, alpha, out, s.k, s.n, 0,
+                 s.m);
     return;
   }
   // Tile over output rows: chunks write disjoint rows and each row is
@@ -213,8 +67,8 @@ void Gemm(const Matrix& a, bool transpose_a, const Matrix& b, bool transpose_b,
   // at any thread count.
   const int64_t grain = std::max<int64_t>(1, s.m / (4 * threads));
   parallel::ParallelFor(0, s.m, grain, [&](int64_t begin, int64_t end) {
-    GemmRows(a, transpose_a, b, transpose_b, alpha, out, s.k, s.n,
-             static_cast<int>(begin), static_cast<int>(end));
+    kb.gemm_rows(a, transpose_a, b, transpose_b, alpha, out, s.k, s.n,
+                 static_cast<int>(begin), static_cast<int>(end));
   });
 }
 

@@ -156,53 +156,120 @@ TEST(SourceLintTest, CollectUnorderedNamesFindsDeclarations) {
   EXPECT_EQ(names.count("seen"), 1u);
 }
 
-// ---------------- fp-contract / SIMD guard list ----------------
+// ---------------- fp-contract / simd-confined ----------------
 
+// A well-formed kernel-dispatch CMakeLists fragment: the guard flags carry
+// both no-contraction options and every backend TU receives them.
 constexpr char kGuardedCMake[] =
-    "set(GROUPSA_SIMD_SOURCES tensor/ops.cc core/inference_engine.cc)\n"
-    "set_source_files_properties(${GROUPSA_SIMD_SOURCES} PROPERTIES\n"
-    "  COMPILE_OPTIONS \"-mavx2;-mno-fma;-ffp-contract=off\")\n";
+    "set(GROUPSA_KERNEL_GUARD_FLAGS \"-mno-fma;-ffp-contract=off\")\n"
+    "set(GROUPSA_KERNEL_BACKEND_SOURCES tensor/backends/backend_scalar.cc)\n"
+    "set_source_files_properties(tensor/backends/backend_scalar.cc "
+    "PROPERTIES\n"
+    "  COMPILE_OPTIONS \"${GROUPSA_KERNEL_GUARD_FLAGS}\")\n"
+    "set_source_files_properties(tensor/backends/backend_avx2.cc "
+    "PROPERTIES\n"
+    "  COMPILE_OPTIONS \"-mavx2;${GROUPSA_KERNEL_GUARD_FLAGS}\")\n";
 
-TEST(SourceLintTest, UnguardedSimdFileIsFlagged) {
+TEST(SourceLintTest, GuardedKernelCMakeIsClean) {
+  EXPECT_TRUE(
+      LintSimdGuardList("src/CMakeLists.txt", kGuardedCMake, {}).empty());
+}
+
+TEST(SourceLintTest, SimdFileOutsideBackendsIsFlagged) {
+  const std::string content = ReadFixture("simd_confine.cc");
+  const std::vector<LintFinding> findings = LintSimdGuardList(
+      "src/CMakeLists.txt", kGuardedCMake,
+      {{"src/core/simd_confine.cc", content}});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "simd-confined");
+  EXPECT_EQ(findings[0].file, "src/core/simd_confine.cc");
+  EXPECT_EQ(findings[0].line, 3);  // the first __AVX2__ test
+  EXPECT_NE(findings[0].message.find("tensor/backends"), std::string::npos);
+}
+
+TEST(SourceLintTest, SimdFileInsideBackendsIsClean) {
+  // The backends directory matches at a path-component boundary, wherever
+  // the checkout lives; sibling names that merely share the prefix do not.
+  const std::string content = ReadFixture("simd_confine.cc");
+  EXPECT_TRUE(LintSimdGuardList(
+                  "src/CMakeLists.txt", kGuardedCMake,
+                  {{"src/tensor/backends/backend_avx2.cc", content},
+                   {"/repo/src/tensor/backends/kernels_avx512.cc", content}})
+                  .empty());
+  const std::vector<LintFinding> findings = LintSimdGuardList(
+      "src/CMakeLists.txt", kGuardedCMake,
+      {{"src/tensor/backends_util.cc", content}});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "simd-confined");
+}
+
+TEST(SourceLintTest, IntrinsicsFixtureIsAlsoConfined) {
+  // The older intrinsics-only fixture (no ISA #ifdef) still trips the rule
+  // via the immintrin.h include.
   const std::string content = ReadFixture("unguarded_simd.cc");
   const std::vector<LintFinding> findings = LintSimdGuardList(
       "src/CMakeLists.txt", kGuardedCMake,
       {{"src/math/unguarded_simd.cc", content}});
   ASSERT_EQ(findings.size(), 1u);
-  EXPECT_EQ(findings[0].rule, "fp-contract");
-  EXPECT_EQ(findings[0].file, "src/math/unguarded_simd.cc");
+  EXPECT_EQ(findings[0].rule, "simd-confined");
   EXPECT_EQ(findings[0].line, 3);  // the immintrin.h include
-  EXPECT_NE(findings[0].message.find("GROUPSA_SIMD_SOURCES"),
-            std::string::npos);
 }
 
-TEST(SourceLintTest, GuardedSimdFileIsClean) {
-  const std::string content = ReadFixture("unguarded_simd.cc");
-  const std::vector<LintFinding> findings = LintSimdGuardList(
-      "src/CMakeLists.txt", kGuardedCMake,
-      {{"src/tensor/ops.cc", content}});  // suffix-matches the guard entry
-  EXPECT_TRUE(findings.empty());
-}
-
-TEST(SourceLintTest, GuardListWithoutFpContractOffIsFlagged) {
+TEST(SourceLintTest, GuardFlagsWithoutFpContractOffAreFlagged) {
   const std::vector<LintFinding> findings = LintSimdGuardList(
       "src/CMakeLists.txt",
-      "set(GROUPSA_SIMD_SOURCES tensor/ops.cc)\n"
-      "set_source_files_properties(${GROUPSA_SIMD_SOURCES} PROPERTIES\n"
-      "  COMPILE_OPTIONS \"-mavx2\")\n",
+      "set(GROUPSA_KERNEL_GUARD_FLAGS \"-mno-fma\")\n"
+      "set_source_files_properties(tensor/backends/backend_scalar.cc "
+      "PROPERTIES\n"
+      "  COMPILE_OPTIONS \"${GROUPSA_KERNEL_GUARD_FLAGS}\")\n",
       {});
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule, "fp-contract");
+  EXPECT_EQ(findings[0].line, 1);
   EXPECT_NE(findings[0].message.find("-ffp-contract=off"),
             std::string::npos);
 }
 
-TEST(SourceLintTest, MissingGuardListIsFlagged) {
+TEST(SourceLintTest, MissingGuardFlagsAreFlagged) {
   const std::vector<LintFinding> findings = LintSimdGuardList(
       "src/CMakeLists.txt", "add_library(x a.cc)\n", {});
   ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "fp-contract");
   EXPECT_NE(findings[0].message.find("guard list not found"),
             std::string::npos);
+}
+
+TEST(SourceLintTest, BackendTuWithoutGuardFlagsIsFlagged) {
+  // backend_avx512.cc is named in the source list but never given the
+  // guard flags through set_source_files_properties.
+  const std::vector<LintFinding> findings = LintSimdGuardList(
+      "src/CMakeLists.txt",
+      "set(GROUPSA_KERNEL_GUARD_FLAGS \"-mno-fma;-ffp-contract=off\")\n"
+      "set(GROUPSA_KERNEL_BACKEND_SOURCES\n"
+      "    tensor/backends/backend_scalar.cc\n"
+      "    tensor/backends/backend_avx512.cc)\n"
+      "set_source_files_properties(tensor/backends/backend_scalar.cc "
+      "PROPERTIES\n"
+      "  COMPILE_OPTIONS \"${GROUPSA_KERNEL_GUARD_FLAGS}\")\n",
+      {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "fp-contract");
+  EXPECT_EQ(findings[0].line, 4);  // where backend_avx512.cc is named
+  EXPECT_NE(findings[0].message.find("backend_avx512.cc"),
+            std::string::npos);
+}
+
+TEST(SourceLintTest, RealKernelCMakeListsPassesTheGuardRule) {
+  // Pin the rule to the actual build file: a refactor that drops the guard
+  // flags from a backend TU must fail here before it reaches CI.
+  const std::string path =
+      std::string(GROUPSA_TESTDATA_DIR) + "/../../../src/CMakeLists.txt";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(
+      LintSimdGuardList("src/CMakeLists.txt", buffer.str(), {}).empty());
 }
 
 // ---------------- allowlist ----------------
@@ -225,6 +292,22 @@ TEST(AllowlistTest, ParsesEntriesAndComments) {
   EXPECT_FALSE(allow.Allows("src/common/failpoint.cc", "banned-rand"));
   // Suffix must start at a path component boundary.
   EXPECT_FALSE(allow.Allows("src/common/not_failpoint.cc.x", "raw-new-delete"));
+}
+
+TEST(AllowlistTest, DirectoryEntriesMatchEveryFileUnderneath) {
+  Allowlist allow;
+  const Status status =
+      Allowlist::Parse("tensor/backends/ simd-confined\n", &allow);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_TRUE(
+      allow.Allows("src/tensor/backends/backend_avx2.cc", "simd-confined"));
+  EXPECT_TRUE(allow.Allows("/repo/src/tensor/backends/deep/kern.h",
+                           "simd-confined"));
+  // The directory sequence must sit at a component boundary and must have
+  // something after it.
+  EXPECT_FALSE(allow.Allows("src/tensor/backends_util.cc", "simd-confined"));
+  EXPECT_FALSE(allow.Allows("src/xtensor/backends/k.cc", "simd-confined"));
+  EXPECT_FALSE(allow.Allows("src/tensor/backends/", "simd-confined"));
 }
 
 TEST(AllowlistTest, RejectsMalformedLine) {

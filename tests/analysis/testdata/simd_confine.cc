@@ -1,0 +1,17 @@
+// Lint fixture (never compiled): simd-confined rule. ISA-conditional code
+// and intrinsics outside src/tensor/backends/ must be flagged.
+#ifdef __AVX2__
+#include <immintrin.h>
+#endif
+
+void AddLanes(float* a, const float* b, int n) {
+#ifdef __AVX2__
+  for (int i = 0; i + 8 <= n; i += 8) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    _mm256_storeu_ps(a + i, _mm256_add_ps(va, vb));
+  }
+  n &= 7;
+#endif
+  for (int i = 0; i < n; ++i) a[i] += b[i];
+}

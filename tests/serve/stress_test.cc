@@ -247,6 +247,59 @@ TEST_F(StressTest, IvfReloadStormNeverDropsARequest) {
   EXPECT_GT(rig.server->stats().reloads, 0);
 }
 
+// The same storm with the int8 scan switched on: every generation builds
+// its quantized user/group rep caches eagerly inside BuildGeneration — off
+// the serving path, before the swap — so hot reloads must keep the
+// zero-dropped-requests guarantee, and every response must still bit-match
+// a direct same-config int8 engine call even while quantized-cache-bearing
+// generations swap underneath it.
+TEST_F(StressTest, Int8ReloadStormNeverDropsARequest) {
+  ServeConfig sc;
+  sc.workers = 4;
+  sc.queue_depth = 16;
+  sc.score = core::ScoreMode::kInt8;
+  ServeRig rig(sc);
+  // Mirror the daemon's scan precision on the oracle so Direct() is the
+  // same-bits int8 answer.
+  rig.oracle->inference().set_int8_config(sc.int8);
+  rig.oracle->inference().set_score_mode(core::ScoreMode::kInt8);
+  ASSERT_TRUE(rig.server->Start().ok());
+
+  std::atomic<bool> stop_reloads{false};
+  std::thread reloader([&] {
+    while (!stop_reloads.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(rig.server->Reload("<in-memory>").ok());
+    }
+  });
+
+  const std::vector<Request> schedule =
+      BuildSchedule(rig.Schedule(/*num_requests=*/160, /*seed=*/77));
+  DriveOptions options;
+  options.client_lanes = 4;
+  const DriveReport report = DriveSchedule(rig.server.get(), schedule, options);
+  stop_reloads.store(true, std::memory_order_relaxed);
+  reloader.join();
+
+  rig.server->Stop();
+  EXPECT_EQ(CheckConservation(report, rig.server->stats(), /*stopped=*/true),
+            "");
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const Response& r = report.responses[i];
+    ASSERT_FALSE(r.shed || r.rejected || r.degraded)
+        << FormatRequest(schedule[i]);
+    EXPECT_GE(r.generation, 1u);
+    const auto want = rig.Direct(schedule[i]);
+    ASSERT_EQ(r.items.size(), want.size()) << FormatRequest(schedule[i]);
+    for (size_t j = 0; j < want.size(); ++j) {
+      EXPECT_EQ(r.items[j].first, want[j].first);
+      EXPECT_EQ(std::memcmp(&r.items[j].second, &want[j].second,
+                            sizeof(double)),
+                0);
+    }
+  }
+  EXPECT_GT(rig.server->stats().reloads, 0);
+}
+
 // Byte-level reproducibility under concurrency: the same seeded schedule
 // driven at (1 lane, 1 worker) and (4 lanes, 4 workers) renders the exact
 // same drive transcript — responses are a pure function of the request.

@@ -1,0 +1,213 @@
+// Cross-backend bit-identity: every kernel backend compiled into this
+// binary (scalar, and avx2/avx512 when the toolchain provided them) must
+// return byte-identical results for every kernel in the dispatch table.
+// This is the gate behind the contract in tensor/backend.h — a backend
+// whose vectorization changed any accumulation order fails here long
+// before it could corrupt a training run.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "tensor/backend.h"
+#include "tensor/ops.h"
+
+namespace groupsa::tensor {
+namespace {
+
+Matrix RandomMatrix(int rows, int cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  m.FillGaussian(&rng, 0.0f, 1.0f);
+  return m;
+}
+
+// Bitwise comparison — the backend contract is 0 ULP, not approximate.
+void ExpectBitIdentical(const Matrix& a, const Matrix& b,
+                        const std::string& backend) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        sizeof(float) * static_cast<size_t>(a.rows()) *
+                            static_cast<size_t>(a.cols())),
+            0)
+      << "backend " << backend << " diverged from scalar";
+}
+
+std::vector<const KernelBackend*> RunnableBackends() {
+  std::vector<const KernelBackend*> runnable;
+  for (const KernelBackend* b : CompiledBackends())
+    if (b->runnable()) runnable.push_back(b);
+  return runnable;
+}
+
+TEST(KernelBackendTest, ScalarIsAlwaysCompiledAndRunnable) {
+  const std::vector<const KernelBackend*>& all = CompiledBackends();
+  ASSERT_FALSE(all.empty());
+  EXPECT_STREQ(all[0]->name, "scalar");
+  EXPECT_TRUE(all[0]->runnable());
+  EXPECT_NE(DetectedCpuFeatures().find("sse2"), std::string::npos);
+}
+
+TEST(KernelBackendTest, SelectByNameRoundTripsAndRejectsUnknown) {
+  const std::string before = ActiveBackendName();
+  for (const KernelBackend* b : RunnableBackends()) {
+    ASSERT_TRUE(SelectBackendByName(b->name));
+    EXPECT_STREQ(ActiveBackendName(), b->name);
+  }
+  EXPECT_FALSE(SelectBackendByName("sse9"));
+  ASSERT_TRUE(SelectBackendByName(before));
+  SetBackendForTest(nullptr);
+}
+
+struct GemmCase {
+  int m, k, n;
+  bool transpose_a, transpose_b;
+  float alpha;
+  bool accumulate;
+};
+
+// Runs one configuration through every compiled-and-runnable backend's
+// gemm_rows and checks bit parity against the scalar backend.
+void CheckGemmParity(const GemmCase& c) {
+  const std::vector<const KernelBackend*> backends = RunnableBackends();
+  const Matrix a = c.transpose_a ? RandomMatrix(c.k, c.m, 11)
+                                 : RandomMatrix(c.m, c.k, 11);
+  const Matrix b = c.transpose_b ? RandomMatrix(c.n, c.k, 22)
+                                 : RandomMatrix(c.k, c.n, 22);
+  const Matrix init = RandomMatrix(c.m, c.n, 33);
+  Matrix reference;
+  for (const KernelBackend* backend : backends) {
+    Matrix out(c.m, c.n);
+    if (c.accumulate) out = init;
+    backend->gemm_rows(a, c.transpose_a, b, c.transpose_b, c.alpha, &out,
+                       c.k, c.n, 0, c.m);
+    if (backend == backends.front()) {
+      reference = out;
+      continue;
+    }
+    ExpectBitIdentical(reference, out, backend->name);
+  }
+}
+
+TEST(KernelBackendTest, GemmParityAcrossBackends) {
+  const std::vector<GemmCase> cases = {
+      {96, 80, 112, false, false, 1.0f, false},
+      {96, 80, 112, false, true, 1.0f, false},
+      {96, 80, 112, true, false, 1.0f, false},
+      {96, 80, 112, true, true, 1.0f, false},
+      {67, 129, 255, false, false, 0.37f, true},  // odd dims + accumulate
+      {129, 63, 1, false, false, 1.0f, false},    // n == 1 eight-chain path
+      {5, 63, 1, false, false, 1.0f, false},      // n == 1 remainder rows
+      {33, 17, 32, false, false, 1.0f, false},    // exact col tile
+      {33, 17, 48, false, false, 1.0f, true},     // 32 + 16 tail
+      {33, 17, 41, true, false, -2.5f, false},    // runtime-width tail
+      {3, 5, 7, false, true, 2.0f, true},
+  };
+  for (const GemmCase& c : cases) CheckGemmParity(c);
+}
+
+TEST(KernelBackendTest, GemmSerialRoutesThroughForcedBackend) {
+  // End-to-end through the ops.cc entry points: forcing each backend must
+  // not change a single bit of GemmSerial or the parallel Gemm.
+  const Matrix a = RandomMatrix(96, 80, 44);
+  const Matrix b = RandomMatrix(80, 112, 55);
+  Matrix reference;
+  GemmSerial(a, false, b, false, 1.0f, &reference);
+  for (const KernelBackend* backend : RunnableBackends()) {
+    SetBackendForTest(backend);
+    Matrix serial;
+    GemmSerial(a, false, b, false, 1.0f, &serial);
+    ExpectBitIdentical(reference, serial, backend->name);
+    parallel::SetGlobalThreads(4);
+    Matrix parallel_out;
+    Gemm(a, false, b, false, 1.0f, &parallel_out);
+    parallel::SetGlobalThreads(1);
+    ExpectBitIdentical(reference, parallel_out, backend->name);
+  }
+  SetBackendForTest(nullptr);
+}
+
+// Attention-logit parity: random prefix/addend structure with a ragged
+// nonzero list per member, exercised at the fixed widths (32, 64) and a
+// runtime width.
+void CheckAttentionParity(int c, int l, int h, bool has_hb, bool has_ob) {
+  const std::vector<const KernelBackend*> backends = RunnableBackends();
+  const int num_rows = c + 3;  // prefix rows indexed via ids
+  const Matrix prefix = RandomMatrix(num_rows, h, 66);
+  const Matrix addends = RandomMatrix(l + 2, h, 77);
+  const Matrix hb_row = RandomMatrix(1, h, 88);
+  const Matrix wout_row = RandomMatrix(1, h, 99);
+  std::vector<int> ids(static_cast<size_t>(c));
+  for (int t = 0; t < c; ++t) ids[static_cast<size_t>(t)] = (t * 7 + 3) % num_rows;
+  // Member i adds rows {i, i+1, ...} of `addends`, a ragged prefix list.
+  std::vector<int> nz;
+  std::vector<int> nz_begin{0};
+  for (int i = 0; i < l; ++i) {
+    for (int j = 0; j <= i % 3; ++j) nz.push_back((i + j) % (l + 2));
+    nz_begin.push_back(static_cast<int>(nz.size()));
+  }
+  Matrix reference;
+  for (const KernelBackend* backend : backends) {
+    Matrix out(c, l);
+    backend->attention_logits(prefix, ids.data(), c, l, h, addends, nz,
+                              nz_begin, has_hb ? hb_row.data() : nullptr,
+                              wout_row.data(), has_ob, has_ob ? 0.125f : 0.0f,
+                              &out);
+    if (backend == backends.front()) {
+      reference = out;
+      continue;
+    }
+    ExpectBitIdentical(reference, out, backend->name);
+  }
+}
+
+TEST(KernelBackendTest, AttentionLogitParityAcrossBackends) {
+  CheckAttentionParity(/*c=*/23, /*l=*/9, /*h=*/32, true, true);   // tile + tail
+  CheckAttentionParity(/*c=*/16, /*l=*/5, /*h=*/64, false, true);  // wide fixed
+  CheckAttentionParity(/*c=*/7, /*l=*/4, /*h=*/17, true, false);   // runtime h
+  CheckAttentionParity(/*c=*/3, /*l=*/1, /*h=*/32, false, false);  // below tile
+}
+
+TEST(KernelBackendTest, Int8DotParityAndExactness) {
+  const int d = 32;
+  const int rows = 41;
+  Rng rng(123);
+  std::vector<int8_t> q(static_cast<size_t>(d));
+  std::vector<int8_t> table(static_cast<size_t>(rows * d));
+  for (int8_t& v : q)
+    v = static_cast<int8_t>(static_cast<int>(rng.NextU64() % 255) - 127);
+  for (int8_t& v : table)
+    v = static_cast<int8_t>(static_cast<int>(rng.NextU64() % 255) - 127);
+  std::vector<int> ids{0, 5, 40, 7, 7, 13};
+  // Naive reference: integer arithmetic, so exact equality is required of
+  // every backend (not merely parity).
+  const auto naive = [&](int row) {
+    int32_t acc = 0;
+    for (int j = 0; j < d; ++j)
+      acc += static_cast<int32_t>(q[static_cast<size_t>(j)]) *
+             static_cast<int32_t>(table[static_cast<size_t>(row * d + j)]);
+    return acc;
+  };
+  for (const KernelBackend* backend : RunnableBackends()) {
+    std::vector<int32_t> out(ids.size());
+    backend->dot_i8_rows(q.data(), table.data(), ids.data(),
+                         static_cast<int>(ids.size()), d, out.data());
+    for (size_t r = 0; r < ids.size(); ++r)
+      EXPECT_EQ(out[r], naive(ids[r])) << backend->name << " row " << r;
+    // nullptr ids: identity row mapping.
+    std::vector<int32_t> seq(static_cast<size_t>(rows));
+    backend->dot_i8_rows(q.data(), table.data(), nullptr, rows, d,
+                         seq.data());
+    for (int r = 0; r < rows; ++r)
+      EXPECT_EQ(seq[static_cast<size_t>(r)], naive(r)) << backend->name;
+  }
+}
+
+}  // namespace
+}  // namespace groupsa::tensor

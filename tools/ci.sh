@@ -22,6 +22,11 @@
 #   index         IVF retrieval gates: nprobe=nlist exact-parity (0-ULP vs
 #                 kExact), recall@10 on the seeded world, and the full
 #                 ItemIndex suite under ASan
+#   quant         kernel-dispatch + int8 gates: backend parity suite, the
+#                 int8 ranking-quality/memory gates, cross-backend training
+#                 checkpoints byte-identical at 1 and 4 threads (every
+#                 runnable backend via GROUPSA_KERNEL_BACKEND), and the
+#                 quantized suites under ASan
 #   chaos         resilience gates: the seeded chaos soak (byte-identical
 #                 transcripts at 1x1 vs 4x4 workers/threads, extended
 #                 conservation, breaker trip + recovery) and the resilience
@@ -43,8 +48,8 @@ if [ $# -gt 0 ] && [[ "$1" =~ ^[0-9]+$ ]]; then
 fi
 LANES=("$@")
 if [ ${#LANES[@]} -eq 0 ]; then
-  LANES=(plain lint locks tidy bench serving crash serve-golden index chaos
-         asan tsan ubsan)
+  LANES=(plain lint locks tidy bench serving crash serve-golden index quant
+         chaos asan tsan ubsan)
 fi
 
 # Configure a build tree only when its cache does not exist yet, so a lane
@@ -114,7 +119,9 @@ lane_locks() {
               src/common/failpoint.cc src/serve/circuit_breaker.cc \
               src/serve/server.cc src/core/inference_engine.cc; do
       echo "--- clang++ -Wthread-safety ${tu} ---"
-      clang++ -std=c++20 -fsyntax-only -Isrc -mavx2 -mno-fma \
+      # No SIMD flags needed: intrinsics are confined to the per-ISA TUs
+      # under src/tensor/backends/ (enforced by the simd-confined lint rule).
+      clang++ -std=c++20 -fsyntax-only -Isrc \
         -Wthread-safety -Werror=thread-safety "${tu}"
     done
   else
@@ -324,6 +331,55 @@ lane_index() {
     -R 'ItemIndex'
 }
 
+lane_quant() {
+  echo "=== quant lane (kernel-backend parity + int8 suites) ==="
+  ensure_build build -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "${JOBS}"
+  # Backend bit-identity on every kernel in the dispatch table, the int8
+  # quantizer edge cases, and the int8 serving-path gates (HR@10/NDCG@10
+  # within 1% of exact, >= 3.5x rep-cache memory reduction, invalidation
+  # after optimizer steps, IVF composition).
+  ctest --test-dir build --output-on-failure -j "${JOBS}" \
+    -R 'KernelBackendTest|QuantizedTest|Int8ModeTest'
+
+  echo "=== quant lane (cross-backend training checkpoint parity) ==="
+  # Train the tiny world end to end under each runnable backend (forced via
+  # GROUPSA_KERNEL_BACKEND) at 1 and 4 threads; every checkpoint must be
+  # byte-identical to the scalar reference. This is the strongest form of
+  # the bit-identity contract: millions of kernel invocations with zero
+  # accumulated divergence, not just single-call parity.
+  local quant_dir
+  quant_dir="$(mktemp -d)"
+  TMP_DIRS+=("${quant_dir}")
+  ./build/tools/groupsa_cli generate --out "${quant_dir}" --preset tiny \
+    > /dev/null
+  local backends
+  backends="$(./build/tools/groupsa_cli kernels)"
+  echo "runnable backends: ${backends//$'\n'/ }"
+  local backend threads ckpt
+  for threads in 1 4; do
+    for backend in ${backends}; do
+      ckpt="${quant_dir}/ckpt_${backend}_t${threads}.ckpt"
+      GROUPSA_KERNEL_BACKEND="${backend}" \
+        ./build/tools/groupsa_cli train --data "${quant_dir}" --epochs 2 \
+          --threads "${threads}" --model "${ckpt}" > /dev/null
+      md5sum "${ckpt}"
+      cmp "${quant_dir}/ckpt_scalar_t${threads}.ckpt" "${ckpt}"
+    done
+  done
+  echo "cross-backend checkpoint parity OK"
+
+  echo "=== quant lane (quantized suites under ASan) ==="
+  # The quantized rep caches hand out raw int8 row pointers and the engine
+  # swaps QuantState snapshots under concurrent readers; ASan guards the
+  # ownership story.
+  ensure_build build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGROUPSA_SANITIZE=address
+  cmake --build build-asan -j "${JOBS}"
+  ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
+    -R 'KernelBackendTest|QuantizedTest|Int8ModeTest'
+}
+
 lane_chaos() {
   # The chaos soak's assertions (transcript byte-identity across widths,
   # submitted == admitted + shed + rejected + expired, zero dead workers,
@@ -400,6 +456,7 @@ for lane in "${LANES[@]}"; do
     crash) lane_crash ;;
     serve-golden) lane_serve_golden ;;
     index) lane_index ;;
+    quant) lane_quant ;;
     chaos) lane_chaos ;;
     asan) lane_asan ;;
     tsan) lane_tsan ;;

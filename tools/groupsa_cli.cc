@@ -14,6 +14,10 @@
 //       --threads value.
 //   groupsa_cli evaluate --data DIR --model FILE [--candidates N]
 //       Evaluate a checkpoint with the paper's ranking protocol.
+//   groupsa_cli kernels
+//       Print the kernel backends this binary can run on this host, one
+//       per line (scalar first, then ascending vector width). CI iterates
+//       this list for the cross-backend bit-parity gates.
 //
 // All commands accept --threads N to size the global thread pool (default:
 // GROUPSA_THREADS env or 1). Training and evaluation results are
@@ -48,6 +52,7 @@
 #include "data/tfidf.h"
 #include "eval/evaluator.h"
 #include "nn/checkpoint.h"
+#include "tensor/backend.h"
 
 using namespace groupsa;
 
@@ -294,13 +299,21 @@ int CmdRecommend(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// `kernels`: the runnable backend names, for scripts (tools/ci.sh) that
+// need to enumerate what this host can actually execute.
+int CmdKernels() {
+  for (const tensor::KernelBackend* backend : tensor::CompiledBackends())
+    if (backend->runnable()) std::printf("%s\n", backend->name);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: groupsa_cli <generate|stats|train|evaluate|"
-                 "recommend> [flags]\n");
+                 "recommend|kernels> [flags]\n");
     return 1;
   }
   const std::string command = argv[1];
@@ -318,5 +331,6 @@ int main(int argc, char** argv) {
   if (command == "train") return CmdTrain(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "recommend") return CmdRecommend(flags);
+  if (command == "kernels") return CmdKernels();
   return Fail("unknown command: " + command);
 }

@@ -16,8 +16,10 @@
 // reviewed exceptions; stale entries are themselves findings, so the list
 // can only shrink when the code it excuses goes away. --prune-stale rewrites
 // the allowlist in place, dropping the stale entries instead of reporting
-// them. The fp-contract rule reads the GROUPSA_SIMD_SOURCES guard list from
-// --cmake (default <dir>/CMakeLists.txt of the first scanned directory).
+// them. The fp-contract rule checks the GROUPSA_KERNEL_GUARD_FLAGS contract
+// in --cmake (default <dir>/CMakeLists.txt of the first scanned directory),
+// and simd-confined keeps intrinsics/ISA-#ifdef code inside
+// src/tensor/backends/.
 
 #include <algorithm>
 #include <cstdio>

@@ -3,6 +3,7 @@
 //   groupsa_serve --data DIR --model FILE [--workers N] [--queue N]
 //                 [--overload shed|reject] [--threads N] [--seed N]
 //                 [--topk exact|ivf] [--nlist N] [--nprobe N]
+//                 [--score exact|int8] [--rerank N] [--backend NAME]
 //                 [--deadline TICKS] [--retries N] [--reload-retries N]
 //                 [--breaker] [--breaker-window N] [--breaker-threshold N]
 //                 [--breaker-open TICKS] [--breaker-probes N]
@@ -29,6 +30,12 @@
 // probes tune it), --reload-retries re-attempts failed hot reloads in the
 // background, --no-supervise disables hung-worker detection and restart.
 //
+// --score int8 serves the int8 candidate scan with exact FP32 re-ranking
+// of the top --rerank approximate scores (quantized tables are built
+// eagerly at every generation swap, composing with --topk ivf), and
+// --backend pins the kernel backend (scalar|avx2|avx512) instead of the
+// CPUID pick; the active backend is reported in the stats line.
+//
 // Responses print in request order with %.17g scores, so two runs of the
 // same script byte-compare equal at any --workers / --threads width — the
 // serve-mode golden gate in tools/ci.sh does exactly that. A missing or
@@ -52,6 +59,7 @@
 #include "nn/checkpoint.h"
 #include "serve/harness.h"
 #include "serve/server.h"
+#include "tensor/backend.h"
 
 using namespace groupsa;
 
@@ -151,13 +159,13 @@ void PrintStats(const serve::ServerStats& s) {
   std::printf(
       "stats submitted=%lld admitted=%lld completed=%lld shed=%lld "
       "rejected=%lld degraded=%lld reloads=%lld failed_reloads=%lld "
-      "peak_queue=%lld\n",
+      "peak_queue=%lld backend=%s\n",
       static_cast<long long>(s.submitted), static_cast<long long>(s.admitted),
       static_cast<long long>(s.completed), static_cast<long long>(s.shed),
       static_cast<long long>(s.rejected), static_cast<long long>(s.degraded),
       static_cast<long long>(s.reloads),
       static_cast<long long>(s.failed_reloads),
-      static_cast<long long>(s.peak_queue_depth));
+      static_cast<long long>(s.peak_queue_depth), tensor::ActiveBackendName());
   std::printf(
       "stats.resilience expired=%lld expired_queue=%lld invalid=%lld "
       "retries=%lld worker_faults=%lld hangs_rescued=%lld "
@@ -235,6 +243,20 @@ int main(int argc, char** argv) {
     config.index.nprobe = std::atoi(FlagOr(flags, "nprobe", "0").c_str());
   } else if (topk != "exact") {
     return Fail("unknown --topk mode: " + topk);
+  }
+  const std::string score = FlagOr(flags, "score", "exact");
+  if (score == "int8") {
+    config.score = core::ScoreMode::kInt8;
+    if (const int rerank = std::atoi(FlagOr(flags, "rerank", "0").c_str());
+        rerank > 0) {
+      config.int8.rerank_k = rerank;
+    }
+  } else if (score != "exact") {
+    return Fail("unknown --score mode: " + score);
+  }
+  if (const std::string backend = FlagOr(flags, "backend", "");
+      !backend.empty() && !tensor::SelectBackendByName(backend)) {
+    return Fail("kernel backend not available on this host: " + backend);
   }
   config.deadline_ticks =
       std::strtoull(FlagOr(flags, "deadline", "0").c_str(), nullptr, 10);
